@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the ABFT arithmetic: checksum encoding,
+//! the four update rules, and verification with correction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hchol_core::checksum::{encode, encode_into};
+use hchol_core::chkops::{update_potf2, update_product, update_trsm};
+use hchol_core::verify::{verify_and_correct, VerifyPolicy};
+use hchol_matrix::generate::{known_factor, uniform};
+use hchol_matrix::Matrix;
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    g.sample_size(30);
+    for &b in &[64usize, 128, 256] {
+        let block = uniform(b, b, -1.0, 1.0, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            let mut chk = Matrix::zeros(2, b);
+            bench.iter(|| encode_into(black_box(&block), &mut chk));
+        });
+    }
+    g.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update");
+    g.sample_size(30);
+    for &b in &[64usize, 128, 256] {
+        let (la, a) = known_factor(b, 2);
+        let src = uniform(b, b, -1.0, 1.0, 3);
+        let chk_src = encode(&src);
+        let chk0 = encode(&a);
+        g.bench_with_input(BenchmarkId::new("product(SYRK/GEMM)", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut chk = chk0.clone();
+                update_product(&mut chk, black_box(&chk_src), black_box(&src));
+                black_box(chk);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("potf2(Alg.2)", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut chk = chk0.clone();
+                update_potf2(&mut chk, black_box(&la));
+                black_box(chk);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("trsm", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut chk = chk0.clone();
+                update_trsm(&mut chk, black_box(&la));
+                black_box(chk);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify");
+    g.sample_size(30);
+    let policy = VerifyPolicy::default();
+    for &b in &[64usize, 128, 256] {
+        let data0 = uniform(b, b, -1.0, 1.0, 4);
+        let chk0 = encode(&data0);
+        g.bench_with_input(BenchmarkId::new("clean", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut data = data0.clone();
+                let mut chk = chk0.clone();
+                let recalc = encode(&data);
+                black_box(verify_and_correct(&mut data, &mut chk, &recalc, &policy));
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("one_error", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut data = data0.clone();
+                data.set(b / 2, b / 3, 42.0);
+                let mut chk = chk0.clone();
+                let recalc = encode(&data);
+                black_box(verify_and_correct(&mut data, &mut chk, &recalc, &policy));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_updates, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of whole factorizations — Execute mode (real
+//! arithmetic) at small sizes, plus the TimingOnly simulation engine itself
+//! at paper scale (measuring the simulator's own speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hchol_core::magma::factor_magma;
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::{run_clean, SchemeKind};
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::ExecMode;
+use hchol_matrix::generate::spd_diag_dominant;
+use std::hint::black_box;
+
+fn bench_execute_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_execute");
+    g.sample_size(10);
+    let profile = SystemProfile::test_profile();
+    let opts = AbftOptions::default();
+    for &n in &[64usize, 128] {
+        let b = 16;
+        let a = spd_diag_dominant(n, 7);
+        g.bench_with_input(BenchmarkId::new("magma", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    factor_magma(&profile, ExecMode::Execute, n, b, Some(&a), false).unwrap(),
+                )
+            });
+        });
+        for kind in SchemeKind::all() {
+            g.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |bench, _| {
+                bench.iter(|| {
+                    black_box(
+                        run_clean(kind, &profile, ExecMode::Execute, n, b, &opts, Some(&a))
+                            .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    // How fast the discrete-event engine replays a paper-scale run.
+    let mut g = c.benchmark_group("simulator_timing_only");
+    g.sample_size(10);
+    let opts = AbftOptions::default();
+    for (name, profile, n) in [
+        ("tardis_20480", SystemProfile::tardis(), 20480usize),
+        ("bulldozer_30720", SystemProfile::bulldozer64(), 30720),
+    ] {
+        let b = profile.default_block;
+        g.bench_function(BenchmarkId::new("enhanced", name), |bench| {
+            bench.iter(|| {
+                black_box(
+                    run_clean(
+                        SchemeKind::Enhanced,
+                        &profile,
+                        ExecMode::TimingOnly,
+                        n,
+                        b,
+                        &opts,
+                        None,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_execute_mode, bench_simulator_throughput);
+criterion_main!(benches);

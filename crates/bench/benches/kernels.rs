@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the from-scratch BLAS kernels — the
+//! arithmetic substrate every simulated kernel executes. (Wall-clock here;
+//! the paper experiments use the virtual clock and live in `src/bin/`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hchol_blas::{gemm, potf2, syrk, trsm};
+use hchol_matrix::generate::{spd_diag_dominant, uniform};
+use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let a = uniform(n, n, -1.0, 1.0, 1);
+        let b = uniform(n, n, -1.0, 1.0, 2);
+        g.bench_with_input(BenchmarkId::new("NN", n), &n, |bench, _| {
+            let mut cmat = Matrix::zeros(n, n);
+            bench.iter(|| {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    1.0,
+                    black_box(&a),
+                    black_box(&b),
+                    0.0,
+                    &mut cmat,
+                );
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("NT", n), &n, |bench, _| {
+            let mut cmat = Matrix::zeros(n, n);
+            bench.iter(|| {
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    -1.0,
+                    black_box(&a),
+                    black_box(&b),
+                    1.0,
+                    &mut cmat,
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk_trsm");
+    g.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let a = uniform(n, n, -1.0, 1.0, 3);
+        let mut l = spd_diag_dominant(n, 4);
+        potf2(&mut l, 0).unwrap();
+        g.bench_with_input(BenchmarkId::new("syrk_lower", n), &n, |bench, _| {
+            let mut cmat = Matrix::zeros(n, n);
+            bench.iter(|| {
+                syrk(Uplo::Lower, Trans::No, -1.0, black_box(&a), 1.0, &mut cmat);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("trsm_rlt", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut rhs = a.clone();
+                trsm(
+                    Side::Right,
+                    Uplo::Lower,
+                    Trans::Yes,
+                    Diag::NonUnit,
+                    1.0,
+                    black_box(&l),
+                    &mut rhs,
+                );
+                black_box(rhs);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_potf2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("potf2");
+    g.sample_size(20);
+    for &n in &[32usize, 64, 128, 256] {
+        let a = spd_diag_dominant(n, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut w = a.clone();
+                potf2(&mut w, 0).unwrap();
+                black_box(w);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk_trsm, bench_potf2);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Minimal command-line handling shared by all experiment binaries
+//! (hand-rolled: the experiments need exactly three flags).
+
+use hchol_gpusim::profile::SystemProfile;
+
+/// Flags accepted by every experiment binary:
+/// `--system tardis|bulldozer64`, `--quick` (coarser sweep), `--json`.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Selected system profile (default: both, where the experiment
+    /// supports it; otherwise Tardis).
+    pub system: Option<String>,
+    /// Run a reduced sweep for smoke-testing.
+    pub quick: bool,
+    /// Emit machine-readable JSON alongside the human table.
+    pub json: bool,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // not a collection conversion
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = BenchArgs {
+            system: None,
+            quick: false,
+            json: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--system" => {
+                    out.system = Some(
+                        it.next()
+                            .unwrap_or_else(|| usage("--system needs a value")),
+                    );
+                }
+                "--quick" => out.quick = true,
+                "--json" => out.json = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+
+    /// The systems this invocation targets (both when unspecified).
+    pub fn systems(&self) -> Vec<SystemProfile> {
+        match self.system.as_deref() {
+            Some(name) => vec![crate::sweep::system_by_name(name)
+                .unwrap_or_else(|| usage(&format!("unknown system {name}")))],
+            None => vec![SystemProfile::tardis(), SystemProfile::bulldozer64()],
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <experiment> [--system tardis|bulldozer64] [--quick] [--json]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> BenchArgs {
+        BenchArgs::from_iter(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(a.system.is_none());
+        assert!(!a.quick && !a.json);
+        assert_eq!(a.systems().len(), 2);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--system", "tardis", "--quick", "--json"]);
+        assert_eq!(a.system.as_deref(), Some("tardis"));
+        assert!(a.quick && a.json);
+        let sys = a.systems();
+        assert_eq!(sys.len(), 1);
+        assert_eq!(sys[0].name, "Tardis");
+    }
+}

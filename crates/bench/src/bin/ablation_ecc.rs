@@ -1,0 +1,129 @@
+//! Ablation: ECC vs ABFT division of labor.
+//!
+//! The paper's motivation notes that machine ECC absorbs single-bit upsets
+//! but not multi-bit ones — ABFT exists for what slips through. This
+//! experiment draws a population of storage upsets with a realistic bit
+//! multiplicity mix, filters it through the SEC-DED model, and shows what
+//! each layer (ECC alone / ABFT alone / both) leaves uncorrected in an
+//! Enhanced Online-ABFT run.
+
+use hchol_bench::report::Table;
+use hchol_bench::BenchArgs;
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::{run_scheme, SchemeKind};
+use hchol_faults::ecc::effective_flips;
+use hchol_faults::{FaultKind, FaultPlan, FaultSpec, FaultTarget, InjectionPoint};
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::ExecMode;
+use hchol_matrix::generate::{rng, spd_diag_dominant};
+use rand::Rng;
+
+/// Draw `count` upsets: mostly single-bit, a tail of multi-bit bursts
+/// (the mix large-scale DRAM studies report).
+fn upset_population(count: usize, grid: usize, block: usize, seed: u64) -> Vec<FaultSpec> {
+    let mut r = rng(seed);
+    (0..count)
+        .map(|_| {
+            let width = match r.gen_range(0..10) {
+                0..=6 => 1usize, // ~70% single-bit
+                7..=8 => 2,      // ~20% double-bit
+                _ => 3,          // ~10% wider burst
+            };
+            let bits: Vec<u32> = (0..width).map(|_| r.gen_range(20..62)).collect();
+            let iter = r.gen_range(1..grid);
+            let bi = r.gen_range(iter..grid);
+            FaultSpec {
+                point: InjectionPoint::IterStart { iter },
+                target: FaultTarget {
+                    bi,
+                    bj: r.gen_range(0..=bi),
+                    row: r.gen_range(0..block),
+                    col: r.gen_range(0..block),
+                },
+                kind: FaultKind::Storage { bits },
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (n, b) = if args.quick { (128usize, 16usize) } else { (256, 16) };
+    let grid = n / b;
+    let a = spd_diag_dominant(n, 77);
+    let population = upset_population(24, grid, b, 20260705);
+
+    let mut t = Table::new(
+        &format!("Ablation — ECC vs ABFT on {n}x{n} (24 storage upsets, Enhanced, K = 1)"),
+        &["Configuration", "upsets reaching memory", "attempts", "ABFT corrections", "residual"],
+    );
+    // "minimal" keeps only the scheme's mandatory positive-definiteness
+    // guards (SYRK/POTF2 input checks cannot be disabled — without them the
+    // run fail-stops); K = huge turns off all panel verification.
+    for (label, ecc_on, abft_on) in [
+        ("minimal (PD guards only)", false, false),
+        ("ECC + minimal", true, false),
+        ("ABFT only", false, true),
+        ("ECC + ABFT", true, true),
+    ] {
+        // ECC filters the upset population before it reaches memory.
+        let surviving: Vec<FaultSpec> = population
+            .iter()
+            .filter_map(|f| {
+                let FaultKind::Storage { bits } = &f.kind else {
+                    return None;
+                };
+                if effective_flips(bits.len(), ecc_on) == 0 {
+                    None
+                } else {
+                    Some(f.clone())
+                }
+            })
+            .collect();
+        let reached = surviving.len();
+        let plan = FaultPlan { faults: surviving };
+        let opts = AbftOptions {
+            // "ABFT off" = never verify (K beyond the iteration count) and
+            // never restart: errors sail through, exactly like an
+            // unprotected MAGMA run.
+            verify_interval: if abft_on { 1 } else { usize::MAX / 2 },
+            max_restarts: if abft_on { 4 } else { 0 },
+            ..AbftOptions::default()
+        };
+        let out = run_scheme(
+            SchemeKind::Enhanced,
+            &SystemProfile::bulldozer64(),
+            ExecMode::Execute,
+            n,
+            b,
+            &opts,
+            plan,
+            Some(&a),
+        )
+        .expect("run completes");
+        let resid = out
+            .factor
+            .as_ref()
+            .map(|l| {
+                hchol_matrix::relative_residual(
+                    &hchol_blas::potrf::reconstruct_lower(l),
+                    &a,
+                )
+            })
+            .unwrap_or(f64::NAN);
+        t.row(&[
+            label.to_string(),
+            reached.to_string(),
+            out.attempts.to_string(),
+            out.verify.corrected_data.to_string(),
+            format!("{resid:.1e}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "reading: ECC thins the population (single-bit upsets vanish) but multi-bit\n\
+         upsets still corrupt the factor (wrong residual, no recovery); only the two\n\
+         full-ABFT rows end clean. Together they are cheapest: ABFT sees fewer events,\n\
+         so fewer corrections and the smallest residual."
+    );
+}

@@ -1,0 +1,100 @@
+//! Extension experiment: survival curves under Poisson fault storms.
+//!
+//! The paper's Optimization 3 trades overhead against "error correction
+//! capability" but only reports the overhead side. This experiment fills in
+//! the capability side: for each (storage-error rate λ, verification
+//! interval K) cell it runs a multi-seed campaign of Enhanced Online-ABFT
+//! in Execute mode (real corruption, real correction) and reports survival
+//! rate, restart rate, and mean cost — the full trade-off surface behind
+//! "properly adjusting the number K".
+
+use hchol_bench::report::{save, Table};
+use hchol_bench::BenchArgs;
+use hchol_blas::potrf::reconstruct_lower;
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::{run_scheme, SchemeKind};
+use hchol_faults::poisson::storage_plan;
+use hchol_faults::{run_campaign, TrialOutcome};
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::ExecMode;
+use hchol_matrix::generate::spd_diag_dominant;
+use hchol_matrix::relative_residual;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (n, b) = (192usize, 16usize);
+    let nt = n / b;
+    let trials = if args.quick { 5 } else { 20 };
+    let a = spd_diag_dominant(n, 1);
+    let system = SystemProfile::bulldozer64();
+
+    let mut t = Table::new(
+        &format!(
+            "Survival under Poisson storage-error storms (Enhanced, n = {n}, B = {b}, {trials} trials/cell)"
+        ),
+        &[
+            "rate/iter",
+            "K",
+            "survival",
+            "restart rate",
+            "mean corrections",
+            "mean time",
+        ],
+    );
+    for &rate in &[0.1f64, 0.5, 2.0] {
+        for &k in &[1usize, 3, 5] {
+            let opts = AbftOptions {
+                max_restarts: 6,
+                ..AbftOptions::default().with_interval(k)
+            };
+            let stats = run_campaign(trials, 4242, |seed| {
+                let plan = storage_plan(nt, b, rate, seed);
+                let out = run_scheme(
+                    SchemeKind::Enhanced,
+                    &system,
+                    ExecMode::Execute,
+                    n,
+                    b,
+                    &opts,
+                    plan,
+                    Some(&a),
+                )
+                .expect("run completes");
+                let resid = out
+                    .factor
+                    .as_ref()
+                    .map(|l| relative_residual(&reconstruct_lower(l), &a))
+                    .unwrap_or(f64::INFINITY);
+                TrialOutcome {
+                    correct: !out.failed && resid < 1e-9,
+                    attempts: out.attempts,
+                    corrected: out.verify.corrected_data,
+                    seconds: out.time.as_secs(),
+                }
+            });
+            t.row(&[
+                format!("{rate:.1}"),
+                k.to_string(),
+                format!("{:.0}%", 100.0 * stats.survival_rate()),
+                format!(
+                    "{:.0}%",
+                    100.0 * stats.restarted as f64 / stats.trials as f64
+                ),
+                format!("{:.1}", stats.total_corrected as f64 / stats.trials as f64),
+                format!("{:.3}ms", stats.mean_seconds * 1e3),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "reading: the crossover the paper's Optimization 3 is about, measured. At low\n\
+         rates, larger K is cheapest (less verification, rare restarts). As the rate\n\
+         grows, K > 1 restarts on almost every run and its advantage evaporates, while\n\
+         K = 1 absorbs nearly everything in place (its rare restarts are two errors\n\
+         landing in one block column — beyond two-checksum correction capability)."
+    );
+    if args.json {
+        let p = save("campaign_survival.csv", &t.to_csv());
+        println!("series written to {}", p.display());
+    }
+}

@@ -1,0 +1,72 @@
+//! Figures 8 & 9 — Optimization 1: concurrent checksum-recalculation
+//! kernels.
+//!
+//! Sweeps the paper's matrix sizes on each system and prints the Enhanced
+//! scheme's relative overhead (vs the MAGMA baseline) before and after
+//! enabling concurrent kernel execution for the recalculation GEMVs.
+//! Expected shape: a modest gain on Tardis (Fermi barely co-executes
+//! kernels) and a large gain on Bulldozer64 (Hyper-Q runs them 32-wide).
+
+use hchol_bench::report::{fmt_pct, save, Table};
+use hchol_bench::runner::{overhead_pct, run_variant, Variant};
+use hchol_bench::{paper_sizes, BenchArgs};
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::SchemeKind;
+use hchol_faults::FaultPlan;
+use hchol_gpusim::ExecMode;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (fig, profile) in ["8", "9"].iter().zip(args.systems()) {
+        let b = profile.default_block;
+        let mut t = Table::new(
+            &format!(
+                "Figure {fig} — Opt. 1 on {} (Enhanced overhead vs MAGMA, before/after concurrent recalculation)",
+                profile.name
+            ),
+            &["n", "before (1 stream)", "after (N streams)", "gain (points)"],
+        );
+        for n in paper_sizes(&profile, args.quick) {
+            let base = run_variant(
+                Variant::Magma,
+                &profile,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &AbftOptions::default(),
+                FaultPlan::none(),
+                None,
+            )
+            .seconds;
+            let run = |concurrent: bool| {
+                run_variant(
+                    Variant::Scheme(SchemeKind::Enhanced),
+                    &profile,
+                    ExecMode::TimingOnly,
+                    n,
+                    b,
+                    &AbftOptions::default().with_concurrent_recalc(concurrent),
+                    FaultPlan::none(),
+                    None,
+                )
+                .seconds
+            };
+            let before = overhead_pct(run(false), base);
+            let after = overhead_pct(run(true), base);
+            t.row(&[
+                n.to_string(),
+                fmt_pct(before),
+                fmt_pct(after),
+                format!("{:.2}", before - after),
+            ]);
+        }
+        t.print();
+        if args.json {
+            let p = save(
+                &format!("fig0{fig}_opt1_{}.csv", profile.name.to_lowercase()),
+                &t.to_csv(),
+            );
+            println!("series written to {}\n", p.display());
+        }
+    }
+}

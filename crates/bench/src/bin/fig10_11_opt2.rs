@@ -1,0 +1,78 @@
+//! Figures 10 & 11 — Optimization 2: checksum-update placement.
+//!
+//! Sweeps the paper's sizes and prints the Enhanced scheme's relative
+//! overhead before (updates inline on the compute stream) and after
+//! (updates offloaded per the decision model — CPU worker lanes on Tardis,
+//! a concurrent GPU stream on Bulldozer64, exactly the choices the paper
+//! reports).
+
+use hchol_bench::report::{fmt_pct, save, Table};
+use hchol_bench::runner::{overhead_pct, run_variant, Variant};
+use hchol_bench::{paper_sizes, BenchArgs};
+use hchol_core::decision;
+use hchol_core::options::{AbftOptions, ChecksumPlacement};
+use hchol_core::schemes::SchemeKind;
+use hchol_faults::FaultPlan;
+use hchol_gpusim::ExecMode;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (fig, profile) in ["10", "11"].iter().zip(args.systems()) {
+        let b = profile.default_block;
+        let chosen = decision::choose(ChecksumPlacement::Auto, &profile, 20480, b, 1);
+        let chosen_name = match chosen {
+            ChecksumPlacement::Cpu => "CPU",
+            ChecksumPlacement::Gpu => "GPU stream",
+            _ => "?",
+        };
+        let mut t = Table::new(
+            &format!(
+                "Figure {fig} — Opt. 2 on {} (Enhanced overhead; decision model picks {chosen_name} updating)",
+                profile.name
+            ),
+            &["n", "before (inline)", "after (offloaded)", "gain (points)"],
+        );
+        for n in paper_sizes(&profile, args.quick) {
+            let base = run_variant(
+                Variant::Magma,
+                &profile,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &AbftOptions::default(),
+                FaultPlan::none(),
+                None,
+            )
+            .seconds;
+            let run = |placement: ChecksumPlacement| {
+                run_variant(
+                    Variant::Scheme(SchemeKind::Enhanced),
+                    &profile,
+                    ExecMode::TimingOnly,
+                    n,
+                    b,
+                    &AbftOptions::default().with_placement(placement),
+                    FaultPlan::none(),
+                    None,
+                )
+                .seconds
+            };
+            let before = overhead_pct(run(ChecksumPlacement::Inline), base);
+            let after = overhead_pct(run(chosen), base);
+            t.row(&[
+                n.to_string(),
+                fmt_pct(before),
+                fmt_pct(after),
+                format!("{:.2}", before - after),
+            ]);
+        }
+        t.print();
+        if args.json {
+            let p = save(
+                &format!("fig{fig}_opt2_{}.csv", profile.name.to_lowercase()),
+                &t.to_csv(),
+            );
+            println!("series written to {}\n", p.display());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Figures 12 & 13 — Optimization 3: verify every K iterations.
+//!
+//! Sweeps the paper's sizes and prints the Enhanced scheme's relative
+//! overhead at K = 1, 3, 5 (the values the paper plots). Overhead drops
+//! steeply with K because the dominant cost — recalculating the GEMM input
+//! panels — is gated to every K-th iteration.
+
+use hchol_bench::report::{fmt_pct, save, Table};
+use hchol_bench::runner::{overhead_pct, run_variant, Variant};
+use hchol_bench::{paper_sizes, BenchArgs};
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::SchemeKind;
+use hchol_faults::FaultPlan;
+use hchol_gpusim::ExecMode;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (fig, profile) in ["12", "13"].iter().zip(args.systems()) {
+        let b = profile.default_block;
+        let mut t = Table::new(
+            &format!(
+                "Figure {fig} — Opt. 3 on {} (Enhanced overhead vs MAGMA for K = 1, 3, 5)",
+                profile.name
+            ),
+            &["n", "K=1", "K=3", "K=5"],
+        );
+        for n in paper_sizes(&profile, args.quick) {
+            let base = run_variant(
+                Variant::Magma,
+                &profile,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &AbftOptions::default(),
+                FaultPlan::none(),
+                None,
+            )
+            .seconds;
+            let mut cells = vec![n.to_string()];
+            for k in [1usize, 3, 5] {
+                let s = run_variant(
+                    Variant::Scheme(SchemeKind::Enhanced),
+                    &profile,
+                    ExecMode::TimingOnly,
+                    n,
+                    b,
+                    &AbftOptions::default().with_interval(k),
+                    FaultPlan::none(),
+                    None,
+                )
+                .seconds;
+                cells.push(fmt_pct(overhead_pct(s, base)));
+            }
+            t.row(&cells);
+        }
+        t.print();
+        if args.json {
+            let p = save(
+                &format!("fig{fig}_opt3_{}.csv", profile.name.to_lowercase()),
+                &t.to_csv(),
+            );
+            println!("series written to {}\n", p.display());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figures 14 & 15 — overall overhead comparison: Offline-ABFT vs
+//! Online-ABFT vs Enhanced Online-ABFT across the size sweep, with all
+//! optimizations on.
+//!
+//! Expected shape (the paper's): overheads fall as n grows and converge to
+//! small constants; Enhanced sits slightly above the other two, under ~6%
+//! on Tardis and ~4% on Bulldozer64 at the largest sizes.
+
+use hchol_bench::report::{fmt_pct, save, Table};
+use hchol_bench::runner::{overhead_pct, run_variant, Variant};
+use hchol_bench::{paper_sizes, BenchArgs};
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::SchemeKind;
+use hchol_faults::FaultPlan;
+use hchol_gpusim::ExecMode;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (fig, profile) in ["14", "15"].iter().zip(args.systems()) {
+        let b = profile.default_block;
+        let opts = AbftOptions::default();
+        let mut t = Table::new(
+            &format!(
+                "Figure {fig} — relative overhead vs MAGMA on {} (all optimizations on, K = 1)",
+                profile.name
+            ),
+            &["n", "Offline-ABFT", "Online-ABFT", "Enhanced Online-ABFT"],
+        );
+        for n in paper_sizes(&profile, args.quick) {
+            let base = run_variant(
+                Variant::Magma,
+                &profile,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &opts,
+                FaultPlan::none(),
+                None,
+            )
+            .seconds;
+            let mut cells = vec![n.to_string()];
+            for kind in [
+                SchemeKind::Offline,
+                SchemeKind::Online,
+                SchemeKind::Enhanced,
+            ] {
+                let s = run_variant(
+                    Variant::Scheme(kind),
+                    &profile,
+                    ExecMode::TimingOnly,
+                    n,
+                    b,
+                    &opts,
+                    FaultPlan::none(),
+                    None,
+                )
+                .seconds;
+                cells.push(fmt_pct(overhead_pct(s, base)));
+            }
+            t.row(&cells);
+        }
+        t.print();
+        if args.json {
+            let p = save(
+                &format!("fig{fig}_overhead_{}.csv", profile.name.to_lowercase()),
+                &t.to_csv(),
+            );
+            println!("series written to {}\n", p.display());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Tables VII & VIII — fault-tolerance capability comparison.
+//!
+//! For each system, runs the three ABFT schemes under three scenarios —
+//! no error, one computing error, one memory (storage) error injected in
+//! the middle of the computation — at the paper's full sizes (virtual
+//! clock), reproducing the headline result: only Enhanced Online-ABFT
+//! absorbs *both* error species without the ~2× re-run penalty.
+//!
+//! A scaled-down Execute-mode replica then demonstrates the same outcomes
+//! with real arithmetic: errors are genuinely injected into matrix data,
+//! located via the two weighted checksums, and corrected, and the final
+//! factor's residual is shown.
+
+use hchol_bench::report::{fmt_secs, Table};
+use hchol_bench::BenchArgs;
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::{run_scheme, SchemeKind};
+use hchol_faults::FaultPlan;
+use hchol_gpusim::ExecMode;
+use hchol_matrix::generate::spd_diag_dominant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for profile in args.systems() {
+        let (n, table_no) = if profile.name == "Bulldozer64" {
+            (30720usize, "VIII")
+        } else {
+            (20480, "VII")
+        };
+        let n = if args.quick { n / 4 } else { n };
+        let b = profile.default_block;
+        let nt = n / b;
+        let opts = AbftOptions::default();
+
+        let mut t = Table::new(
+            &format!(
+                "Table {table_no} — fault tolerance capability on {} with {n}x{n} Cholesky decomposition",
+                profile.name
+            ),
+            &["Scheme", "No Error", "Computation Error", "Memory Error"],
+        );
+        for kind in SchemeKind::all() {
+            let mut cells = vec![kind.name().to_string()];
+            for plan in [
+                FaultPlan::none(),
+                FaultPlan::paper_computing_error(nt, b),
+                FaultPlan::paper_storage_error(nt, b),
+            ] {
+                let out = run_scheme(
+                    kind,
+                    &profile,
+                    ExecMode::TimingOnly,
+                    n,
+                    b,
+                    &opts,
+                    plan,
+                    None,
+                )
+                .expect("scheme runs");
+                cells.push(fmt_secs(out.time.as_secs()));
+            }
+            t.row(&cells);
+        }
+        t.print();
+    }
+
+    // Execute-mode replica: real numbers, real corrections.
+    println!("— Execute-mode replica (real arithmetic, scaled to n = 512) —");
+    let profile = hchol_gpusim::profile::SystemProfile::tardis();
+    let (n, b) = (512usize, 32usize);
+    let nt = n / b;
+    let a = spd_diag_dominant(n, 20260705);
+    let opts = AbftOptions::default();
+    let mut t = Table::new(
+        "Same scenarios with real data (virtual time; residual = ‖LLᵀ−A‖/‖A‖)",
+        &["Scheme", "Scenario", "Time", "Attempts", "Corrected", "Residual"],
+    );
+    for kind in SchemeKind::all() {
+        for (label, plan) in [
+            ("none", FaultPlan::none()),
+            ("computing", FaultPlan::paper_computing_error(nt, b)),
+            ("storage", FaultPlan::paper_storage_error(nt, b)),
+        ] {
+            let out = run_scheme(
+                kind,
+                &profile,
+                ExecMode::Execute,
+                n,
+                b,
+                &opts,
+                plan,
+                Some(&a),
+            )
+            .expect("scheme runs");
+            let l = out.factor.as_ref().expect("execute mode yields factor");
+            let recon = hchol_blas::potrf::reconstruct_lower(l);
+            let resid = hchol_matrix::relative_residual(&recon, &a);
+            t.row(&[
+                kind.name().to_string(),
+                label.to_string(),
+                fmt_secs(out.time.as_secs()),
+                out.attempts.to_string(),
+                out.verify.corrected_data.to_string(),
+                format!("{resid:.2e}"),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "Reading: Enhanced absorbs both error kinds in-place (1 attempt, tiny residual).\n\
+         Online corrects the computing error but must re-run after the storage error.\n\
+         Offline re-runs for both. Re-runs ≈ double the no-error time, as in the paper."
+    );
+}

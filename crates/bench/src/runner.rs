@@ -1,0 +1,149 @@
+//! Unified runner over every factorization variant the paper compares.
+
+use hchol_core::cula::factor_cula;
+use hchol_core::magma::factor_magma;
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::{run_scheme, SchemeKind};
+use hchol_faults::FaultPlan;
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::ExecMode;
+use hchol_matrix::Matrix;
+
+/// A factorization variant under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Plain MAGMA-style hybrid Cholesky (no fault tolerance).
+    Magma,
+    /// Simulated CULA R18 baseline.
+    Cula,
+    /// One of the three ABFT schemes.
+    Scheme(SchemeKind),
+}
+
+impl Variant {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Magma => "MAGMA",
+            Variant::Cula => "CULA",
+            Variant::Scheme(k) => k.name(),
+        }
+    }
+
+    /// Every variant, in Figure-16/17 legend order.
+    pub fn all() -> [Variant; 5] {
+        [
+            Variant::Magma,
+            Variant::Cula,
+            Variant::Scheme(SchemeKind::Offline),
+            Variant::Scheme(SchemeKind::Online),
+            Variant::Scheme(SchemeKind::Enhanced),
+        ]
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The variant.
+    pub variant: &'static str,
+    /// Matrix size.
+    pub n: usize,
+    /// Virtual seconds.
+    pub seconds: f64,
+    /// `n³/3 / seconds / 1e9`.
+    pub gflops: f64,
+    /// Attempts taken (1 unless recovery restarted the run).
+    pub attempts: usize,
+    /// Corrections performed.
+    pub corrected: usize,
+}
+
+/// Run one variant once. `input` is required in Execute mode.
+#[allow(clippy::too_many_arguments)] // mirrors the driver signature
+pub fn run_variant(
+    variant: Variant,
+    profile: &SystemProfile,
+    mode: ExecMode,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+    plan: FaultPlan,
+    input: Option<&Matrix>,
+) -> RunResult {
+    let (seconds, attempts, corrected) = match variant {
+        Variant::Magma => {
+            let r = factor_magma(profile, mode, n, b, input, false).expect("magma baseline");
+            (r.time.as_secs(), 1, 0)
+        }
+        Variant::Cula => {
+            let r = factor_cula(profile, mode, n, b, input).expect("cula baseline");
+            (r.time.as_secs(), 1, 0)
+        }
+        Variant::Scheme(kind) => {
+            let r = run_scheme(kind, profile, mode, n, b, opts, plan, input)
+                .expect("abft scheme");
+            (r.time.as_secs(), r.attempts, r.verify.corrected_data)
+        }
+    };
+    RunResult {
+        variant: variant.name(),
+        n,
+        seconds,
+        gflops: (n as f64).powi(3) / 3.0 / seconds / 1e9,
+        attempts,
+        corrected,
+    }
+}
+
+/// Relative overhead of `t` against baseline `base`, in percent.
+pub fn overhead_pct(t: f64, base: f64) -> f64 {
+    (t / base - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_run_in_timing_mode() {
+        let p = SystemProfile::test_profile();
+        let opts = AbftOptions::default();
+        for v in Variant::all() {
+            let r = run_variant(
+                v,
+                &p,
+                ExecMode::TimingOnly,
+                64,
+                8,
+                &opts,
+                FaultPlan::none(),
+                None,
+            );
+            assert!(r.seconds > 0.0, "{} produced zero time", r.variant);
+            assert!(r.gflops > 0.0);
+            assert_eq!(r.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn overhead_pct_basics() {
+        assert!((overhead_pct(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert_eq!(overhead_pct(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        let names: Vec<_> = Variant::all().iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MAGMA",
+                "CULA",
+                "Offline-ABFT",
+                "Online-ABFT",
+                "Enhanced Online-ABFT"
+            ]
+        );
+    }
+}

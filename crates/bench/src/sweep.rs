@@ -1,0 +1,64 @@
+//! The paper's size sweeps and system lookup.
+
+use hchol_gpusim::profile::SystemProfile;
+
+/// The matrix sizes a system was evaluated on (Section VII-A): multiples of
+/// 2560 from 5120 up to 23040 on Tardis and 30720 on Bulldozer64 — "from
+/// the largest our GPU memory allows to relatively small sizes".
+pub fn paper_sizes(profile: &SystemProfile, quick: bool) -> Vec<usize> {
+    let max = if profile.name == "Bulldozer64" {
+        30720
+    } else {
+        23040
+    };
+    let step = if quick { 7680 } else { 2560 };
+    (1..)
+        .map(|i| i * step)
+        .skip_while(|&n| n < 5120)
+        .take_while(|&n| n <= max)
+        .collect()
+}
+
+/// Resolve a system profile by CLI name.
+pub fn system_by_name(name: &str) -> Option<SystemProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "tardis" => Some(SystemProfile::tardis()),
+        "bulldozer64" | "bulldozer" => Some(SystemProfile::bulldozer64()),
+        "test" => Some(SystemProfile::test_profile()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tardis_sweep_matches_paper_range() {
+        let s = paper_sizes(&SystemProfile::tardis(), false);
+        assert_eq!(s.first(), Some(&5120));
+        assert_eq!(s.last(), Some(&23040));
+        assert!(s.windows(2).all(|w| w[1] - w[0] == 2560));
+    }
+
+    #[test]
+    fn bulldozer_sweep_reaches_30720() {
+        let s = paper_sizes(&SystemProfile::bulldozer64(), false);
+        assert_eq!(s.last(), Some(&30720));
+        assert!(s.len() > 8);
+    }
+
+    #[test]
+    fn quick_sweep_is_small() {
+        let s = paper_sizes(&SystemProfile::tardis(), true);
+        assert!(s.len() <= 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(system_by_name("tardis").unwrap().name, "Tardis");
+        assert_eq!(system_by_name("Bulldozer64").unwrap().name, "Bulldozer64");
+        assert!(system_by_name("cray").is_none());
+    }
+}

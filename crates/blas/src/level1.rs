@@ -1,0 +1,117 @@
+//! BLAS level-1: vector-vector kernels.
+
+/// `y := alpha * x + y`. Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product `xᵀ·y`. Panics if lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    // Four-way unrolled accumulation: faster and (by splitting the
+    // dependency chain) slightly more accurate than a single accumulator.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let b = c * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// `x := alpha * x`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Index of the element with the largest absolute value (first on ties).
+/// Returns `None` for an empty slice.
+pub fn iamax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        match best {
+            Some((_, b)) if a <= b => {}
+            _ => best = Some((i, a)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Euclidean norm with overflow-safe scaling.
+pub fn nrm2(x: &[f64]) -> f64 {
+    hchol_matrix::norms::vec_norm2(x)
+}
+
+/// Sum of absolute values.
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpy_alpha_zero_is_noop() {
+        let x = [f64::NAN; 3];
+        let mut y = [1.0, 2.0, 3.0];
+        axpy(0.0, &x, &mut y);
+        assert_eq!(y, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..13).map(|i| (i * 2) as f64).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_eq!(dot(&x, &y), naive);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0, -2.0];
+        scal(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn iamax_finds_peak() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[2.0, -2.0]), Some(0)); // first on tie
+        assert_eq!(iamax(&[]), None);
+    }
+
+    #[test]
+    fn asum_and_nrm2() {
+        assert_eq!(asum(&[1.0, -2.0, 3.0]), 6.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,169 @@
+//! General matrix-matrix multiply.
+
+use crate::level1::axpy;
+use hchol_matrix::{Matrix, Trans};
+
+/// `C := alpha * op(A) * op(B) + beta * C`.
+///
+/// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
+/// Panics on shape mismatch; `A`, `B` and `C` must be distinct matrices
+/// (guaranteed by Rust's borrow rules).
+///
+/// Loop order is chosen per transposition so the innermost loop always runs
+/// down a stored column (unit stride in column-major storage).
+pub fn gemm(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = trans_a.apply(a.shape());
+    let (kb, n) = trans_b.apply(b.shape());
+    assert_eq!(ka, kb, "gemm inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    let k = ka;
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    match (trans_a, trans_b) {
+        // C[:,j] += alpha * Σ_l A[:,l] * B[l,j] — pure axpy form.
+        (Trans::No, Trans::No) => {
+            for j in 0..n {
+                let bcol = b.col(j);
+                let ccol = c.col_mut(j);
+                for (l, &blj) in bcol.iter().enumerate() {
+                    axpy(alpha * blj, a.col(l), ccol);
+                }
+            }
+        }
+        // B used transposed: B[l,j] = Bᵀ stored as b[j,l].
+        (Trans::No, Trans::Yes) => {
+            for j in 0..n {
+                let ccol = c.col_mut(j);
+                for l in 0..k {
+                    axpy(alpha * b.get(j, l), a.col(l), ccol);
+                }
+            }
+        }
+        // A used transposed: C[i,j] += alpha * dot(A[:,i], B[:,j]).
+        (Trans::Yes, Trans::No) => {
+            for j in 0..n {
+                let bcol = b.col(j);
+                for i in 0..m {
+                    let s = crate::level1::dot(a.col(i), bcol);
+                    let v = c.get(i, j) + alpha * s;
+                    c.set(i, j, v);
+                }
+            }
+        }
+        // Both transposed: C[i,j] += alpha * Σ_l a[l,i] * b[j,l].
+        (Trans::Yes, Trans::Yes) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut s = 0.0;
+                    for (l, &ali) in acol.iter().enumerate() {
+                        s += ali * b.get(j, l);
+                    }
+                    let v = c.get(i, j) + alpha * s;
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: allocate and return `op(A) * op(B)`.
+pub fn gemm_into(trans_a: Trans, trans_b: Trans, a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, _) = trans_a.apply(a.shape());
+    let (_, n) = trans_b.apply(b.shape());
+    let mut c = Matrix::zeros(m, n);
+    gemm(trans_a, trans_b, 1.0, a, b, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ref_gemm;
+    use hchol_matrix::generate::uniform;
+    use hchol_matrix::{approx_eq, Matrix};
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_row_major(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = gemm_into(Trans::No, Trans::No, &a, &b);
+        let want = Matrix::from_row_major(2, 2, &[19.0, 22.0, 43.0, 50.0]).unwrap();
+        assert!(approx_eq(&c, &want, 1e-14));
+    }
+
+    #[test]
+    fn all_transpose_combos_match_reference() {
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            // op(A): 4x3, op(B): 3x5
+            let a_shape = ta.apply((4, 3)); // stored shape
+            let b_shape = tb.apply((3, 5));
+            let a = uniform(a_shape.0, a_shape.1, -1.0, 1.0, 1);
+            let b = uniform(b_shape.0, b_shape.1, -1.0, 1.0, 2);
+            let mut c = uniform(4, 5, -1.0, 1.0, 3);
+            let mut c_ref = c.clone();
+            gemm(ta, tb, 1.7, &a, &b, -0.3, &mut c);
+            ref_gemm(ta, tb, 1.7, &a, &b, -0.3, &mut c_ref);
+            assert!(approx_eq(&c, &c_ref, 1e-12), "ta={ta:?} tb={tb:?}");
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::filled(2, 2, f64::NAN);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(approx_eq(&c, &Matrix::identity(2), 0.0));
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let a = uniform(3, 3, -1.0, 1.0, 4);
+        let b = uniform(3, 3, -1.0, 1.0, 5);
+        let mut c = Matrix::filled(3, 3, 2.0);
+        gemm(Trans::No, Trans::No, 0.0, &a, &b, 0.5, &mut c);
+        assert!(approx_eq(&c, &Matrix::filled(3, 3, 1.0), 0.0));
+    }
+
+    #[test]
+    fn k_zero_leaves_scaled_c() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::filled(3, 2, 4.0);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.25, &mut c);
+        assert!(approx_eq(&c, &Matrix::filled(3, 2, 1.0), 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,15 @@
+//! BLAS level-3: matrix-matrix kernels.
+//!
+//! These are the operations MAGMA's hybrid Cholesky keeps on the GPU (SYRK,
+//! GEMM, TRSM); here they run inside the simulated device. All kernels work
+//! on whole [`hchol_matrix::Matrix`] operands — the tile layout of
+//! `hchol-matrix` supplies the disjointness that BLAS expresses through
+//! pointer/leading-dimension arithmetic.
+
+mod gemm;
+mod syrk;
+mod trsm;
+
+pub use gemm::{gemm, gemm_into};
+pub use syrk::syrk;
+pub use trsm::trsm;

@@ -1,0 +1,141 @@
+//! Symmetric rank-k update.
+
+use crate::level1::{axpy, dot};
+use hchol_matrix::{Matrix, Trans, Uplo};
+
+/// `C := alpha * op(A) * op(A)ᵀ + beta * C`, updating only the `uplo`
+/// triangle of the square matrix `C`.
+///
+/// With `trans = No`, `op(A) = A` (`n × k`); with `trans = Yes`,
+/// `op(A) = Aᵀ` (so `A` is stored `k × n`). This is the diagonal-block
+/// update of MAGMA's Cholesky iteration: `A[j,j] -= A[j,0:j-1] · A[j,0:j-1]ᵀ`.
+pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let (n, k) = trans.apply(a.shape());
+    assert!(c.is_square(), "syrk C must be square");
+    assert_eq!(c.rows(), n, "syrk C dimension mismatch");
+
+    // Scale the referenced triangle.
+    if beta != 1.0 {
+        for j in 0..n {
+            let (lo, hi) = match uplo {
+                Uplo::Lower => (j, n),
+                Uplo::Upper => (0, j + 1),
+            };
+            for i in lo..hi {
+                let v = if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+                c.set(i, j, v);
+            }
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    match trans {
+        // C[i,j] += alpha * Σ_l A[i,l]·A[j,l]: axpy down each column segment.
+        Trans::No => {
+            for j in 0..n {
+                for l in 0..k {
+                    let ajl = a.get(j, l);
+                    if ajl == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    match uplo {
+                        Uplo::Lower => {
+                            let ccol = &mut c.col_mut(j)[j..];
+                            axpy(alpha * ajl, &acol[j..], ccol);
+                        }
+                        Uplo::Upper => {
+                            let ccol = &mut c.col_mut(j)[..=j];
+                            axpy(alpha * ajl, &acol[..=j], ccol);
+                        }
+                    }
+                }
+            }
+        }
+        // op(A) = Aᵀ: C[i,j] += alpha * dot(A[:,i], A[:,j]).
+        Trans::Yes => {
+            for j in 0..n {
+                let (lo, hi) = match uplo {
+                    Uplo::Lower => (j, n),
+                    Uplo::Upper => (0, j + 1),
+                };
+                let acj = a.col(j);
+                for i in lo..hi {
+                    let s = dot(a.col(i), acj);
+                    let v = c.get(i, j) + alpha * s;
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level3::gemm_into;
+    use hchol_matrix::generate::uniform;
+    use hchol_matrix::Matrix;
+
+    fn full_aat(a: &Matrix, trans: Trans) -> Matrix {
+        match trans {
+            Trans::No => gemm_into(Trans::No, Trans::Yes, a, a),
+            Trans::Yes => gemm_into(Trans::Yes, Trans::No, a, a),
+        }
+    }
+
+    #[test]
+    fn lower_matches_gemm() {
+        let a = uniform(5, 3, -1.0, 1.0, 9);
+        let mut c = Matrix::zeros(5, 5);
+        syrk(Uplo::Lower, Trans::No, 1.0, &a, 0.0, &mut c);
+        let want = full_aat(&a, Trans::No);
+        for j in 0..5 {
+            for i in j..5 {
+                assert!((c.get(i, j) - want.get(i, j)).abs() < 1e-13);
+            }
+            for i in 0..j {
+                assert_eq!(c.get(i, j), 0.0, "upper triangle must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_trans_matches_gemm() {
+        let a = uniform(3, 4, -1.0, 1.0, 10); // op(A) = Aᵀ is 4x3
+        let mut c = uniform(4, 4, -1.0, 1.0, 11);
+        let c0 = c.clone();
+        syrk(Uplo::Upper, Trans::Yes, 2.0, &a, 0.5, &mut c);
+        let want = full_aat(&a, Trans::Yes);
+        for j in 0..4 {
+            for i in 0..=j {
+                let expect = 2.0 * want.get(i, j) + 0.5 * c0.get(i, j);
+                assert!((c.get(i, j) - expect).abs() < 1e-13);
+            }
+            for i in (j + 1)..4 {
+                assert_eq!(c.get(i, j), c0.get(i, j), "lower must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_clears_triangle_only() {
+        let a = Matrix::zeros(3, 2);
+        let mut c = Matrix::filled(3, 3, 7.0);
+        syrk(Uplo::Lower, Trans::No, 1.0, &a, 0.0, &mut c);
+        assert_eq!(c.get(2, 0), 0.0);
+        assert_eq!(c.get(0, 2), 7.0);
+    }
+
+    #[test]
+    fn result_diagonal_nonnegative_for_alpha_positive() {
+        let a = uniform(6, 4, -2.0, 2.0, 12);
+        let mut c = Matrix::zeros(6, 6);
+        syrk(Uplo::Lower, Trans::No, 1.0, &a, 0.0, &mut c);
+        for i in 0..6 {
+            assert!(c.get(i, i) >= 0.0);
+        }
+    }
+}

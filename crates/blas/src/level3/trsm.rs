@@ -1,0 +1,210 @@
+//! Triangular solve with multiple right-hand sides.
+
+use crate::level1::axpy;
+use crate::level2::trsv;
+use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
+
+/// Solve `op(A) · X = alpha · B` (`side = Left`) or `X · op(A) = alpha · B`
+/// (`side = Right`) for `X`, overwriting `B`.
+///
+/// `A` is triangular per `uplo`/`diag`; only that triangle is referenced.
+/// The panel solve of MAGMA's Cholesky — `A[j+1:N, j] := A[j+1:N, j] ·
+/// (L[j,j]ᵀ)⁻¹` — is `trsm(Right, Lower, Trans::Yes, NonUnit, 1.0, L, panel)`.
+pub fn trsm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &Matrix,
+    b: &mut Matrix,
+) {
+    assert!(a.is_square(), "trsm A must be square");
+    let (m, n) = b.shape();
+    match side {
+        Side::Left => assert_eq!(a.rows(), m, "trsm Left dimension mismatch"),
+        Side::Right => assert_eq!(a.rows(), n, "trsm Right dimension mismatch"),
+    }
+    if alpha != 1.0 {
+        b.scale(alpha);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    match side {
+        // Each column of B is an independent triangular system.
+        Side::Left => {
+            for j in 0..n {
+                trsv(uplo, trans, diag, a, b.col_mut(j));
+            }
+        }
+        Side::Right => right_solve(uplo, trans, diag, a, b),
+    }
+}
+
+/// Column-oriented algorithms for `X · op(A) = B`.
+fn right_solve(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, b: &mut Matrix) {
+    let n = b.cols();
+    // Effective upper/lower structure of op(A):
+    //   (Lower, No)  -> lower: X[:,j] depends on X[:,k], k > j  (backward)
+    //   (Lower, Yes) -> upper: depends on k < j                (forward)
+    //   (Upper, No)  -> upper: forward
+    //   (Upper, Yes) -> lower: backward
+    // op(A)[k, j] = A[k, j] untransposed, A[j, k] transposed.
+    let forward = matches!(
+        (uplo, trans),
+        (Uplo::Lower, Trans::Yes) | (Uplo::Upper, Trans::No)
+    );
+    let order: Vec<usize> = if forward {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    };
+    for &j in &order {
+        // Eliminate contributions from already-solved columns k.
+        let ks: Vec<usize> = if forward {
+            (0..j).collect()
+        } else {
+            ((j + 1)..n).collect()
+        };
+        for k in ks {
+            let coef = match trans {
+                Trans::No => a.get(k, j),
+                Trans::Yes => a.get(j, k),
+            };
+            if coef != 0.0 {
+                let (src, dst) = b.col_pair_mut(k, j);
+                axpy(-coef, src, dst);
+            }
+        }
+        if diag == Diag::NonUnit {
+            let d = a.get(j, j);
+            let col = b.col_mut(j);
+            let inv = 1.0 / d;
+            for x in col {
+                *x *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level3::{gemm, gemm_into};
+    use hchol_matrix::generate::uniform;
+    use hchol_matrix::{approx_eq, Matrix};
+
+    /// Build a well-conditioned triangular matrix.
+    fn tri(n: usize, uplo: Uplo, seed: u64) -> Matrix {
+        let mut a = uniform(n, n, -0.5, 0.5, seed);
+        for j in 0..n {
+            for i in 0..n {
+                let zero = match uplo {
+                    Uplo::Lower => i < j,
+                    Uplo::Upper => i > j,
+                };
+                if zero {
+                    a.set(i, j, 0.0);
+                }
+            }
+            a.set(j, j, 2.0 + j as f64 * 0.1);
+        }
+        a
+    }
+
+    /// Check `op(A)·X = alpha·B` or `X·op(A) = alpha·B` by reconstruction.
+    fn check(side: Side, uplo: Uplo, trans: Trans, diag: Diag) {
+        let (m, n) = (4, 5);
+        let asize = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        let mut a = tri(asize, uplo, 21);
+        if diag == Diag::Unit {
+            for j in 0..asize {
+                a.set(j, j, f64::NAN); // must never be referenced
+            }
+        }
+        let b0 = uniform(m, n, -1.0, 1.0, 22);
+        let mut x = b0.clone();
+        let alpha = 1.5;
+        trsm(side, uplo, trans, diag, alpha, &a, &mut x);
+
+        // Rebuild an explicit dense op(A) honoring Diag.
+        let mut ad = a.clone();
+        for j in 0..asize {
+            if diag == Diag::Unit {
+                ad.set(j, j, 1.0);
+            }
+        }
+        let opa = match trans {
+            Trans::No => ad.clone(),
+            Trans::Yes => ad.transpose(),
+        };
+        let recon = match side {
+            Side::Left => gemm_into(Trans::No, Trans::No, &opa, &x),
+            Side::Right => gemm_into(Trans::No, Trans::No, &x, &opa),
+        };
+        let mut want = b0.clone();
+        want.scale(alpha);
+        assert!(
+            approx_eq(&recon, &want, 1e-12),
+            "side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?}"
+        );
+    }
+
+    #[test]
+    fn all_combinations_reconstruct() {
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for trans in [Trans::No, Trans::Yes] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        check(side, uplo, trans, diag);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn magma_panel_solve_shape() {
+        // The exact call the Cholesky driver makes: panel (m x nb) times
+        // inverse transpose of the factorized diagonal block (nb x nb).
+        let nb = 3;
+        let l = tri(nb, Uplo::Lower, 30);
+        let panel0 = uniform(6, nb, -1.0, 1.0, 31);
+        let mut panel = panel0.clone();
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            &l,
+            &mut panel,
+        );
+        // panel * Lᵀ must reproduce panel0
+        let lt = l.transpose();
+        let mut recon = Matrix::zeros(6, nb);
+        gemm(Trans::No, Trans::No, 1.0, &panel, &lt, 0.0, &mut recon);
+        assert!(approx_eq(&recon, &panel0, 1e-12));
+    }
+
+    #[test]
+    fn empty_rhs_is_noop() {
+        let a = tri(3, Uplo::Lower, 40);
+        let mut b = Matrix::zeros(0, 3);
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            &a,
+            &mut b,
+        );
+        assert_eq!(b.shape(), (0, 3));
+    }
+}

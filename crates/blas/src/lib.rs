@@ -1,0 +1,37 @@
+//! # hchol-blas
+//!
+//! From-scratch dense linear-algebra kernels for the ABFT Cholesky
+//! reproduction: BLAS levels 1–3 plus the unblocked (`POTF2`) and blocked
+//! (`POTRF`) Cholesky factorizations.
+//!
+//! The paper links against cuBLAS (GPU) and ACML (CPU); neither exists here,
+//! so these kernels are the arithmetic that actually runs inside the
+//! simulated device of `hchol-gpusim` *and* on the simulated host. Absolute
+//! speed therefore does not determine experiment outcomes — the device
+//! profiles' analytic cost model does — but the kernels are still written
+//! with cache-aware loop orders (column-major "axpy form") and optional
+//! rayon parallelism so that real-execution tests run in reasonable time.
+//!
+//! Conventions match reference BLAS:
+//! * column-major storage ([`hchol_matrix::Matrix`]),
+//! * `Lower`/`Upper`, `Trans`, `Side`, `Diag` descriptors from
+//!   `hchol_matrix::triangular`,
+//! * shape errors are programming errors and panic (asserted), while
+//!   *numerical* failures (loss of positive definiteness — exactly what a
+//!   storage error can cause mid-factorization) are returned as
+//!   `Err(MatrixError::NotPositiveDefinite)`.
+
+#![warn(missing_docs)]
+
+pub mod flops;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+#[cfg(feature = "parallel")]
+pub mod par;
+pub mod potrf;
+pub mod reference;
+
+pub use level2::{gemv, ger, trsv};
+pub use level3::{gemm, syrk, trsm};
+pub use potrf::{potf2, potrf_blocked, potrf_tiled};

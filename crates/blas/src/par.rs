@@ -1,0 +1,170 @@
+//! Rayon-parallel kernel variants (feature `parallel`, on by default).
+//!
+//! The simulated device charges time from its cost model, so these do not
+//! change any experiment — they exist so that *real* wall-clock work
+//! (Execute-mode tests, examples, and library users factoring actual
+//! matrices) scales across host cores. Column-major storage makes columns
+//! the natural parallel unit: each output column of a GEMM/TRSM is
+//! independent.
+
+use crate::level1::axpy;
+use crate::level2::trsv;
+use hchol_matrix::{Diag, Matrix, Trans, Uplo};
+use rayon::prelude::*;
+
+/// Parallel `C := alpha·op(A)·op(B) + beta·C`, parallelized over columns
+/// of `C`. Falls back to a sequential inner kernel per column.
+pub fn par_gemm(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = trans_a.apply(a.shape());
+    let (kb, n) = trans_b.apply(b.shape());
+    assert_eq!(ka, kb, "par_gemm inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "par_gemm output shape mismatch");
+    let k = ka;
+    let rows = c.rows();
+
+    // Split the output into disjoint column slices and hand each to a task.
+    c.as_mut_slice()
+        .par_chunks_mut(rows.max(1))
+        .enumerate()
+        .for_each(|(j, ccol)| {
+            if beta != 1.0 {
+                if beta == 0.0 {
+                    ccol.fill(0.0);
+                } else {
+                    for x in ccol.iter_mut() {
+                        *x *= beta;
+                    }
+                }
+            }
+            if alpha == 0.0 || k == 0 {
+                return;
+            }
+            match (trans_a, trans_b) {
+                (Trans::No, Trans::No) => {
+                    for l in 0..k {
+                        axpy(alpha * b.get(l, j), a.col(l), ccol);
+                    }
+                }
+                (Trans::No, Trans::Yes) => {
+                    for l in 0..k {
+                        axpy(alpha * b.get(j, l), a.col(l), ccol);
+                    }
+                }
+                (Trans::Yes, Trans::No) => {
+                    let bcol = b.col(j);
+                    for (i, ci) in ccol.iter_mut().enumerate() {
+                        *ci += alpha * crate::level1::dot(a.col(i), bcol);
+                    }
+                }
+                (Trans::Yes, Trans::Yes) => {
+                    for (i, ci) in ccol.iter_mut().enumerate() {
+                        let acol = a.col(i);
+                        let mut s = 0.0;
+                        for (l, &ali) in acol.iter().enumerate() {
+                            s += ali * b.get(j, l);
+                        }
+                        *ci += alpha * s;
+                    }
+                }
+            }
+        });
+}
+
+/// Parallel left-sided triangular solve `op(A)·X = alpha·B`: every column
+/// of `B` is an independent `trsv`.
+pub fn par_trsm_left(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &Matrix,
+    b: &mut Matrix,
+) {
+    assert!(a.is_square(), "par_trsm_left A must be square");
+    assert_eq!(a.rows(), b.rows(), "par_trsm_left dimension mismatch");
+    let rows = b.rows();
+    b.as_mut_slice()
+        .par_chunks_mut(rows.max(1))
+        .for_each(|col| {
+            if alpha != 1.0 {
+                for x in col.iter_mut() {
+                    *x *= alpha;
+                }
+            }
+            trsv(uplo, trans, diag, a, col);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level3::gemm;
+    use crate::level3::trsm;
+    use hchol_matrix::generate::uniform;
+    use hchol_matrix::{approx_eq, Side};
+
+    #[test]
+    fn par_gemm_matches_sequential_all_transposes() {
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a_shape = ta.apply((33, 17));
+            let b_shape = tb.apply((17, 29));
+            let a = uniform(a_shape.0, a_shape.1, -1.0, 1.0, 1);
+            let b = uniform(b_shape.0, b_shape.1, -1.0, 1.0, 2);
+            let mut c1 = uniform(33, 29, -1.0, 1.0, 3);
+            let mut c2 = c1.clone();
+            gemm(ta, tb, 1.3, &a, &b, 0.4, &mut c1);
+            par_gemm(ta, tb, 1.3, &a, &b, 0.4, &mut c2);
+            assert!(approx_eq(&c1, &c2, 1e-12), "ta={ta:?} tb={tb:?}");
+        }
+    }
+
+    #[test]
+    fn par_trsm_left_matches_sequential() {
+        let n = 24;
+        let mut l = uniform(n, n, -0.4, 0.4, 4);
+        for j in 0..n {
+            for i in 0..j {
+                l.set(i, j, 0.0);
+            }
+            l.set(j, j, 3.0);
+        }
+        let b0 = uniform(n, 9, -1.0, 1.0, 5);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            2.0,
+            &l,
+            &mut b1,
+        );
+        par_trsm_left(Uplo::Lower, Trans::No, Diag::NonUnit, 2.0, &l, &mut b2);
+        assert!(approx_eq(&b1, &b2, 1e-12));
+    }
+
+    #[test]
+    fn par_gemm_beta_zero_clears_nan() {
+        let a = Matrix::identity(4);
+        let b = Matrix::identity(4);
+        let mut c = Matrix::filled(4, 4, f64::NAN);
+        par_gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(approx_eq(&c, &Matrix::identity(4), 0.0));
+    }
+
+    use hchol_matrix::Matrix;
+}

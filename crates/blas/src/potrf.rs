@@ -1,0 +1,204 @@
+//! Cholesky factorization: unblocked (`POTF2`), blocked on contiguous
+//! storage, and tiled (the CPU reference for the hybrid driver).
+
+use crate::level3::{gemm, syrk, trsm};
+use hchol_matrix::{Diag, Matrix, MatrixError, Side, TileMatrix, Trans, Uplo};
+
+/// Unblocked lower Cholesky `A = L·Lᵀ` in place (the `POTF2` MAGMA runs on
+/// the CPU for each diagonal block).
+///
+/// Only the lower triangle is referenced and written; the strictly upper
+/// triangle is left untouched. `pivot_offset` is added to the reported pivot
+/// index on failure so callers factoring a sub-block can report global
+/// indices.
+pub fn potf2(a: &mut Matrix, pivot_offset: usize) -> Result<(), MatrixError> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    for j in 0..n {
+        // d = a[j,j] - Σ_{k<j} l[j,k]²
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let ljk = a.get(j, k);
+            d -= ljk * ljk;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(MatrixError::NotPositiveDefinite {
+                pivot: pivot_offset + j,
+                value: d,
+            });
+        }
+        let ljj = d.sqrt();
+        a.set(j, j, ljj);
+        // Column update: l[i,j] = (a[i,j] - Σ_{k<j} l[i,k]·l[j,k]) / l[j,j]
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= a.get(i, k) * a.get(j, k);
+            }
+            a.set(i, j, s / ljj);
+        }
+    }
+    Ok(())
+}
+
+/// Blocked right-looking lower Cholesky on contiguous storage.
+///
+/// Identical math to the hybrid driver but entirely on the host; used as the
+/// trusted oracle in tests and by examples that don't need the simulator.
+pub fn potrf_blocked(a: &mut Matrix, block: usize) -> Result<(), MatrixError> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare { shape: a.shape() });
+    }
+    let mut tiles = TileMatrix::from_dense(a, block.max(1))?;
+    potrf_tiled(&mut tiles)?;
+    *a = tiles.to_dense();
+    // Zero the strictly-upper triangle so the output is an explicit L.
+    hchol_matrix::triangular::force_lower(a);
+    Ok(())
+}
+
+/// Tiled right-looking lower Cholesky over a [`TileMatrix`].
+///
+/// This is the *inner-product* (left-looking at the block level is what the
+/// paper calls inner product) order MAGMA uses — Algorithm 1 of the paper:
+/// for each block column `j`: SYRK the diagonal block against the factored
+/// panel to its left, GEMM the sub-panel, POTF2 the diagonal block, TRSM the
+/// sub-panel. Only tiles on or below the diagonal are meaningful.
+pub fn potrf_tiled(a: &mut TileMatrix) -> Result<(), MatrixError> {
+    if a.rows() != a.cols() {
+        return Err(MatrixError::NotSquare {
+            shape: (a.rows(), a.cols()),
+        });
+    }
+    let nt = a.grid_rows();
+    let block = a.block();
+    for j in 0..nt {
+        // SYRK: A[j,j] -= Σ_{k<j} L[j,k] · L[j,k]ᵀ
+        for k in 0..j {
+            let (diag, ljk) = a.tile_pair((j, j), (j, k));
+            syrk(Uplo::Lower, Trans::No, -1.0, ljk, 1.0, diag);
+        }
+        // POTF2 on the diagonal block.
+        potf2(a.tile_mut(j, j), j * block)?;
+        // GEMM: A[i,j] -= L[i,k] · L[j,k]ᵀ for i > j, k < j
+        for i in (j + 1)..nt {
+            for k in 0..j {
+                // Borrow the target tile and the two source tiles. The two
+                // sources are distinct from the target; clone the smaller
+                // source to sidestep a triple disjoint borrow.
+                let ljk = a.tile(j, k).clone();
+                let (tij, lik) = a.tile_pair((i, j), (i, k));
+                gemm(Trans::No, Trans::Yes, -1.0, lik, &ljk, 1.0, tij);
+            }
+            // TRSM: A[i,j] := A[i,j] · (L[j,j]ᵀ)⁻¹
+            let (tij, ljj) = a.tile_pair((i, j), (j, j));
+            trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::Yes,
+                Diag::NonUnit,
+                1.0,
+                ljj,
+                tij,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Reconstruct `L·Lᵀ` from the lower triangle of a factored matrix — the
+/// standard residual check for Cholesky.
+pub fn reconstruct_lower(l: &Matrix) -> Matrix {
+    let n = l.rows();
+    let mut ll = l.clone();
+    hchol_matrix::triangular::force_lower(&mut ll);
+    let mut a = Matrix::zeros(n, n);
+    gemm(Trans::No, Trans::Yes, 1.0, &ll, &ll, 0.0, &mut a);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hchol_matrix::generate::{known_factor, spd_diag_dominant};
+    use hchol_matrix::{approx_eq, relative_residual};
+
+    #[test]
+    fn potf2_recovers_known_factor() {
+        let (l_true, a) = known_factor(8, 1);
+        let mut l = a.clone();
+        potf2(&mut l, 0).unwrap();
+        hchol_matrix::triangular::force_lower(&mut l);
+        assert!(approx_eq(&l, &l_true, 1e-12));
+    }
+
+    #[test]
+    fn potf2_rejects_non_spd() {
+        let mut a = Matrix::identity(3);
+        a.set(1, 1, -1.0);
+        let err = potf2(&mut a, 10).unwrap_err();
+        match err {
+            MatrixError::NotPositiveDefinite { pivot, value } => {
+                assert_eq!(pivot, 11);
+                assert!(value <= 0.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn potf2_rejects_nan_pivot() {
+        let mut a = Matrix::identity(2);
+        a.set(0, 0, f64::NAN);
+        assert!(matches!(
+            potf2(&mut a, 0),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn potf2_rejects_rectangular() {
+        let mut a = Matrix::zeros(2, 3);
+        assert!(matches!(potf2(&mut a, 0), Err(MatrixError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let a = spd_diag_dominant(37, 5); // deliberately not a block multiple
+        let mut l_unblocked = a.clone();
+        potf2(&mut l_unblocked, 0).unwrap();
+        hchol_matrix::triangular::force_lower(&mut l_unblocked);
+        for block in [1, 4, 8, 16, 37, 64] {
+            let mut l = a.clone();
+            potrf_blocked(&mut l, block).unwrap();
+            assert!(
+                approx_eq(&l, &l_unblocked, 1e-10),
+                "block size {block} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_residual_small() {
+        let a = spd_diag_dominant(64, 6);
+        let mut l = a.clone();
+        potrf_blocked(&mut l, 16).unwrap();
+        let recon = reconstruct_lower(&l);
+        assert!(relative_residual(&recon, &a) < 1e-13);
+    }
+
+    #[test]
+    fn tiled_reports_global_pivot() {
+        // SPD except one late diagonal entry destroyed.
+        let mut a = spd_diag_dominant(12, 7);
+        a.set(9, 9, -5.0);
+        let mut t = TileMatrix::from_dense(&a, 4).unwrap();
+        let err = potrf_tiled(&mut t).unwrap_err();
+        match err {
+            MatrixError::NotPositiveDefinite { pivot, .. } => assert_eq!(pivot, 9),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Naive reference implementations used only to validate the optimized
+//! kernels (triple loops, no blocking, no tricks).
+
+use hchol_matrix::{Matrix, Trans};
+
+/// Element of `op(A)`.
+fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
+    match trans {
+        Trans::No => a.get(i, j),
+        Trans::Yes => a.get(j, i),
+    }
+}
+
+/// Reference GEMM: `C := alpha * op(A) * op(B) + beta * C`.
+pub fn ref_gemm(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, k) = trans_a.apply(a.shape());
+    let (k2, n) = trans_b.apply(b.shape());
+    assert_eq!(k, k2);
+    assert_eq!(c.shape(), (m, n));
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += op_get(a, trans_a, i, l) * op_get(b, trans_b, l, j);
+            }
+            let v = alpha * s + beta * c.get(i, j);
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// Reference matrix-vector product `y := alpha * op(A) * x + beta * y`.
+pub fn ref_gemv(trans: Trans, alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n) = trans.apply(a.shape());
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), m);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for (j, xj) in x.iter().enumerate() {
+            s += op_get(a, trans, i, j) * xj;
+        }
+        *yi = alpha * s + beta * *yi;
+    }
+}
+
+/// Reference full (not triangle-restricted) `A·Aᵀ` or `Aᵀ·A`.
+pub fn ref_aat(a: &Matrix, trans: Trans) -> Matrix {
+    let (n, _) = trans.apply(a.shape());
+    let mut c = Matrix::zeros(n, n);
+    match trans {
+        Trans::No => ref_gemm(Trans::No, Trans::Yes, 1.0, a, a, 0.0, &mut c),
+        Trans::Yes => ref_gemm(Trans::Yes, Trans::No, 1.0, a, a, 0.0, &mut c),
+    }
+    c
+}
+
+/// Reference unblocked Cholesky (outer-product form, to cross-check the
+/// inner-product `potf2`). Returns the lower factor as a new matrix.
+pub fn ref_cholesky(a: &Matrix) -> Option<Matrix> {
+    assert!(a.is_square());
+    let n = a.rows();
+    let mut w = a.clone();
+    for j in 0..n {
+        let d = w.get(j, j);
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        let ljj = d.sqrt();
+        w.set(j, j, ljj);
+        for i in (j + 1)..n {
+            let v = w.get(i, j) / ljj;
+            w.set(i, j, v);
+        }
+        for k in (j + 1)..n {
+            for i in k..n {
+                let v = w.get(i, k) - w.get(i, j) * w.get(k, j);
+                w.set(i, k, v);
+            }
+        }
+    }
+    hchol_matrix::triangular::force_lower(&mut w);
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potrf::potf2;
+    use hchol_matrix::generate::{spd_diag_dominant, uniform};
+    use hchol_matrix::{approx_eq, Trans};
+
+    #[test]
+    fn ref_gemm_identity() {
+        let a = uniform(3, 3, -1.0, 1.0, 1);
+        let i = Matrix::identity(3);
+        let mut c = Matrix::zeros(3, 3);
+        ref_gemm(Trans::No, Trans::No, 1.0, &a, &i, 0.0, &mut c);
+        assert!(approx_eq(&c, &a, 1e-15));
+    }
+
+    #[test]
+    fn ref_gemv_matches_gemm_column() {
+        let a = uniform(4, 3, -1.0, 1.0, 2);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 4];
+        ref_gemv(Trans::No, 1.0, &a, &x, 0.0, &mut y);
+        let xm = Matrix::from_col_major(3, 1, x.to_vec()).unwrap();
+        let mut c = Matrix::zeros(4, 1);
+        ref_gemm(Trans::No, Trans::No, 1.0, &a, &xm, 0.0, &mut c);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((yi - c.get(i, 0)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn outer_and_inner_product_cholesky_agree() {
+        let a = spd_diag_dominant(20, 3);
+        let want = ref_cholesky(&a).unwrap();
+        let mut got = a.clone();
+        potf2(&mut got, 0).unwrap();
+        hchol_matrix::triangular::force_lower(&mut got);
+        assert!(approx_eq(&got, &want, 1e-11));
+    }
+
+    #[test]
+    fn ref_cholesky_rejects_indefinite() {
+        let mut a = Matrix::identity(3);
+        a.set(2, 2, -4.0);
+        assert!(ref_cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn ref_aat_is_symmetric() {
+        let a = uniform(4, 6, -1.0, 1.0, 9);
+        let c = ref_aat(&a, Trans::No);
+        assert!(hchol_matrix::triangular::is_symmetric(&c, 1e-13));
+        let ct = ref_aat(&a, Trans::Yes);
+        assert_eq!(ct.shape(), (6, 6));
+    }
+}

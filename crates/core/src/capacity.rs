@@ -1,0 +1,74 @@
+//! Device-memory capacity planning.
+//!
+//! The paper sizes its sweeps "from the largest our GPU memory allows":
+//! n = 23040 with B = 256 on the 6 GB M2075, n = 30720 with B = 512 on the
+//! 12 GB K40c. This module computes the footprint of a fault-tolerant run
+//! and the largest block-multiple size that fits a profile — and the test
+//! suite checks the paper's own size choices against it.
+
+use hchol_gpusim::profile::SystemProfile;
+
+/// Device bytes a fault-tolerant factorization of size `n`, block `b`
+/// needs: the matrix (`n²`), per-block-row checksums (`nt` buffers of
+/// `2 × n`), and recalculation scratch (bounded by the widest verification
+/// batch, ~`nt²/4` tiles of `2 × B` — small next to the matrix).
+pub fn ft_footprint_bytes(n: usize, b: usize) -> u64 {
+    let n = n as u64;
+    let b = b as u64;
+    let nt = n.div_ceil(b);
+    let matrix = n * n;
+    let checksums = nt * 2 * n;
+    let scratch = (nt * nt / 4).max(1) * 2 * b;
+    8 * (matrix + checksums + scratch)
+}
+
+/// The largest `n` (a multiple of `b`) whose fault-tolerant footprint fits
+/// the profile's GPU memory.
+pub fn max_ft_problem_size(profile: &SystemProfile, b: usize) -> usize {
+    let cap = profile.gpu.mem_bytes;
+    let mut n = b;
+    while ft_footprint_bytes(n + b, b) <= cap {
+        n += b;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_is_dominated_by_the_matrix() {
+        let f = ft_footprint_bytes(20480, 256);
+        let matrix = 8u64 * 20480 * 20480;
+        assert!(f > matrix);
+        assert!(f < matrix + matrix / 10, "overheads stay below 10%");
+    }
+
+    #[test]
+    fn paper_sizes_fit_their_machines() {
+        // Tardis: M2075 with 6 GB, B = 256, sweep up to 23040. (The paper's
+        // cap also covers CUDA context, library workspaces, and the other
+        // compared libraries' buffers, which this footprint doesn't model —
+        // so the paper's size must FIT, with headroom, but need not be the
+        // raw-arithmetic maximum.)
+        let tardis = SystemProfile::tardis();
+        assert!(ft_footprint_bytes(23040, 256) <= tardis.gpu.mem_bytes);
+        // Bulldozer64: K40c with 12 GB, B = 512, sweep up to 30720.
+        let bd = SystemProfile::bulldozer64();
+        assert!(ft_footprint_bytes(30720, 512) <= bd.gpu.mem_bytes);
+    }
+
+    #[test]
+    fn max_size_is_block_aligned_and_maximal() {
+        let p = SystemProfile::tardis();
+        let m = max_ft_problem_size(&p, 256);
+        assert_eq!(m % 256, 0);
+        assert!(ft_footprint_bytes(m, 256) <= p.gpu.mem_bytes);
+        assert!(ft_footprint_bytes(m + 256, 256) > p.gpu.mem_bytes);
+        // The paper's largest size sits under the raw maximum (headroom for
+        // the workspaces the footprint doesn't count), within ~25%.
+        assert!(m >= 23040, "max {m}");
+        assert!(m <= 23040 + 23040 / 4, "max {m} suspiciously large");
+    }
+}

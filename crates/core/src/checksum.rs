@@ -1,0 +1,170 @@
+//! Weighted checksum encoding (Section IV-A of the paper).
+//!
+//! Every `B × B` block `A` carries **two column checksums**, rows of a
+//! `2 × B` checksum tile:
+//!
+//! ```text
+//! chk₁ = v₁ᵀ A,   v₁ = [1, 1, …, 1]
+//! chk₂ = v₂ᵀ A,   v₂ = [1, 2, …, B]
+//! ```
+//!
+//! Two checksums with distinct weights are what let the verifier not just
+//! *detect* but *locate* (row index `j = δ₂/δ₁`) and *correct* (subtract
+//! `δ₁`) one error per block column.
+
+use hchol_matrix::Matrix;
+
+/// Number of weighted checksums per block (two: detect + locate).
+pub const CHECKSUM_COUNT: usize = 2;
+
+/// The two weight vectors for blocks of `rows` rows: `v₁ = 1`,
+/// `v₂ = [1, 2, …, rows]`.
+pub fn weight_vectors(rows: usize) -> (Vec<f64>, Vec<f64>) {
+    let v1 = vec![1.0; rows];
+    let v2 = (1..=rows).map(|i| i as f64).collect();
+    (v1, v2)
+}
+
+/// The weight of row `i` (0-based) in checksum `c` (0 or 1).
+#[inline]
+pub fn weight(c: usize, i: usize) -> f64 {
+    match c {
+        0 => 1.0,
+        1 => (i + 1) as f64,
+        _ => panic!("only two checksums exist"),
+    }
+}
+
+/// Encode the two column checksums of `block` into a fresh `2 × cols`
+/// matrix (row 0 = unweighted sums, row 1 = linearly weighted sums).
+///
+/// ```
+/// use hchol_core::checksum::encode;
+/// use hchol_matrix::Matrix;
+/// // column [1, 2]: sum = 3, weighted sum = 1·1 + 2·2 = 5
+/// let block = Matrix::from_col_major(2, 1, vec![1.0, 2.0]).unwrap();
+/// let chk = encode(&block);
+/// assert_eq!(chk.get(0, 0), 3.0);
+/// assert_eq!(chk.get(1, 0), 5.0);
+/// ```
+pub fn encode(block: &Matrix) -> Matrix {
+    let mut chk = Matrix::zeros(CHECKSUM_COUNT, block.cols());
+    encode_into(block, &mut chk);
+    chk
+}
+
+/// Encode into an existing `2 × cols` matrix (no allocation).
+pub fn encode_into(block: &Matrix, chk: &mut Matrix) {
+    assert_eq!(chk.shape(), (CHECKSUM_COUNT, block.cols()), "checksum shape");
+    for j in 0..block.cols() {
+        let col = block.col(j);
+        let mut s1 = 0.0;
+        let mut s2 = 0.0;
+        for (i, &x) in col.iter().enumerate() {
+            s1 += x;
+            s2 += (i + 1) as f64 * x;
+        }
+        chk.set(0, j, s1);
+        chk.set(1, j, s2);
+    }
+}
+
+/// A pair of checksum rows for one block column, as scalars — convenient
+/// for column-level reasoning in the verifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChecksumPair {
+    /// Unweighted sum.
+    pub c1: f64,
+    /// Linearly weighted sum.
+    pub c2: f64,
+}
+
+impl ChecksumPair {
+    /// Read column `j`'s pair from a `2 × cols` checksum matrix.
+    pub fn from_column(chk: &Matrix, j: usize) -> Self {
+        ChecksumPair {
+            c1: chk.get(0, j),
+            c2: chk.get(1, j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hchol_matrix::generate::uniform;
+
+    #[test]
+    fn weights_match_vectors() {
+        let (v1, v2) = weight_vectors(5);
+        assert_eq!(v1, vec![1.0; 5]);
+        assert_eq!(v2, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        for i in 0..5 {
+            assert_eq!(weight(0, i), v1[i]);
+            assert_eq!(weight(1, i), v2[i]);
+        }
+    }
+
+    #[test]
+    fn encode_known_block() {
+        // col0 = [1, 2], col1 = [3, 4]
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let chk = encode(&a);
+        assert_eq!(chk.get(0, 0), 3.0); // 1+2
+        assert_eq!(chk.get(1, 0), 5.0); // 1·1+2·2
+        assert_eq!(chk.get(0, 1), 7.0); // 3+4
+        assert_eq!(chk.get(1, 1), 11.0); // 1·3+2·4
+    }
+
+    #[test]
+    fn encode_matches_gemv_definition() {
+        let a = uniform(7, 5, -1.0, 1.0, 3);
+        let chk = encode(&a);
+        let (v1, v2) = weight_vectors(7);
+        for j in 0..5 {
+            let c1: f64 = a.col(j).iter().zip(&v1).map(|(x, w)| x * w).sum();
+            let c2: f64 = a.col(j).iter().zip(&v2).map(|(x, w)| x * w).sum();
+            assert!((chk.get(0, j) - c1).abs() < 1e-12);
+            assert!((chk.get(1, j) - c2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_error_shifts_checksums_predictably() {
+        let a0 = uniform(6, 4, -1.0, 1.0, 4);
+        let chk0 = encode(&a0);
+        let mut a = a0.clone();
+        let (row, col, delta) = (3usize, 2usize, 0.75);
+        a.set(row, col, a.get(row, col) + delta);
+        let chk = encode(&a);
+        // Only column `col` changes; δ1 = delta, δ2 = (row+1)·delta.
+        for j in 0..4 {
+            if j == col {
+                let d1 = chk.get(0, j) - chk0.get(0, j);
+                let d2 = chk.get(1, j) - chk0.get(1, j);
+                assert!((d1 - delta).abs() < 1e-12);
+                assert!((d2 / d1 - (row + 1) as f64).abs() < 1e-9);
+            } else {
+                assert_eq!(chk.get(0, j), chk0.get(0, j));
+                assert_eq!(chk.get(1, j), chk0.get(1, j));
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_pair_reads_column() {
+        let a = uniform(3, 3, 0.0, 1.0, 5);
+        let chk = encode(&a);
+        let p = ChecksumPair::from_column(&chk, 1);
+        assert_eq!(p.c1, chk.get(0, 1));
+        assert_eq!(p.c2, chk.get(1, 1));
+    }
+
+    #[test]
+    fn encode_into_avoids_allocation_mismatch() {
+        let a = uniform(4, 4, 0.0, 1.0, 6);
+        let mut chk = Matrix::zeros(2, 4);
+        encode_into(&a, &mut chk);
+        assert_eq!(chk, encode(&a));
+    }
+}

@@ -1,0 +1,47 @@
+//! # hchol-core
+//!
+//! The paper's contribution: **Enhanced Online-ABFT Cholesky decomposition**
+//! for heterogeneous (CPU + GPU) systems, able to correct both computing
+//! errors and memory storage errors in the middle of the factorization —
+//! plus the baselines it is evaluated against and the three overhead
+//! optimizations it introduces.
+//!
+//! Layer map (bottom up):
+//!
+//! * [`checksum`] / [`chkops`] / [`verify`] — the ABFT arithmetic: two
+//!   weighted column checksums per block, update rules mirroring
+//!   SYRK/GEMM/POTF2/TRSM, and detection/location/correction.
+//! * [`ops`] — the MAGMA Algorithm-1 operations and checksum kernels on the
+//!   simulated device (`hchol-gpusim`).
+//! * [`magma`] / [`cula`] — the non-fault-tolerant baselines.
+//! * [`schemes`] — Offline-ABFT, Online-ABFT, and Enhanced Online-ABFT with
+//!   restart-based recovery.
+//! * [`options`] / [`decision`] — the paper's Optimizations 1–3 and the
+//!   CPU-vs-GPU checksum-update placement model.
+//! * [`overhead`] — the Section-VI closed-form overhead model (Tables I–VI).
+//! * [`multichk`] — the paper's "m+1 checksums correct m errors"
+//!   generalization, implemented for m = 2 (an extension beyond the
+//!   published system).
+//! * [`solve`] — using the factor (least squares, Monte Carlo, Kalman).
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod checksum;
+pub mod chkops;
+pub mod cula;
+pub mod decision;
+pub mod magma;
+pub mod ops;
+pub mod multichk;
+pub mod options;
+pub mod outer;
+pub mod overhead;
+pub mod rowchk;
+pub mod schemes;
+pub mod solve;
+pub mod verify;
+
+pub use options::{AbftOptions, ChecksumPlacement};
+pub use schemes::{run_clean, run_scheme, FactorOutcome, SchemeKind};
+pub use verify::{VerifyOutcome, VerifyPolicy};

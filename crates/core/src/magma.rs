@@ -1,0 +1,210 @@
+//! The MAGMA-style hybrid Cholesky baseline (Algorithm 1 of the paper) —
+//! no fault tolerance, maximal overlap.
+//!
+//! Per block column `j`:
+//!
+//! 1. `[GPU]` SYRK updates the diagonal block;
+//! 2. the diagonal block rides the transfer stream to the host;
+//! 3. `[GPU]` the big panel GEMM is enqueued (it keeps the GPU busy);
+//! 4. `[CPU]` POTF2 factors the diagonal block **while the GEMM runs** —
+//!    this is the overlap Figure 1 of the paper illustrates;
+//! 5. the factorized block returns to the device;
+//! 6. `[GPU]` TRSM solves the panel (ordered after the return transfer via
+//!    an event).
+
+use crate::ops::{self, CholLayout};
+use crate::options::ChecksumPlacement;
+use hchol_gpusim::{ExecMode, SimContext, SimTime};
+use hchol_matrix::{Matrix, MatrixError};
+use hchol_gpusim::profile::SystemProfile;
+
+/// Result of a baseline (non-fault-tolerant) factorization.
+pub struct BaselineReport {
+    /// Total virtual time.
+    pub time: SimTime,
+    /// The lower factor (Execute mode only).
+    pub factor: Option<Matrix>,
+    /// The simulation context (timeline, counters) for inspection.
+    pub ctx: SimContext,
+}
+
+impl BaselineReport {
+    /// Achieved GFLOP/s on the canonical `n³/3` Cholesky flop count.
+    pub fn gflops(&self, n: usize) -> f64 {
+        let f = (n as f64).powi(3) / 3.0;
+        f / self.time.as_secs() / 1e9
+    }
+}
+
+/// One iteration of the overlapped MAGMA loop. Shared with the ABFT
+/// schemes, which wrap it with checksum work. Returns the POTF2 outcome.
+pub fn magma_iteration(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    j: usize,
+) -> Result<(), MatrixError> {
+    ops::syrk_diag(ctx, lay, j);
+    let syrk_done = ctx.record_event(lay.s_comp);
+    ctx.stream_wait_event(lay.s_tran, syrk_done);
+    ops::diag_to_host(ctx, lay, j);
+    // Enqueue the panel GEMM before blocking on the transfer: the GPU works
+    // on it while the host factors the diagonal block.
+    ops::gemm_panel(ctx, lay, j);
+    ctx.sync_stream(lay.s_tran);
+    let potf2_result = ops::host_potf2(ctx, lay, j);
+    ops::diag_to_device(ctx, lay, j);
+    let diag_back = ctx.record_event(lay.s_tran);
+    ctx.stream_wait_event(lay.s_comp, diag_back);
+    ops::trsm_panel(ctx, lay, j);
+    potf2_result
+}
+
+/// Run the full MAGMA-style factorization.
+///
+/// `input` must be `Some` in Execute mode. `record_timeline` keeps the full
+/// trace (for Figure-1-style charts).
+pub fn factor_magma(
+    profile: &SystemProfile,
+    mode: ExecMode,
+    n: usize,
+    b: usize,
+    input: Option<&Matrix>,
+    record_timeline: bool,
+) -> Result<BaselineReport, MatrixError> {
+    let mut ctx = SimContext::new(profile.clone(), mode);
+    if !record_timeline {
+        ctx.disable_timeline();
+    }
+    let mut lay = ops::setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, input)?;
+    for j in 0..lay.nt {
+        magma_iteration(&mut ctx, &mut lay, j)?;
+    }
+    ctx.sync_all();
+    let time = ctx.now();
+    let factor = ops::extract_factor(&ctx, &lay);
+    Ok(BaselineReport { time, factor, ctx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hchol_blas::potrf::reconstruct_lower;
+    use hchol_matrix::generate::spd_diag_dominant;
+    use hchol_matrix::relative_residual;
+
+    #[test]
+    fn factor_is_numerically_correct() {
+        let n = 48;
+        let b = 8;
+        let a = spd_diag_dominant(n, 10);
+        let rep = factor_magma(
+            &SystemProfile::test_profile(),
+            ExecMode::Execute,
+            n,
+            b,
+            Some(&a),
+            false,
+        )
+        .unwrap();
+        let l = rep.factor.unwrap();
+        assert!(relative_residual(&reconstruct_lower(&l), &a) < 1e-12);
+    }
+
+    #[test]
+    fn potf2_overlaps_gemm() {
+        // With timeline on, the host POTF2 interval must overlap a GPU GEMM
+        // interval somewhere in the run.
+        let rep = factor_magma(
+            &SystemProfile::tardis(),
+            ExecMode::TimingOnly,
+            4096,
+            256,
+            None,
+            true,
+        )
+        .unwrap();
+        let entries = rep.ctx.timeline.entries();
+        let overlap = entries.iter().any(|p| {
+            p.label.starts_with("POTF2")
+                && entries.iter().any(|g| {
+                    g.label.starts_with("GEMM")
+                        && g.start < p.end
+                        && p.start < g.end
+                })
+        });
+        assert!(overlap, "CPU POTF2 should hide under GPU GEMM");
+    }
+
+    #[test]
+    fn timing_scales_roughly_cubically() {
+        let t = |n: usize| {
+            factor_magma(
+                &SystemProfile::tardis(),
+                ExecMode::TimingOnly,
+                n,
+                256,
+                None,
+                false,
+            )
+            .unwrap()
+            .time
+            .as_secs()
+        };
+        let t1 = t(4096);
+        let t2 = t(8192);
+        let ratio = t2 / t1;
+        assert!((5.0..11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn tardis_headline_reproduced() {
+        // Paper Table VII: MAGMA-based runs at n = 20480 take ~10.5 s.
+        let rep = factor_magma(
+            &SystemProfile::tardis(),
+            ExecMode::TimingOnly,
+            20480,
+            256,
+            None,
+            false,
+        )
+        .unwrap();
+        let s = rep.time.as_secs();
+        assert!((8.5..12.5).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn bulldozer_headline_reproduced() {
+        // Paper Table VIII: ~8.6 s at n = 30720.
+        let rep = factor_magma(
+            &SystemProfile::bulldozer64(),
+            ExecMode::TimingOnly,
+            30720,
+            512,
+            None,
+            false,
+        )
+        .unwrap();
+        let s = rep.time.as_secs();
+        assert!((7.0..10.5).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn execute_and_timing_only_agree_on_virtual_time() {
+        let n = 32;
+        let b = 8;
+        let a = spd_diag_dominant(n, 11);
+        let p = SystemProfile::test_profile();
+        let t_exec = factor_magma(&p, ExecMode::Execute, n, b, Some(&a), false)
+            .unwrap()
+            .time;
+        let t_timing = factor_magma(&p, ExecMode::TimingOnly, n, b, None, false)
+            .unwrap()
+            .time;
+        assert!(
+            (t_exec.as_secs() - t_timing.as_secs()).abs() < 1e-12,
+            "{} vs {}",
+            t_exec,
+            t_timing
+        );
+    }
+}

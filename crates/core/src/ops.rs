@@ -1,0 +1,937 @@
+//! Shared building blocks for every factorization driver: buffer layout,
+//! MAGMA's four per-iteration operations, checksum encode/update, and
+//! batched verification.
+//!
+//! Every scheme (`magma`, `cula`, `schemes::*`) is a different composition
+//! of these pieces; none of them owns private kernel code. All functions
+//! work in both [`hchol_gpusim::ExecMode`]s: numerics run inside kernel closures (skipped
+//! in `TimingOnly`), while cost, stream ordering, and counters always apply.
+
+use crate::checksum;
+use crate::chkops;
+use crate::options::{AbftOptions, ChecksumPlacement};
+use crate::verify::{verify_and_correct, VerifyOutcome};
+use hchol_blas::{flops, gemm, potf2, trsm};
+use hchol_faults::{Dirtiness, InjectionPoint, Injector};
+use hchol_gpusim::context::KernelDesc;
+use hchol_gpusim::counters::WorkCategory;
+use hchol_gpusim::{
+    AccessSet, BufferId, EventId, HostBufferId, KernelClass, SimContext, StreamId, TileRef,
+};
+#[cfg(test)]
+use hchol_gpusim::ExecMode;
+use hchol_matrix::{
+    triangular::force_lower, Diag, Matrix, MatrixError, Side, TileMatrix, Trans, Uplo,
+};
+
+/// Buffer and stream layout of one factorization run.
+pub struct CholLayout {
+    /// Matrix size.
+    pub n: usize,
+    /// Block (tile) size.
+    pub b: usize,
+    /// Grid size `n / b` (rounded up).
+    pub nt: usize,
+    /// The matrix, tiled, on the device.
+    pub mat: BufferId,
+    /// Per-block-row checksum buffers (`2 × n`, tiled `2 × B`); empty when
+    /// the driver runs without fault tolerance.
+    pub cks: Vec<BufferId>,
+    /// Recalculation scratch tiles (`2 × B` each), grown on demand.
+    pub scratch: Vec<BufferId>,
+    /// Host staging block for the POTF2 round trip.
+    pub host_diag: HostBufferId,
+    /// Main compute stream (SYRK/GEMM/TRSM).
+    pub s_comp: StreamId,
+    /// Transfer stream (diag block round trip).
+    pub s_tran: StreamId,
+    /// Checksum-update stream (Optimization 2, GPU placement).
+    pub s_chk: StreamId,
+    /// Stream for verification-related transfers (CPU placement): kept
+    /// separate from `s_tran` so the small compare traffic never queues
+    /// behind bulky panel mirrors.
+    pub s_verif: StreamId,
+    /// Streams for concurrent checksum recalculation (Optimization 1).
+    pub recalc_streams: Vec<StreamId>,
+    /// Event marking completion of the most recent panel TRSM on the
+    /// compute stream; checksum-update kernels reading factorized tiles
+    /// order themselves behind it.
+    pub panel_ready: Option<EventId>,
+    /// Column whose host mirror (CPU checksum-update placement) is queued
+    /// but not yet issued — flushed right *after* the next iteration's
+    /// latency-critical diagonal-block transfer so the bulky mirror never
+    /// delays the POTF2 round trip on the shared DMA engine.
+    pub pending_mirror: Option<usize>,
+    /// Resolved checksum-update placement.
+    pub placement: ChecksumPlacement,
+    /// Multiplier on charged kernel flops (models a less efficient BLAS —
+    /// used by the simulated CULA baseline; 1.0 everywhere else).
+    pub flop_inflation: f64,
+}
+
+impl CholLayout {
+    #[inline]
+    fn charge(&self, f: u64) -> u64 {
+        (f as f64 * self.flop_inflation).round() as u64
+    }
+}
+
+/// Allocate buffers and streams for an `n × n` factorization with block
+/// size `b`. `input` must be `Some` in Execute mode (its tiles are placed
+/// in device memory — the paper uses the MAGMA variant whose input already
+/// resides on the GPU, so no initial transfer is charged).
+pub fn setup(
+    ctx: &mut SimContext,
+    n: usize,
+    b: usize,
+    with_checksums: bool,
+    placement: ChecksumPlacement,
+    input: Option<&Matrix>,
+) -> Result<CholLayout, MatrixError> {
+    assert!(
+        !matches!(placement, ChecksumPlacement::Auto),
+        "resolve placement via decision::choose before setup"
+    );
+    let nt = n.div_ceil(b.max(1));
+    let execute = ctx.mode.executes();
+    let mat = if execute {
+        let dense = input.expect("Execute mode requires input data");
+        assert_eq!(dense.shape(), (n, n), "input shape mismatch");
+        ctx.dev_mem.alloc(TileMatrix::from_dense(dense, b)?)
+    } else {
+        ctx.dev_mem.alloc(TileMatrix::zeros(0, 0, b)?)
+    };
+    let cks = if with_checksums {
+        (0..nt)
+            .map(|_| {
+                if execute {
+                    ctx.dev_mem.alloc_zeros(checksum::CHECKSUM_COUNT, n, b)
+                } else {
+                    ctx.dev_mem.alloc_zeros(0, 0, b)
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        Vec::new()
+    };
+    let host_diag = if execute {
+        ctx.host_mem.alloc_zeros(b, b)
+    } else {
+        ctx.host_mem.alloc_zeros(0, 0)
+    };
+    let s_comp = ctx.default_stream();
+    let s_tran = ctx.create_stream();
+    let s_chk = ctx.create_stream();
+    let s_verif = ctx.create_stream();
+    // The paper creates N streams (the hardware's concurrent-kernel cap)
+    // and distributes recalculation kernels evenly among them.
+    let n_streams = ctx.profile().gpu.max_concurrent_kernels;
+    let recalc_streams = (0..n_streams).map(|_| ctx.create_stream()).collect();
+    Ok(CholLayout {
+        n,
+        b,
+        nt,
+        mat,
+        cks,
+        scratch: Vec::new(),
+        host_diag,
+        s_comp,
+        s_tran,
+        s_chk,
+        s_verif,
+        recalc_streams,
+        panel_ready: None,
+        pending_mirror: None,
+        placement,
+        flop_inflation: 1.0,
+    })
+}
+
+/// Grow the scratch pool to at least `count` tiles.
+fn ensure_scratch(ctx: &mut SimContext, lay: &mut CholLayout, count: usize) {
+    let execute = ctx.mode.executes();
+    while lay.scratch.len() < count {
+        let id = if execute {
+            ctx.dev_mem
+                .alloc_zeros(checksum::CHECKSUM_COUNT, lay.b, lay.b)
+                .expect("nonzero block size")
+        } else {
+            ctx.dev_mem.alloc_zeros(0, 0, lay.b).expect("nonzero block size")
+        };
+        lay.scratch.push(id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault hooks
+// ---------------------------------------------------------------------------
+
+/// Fire any faults planned for `point` (data corruption in Execute mode,
+/// ledger-only in TimingOnly).
+pub fn poll_faults(ctx: &mut SimContext, lay: &CholLayout, inj: &mut Injector, point: InjectionPoint) {
+    if ctx.mode.executes() {
+        inj.poll(point, ctx.dev_mem.buf_mut(lay.mat));
+    } else {
+        inj.poll_timing(point);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The four MAGMA operations (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// SYRK: `A[j,j] -= A[j,0:j-1] · A[j,0:j-1]ᵀ` on the compute stream.
+///
+/// The full symmetric tile is updated (not just a triangle) so that its
+/// column checksums remain exact.
+pub fn syrk_diag(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+    if j == 0 {
+        return;
+    }
+    let f = lay.charge(flops::gemm(lay.b, lay.b, j * lay.b));
+    let mat = lay.mat;
+    let access = AccessSet::new(
+        (0..j).map(|k| TileRef::new(mat, j, k)).chain([TileRef::new(mat, j, j)]).collect(),
+        vec![TileRef::new(mat, j, j)],
+    );
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("SYRK j={j}"),
+            KernelClass::Syrk,
+            f,
+            WorkCategory::Factorization,
+        )
+        .with_access(access),
+        move |mem| {
+            let m = mem.buf_mut(mat);
+            for k in 0..j {
+                let (diag, src) = m.tile_pair((j, j), (j, k));
+                gemm(Trans::No, Trans::Yes, -1.0, src, src, 1.0, diag);
+            }
+        },
+    );
+}
+
+/// GEMM: `A[j+1:N, j] -= A[j+1:N, 0:j-1] · A[j, 0:j-1]ᵀ` on the compute
+/// stream (one big kernel, as MAGMA issues it).
+pub fn gemm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+    let rows_below = lay.nt.saturating_sub(j + 1);
+    if j == 0 || rows_below == 0 {
+        return;
+    }
+    let f = lay.charge(flops::gemm(rows_below * lay.b, lay.b, j * lay.b));
+    let (mat, nt) = (lay.mat, lay.nt);
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for i in (j + 1)..nt {
+        writes.push(TileRef::new(mat, i, j));
+        reads.push(TileRef::new(mat, i, j));
+        for k in 0..j {
+            reads.push(TileRef::new(mat, i, k));
+        }
+    }
+    for k in 0..j {
+        reads.push(TileRef::new(mat, j, k));
+    }
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("GEMM j={j}"),
+            KernelClass::Blas3,
+            f,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(reads, writes)),
+        move |mem| {
+            let m = mem.buf_mut(mat);
+            for i in (j + 1)..nt {
+                for k in 0..j {
+                    let ljk = m.tile(j, k).clone();
+                    let (tij, lik) = m.tile_pair((i, j), (i, k));
+                    gemm(Trans::No, Trans::Yes, -1.0, lik, &ljk, 1.0, tij);
+                }
+            }
+        },
+    );
+}
+
+/// Transfer the diagonal block to the host (async, on the transfer
+/// stream), then flush any pending panel mirror behind it.
+pub fn diag_to_host(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
+    let bytes = 8 * (lay.b * lay.b) as u64;
+    let (mat, host_diag) = (lay.mat, lay.host_diag);
+    ctx.bulk_transfer_with_access(
+        bytes,
+        lay.s_tran,
+        false,
+        AccessSet::new(vec![TileRef::new(mat, j, j)], vec![]),
+        move |dev, host| {
+            *host.buf_mut(host_diag) = dev.tile(mat, j, j).clone();
+        },
+    );
+    flush_mirror(ctx, lay);
+}
+
+/// POTF2 on the host staging block (synchronous CPU work, overlapping
+/// whatever the GPU is doing). Fails if the block lost positive
+/// definiteness — exactly what an uncorrected error can cause.
+pub fn host_potf2(ctx: &mut SimContext, lay: &CholLayout, j: usize) -> Result<(), MatrixError> {
+    let f = lay.charge(flops::potf2(lay.b));
+    let host_diag = lay.host_diag;
+    let pivot_offset = j * lay.b;
+    let mut failure: Option<MatrixError> = None;
+    {
+        let failure = &mut failure;
+        ctx.cpu_exec(
+            KernelDesc::new(
+                format!("POTF2 j={j}"),
+                KernelClass::Potf2,
+                f,
+                WorkCategory::Factorization,
+            ),
+            move |host| {
+                let blk = host.buf_mut(host_diag);
+                match potf2(blk, pivot_offset) {
+                    Ok(()) => force_lower(blk),
+                    Err(e) => *failure = Some(e),
+                }
+            },
+        );
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Transfer the factorized diagonal block back to the device.
+pub fn diag_to_device(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+    let bytes = 8 * (lay.b * lay.b) as u64;
+    let (mat, host_diag) = (lay.mat, lay.host_diag);
+    ctx.bulk_transfer_with_access(
+        bytes,
+        lay.s_tran,
+        true,
+        AccessSet::new(vec![], vec![TileRef::new(mat, j, j)]),
+        move |dev, host| {
+            *dev.tile_mut(mat, j, j) = host.buf(host_diag).clone();
+        },
+    );
+}
+
+/// TRSM: `A[j+1:N, j] := A[j+1:N, j] · (L[j,j]ᵀ)⁻¹` on the compute stream.
+pub fn trsm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+    let rows_below = lay.nt.saturating_sub(j + 1);
+    if rows_below == 0 {
+        return;
+    }
+    let f = lay.charge(flops::trsm(lay.b, rows_below * lay.b));
+    let (mat, nt) = (lay.mat, lay.nt);
+    let mut reads = vec![TileRef::new(mat, j, j)];
+    let mut writes = Vec::new();
+    for i in (j + 1)..nt {
+        reads.push(TileRef::new(mat, i, j));
+        writes.push(TileRef::new(mat, i, j));
+    }
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("TRSM j={j}"),
+            KernelClass::Trsm,
+            f,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(reads, writes)),
+        move |mem| {
+            let m = mem.buf_mut(mat);
+            for i in (j + 1)..nt {
+                let (tij, ljj) = m.tile_pair((i, j), (j, j));
+                trsm(
+                    Side::Right,
+                    Uplo::Lower,
+                    Trans::Yes,
+                    Diag::NonUnit,
+                    1.0,
+                    ljj,
+                    tij,
+                );
+            }
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Checksum operations
+// ---------------------------------------------------------------------------
+
+fn recalc_stream(lay: &CholLayout, opts: &AbftOptions, idx: usize) -> StreamId {
+    if opts.concurrent_recalc {
+        lay.recalc_streams[idx % lay.recalc_streams.len()]
+    } else {
+        lay.s_comp
+    }
+}
+
+/// Encode the two column checksums of every lower-triangle tile (done once,
+/// before the factorization). With CPU placement the freshly encoded
+/// checksums are also shipped to the host (the paper's "initial checksums
+/// transfer, 2n²/B").
+pub fn encode_all(ctx: &mut SimContext, lay: &CholLayout, opts: &AbftOptions) {
+    let mut idx = 0usize;
+    for bj in 0..lay.nt {
+        for bi in bj..lay.nt {
+            let f = lay.charge(flops::encode_block(lay.b, lay.b));
+            let (mat, cks_bi) = (lay.mat, lay.cks[bi]);
+            ctx.launch(
+                recalc_stream(lay, opts, idx),
+                KernelDesc::new(
+                    format!("ENC ({bi},{bj})"),
+                    KernelClass::Blas2,
+                    f,
+                    WorkCategory::ChecksumEncode,
+                )
+                .with_access(AccessSet::new(
+                    vec![TileRef::new(mat, bi, bj)],
+                    vec![TileRef::new(cks_bi, 0, bj)],
+                )),
+                move |mem| {
+                    let (cks, m) = mem.buf_pair_mut(cks_bi, mat);
+                    checksum::encode_into(m.tile(bi, bj), cks.tile_mut(0, bj));
+                },
+            );
+            idx += 1;
+        }
+    }
+    ctx.sync_device();
+    if lay.placement == ChecksumPlacement::Cpu {
+        let bytes = 8 * 2 * (lay.n as u64) * (lay.nt as u64);
+        ctx.bulk_transfer(bytes, lay.s_tran, false, |_, _| {});
+        ctx.sync_stream(lay.s_tran);
+    }
+}
+
+/// Dispatch one checksum-update task to the configured engine: a slim GPU
+/// kernel on the dedicated checksum stream, or a CPU worker-lane task.
+///
+/// GPU-placed updates read factorized matrix tiles produced on the compute
+/// stream, so the checksum stream first waits on [`CholLayout::panel_ready`]
+/// (the event recorded after the last panel TRSM). CPU-placed updates
+/// conceptually read the host mirrors shipped by [`cpu_mirror_panel`]; they
+/// declare no device accesses.
+fn dispatch_update<F>(
+    ctx: &mut SimContext,
+    lay: &CholLayout,
+    label: String,
+    f: u64,
+    access: AccessSet,
+    body: F,
+) where
+    F: FnOnce(&mut hchol_gpusim::DeviceMemory),
+{
+    let desc = KernelDesc::new(label, KernelClass::Blas2, f, WorkCategory::ChecksumUpdate);
+    match lay.placement {
+        ChecksumPlacement::Cpu => ctx.cpu_submit(desc, move |dev, _host| body(dev)),
+        ChecksumPlacement::Inline => ctx.launch(lay.s_comp, desc.with_access(access), body),
+        _ => {
+            if let Some(e) = lay.panel_ready {
+                ctx.stream_wait_event(lay.s_chk, e);
+            }
+            ctx.launch(lay.s_chk, desc.with_access(access), body);
+        }
+    }
+}
+
+/// Record completion of the current block column on the compute stream;
+/// subsequent checksum-update kernels order themselves behind it. Schemes
+/// call this right after enqueuing each panel TRSM.
+pub fn mark_panel_ready(ctx: &mut SimContext, lay: &mut CholLayout) {
+    lay.panel_ready = Some(ctx.record_event(lay.s_comp));
+}
+
+/// Checksum update mirroring the SYRK:
+/// `chk(A[j,j]) -= Σ_k chk(L[j,k]) · L[j,k]ᵀ`.
+pub fn update_chk_syrk(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+    if j == 0 {
+        return;
+    }
+    let f = lay.charge(j as u64 * chkops::update_product_flops(lay.b));
+    let (mat, cks_j) = (lay.mat, lay.cks[j]);
+    let access = AccessSet::new(
+        (0..j)
+            .flat_map(|k| [TileRef::new(mat, j, k), TileRef::new(cks_j, 0, k)])
+            .chain([TileRef::new(cks_j, 0, j)])
+            .collect(),
+        vec![TileRef::new(cks_j, 0, j)],
+    );
+    dispatch_update(ctx, lay, format!("UPD-SYRK j={j}"), f, access, move |mem| {
+        let (cks, m) = mem.buf_pair_mut(cks_j, mat);
+        for k in 0..j {
+            let (cjj, cjk) = cks.tile_pair((0, j), (0, k));
+            chkops::update_product(cjj, cjk, m.tile(j, k));
+        }
+    });
+}
+
+/// Checksum update mirroring the GEMM for panel row `i`:
+/// `chk(A[i,j]) -= Σ_k chk(L[i,k]) · L[j,k]ᵀ`.
+pub fn update_chk_gemm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usize) {
+    if j == 0 {
+        return;
+    }
+    let f = lay.charge(j as u64 * chkops::update_product_flops(lay.b));
+    let (mat, cks_i) = (lay.mat, lay.cks[i]);
+    let access = AccessSet::new(
+        (0..j)
+            .flat_map(|k| [TileRef::new(mat, j, k), TileRef::new(cks_i, 0, k)])
+            .chain([TileRef::new(cks_i, 0, j)])
+            .collect(),
+        vec![TileRef::new(cks_i, 0, j)],
+    );
+    dispatch_update(ctx, lay, format!("UPD-GEMM ({i},{j})"), f, access, move |mem| {
+        let (cks, m) = mem.buf_pair_mut(cks_i, mat);
+        for k in 0..j {
+            let (cij, cik) = cks.tile_pair((0, j), (0, k));
+            chkops::update_product(cij, cik, m.tile(j, k));
+        }
+    });
+}
+
+/// Checksum update mirroring POTF2 (Algorithm 2 of the paper).
+pub fn update_chk_potf2(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+    let f = lay.charge(chkops::update_solve_flops(lay.b));
+    let (mat, cks_j) = (lay.mat, lay.cks[j]);
+    // The factorized block returns on the transfer stream; the update (on
+    // the checksum stream) must not start before it lands.
+    if !matches!(lay.placement, ChecksumPlacement::Cpu) {
+        let diag_back = ctx.record_event(lay.s_tran);
+        let target = if lay.placement == ChecksumPlacement::Inline {
+            lay.s_comp
+        } else {
+            lay.s_chk
+        };
+        ctx.stream_wait_event(target, diag_back);
+    }
+    let access = AccessSet::new(
+        vec![TileRef::new(mat, j, j), TileRef::new(cks_j, 0, j)],
+        vec![TileRef::new(cks_j, 0, j)],
+    );
+    dispatch_update(ctx, lay, format!("UPD-POTF2 j={j}"), f, access, move |mem| {
+        let (cks, m) = mem.buf_pair_mut(cks_j, mat);
+        chkops::update_potf2(cks.tile_mut(0, j), m.tile(j, j));
+    });
+}
+
+/// Checksum update mirroring the TRSM for panel row `i`:
+/// `chk(L[i,j]) = chk(A[i,j]) · (L[j,j]ᵀ)⁻¹`.
+pub fn update_chk_trsm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usize) {
+    let f = lay.charge(chkops::update_solve_flops(lay.b));
+    let (mat, cks_i) = (lay.mat, lay.cks[i]);
+    let access = AccessSet::new(
+        vec![TileRef::new(mat, j, j), TileRef::new(cks_i, 0, j)],
+        vec![TileRef::new(cks_i, 0, j)],
+    );
+    dispatch_update(ctx, lay, format!("UPD-TRSM ({i},{j})"), f, access, move |mem| {
+        let (cks, m) = mem.buf_pair_mut(cks_i, mat);
+        chkops::update_trsm(cks.tile_mut(0, j), m.tile(j, j));
+    });
+}
+
+/// With CPU placement, ship the freshly factorized panel column `j` to the
+/// host once — CPU-side updates reference factorized data (the paper's
+/// "checksum updating related transfer", totaling n²/2 elements).
+pub fn cpu_mirror_panel(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
+    let _ = ctx;
+    if lay.placement != ChecksumPlacement::Cpu {
+        return;
+    }
+    lay.pending_mirror = Some(j);
+}
+
+/// Issue a queued panel mirror (ordered behind the producing TRSM via
+/// [`CholLayout::panel_ready`]). Called from [`diag_to_host`] — after the
+/// latency-critical diagonal transfer — and at attempt end.
+pub fn flush_mirror(ctx: &mut SimContext, lay: &mut CholLayout) {
+    let Some(j) = lay.pending_mirror.take() else {
+        return;
+    };
+    let tiles = (lay.nt - j) as u64;
+    let bytes = 8 * tiles * (lay.b * lay.b) as u64;
+    if let Some(e) = lay.panel_ready {
+        ctx.stream_wait_event(lay.s_tran, e);
+    }
+    let mat = lay.mat;
+    let access = AccessSet::new(
+        (j..lay.nt).map(|i| TileRef::new(mat, i, j)).collect(),
+        vec![],
+    );
+    ctx.bulk_transfer_with_access(bytes, lay.s_tran, false, access, |_, _| {});
+}
+
+/// Recalculate, compare, locate, and correct a batch of tiles — the
+/// verification step, on the critical path.
+///
+/// Recalculation kernels spread across the recalc streams (Optimization 1)
+/// or serialize on the compute stream. In Execute mode the comparison and
+/// correction operate on real data via [`verify_and_correct`]; in
+/// TimingOnly mode the injector's ledger decides outcomes (a directly-hit
+/// tile is correctable, a propagated one is not).
+pub fn verify_batch(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    inj: &mut Injector,
+    tiles: &[(usize, usize)],
+    opts: &AbftOptions,
+) -> VerifyOutcome {
+    let mut out = VerifyOutcome::default();
+    if tiles.is_empty() {
+        return out;
+    }
+    // Updates to these checksums must have landed before we compare.
+    if lay.placement == ChecksumPlacement::Cpu {
+        ctx.sync_cpu_workers();
+    } else {
+        ctx.sync_stream(lay.s_chk);
+    }
+
+    ensure_scratch(ctx, lay, tiles.len());
+    // Recalculation reads data produced on the compute stream (and, for the
+    // diagonal block, returned on the transfer stream): order after both.
+    let data_ready_comp = ctx.record_event(lay.s_comp);
+    let data_ready_tran = ctx.record_event(lay.s_tran);
+    if opts.concurrent_recalc {
+        for idx in 0..tiles.len().min(lay.recalc_streams.len()) {
+            let st = lay.recalc_streams[idx];
+            ctx.stream_wait_event(st, data_ready_comp);
+            ctx.stream_wait_event(st, data_ready_tran);
+        }
+    } else {
+        ctx.stream_wait_event(lay.s_comp, data_ready_tran);
+    }
+    for (idx, &(bi, bj)) in tiles.iter().enumerate() {
+        let f = lay.charge(flops::recalc_block(lay.b, lay.b));
+        let (mat, scr) = (lay.mat, lay.scratch[idx]);
+        ctx.launch(
+            recalc_stream(lay, opts, idx),
+            KernelDesc::new(
+                format!("REC ({bi},{bj})"),
+                KernelClass::Blas2,
+                f,
+                WorkCategory::ChecksumRecalc,
+            )
+            .with_access(AccessSet::new(
+                vec![TileRef::new(mat, bi, bj)],
+                vec![TileRef::new(scr, 0, 0)],
+            )),
+            move |mem| {
+                let (s, m) = mem.buf_pair_mut(scr, mat);
+                checksum::encode_into(m.tile(bi, bj), s.tile_mut(0, 0));
+            },
+        );
+    }
+    if opts.concurrent_recalc {
+        for idx in 0..tiles.len().min(lay.recalc_streams.len()) {
+            let s = lay.recalc_streams[idx];
+            ctx.sync_stream(s);
+        }
+    } else {
+        ctx.sync_stream(lay.s_comp);
+    }
+
+    // With CPU-resident checksums, comparing means moving checksums across
+    // the bus (the paper's "verification related transfer"). The stored
+    // sums ride host→device — the direction the panel mirrors don't use —
+    // on a dedicated stream, so the latency-critical compare never queues
+    // behind a bulky mirror on the d2h engine.
+    if lay.placement == ChecksumPlacement::Cpu {
+        let bytes = 8 * 2 * (lay.b as u64) * tiles.len() as u64;
+        ctx.bulk_transfer(bytes, lay.s_verif, true, |_, _| {});
+        ctx.sync_stream(lay.s_verif);
+    }
+
+    // Comparison itself (a handful of flops per column — the overhead the
+    // paper's Section VI deems ignorable, charged anyway).
+    let f = lay.charge(flops::verify_compare(lay.b) * tiles.len() as u64);
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("CMP x{}", tiles.len()),
+            KernelClass::Light,
+            f,
+            WorkCategory::Verify,
+        ),
+        |_| {},
+    );
+    ctx.sync_stream(lay.s_comp);
+
+    for (idx, &(bi, bj)) in tiles.iter().enumerate() {
+        if ctx.mode.executes() {
+            let (m, cks, scr) = ctx
+                .dev_mem
+                .buf_trio_mut(lay.mat, lay.cks[bi], lay.scratch[idx]);
+            let o = verify_and_correct(
+                m.tile_mut(bi, bj),
+                cks.tile_mut(0, bj),
+                scr.tile(0, 0),
+                &opts.policy,
+            );
+            if std::env::var_os("HCHOL_VERIFY_TRACE").is_some() && !o.is_clean() {
+                eprintln!("verify ({bi},{bj}): {o:?}");
+            }
+            if !o.is_clean() && o.fully_recovered() {
+                inj.mark_corrected(bi, bj);
+            }
+            out.merge(o);
+        } else {
+            match inj.dirtiness(bi, bj) {
+                None => {}
+                Some(Dirtiness::Direct) => {
+                    out.corrected_data += 1;
+                    out.tiles_flagged += 1;
+                    inj.mark_corrected(bi, bj);
+                }
+                Some(Dirtiness::Propagated) => {
+                    out.uncorrectable_columns += 1;
+                    out.tiles_flagged += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every tile of the lower triangle (including the diagonal).
+pub fn lower_tiles(nt: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::with_capacity(nt * (nt + 1) / 2);
+    for bj in 0..nt {
+        for bi in bj..nt {
+            v.push((bi, bj));
+        }
+    }
+    v
+}
+
+/// Verify the whole lower triangle in bounded batches (used by the final
+/// checks of the Offline and Online schemes).
+pub fn verify_all(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    inj: &mut Injector,
+    opts: &AbftOptions,
+) -> VerifyOutcome {
+    let mut out = VerifyOutcome::default();
+    let all = lower_tiles(lay.nt);
+    for chunk in all.chunks(256) {
+        out.merge(verify_batch(ctx, lay, inj, chunk, opts));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Ledger propagation (read/write sets of each operation)
+// ---------------------------------------------------------------------------
+
+/// SYRK reads the factorized row panel; corruption there smears a whole
+/// column of the diagonal block.
+pub fn propagate_syrk(inj: &mut Injector, j: usize) {
+    let sources: Vec<_> = (0..j).map(|k| (j, k)).collect();
+    inj.propagate(&sources, (j, j));
+}
+
+/// GEMM reads two factorized panels per target tile.
+pub fn propagate_gemm(inj: &mut Injector, nt: usize, j: usize) {
+    for i in (j + 1)..nt {
+        let mut sources: Vec<_> = (0..j).map(|k| (i, k)).collect();
+        sources.extend((0..j).map(|k| (j, k)));
+        inj.propagate(&sources, (i, j));
+    }
+}
+
+/// POTF2 smears any pre-existing corruption of the diagonal block across
+/// the whole factor tile.
+pub fn propagate_potf2(inj: &mut Injector, j: usize) {
+    inj.propagate(&[(j, j)], (j, j));
+}
+
+/// TRSM spreads corruption of the diagonal factor into every panel tile.
+pub fn propagate_trsm(inj: &mut Injector, nt: usize, j: usize) {
+    for i in (j + 1)..nt {
+        inj.propagate(&[(j, j)], (i, j));
+    }
+}
+
+/// Extract the dense lower-triangular factor from device memory
+/// (Execute mode only).
+pub fn extract_factor(ctx: &SimContext, lay: &CholLayout) -> Option<Matrix> {
+    if !ctx.mode.executes() {
+        return None;
+    }
+    let mut l = ctx.dev_mem.buf(lay.mat).to_dense();
+    force_lower(&mut l);
+    Some(l)
+}
+
+/// Reload pristine input into device memory after a failed attempt,
+/// charging the full-matrix upload the restart costs.
+pub fn reload(ctx: &mut SimContext, lay: &CholLayout, pristine: Option<&TileMatrix>) {
+    let bytes = 8 * (lay.n as u64) * (lay.n as u64);
+    let mat = lay.mat;
+    let clone = pristine.cloned();
+    ctx.bulk_transfer(bytes, lay.s_tran, true, move |dev, _| {
+        *dev.buf_mut(mat) = clone.expect("Execute mode keeps a pristine copy");
+    });
+    ctx.sync_stream(lay.s_tran);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hchol_gpusim::profile::SystemProfile;
+    use hchol_matrix::generate::spd_diag_dominant;
+
+    fn exec_ctx() -> SimContext {
+        SimContext::new(SystemProfile::test_profile(), ExecMode::Execute)
+    }
+
+    #[test]
+    fn setup_allocates_expected_buffers() {
+        let mut ctx = exec_ctx();
+        let a = spd_diag_dominant(8, 1);
+        let lay = setup(&mut ctx, 8, 4, true, ChecksumPlacement::Gpu, Some(&a)).unwrap();
+        assert_eq!(lay.nt, 2);
+        assert_eq!(lay.cks.len(), 2);
+        // matrix + 2 checksum rows
+        assert_eq!(ctx.dev_mem.buffer_count(), 3);
+        assert_eq!(ctx.dev_mem.buf(lay.mat).to_dense(), a);
+    }
+
+    #[test]
+    fn full_iteration_matches_reference_factorization() {
+        // Drive the four ops by hand for a 2x2-tile matrix and compare with
+        // the trusted host factorization.
+        let n = 8;
+        let b = 4;
+        let a = spd_diag_dominant(n, 2);
+        let mut ctx = exec_ctx();
+        let mut lay = setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, Some(&a)).unwrap();
+        for j in 0..lay.nt {
+            syrk_diag(&mut ctx, &lay, j);
+            diag_to_host(&mut ctx, &mut lay, j);
+            gemm_panel(&mut ctx, &lay, j);
+            ctx.sync_stream(lay.s_tran);
+            host_potf2(&mut ctx, &lay, j).unwrap();
+            diag_to_device(&mut ctx, &lay, j);
+            ctx.sync_stream(lay.s_tran);
+            trsm_panel(&mut ctx, &lay, j);
+        }
+        ctx.sync_all();
+        let l = extract_factor(&ctx, &lay).unwrap();
+        let mut want = a.clone();
+        hchol_blas::potrf_blocked(&mut want, b).unwrap();
+        assert!(hchol_matrix::approx_eq(&l, &want, 1e-10));
+    }
+
+    #[test]
+    fn encode_then_verify_is_clean() {
+        let n = 8;
+        let b = 4;
+        let a = spd_diag_dominant(n, 3);
+        let mut ctx = exec_ctx();
+        let mut lay = setup(&mut ctx, n, b, true, ChecksumPlacement::Gpu, Some(&a)).unwrap();
+        let opts = AbftOptions::default();
+        encode_all(&mut ctx, &lay, &opts);
+        let mut inj = Injector::inert();
+        let tiles = lower_tiles(lay.nt);
+        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, &opts);
+        assert!(out.is_clean());
+    }
+
+    #[test]
+    fn verify_batch_corrects_injected_corruption() {
+        let n = 8;
+        let b = 4;
+        let a = spd_diag_dominant(n, 4);
+        let mut ctx = exec_ctx();
+        let mut lay = setup(&mut ctx, n, b, true, ChecksumPlacement::Gpu, Some(&a)).unwrap();
+        let opts = AbftOptions::default();
+        encode_all(&mut ctx, &lay, &opts);
+        // Flip bits directly in "DRAM".
+        let v = ctx.dev_mem.tile(lay.mat, 1, 0).get(2, 3);
+        ctx.dev_mem
+            .tile_mut(lay.mat, 1, 0)
+            .set(2, 3, hchol_matrix::bits::flip_bits(v, &[30, 53]));
+        let mut inj = Injector::inert();
+        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &[(1, 0)], &opts);
+        assert_eq!(out.corrected_data, 1);
+        // The correction subtracts δ₁, which carries the rounding of the two
+        // checksum sums — recovery is exact to a few ulps, not bitwise.
+        let after = ctx.dev_mem.tile(lay.mat, 1, 0).get(2, 3);
+        assert!((after - v).abs() < 1e-12 * v.abs().max(1.0), "{after} vs {v}");
+    }
+
+    #[test]
+    fn timing_only_runs_without_data() {
+        let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
+        let mut lay = setup(&mut ctx, 16, 4, true, ChecksumPlacement::Gpu, None).unwrap();
+        let opts = AbftOptions::default();
+        encode_all(&mut ctx, &lay, &opts);
+        for j in 0..lay.nt {
+            syrk_diag(&mut ctx, &lay, j);
+            diag_to_host(&mut ctx, &mut lay, j);
+            gemm_panel(&mut ctx, &lay, j);
+            ctx.sync_stream(lay.s_tran);
+            host_potf2(&mut ctx, &lay, j).unwrap();
+            diag_to_device(&mut ctx, &lay, j);
+            ctx.sync_stream(lay.s_tran);
+            trsm_panel(&mut ctx, &lay, j);
+        }
+        ctx.sync_all();
+        assert!(ctx.now().as_secs() > 0.0);
+        let mut inj = Injector::inert();
+        let tiles = lower_tiles(lay.nt);
+        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, &opts);
+        assert!(out.is_clean());
+    }
+
+    #[test]
+    fn concurrent_recalc_is_faster_than_serial() {
+        let tiles: Vec<_> = lower_tiles(8);
+        let run = |concurrent: bool| {
+            let mut ctx =
+                SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
+            let mut lay =
+                setup(&mut ctx, 64, 8, true, ChecksumPlacement::Gpu, None).unwrap();
+            let opts = AbftOptions::default().with_concurrent_recalc(concurrent);
+            let mut inj = Injector::inert();
+            verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, &opts);
+            ctx.sync_all();
+            ctx.now().as_secs()
+        };
+        let serial = run(false);
+        let conc = run(true);
+        assert!(
+            conc < serial * 0.6,
+            "concurrent {conc} not sufficiently faster than serial {serial}"
+        );
+    }
+
+    #[test]
+    fn cpu_placement_charges_transfers() {
+        let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
+        let mut lay = setup(&mut ctx, 16, 4, true, ChecksumPlacement::Cpu, None).unwrap();
+        let opts = AbftOptions::default();
+        encode_all(&mut ctx, &lay, &opts);
+        let before = ctx.counters.bytes(WorkCategory::Transfer);
+        assert!(before > 0, "initial checksum transfer must be charged");
+        let mut inj = Injector::inert();
+        verify_batch(&mut ctx, &mut lay, &mut inj, &[(1, 0)], &opts);
+        assert!(ctx.counters.bytes(WorkCategory::Transfer) > before);
+    }
+
+    #[test]
+    fn lower_tiles_enumeration() {
+        let t = lower_tiles(3);
+        assert_eq!(t.len(), 6);
+        assert!(t.contains(&(2, 2)) && t.contains(&(2, 0)) && !t.contains(&(0, 1)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Tunables of the fault-tolerant factorization — the paper's three
+//! optimizations plus verification thresholds.
+
+use crate::verify::VerifyPolicy;
+
+/// Where checksum *updating* runs (the paper's Optimization 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChecksumPlacement {
+    /// Pre-Optimization-2 baseline: update checksums synchronously on the
+    /// main compute stream, where they extend the critical path.
+    Inline,
+    /// Update checksums with slim GPU kernels on a dedicated stream.
+    Gpu,
+    /// Update checksums on otherwise-idle CPU worker lanes, paying the
+    /// extra host↔device traffic the paper's `D_upd` term accounts for.
+    Cpu,
+    /// Decide per system with the estimation model in [`crate::decision`].
+    Auto,
+}
+
+/// Configuration for the ABFT schemes.
+#[derive(Debug, Clone)]
+pub struct AbftOptions {
+    /// Optimization 2: checksum-update placement.
+    pub placement: ChecksumPlacement,
+    /// Optimization 3: verify GEMM/TRSM inputs only on iterations divisible
+    /// by `K` (SYRK inputs and the POTF2 block are always verified — errors
+    /// there can break positive definiteness and fail-stop the run).
+    pub verify_interval: usize,
+    /// Optimization 1: spread checksum-recalculation kernels over many CUDA
+    /// streams so they execute concurrently (`P = min(N, M)`); off means
+    /// they serialize on the compute stream.
+    pub concurrent_recalc: bool,
+    /// Numeric thresholds for detection/location.
+    pub policy: VerifyPolicy,
+    /// How many full restarts are allowed after uncorrectable corruption
+    /// (the paper's recovery story: re-do the decomposition once).
+    pub max_restarts: usize,
+    /// Record a full execution timeline (memory-heavy on big runs).
+    pub record_timeline: bool,
+    /// Audit declared kernel accesses for unordered conflicts (quadratic
+    /// scan — test-sized runs only).
+    pub audit_hazards: bool,
+}
+
+impl Default for AbftOptions {
+    fn default() -> Self {
+        AbftOptions {
+            placement: ChecksumPlacement::Auto,
+            verify_interval: 1,
+            concurrent_recalc: true,
+            policy: VerifyPolicy::default(),
+            max_restarts: 1,
+            record_timeline: false,
+            audit_hazards: false,
+        }
+    }
+}
+
+impl AbftOptions {
+    /// Is iteration `j` one on which GEMM/TRSM inputs get verified?
+    pub fn verifies_on(&self, j: usize) -> bool {
+        j.is_multiple_of(self.verify_interval.max(1))
+    }
+
+    /// Builder: set the verification interval `K`.
+    pub fn with_interval(mut self, k: usize) -> Self {
+        self.verify_interval = k.max(1);
+        self
+    }
+
+    /// Builder: set the checksum-update placement.
+    pub fn with_placement(mut self, p: ChecksumPlacement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Builder: toggle Optimization 1.
+    pub fn with_concurrent_recalc(mut self, on: bool) -> Self {
+        self.concurrent_recalc = on;
+        self
+    }
+
+    /// Builder: all optimizations off (the paper's unoptimized baseline).
+    pub fn unoptimized() -> Self {
+        AbftOptions {
+            placement: ChecksumPlacement::Inline,
+            verify_interval: 1,
+            concurrent_recalc: false,
+            ..AbftOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimizations() {
+        let o = AbftOptions::default();
+        assert_eq!(o.placement, ChecksumPlacement::Auto);
+        assert_eq!(o.verify_interval, 1);
+        assert!(o.concurrent_recalc);
+        assert_eq!(o.max_restarts, 1);
+    }
+
+    #[test]
+    fn interval_gating() {
+        let o = AbftOptions::default().with_interval(3);
+        assert!(o.verifies_on(0));
+        assert!(!o.verifies_on(1));
+        assert!(!o.verifies_on(2));
+        assert!(o.verifies_on(3));
+        // zero clamps to 1
+        let o = AbftOptions::default().with_interval(0);
+        assert!(o.verifies_on(7));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = AbftOptions::unoptimized()
+            .with_placement(ChecksumPlacement::Cpu)
+            .with_interval(5)
+            .with_concurrent_recalc(true);
+        assert_eq!(o.placement, ChecksumPlacement::Cpu);
+        assert_eq!(o.verify_interval, 5);
+        assert!(o.concurrent_recalc);
+    }
+
+    #[test]
+    fn unoptimized_disables_opt1_and_inlines_updates() {
+        let o = AbftOptions::unoptimized();
+        assert!(!o.concurrent_recalc);
+        assert_eq!(o.placement, ChecksumPlacement::Inline);
+    }
+}

@@ -1,0 +1,163 @@
+//! Row checksums — the paper's road not taken, implemented far enough to
+//! show *why* it wasn't taken.
+//!
+//! Section IV-A: "The resulted checksum can be row checksum, column checksum
+//! and full checksum … two row checksums or two column checksums works the
+//! best for Cholesky decomposition … We choose two column checksums."
+//!
+//! The asymmetry behind that choice is algebraic. A row checksum is
+//! `rchk(X) = X·w` (a `B × 2` matrix). Under the four operations of the
+//! blocked factorization:
+//!
+//! * **SYRK/GEMM** `B' = B − LD·LCᵀ`:
+//!   `rchk(B') = rchk(B) − LD·(LCᵀw)` — maintainable, but the factor
+//!   `LCᵀw = cchk(LC)ᵀ` is the **column** checksum of the other operand, so
+//!   a row-checksum scheme must carry column checksums anyway (a "full
+//!   checksum" scheme).
+//! * **TRSM** `LB = B'·(LAᵀ)⁻¹` (a *right* multiplication):
+//!   `rchk(LB) = B'·(LAᵀ)⁻¹·w`. This is **not** expressible through
+//!   `rchk(B') = B'·w` — the inverse lands between the data and the weight
+//!   vector — so the row checksum of the panel cannot be updated from
+//!   itself; it must be recomputed from data, at the full O(B²)-per-block
+//!   verification price, every iteration. Column checksums transform as
+//!   `cchk(B')·(LAᵀ)⁻¹` — the same TRSM applied to a 2-row matrix — which
+//!   is exactly the paper's cheap update rule.
+//!
+//! This module implements the row-checksum encode and the SYRK/GEMM-side
+//! update (working), and its tests *prove* both the working part and the
+//! TRSM obstruction — turning the paper's one-line design note into
+//! executable fact.
+
+use hchol_blas::gemm;
+use hchol_matrix::{Matrix, Trans};
+
+/// Number of row checksums (dual of the column pair).
+pub const ROW_CHECKSUM_COUNT: usize = 2;
+
+/// Encode the two row checksums of `block`: a `rows × 2` matrix whose first
+/// column is the plain row sums and second the weighted row sums
+/// (`w₂ = [1, 2, …, cols]`).
+pub fn encode_rows(block: &Matrix) -> Matrix {
+    let mut r = Matrix::zeros(block.rows(), ROW_CHECKSUM_COUNT);
+    for j in 0..block.cols() {
+        let col = block.col(j);
+        let w = (j + 1) as f64;
+        for (i, &x) in col.iter().enumerate() {
+            let v0 = r.get(i, 0) + x;
+            r.set(i, 0, v0);
+            let v1 = r.get(i, 1) + w * x;
+            r.set(i, 1, v1);
+        }
+    }
+    r
+}
+
+/// Row-checksum update for the product ops (`B' = B − LD·LCᵀ`):
+/// `rchk(B') = rchk(B) − LD · cchk(LC)ᵀ`, where `cchk(LC)` is the *column*
+/// checksum (`2 × B`) of the right operand — the reason a pure-row scheme
+/// is impossible and the paper's "full checksum" variant carries both.
+pub fn update_product_rows(rchk: &mut Matrix, ld: &Matrix, cchk_lc: &Matrix) {
+    // rchk -= LD · cchk(LC)ᵀ   ((B×B)·(B×2) → B×2)
+    gemm(Trans::No, Trans::Yes, -1.0, ld, cchk_lc, 1.0, rchk);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::encode;
+    use hchol_blas::trsm;
+    use hchol_matrix::generate::{known_factor, uniform};
+    use hchol_matrix::{approx_eq, Diag, Side, Uplo};
+
+    #[test]
+    fn encode_rows_matches_definition() {
+        let a = uniform(5, 4, -1.0, 1.0, 1);
+        let r = encode_rows(&a);
+        for i in 0..5 {
+            let plain: f64 = (0..4).map(|j| a.get(i, j)).sum();
+            let weighted: f64 = (0..4).map(|j| (j + 1) as f64 * a.get(i, j)).sum();
+            assert!((r.get(i, 0) - plain).abs() < 1e-12);
+            assert!((r.get(i, 1) - weighted).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_checksums_are_the_transpose_dual() {
+        let a = uniform(6, 6, -1.0, 1.0, 2);
+        let rows_of_a = encode_rows(&a);
+        let cols_of_at = encode(&a.transpose());
+        assert!(approx_eq(&rows_of_a, &cols_of_at.transpose(), 1e-12));
+    }
+
+    /// The SYRK/GEMM-side update works — but only by consuming the COLUMN
+    /// checksum of the other operand.
+    #[test]
+    fn product_update_holds_via_column_checksums() {
+        let b = 8;
+        let ld = uniform(b, b, -1.0, 1.0, 3);
+        let lc = uniform(b, b, -1.0, 1.0, 4);
+        let mut panel = uniform(b, b, -1.0, 1.0, 5);
+        let mut rchk = encode_rows(&panel);
+        let cchk_lc = encode(&lc);
+        gemm(Trans::No, Trans::Yes, -1.0, &ld, &lc, 1.0, &mut panel);
+        update_product_rows(&mut rchk, &ld, &cchk_lc);
+        assert!(approx_eq(&rchk, &encode_rows(&panel), 1e-9));
+    }
+
+    /// The TRSM obstruction, demonstrated: no linear combination of the
+    /// panel's own row checksums yields the post-TRSM row checksums —
+    /// whereas the column checksums transform exactly.
+    #[test]
+    fn trsm_preserves_column_but_not_row_checksums() {
+        let b = 8;
+        let (la, _) = known_factor(b, 6);
+        let panel0 = uniform(b, b, -1.0, 1.0, 7);
+
+        let mut panel = panel0.clone();
+        let mut cchk = encode(&panel);
+        let rchk_before = encode_rows(&panel);
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            &la,
+            &mut panel,
+        );
+
+        // Column checksums: apply the SAME solve to the 2-row checksum — it
+        // lands exactly on the encoding of the result (the paper's rule).
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            &la,
+            &mut cchk,
+        );
+        assert!(approx_eq(&cchk, &encode(&panel), 1e-9));
+
+        // Row checksums: the honest update would need (LAᵀ)⁻¹ *between* the
+        // data and the weights. Applying the same trick (solving against the
+        // stored row checksum) does NOT reproduce the result's encoding.
+        let mut rchk_attempt = rchk_before.clone();
+        // The only shape-compatible "update from itself": solve each
+        // checksum column against LA (a left solve).
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            &la,
+            &mut rchk_attempt,
+        );
+        let truth = encode_rows(&panel);
+        assert!(
+            !approx_eq(&rchk_attempt, &truth, 1e-3),
+            "row checksums would have to transform through the data — they don't"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Enhanced Online-ABFT — the paper's contribution: verify every block
+//! immediately **before** it is read, so both computing errors (left over
+//! in an operation's output) and storage errors (bit flips while a block
+//! rested in memory) are corrected before they can propagate.
+//!
+//! Per iteration `j` (Figure 2 / Table I of the paper):
+//!
+//! * SYRK reads the diagonal block `A` and the factorized row panel `C` —
+//!   both verified first, every iteration (errors here can destroy positive
+//!   definiteness, so Optimization 3 never relaxes them);
+//! * GEMM reads the target panel `B`, row panel `C` and body panel `D` —
+//!   verified on iterations where `j % K == 0` (Optimization 3);
+//! * POTF2 reads the SYRK result — verified every iteration;
+//! * TRSM reads the factorized diagonal `L` and the panel `B` — verified on
+//!   `j % K == 0` iterations (errors entering TRSM spread only along block
+//!   rows, staying one-per-column correctable, which is why the paper deems
+//!   the relaxation safe).
+
+use super::{AttemptCtx, AttemptEnd};
+use crate::ops;
+use crate::verify::VerifyOutcome;
+use hchol_faults::InjectionPoint;
+use hchol_matrix::MatrixError;
+
+pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
+    let AttemptCtx { ctx, lay, inj, opts } = a;
+    let nt = lay.nt;
+    let mut vo = VerifyOutcome::default();
+
+    macro_rules! check {
+        ($tiles:expr) => {{
+            let o = ops::verify_batch(ctx, lay, inj, $tiles, opts);
+            let ok = o.fully_recovered();
+            vo.merge(o);
+            if !ok {
+                ctx.sync_all();
+                return Ok((AttemptEnd::Restart, vo));
+            }
+        }};
+    }
+
+    ops::encode_all(ctx, lay, opts);
+
+    for j in 0..nt {
+        ops::poll_faults(ctx, lay, inj, InjectionPoint::IterStart { iter: j });
+        let has_panel = j + 1 < nt;
+
+        // --- SYRK step: verify inputs A = (j,j) and C = (j,k), k < j. ---
+        let mut syrk_inputs: Vec<(usize, usize)> = vec![(j, j)];
+        syrk_inputs.extend((0..j).map(|k| (j, k)));
+        check!(&syrk_inputs);
+        ops::syrk_diag(ctx, lay, j);
+        ops::propagate_syrk(inj, j);
+        ops::update_chk_syrk(ctx, lay, j);
+        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostSyrk { iter: j });
+
+        // --- POTF2 input check: the SYRK output feeds the unblocked
+        // factorization; an undetected error here is a fail-stop risk, so
+        // it is verified every iteration regardless of K. ---
+        check!(&[(j, j)]);
+        let syrk_done = ctx.record_event(lay.s_comp);
+        ctx.stream_wait_event(lay.s_tran, syrk_done);
+        ops::diag_to_host(ctx, lay, j);
+
+        // --- GEMM step: verify inputs B, C, D on K-gated iterations. ---
+        if has_panel && j > 0 {
+            if opts.verifies_on(j) {
+                let mut gemm_inputs: Vec<(usize, usize)> = Vec::new();
+                for i in (j + 1)..nt {
+                    gemm_inputs.push((i, j)); // B: the panel being updated
+                }
+                for k in 0..j {
+                    gemm_inputs.push((j, k)); // C: the row panel
+                    for i in (j + 1)..nt {
+                        gemm_inputs.push((i, k)); // D: the body panel
+                    }
+                }
+                check!(&gemm_inputs);
+            }
+            ops::gemm_panel(ctx, lay, j);
+            ops::propagate_gemm(inj, nt, j);
+            for i in (j + 1)..nt {
+                ops::update_chk_gemm(ctx, lay, j, i);
+            }
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostGemm { iter: j });
+        }
+
+        ctx.sync_stream(lay.s_tran);
+        ops::host_potf2(ctx, lay, j)?;
+        ops::diag_to_device(ctx, lay, j);
+        ops::update_chk_potf2(ctx, lay, j);
+        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostPotf2 { iter: j });
+
+        // --- TRSM step: verify inputs L = (j,j) and B = (i,j) on K-gated
+        // iterations. ---
+        if has_panel {
+            if opts.verifies_on(j) {
+                let mut trsm_inputs: Vec<(usize, usize)> = vec![(j, j)];
+                trsm_inputs.extend(((j + 1)..nt).map(|i| (i, j)));
+                check!(&trsm_inputs);
+            }
+            let diag_back = ctx.record_event(lay.s_tran);
+            ctx.stream_wait_event(lay.s_comp, diag_back);
+            ops::trsm_panel(ctx, lay, j);
+            ops::propagate_trsm(inj, nt, j);
+            for i in (j + 1)..nt {
+                ops::update_chk_trsm(ctx, lay, j, i);
+            }
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostTrsm { iter: j });
+        }
+        ops::mark_panel_ready(ctx, lay);
+        ops::cpu_mirror_panel(ctx, lay, j);
+    }
+    ctx.sync_all();
+    Ok((AttemptEnd::Completed, vo))
+}

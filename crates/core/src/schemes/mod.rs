@@ -1,0 +1,203 @@
+//! The three ABFT Cholesky schemes the paper compares, plus the shared
+//! restart-on-uncorrectable recovery loop.
+//!
+//! * [`SchemeKind::Offline`] — Huang & Abraham: encode before, verify after,
+//!   nothing in between. Any mid-run error propagates freely and forces a
+//!   full re-run.
+//! * [`SchemeKind::Online`] — post-update verification (Wu & Chen): each
+//!   block is verified right after it is written, so computing errors are
+//!   corrected in time; storage errors striking *between* a block's last
+//!   verification and its next read escape until they have propagated.
+//! * [`SchemeKind::Enhanced`] — this paper: verify every input immediately
+//!   *before* it is read, correcting both error species before they can
+//!   propagate.
+
+mod enhanced;
+mod offline;
+mod online;
+
+use crate::decision;
+use crate::ops::{self};
+use crate::options::AbftOptions;
+use crate::verify::VerifyOutcome;
+use hchol_faults::{FaultPlan, Injector};
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::{ExecMode, SimContext, SimTime};
+use hchol_matrix::{Matrix, MatrixError};
+
+/// Which fault-tolerance scheme drives the factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Encode → factor → verify at the very end.
+    Offline,
+    /// Verify each block right after it is updated.
+    Online,
+    /// Verify each block right before it is read (this paper).
+    Enhanced,
+}
+
+impl SchemeKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Offline => "Offline-ABFT",
+            SchemeKind::Online => "Online-ABFT",
+            SchemeKind::Enhanced => "Enhanced Online-ABFT",
+        }
+    }
+
+    /// All three, in the paper's table order.
+    pub fn all() -> [SchemeKind; 3] {
+        [SchemeKind::Enhanced, SchemeKind::Online, SchemeKind::Offline]
+    }
+}
+
+/// How one attempt ended.
+pub(crate) enum AttemptEnd {
+    /// Factorization finished with all detected errors corrected.
+    Completed,
+    /// Uncorrectable corruption detected; the run must restart.
+    Restart,
+}
+
+/// A scheme acts through this bundle of per-attempt state.
+pub(crate) struct AttemptCtx<'a> {
+    pub ctx: &'a mut SimContext,
+    pub lay: &'a mut ops::CholLayout,
+    pub inj: &'a mut Injector,
+    pub opts: &'a AbftOptions,
+}
+
+/// The result of a fault-tolerant factorization.
+pub struct FactorOutcome {
+    /// Which scheme ran.
+    pub scheme: SchemeKind,
+    /// Total virtual time across all attempts.
+    pub time: SimTime,
+    /// Number of attempts (1 = no restart).
+    pub attempts: usize,
+    /// Accumulated verification statistics.
+    pub verify: VerifyOutcome,
+    /// The lower factor (Execute mode only).
+    pub factor: Option<Matrix>,
+    /// True if the final attempt still ended with uncorrectable corruption.
+    pub failed: bool,
+    /// The simulation context (timeline, counters) for inspection.
+    pub ctx: SimContext,
+}
+
+impl FactorOutcome {
+    /// Achieved GFLOP/s on the canonical `n³/3` flop count for size `n`.
+    pub fn gflops(&self, n: usize) -> f64 {
+        (n as f64).powi(3) / 3.0 / self.time.as_secs() / 1e9
+    }
+}
+
+/// Run `kind` on the given system at size `n`, block `b`, with the fault
+/// plan `plan`. `input` must be `Some` in Execute mode.
+///
+/// Recovery: on uncorrectable corruption (or a fault-induced loss of
+/// positive definiteness — fail-stop in the paper's terms) the pristine
+/// input is re-uploaded and the factorization redone, up to
+/// `opts.max_restarts` times. A `NotPositiveDefinite` on a run with **no**
+/// injected faults is a genuine input error and is returned as `Err`.
+#[allow(clippy::too_many_arguments)] // LAPACK-style driver signature
+pub fn run_scheme(
+    kind: SchemeKind,
+    profile: &SystemProfile,
+    mode: ExecMode,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+    plan: FaultPlan,
+    input: Option<&Matrix>,
+) -> Result<FactorOutcome, MatrixError> {
+    let mut ctx = SimContext::new(profile.clone(), mode);
+    if !opts.record_timeline {
+        ctx.disable_timeline();
+    }
+    if opts.audit_hazards {
+        ctx.enable_hazard_log();
+    }
+    let placement = decision::choose(opts.placement, profile, n, b, opts.verify_interval);
+    let mut resolved = opts.clone();
+    resolved.placement = placement;
+    let mut lay = ops::setup(&mut ctx, n, b, true, placement, input)?;
+    let pristine = if mode.executes() {
+        Some(ctx.dev_mem.buf(lay.mat).clone())
+    } else {
+        None
+    };
+    let mut inj = Injector::new(plan);
+
+    let mut verify_total = VerifyOutcome::default();
+    let mut attempts = 0usize;
+    #[allow(unused_assignments)]
+    let mut failed = false;
+    loop {
+        attempts += 1;
+        if attempts > 1 {
+            ops::reload(&mut ctx, &lay, pristine.as_ref());
+            inj.reset_dirty();
+        }
+        let mut a = AttemptCtx {
+            ctx: &mut ctx,
+            lay: &mut lay,
+            inj: &mut inj,
+            opts: &resolved,
+        };
+        let result = match kind {
+            SchemeKind::Offline => offline::attempt(&mut a),
+            SchemeKind::Online => online::attempt(&mut a),
+            SchemeKind::Enhanced => enhanced::attempt(&mut a),
+        };
+        match result {
+            Ok((AttemptEnd::Completed, vo)) => {
+                verify_total.merge(vo);
+                failed = false;
+                break;
+            }
+            Ok((AttemptEnd::Restart, vo)) => {
+                verify_total.merge(vo);
+                failed = true;
+            }
+            Err(e) => {
+                if inj.applied().is_empty() {
+                    // Genuine numerical failure, not fault-induced.
+                    return Err(e);
+                }
+                failed = true;
+            }
+        }
+        if attempts > resolved.max_restarts {
+            break;
+        }
+    }
+    ctx.sync_all();
+    let time = ctx.now();
+    let factor = ops::extract_factor(&ctx, &lay);
+    Ok(FactorOutcome {
+        scheme: kind,
+        time,
+        attempts,
+        verify: verify_total,
+        factor,
+        failed,
+        ctx,
+    })
+}
+
+/// Convenience alias used by examples and benches: a scheme run on a
+/// fault-free input.
+#[allow(clippy::too_many_arguments)]
+pub fn run_clean(
+    kind: SchemeKind,
+    profile: &SystemProfile,
+    mode: ExecMode,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+    input: Option<&Matrix>,
+) -> Result<FactorOutcome, MatrixError> {
+    run_scheme(kind, profile, mode, n, b, opts, FaultPlan::none(), input)
+}

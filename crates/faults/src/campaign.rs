@@ -1,0 +1,139 @@
+//! Multi-trial fault campaigns: run many seeded experiments and aggregate
+//! survival statistics.
+//!
+//! The paper's Tables VII/VIII inject one canonical fault per run; a
+//! production fault-tolerance evaluation also wants *populations* — "out of
+//! 100 storms at rate λ, how many runs ended correct, how many needed
+//! recovery, at what average cost?" This module runs a caller-supplied
+//! trial function over deterministic seeds and reduces the outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a single campaign trial, as reported by the trial closure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Run ended with a numerically correct result.
+    pub correct: bool,
+    /// Attempts consumed (1 = no recovery needed).
+    pub attempts: usize,
+    /// Errors corrected in place.
+    pub corrected: usize,
+    /// Virtual-time cost in seconds.
+    pub seconds: f64,
+}
+
+/// Aggregated campaign statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials ending correct.
+    pub survived: usize,
+    /// Trials that needed at least one restart.
+    pub restarted: usize,
+    /// Total in-place corrections across all trials.
+    pub total_corrected: usize,
+    /// Mean virtual time (seconds).
+    pub mean_seconds: f64,
+    /// Maximum virtual time (seconds).
+    pub max_seconds: f64,
+    /// Mean attempts.
+    pub mean_attempts: f64,
+}
+
+impl CampaignStats {
+    /// Fraction of trials that ended correct.
+    pub fn survival_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        self.survived as f64 / self.trials as f64
+    }
+}
+
+/// Run `trials` deterministic trials (seeds `seed0..seed0+trials`) and
+/// aggregate. The closure receives the trial's seed.
+pub fn run_campaign(
+    trials: usize,
+    seed0: u64,
+    mut trial: impl FnMut(u64) -> TrialOutcome,
+) -> CampaignStats {
+    let mut survived = 0usize;
+    let mut restarted = 0usize;
+    let mut total_corrected = 0usize;
+    let mut sum_secs = 0.0f64;
+    let mut max_secs = 0.0f64;
+    let mut sum_attempts = 0usize;
+    for t in 0..trials {
+        let o = trial(seed0 + t as u64);
+        if o.correct {
+            survived += 1;
+        }
+        if o.attempts > 1 {
+            restarted += 1;
+        }
+        total_corrected += o.corrected;
+        sum_secs += o.seconds;
+        max_secs = max_secs.max(o.seconds);
+        sum_attempts += o.attempts;
+    }
+    CampaignStats {
+        trials,
+        survived,
+        restarted,
+        total_corrected,
+        mean_seconds: if trials > 0 { sum_secs / trials as f64 } else { 0.0 },
+        max_seconds: max_secs,
+        mean_attempts: if trials > 0 {
+            sum_attempts as f64 / trials as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_simple_population() {
+        let stats = run_campaign(4, 100, |seed| TrialOutcome {
+            correct: seed != 101,
+            attempts: if seed == 102 { 2 } else { 1 },
+            corrected: (seed - 100) as usize,
+            seconds: (seed - 99) as f64,
+        });
+        assert_eq!(stats.trials, 4);
+        assert_eq!(stats.survived, 3);
+        assert_eq!(stats.restarted, 1);
+        assert_eq!(stats.total_corrected, 6); // 0+1+2+3
+        assert!((stats.mean_seconds - 2.5).abs() < 1e-12);
+        assert_eq!(stats.max_seconds, 4.0);
+        assert!((stats.mean_attempts - 1.25).abs() < 1e-12);
+        assert!((stats.survival_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_campaign_is_vacuously_fine() {
+        let stats = run_campaign(0, 0, |_| unreachable!("no trials"));
+        assert_eq!(stats.trials, 0);
+        assert_eq!(stats.survival_rate(), 1.0);
+        assert_eq!(stats.mean_seconds, 0.0);
+    }
+
+    #[test]
+    fn seeds_are_sequential_and_deterministic() {
+        let mut seen = Vec::new();
+        run_campaign(3, 7, |s| {
+            seen.push(s);
+            TrialOutcome {
+                correct: true,
+                attempts: 1,
+                corrected: 0,
+                seconds: 0.0,
+            }
+        });
+        assert_eq!(seen, vec![7, 8, 9]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # hchol-faults
+//!
+//! Deterministic fault injection for the ABFT Cholesky experiments.
+//!
+//! The paper distinguishes two silent-error species and injects both:
+//!
+//! * **Computing errors** ("1 + 1 = 3"): an operation writes a wrong value
+//!   into its output block. Existing Online-ABFT catches these because it
+//!   verifies a block right after it is updated.
+//! * **Storage errors** ("0 becomes 1"): a DRAM bit flips while a block sits
+//!   in memory *between* its last verification and its next read. This is
+//!   the window existing schemes leave open and the Enhanced scheme closes.
+//!
+//! Faults are described by [`FaultSpec`]s pinned to precise points in the
+//! factorization's iteration structure ([`InjectionPoint`]), so every
+//! experiment is reproducible bit-for-bit. The [`injector::Injector`]
+//! applies them to simulated device memory and keeps a ground-truth ledger
+//! (which tiles are currently corrupt) that serves two purposes: assertions
+//! in Execute-mode tests, and the detection oracle in TimingOnly mode where
+//! no numerics exist to recompute checksums from.
+//!
+//! The crate also models [`ecc`] (SEC-DED corrects single-bit upsets, so
+//! only multi-bit flips survive to become ABFT's problem — the paper makes
+//! exactly this point) and Poisson fault arrival processes ([`poisson`])
+//! for rate-driven campaigns.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod ecc;
+pub mod injector;
+pub mod poisson;
+pub mod spec;
+
+pub use campaign::{run_campaign, CampaignStats, TrialOutcome};
+pub use injector::{AppliedFault, Dirtiness, Injector};
+pub use spec::{FaultKind, FaultPlan, FaultSpec, FaultTarget, InjectionPoint};

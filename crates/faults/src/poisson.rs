@@ -1,0 +1,129 @@
+//! Poisson fault-arrival processes.
+//!
+//! The paper's Optimization 3 tunes the verification interval `K` against
+//! "the failure rate of the system". To study that trade-off we need faults
+//! arriving as a memoryless process over the factorization's *iterations*:
+//! this module draws reproducible Poisson arrivals and materializes them as
+//! a [`FaultPlan`] of storage errors striking random resident tiles.
+
+use crate::spec::{FaultKind, FaultPlan, FaultSpec, FaultTarget, InjectionPoint};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Draw a Poisson-distributed count with mean `lambda` (Knuth's method for
+/// small λ, normal approximation above 30 — plenty for our rates).
+pub fn poisson_count(lambda: f64, rng: &mut ChaCha8Rng) -> usize {
+    assert!(lambda >= 0.0, "rate must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let g: f64 = {
+            // Box-Muller from two uniforms.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        return (lambda + lambda.sqrt() * g).round().max(0.0) as usize;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0f64..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Generate a storage-error plan where, on average, `rate_per_iter` faults
+/// strike per outer iteration of a `grid × grid` blocked factorization with
+/// `block`-sized tiles. Targets are uniform over the *still-live* region:
+/// tiles in block rows at or below the current iteration (`bi ≥ iter`),
+/// which every scheme will still read — factorized panel tiles feed later
+/// SYRK/GEMMs, unfactorized tiles are still updated. Tiles in rows above
+/// the current iteration are retired output: no online scheme (the paper's
+/// included) re-reads them, so corrupting them models errors outside the
+/// algorithm's protection window and is deliberately excluded here.
+pub fn storage_plan(
+    grid: usize,
+    block: usize,
+    rate_per_iter: f64,
+    seed: u64,
+) -> FaultPlan {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut plan = FaultPlan::none();
+    for iter in 0..grid {
+        let count = poisson_count(rate_per_iter, &mut rng);
+        for _ in 0..count {
+            let bi = rng.gen_range(iter..grid);
+            let bj = rng.gen_range(0..=bi);
+            plan.faults.push(FaultSpec {
+                point: InjectionPoint::IterStart { iter },
+                target: FaultTarget {
+                    bi,
+                    bj,
+                    row: rng.gen_range(0..block),
+                    col: rng.gen_range(0..block),
+                },
+                kind: FaultKind::storage(),
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_gives_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(poisson_count(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_tracks_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for &lambda in &[0.5f64, 3.0, 50.0] {
+            let n = 4000;
+            let total: usize = (0..n).map(|_| poisson_count(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "lambda={lambda}, mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let a = storage_plan(8, 16, 0.5, 42);
+        let b = storage_plan(8, 16, 0.5, 42);
+        assert_eq!(a, b);
+        let c = storage_plan(8, 16, 0.5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plan_targets_live_lower_triangle() {
+        let p = storage_plan(6, 8, 2.0, 7);
+        assert!(!p.is_empty());
+        for f in &p.faults {
+            assert!(f.target.bi >= f.target.bj, "upper-triangle target");
+            assert!(
+                f.target.bi >= f.point.iter(),
+                "retired tiles must not be targeted"
+            );
+            assert!(f.target.bi < 6 && f.target.row < 8 && f.target.col < 8);
+            assert!(matches!(f.kind, FaultKind::Storage { .. }));
+        }
+    }
+}

@@ -1,0 +1,626 @@
+//! The simulated driver context: the API a "host program" (the hybrid
+//! Cholesky in `hchol-core`) uses to drive the machine.
+//!
+//! Semantics mirror the CUDA runtime circa the paper:
+//!
+//! * **Streams** are FIFO queues of device work; work in different streams
+//!   may overlap subject to the [`crate::schedule::KernelScheduler`]'s
+//!   resource and concurrency constraints.
+//! * **Async transfers** execute on dedicated DMA lanes (one per direction)
+//!   but respect the issue order of the stream they were enqueued on.
+//! * **Events** capture a stream's current completion frontier; the host or
+//!   another stream can wait on them.
+//! * **Host tasks** run either synchronously on the main thread (advancing
+//!   the host clock — MAGMA's POTF2) or asynchronously on CPU worker lanes
+//!   (Optimization 2's CPU checksum updating).
+//!
+//! Numerics execute **eagerly in program order** while timing is computed
+//! for the overlapped schedule. For a race-free program (one whose
+//! stream/event usage orders every true dependency) the two give identical
+//! results; a debug-mode hazard checker in `hchol-core` guards that
+//! assumption at the tile level.
+
+use crate::counters::{WorkCategory, WorkCounters};
+use crate::hazard::{AccessSet, Hazard, HazardLog};
+use crate::memory::{BufferId, DeviceMemory, HostBufferId, HostMemory};
+use crate::profile::{KernelClass, SystemProfile};
+use crate::schedule::KernelScheduler;
+use crate::time::SimTime;
+use crate::timeline::{Lane, Timeline, TraceEntry};
+use crate::ExecMode;
+
+/// Handle to a device stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+/// Handle to a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub usize);
+
+/// Description of a unit of work for the cost model and the trace.
+#[derive(Debug, Clone)]
+pub struct KernelDesc {
+    /// Trace label.
+    pub label: String,
+    /// Cost-model class.
+    pub class: KernelClass,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Accounting category.
+    pub category: WorkCategory,
+    /// Declared tile accesses, audited by the hazard log when enabled.
+    pub access: AccessSet,
+}
+
+impl KernelDesc {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        class: KernelClass,
+        flops: u64,
+        category: WorkCategory,
+    ) -> Self {
+        KernelDesc {
+            label: label.into(),
+            class,
+            flops,
+            category,
+            access: AccessSet::none(),
+        }
+    }
+
+    /// Builder: declare the tiles this kernel reads and writes (enables
+    /// hazard auditing of the schedule).
+    pub fn with_access(mut self, access: AccessSet) -> Self {
+        self.access = access;
+        self
+    }
+}
+
+/// The simulated machine plus the program clock driving it.
+///
+/// ```
+/// use hchol_gpusim::context::KernelDesc;
+/// use hchol_gpusim::counters::WorkCategory;
+/// use hchol_gpusim::profile::{KernelClass, SystemProfile};
+/// use hchol_gpusim::{ExecMode, SimContext};
+///
+/// let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
+/// let s = ctx.default_stream();
+/// // One 2-GFLOP BLAS-3 kernel on a 1 GF/s test device ≈ 2 virtual seconds.
+/// ctx.launch(
+///     s,
+///     KernelDesc::new("demo", KernelClass::Blas3, 2_000_000_000, WorkCategory::Factorization),
+///     |_mem| { /* numerics skipped in TimingOnly */ },
+/// );
+/// ctx.sync_device();
+/// assert!((ctx.now().as_secs() - 2.0).abs() < 0.01);
+/// ```
+pub struct SimContext {
+    /// Execution mode (real numerics vs clock-only).
+    pub mode: ExecMode,
+    profile: SystemProfile,
+    /// Device global memory. Public so fault injectors can corrupt it
+    /// "behind the runtime's back", exactly like real DRAM bit flips.
+    pub dev_mem: DeviceMemory,
+    /// Host (pinned) memory.
+    pub host_mem: HostMemory,
+    host_clock: SimTime,
+    streams: Vec<SimTime>,
+    h2d_lane: SimTime,
+    d2h_lane: SimTime,
+    cpu_workers: Vec<SimTime>,
+    next_cpu_worker: usize,
+    events: Vec<SimTime>,
+    sched: KernelScheduler,
+    /// Optional data-hazard audit log.
+    pub hazards: HazardLog,
+    /// Execution trace.
+    pub timeline: Timeline,
+    /// FLOP/byte accounting by category.
+    pub counters: WorkCounters,
+}
+
+impl SimContext {
+    /// New context with one default stream (stream 0) and the profile's
+    /// CPU worker lanes. Timeline recording is on; disable it for long
+    /// sweeps with [`SimContext::disable_timeline`].
+    pub fn new(profile: SystemProfile, mode: ExecMode) -> Self {
+        let workers = profile.cpu.worker_lanes.max(1);
+        let maxk = profile.gpu.max_concurrent_kernels;
+        SimContext {
+            mode,
+            profile,
+            dev_mem: DeviceMemory::default(),
+            host_mem: HostMemory::default(),
+            host_clock: SimTime::ZERO,
+            streams: vec![SimTime::ZERO],
+            h2d_lane: SimTime::ZERO,
+            d2h_lane: SimTime::ZERO,
+            cpu_workers: vec![SimTime::ZERO; workers],
+            next_cpu_worker: 0,
+            events: Vec::new(),
+            sched: KernelScheduler::new(maxk),
+            hazards: HazardLog::default(),
+            timeline: Timeline::recording(),
+            counters: WorkCounters::default(),
+        }
+    }
+
+    /// Stop recording the timeline (keeps memory flat on big sweeps).
+    pub fn disable_timeline(&mut self) {
+        self.timeline = Timeline::disabled();
+    }
+
+    /// Start auditing declared kernel accesses for unordered conflicts.
+    pub fn enable_hazard_log(&mut self) {
+        self.hazards = HazardLog::enabled();
+    }
+
+    /// Scan the audit log for hazards (empty when auditing is off or the
+    /// program ordered every dependency).
+    pub fn hazard_report(&self) -> Vec<Hazard> {
+        self.hazards.report()
+    }
+
+    /// The system profile in use.
+    pub fn profile(&self) -> &SystemProfile {
+        &self.profile
+    }
+
+    /// Current host-thread virtual time.
+    pub fn now(&self) -> SimTime {
+        self.host_clock
+    }
+
+    /// Create an additional stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.push(SimTime::ZERO);
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// The default stream.
+    pub fn default_stream(&self) -> StreamId {
+        StreamId(0)
+    }
+
+    /// Number of streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Launch a kernel on `stream`. The closure performs the numerics and
+    /// runs only in [`ExecMode::Execute`]; timing always advances.
+    pub fn launch<F>(&mut self, stream: StreamId, desc: KernelDesc, body: F)
+    where
+        F: FnOnce(&mut DeviceMemory),
+    {
+        // Host pays the launch cost.
+        self.host_clock += SimTime::secs(self.profile.gpu.launch_overhead);
+        // Keep the scheduler's working set bounded on launch-heavy phases
+        // (per-block checksum recalculation issues thousands of kernels
+        // between syncs): anything finished before the host clock can no
+        // longer influence placement.
+        self.sched.prune(self.host_clock);
+        let duration = self.profile.gpu.kernel_time(desc.class, desc.flops);
+        let resource = self.profile.gpu.resource_fraction(desc.class);
+        let earliest = self.host_clock.max(self.streams[stream.0]);
+        let (start, end) = self.sched.place(earliest, duration, resource);
+        self.streams[stream.0] = end;
+        self.hazards.push(&desc.label, start, end, desc.access);
+        self.timeline.push(TraceEntry {
+            lane: Lane::GpuStream(stream.0),
+            label: desc.label,
+            class: Some(desc.class),
+            start,
+            end,
+            flops: desc.flops,
+            bytes: 0,
+        });
+        self.counters.add_flops(desc.category, desc.flops);
+        if self.mode.executes() {
+            body(&mut self.dev_mem);
+        }
+    }
+
+    /// Async host→device copy of a host buffer into one device tile,
+    /// ordered within `stream`.
+    pub fn h2d_tile(
+        &mut self,
+        host: HostBufferId,
+        dev: BufferId,
+        bi: usize,
+        bj: usize,
+        stream: StreamId,
+    ) {
+        let bytes = 8 * {
+            let t = self.dev_mem.buf(dev).tile(bi, bj);
+            (t.rows() * t.cols()) as u64
+        };
+        let (start, end) = self.schedule_transfer(bytes, stream, /* h2d = */ true);
+        self.push_transfer_trace(Lane::CopyH2D, "h2d", start, end, bytes);
+        if self.mode.executes() {
+            let src = self.host_mem.buf(host).clone();
+            let dst = self.dev_mem.tile_mut(dev, bi, bj);
+            assert_eq!(src.shape(), dst.shape(), "h2d tile shape mismatch");
+            *dst = src;
+        }
+    }
+
+    /// Async device→host copy of one device tile into a host buffer,
+    /// ordered within `stream`.
+    pub fn d2h_tile(
+        &mut self,
+        dev: BufferId,
+        bi: usize,
+        bj: usize,
+        host: HostBufferId,
+        stream: StreamId,
+    ) {
+        let bytes = 8 * {
+            let t = self.dev_mem.buf(dev).tile(bi, bj);
+            (t.rows() * t.cols()) as u64
+        };
+        let (start, end) = self.schedule_transfer(bytes, stream, /* h2d = */ false);
+        self.push_transfer_trace(Lane::CopyD2H, "d2h", start, end, bytes);
+        if self.mode.executes() {
+            let src = self.dev_mem.tile(dev, bi, bj).clone();
+            assert_eq!(
+                src.shape(),
+                self.host_mem.buf(host).shape(),
+                "d2h tile shape mismatch"
+            );
+            *self.host_mem.buf_mut(host) = src;
+        }
+    }
+
+    /// Account an abstract bulk transfer of `bytes` (e.g. streaming a whole
+    /// checksum panel for Optimization 2's CPU updates) without moving
+    /// concrete data. The closure performs any real data movement needed and
+    /// runs only in Execute mode.
+    pub fn bulk_transfer<F>(&mut self, bytes: u64, stream: StreamId, to_device: bool, body: F)
+    where
+        F: FnOnce(&mut DeviceMemory, &mut HostMemory),
+    {
+        self.bulk_transfer_with_access(bytes, stream, to_device, AccessSet::none(), body);
+    }
+
+    /// [`SimContext::bulk_transfer`] with declared device-tile accesses for
+    /// hazard auditing (a d2h transfer *reads* device tiles, an h2d one
+    /// *writes* them).
+    pub fn bulk_transfer_with_access<F>(
+        &mut self,
+        bytes: u64,
+        stream: StreamId,
+        to_device: bool,
+        access: AccessSet,
+        body: F,
+    ) where
+        F: FnOnce(&mut DeviceMemory, &mut HostMemory),
+    {
+        let (start, end) = self.schedule_transfer(bytes, stream, to_device);
+        let lane = if to_device { Lane::CopyH2D } else { Lane::CopyD2H };
+        self.hazards.push("transfer", start, end, access);
+        self.push_transfer_trace(lane, "bulk", start, end, bytes);
+        if self.mode.executes() {
+            body(&mut self.dev_mem, &mut self.host_mem);
+        }
+    }
+
+    fn schedule_transfer(&mut self, bytes: u64, stream: StreamId, h2d: bool) -> (SimTime, SimTime) {
+        let lane_end = if h2d { self.h2d_lane } else { self.d2h_lane };
+        let start = self.host_clock.max(self.streams[stream.0]).max(lane_end);
+        let end = start + self.profile.transfer_time(bytes);
+        self.streams[stream.0] = end;
+        if h2d {
+            self.h2d_lane = end;
+        } else {
+            self.d2h_lane = end;
+        }
+        self.counters.add_bytes(WorkCategory::Transfer, bytes);
+        (start, end)
+    }
+
+    fn push_transfer_trace(&mut self, lane: Lane, label: &str, start: SimTime, end: SimTime, bytes: u64) {
+        self.timeline.push(TraceEntry {
+            lane,
+            label: label.into(),
+            class: None,
+            start,
+            end,
+            flops: 0,
+            bytes,
+        });
+    }
+
+    /// Run a task synchronously on the host main thread (blocks the driver —
+    /// this is where MAGMA's POTF2 lives). Numerics run only in Execute mode;
+    /// the clock always advances.
+    pub fn cpu_exec<F>(&mut self, desc: KernelDesc, body: F)
+    where
+        F: FnOnce(&mut HostMemory),
+    {
+        let duration = self.profile.cpu.task_time(desc.class, desc.flops);
+        let start = self.host_clock;
+        let end = start + duration;
+        self.host_clock = end;
+        self.hazards.push(&desc.label, start, end, desc.access);
+        self.timeline.push(TraceEntry {
+            lane: Lane::HostMain,
+            label: desc.label,
+            class: Some(desc.class),
+            start,
+            end,
+            flops: desc.flops,
+            bytes: 0,
+        });
+        self.counters.add_flops(desc.category, desc.flops);
+        if self.mode.executes() {
+            body(&mut self.host_mem);
+        }
+    }
+
+    /// Submit a task to an idle CPU worker lane (runs concurrently with the
+    /// main thread and the GPU — Optimization 2's CPU checksum updating).
+    /// The closure may touch both memories (it is host code that can also
+    /// write into mapped device buffers in our model).
+    pub fn cpu_submit<F>(&mut self, desc: KernelDesc, body: F)
+    where
+        F: FnOnce(&mut DeviceMemory, &mut HostMemory),
+    {
+        // Pick the lane that frees up first.
+        let (w, _) = self
+            .cpu_workers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("at least one worker lane");
+        let duration = self.profile.cpu.task_time(desc.class, desc.flops);
+        let start = self.host_clock.max(self.cpu_workers[w]);
+        let end = start + duration;
+        self.cpu_workers[w] = end;
+        self.next_cpu_worker = (w + 1) % self.cpu_workers.len();
+        self.hazards.push(&desc.label, start, end, desc.access);
+        self.timeline.push(TraceEntry {
+            lane: Lane::CpuWorker(w),
+            label: desc.label,
+            class: Some(desc.class),
+            start,
+            end,
+            flops: desc.flops,
+            bytes: 0,
+        });
+        self.counters.add_flops(desc.category, desc.flops);
+        if self.mode.executes() {
+            body(&mut self.dev_mem, &mut self.host_mem);
+        }
+    }
+
+    /// Record an event capturing `stream`'s current completion frontier.
+    pub fn record_event(&mut self, stream: StreamId) -> EventId {
+        self.events.push(self.streams[stream.0]);
+        EventId(self.events.len() - 1)
+    }
+
+    /// Block the host until `event` has completed.
+    pub fn host_wait_event(&mut self, event: EventId) {
+        self.host_clock = self.host_clock.max(self.events[event.0]);
+    }
+
+    /// Make all *future* work on `stream` wait for `event`.
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
+        self.streams[stream.0] = self.streams[stream.0].max(self.events[event.0]);
+    }
+
+    /// Block the host until all work on `stream` (including its transfers)
+    /// has completed.
+    pub fn sync_stream(&mut self, stream: StreamId) {
+        self.host_clock = self.host_clock.max(self.streams[stream.0]);
+        self.sched.prune(self.host_clock);
+    }
+
+    /// Block the host until the whole device (all streams + DMA lanes) is
+    /// idle.
+    pub fn sync_device(&mut self) {
+        let mut t = self.host_clock;
+        for &s in &self.streams {
+            t = t.max(s);
+        }
+        t = t.max(self.h2d_lane).max(self.d2h_lane);
+        self.host_clock = t;
+        self.sched.prune(self.host_clock);
+    }
+
+    /// Block the host until all CPU worker lanes are idle.
+    pub fn sync_cpu_workers(&mut self) {
+        let mut t = self.host_clock;
+        for &w in &self.cpu_workers {
+            t = t.max(w);
+        }
+        self.host_clock = t;
+    }
+
+    /// Block on everything: device, DMA, CPU workers.
+    pub fn sync_all(&mut self) {
+        self.sync_device();
+        self.sync_cpu_workers();
+    }
+
+    /// Completion frontier of a stream (without blocking).
+    pub fn stream_frontier(&self, stream: StreamId) -> SimTime {
+        self.streams[stream.0]
+    }
+
+    /// Advance the host clock by an explicit amount (modeling driver/logic
+    /// overheads not tied to any kernel).
+    pub fn host_advance(&mut self, dt: SimTime) {
+        self.host_clock += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SystemProfile;
+    use hchol_matrix::{Matrix, TileMatrix};
+
+    fn ctx(mode: ExecMode) -> SimContext {
+        SimContext::new(SystemProfile::test_profile(), mode)
+    }
+
+    fn desc(flops: u64, class: KernelClass) -> KernelDesc {
+        KernelDesc::new("k", class, flops, WorkCategory::Factorization)
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s = c.default_stream();
+        c.launch(s, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        c.launch(s, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        c.sync_stream(s);
+        // 1 GF/s profile ⇒ two 1-second kernels back to back.
+        assert!(c.now().as_secs() >= 2.0);
+        assert!(c.now().as_secs() < 2.1);
+    }
+
+    #[test]
+    fn different_streams_overlap_blas2() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        // 4 BLAS-2 kernels of 1s each on 4 streams, resource 0.25 ⇒ overlap.
+        let streams: Vec<_> = (0..4).map(|_| c.create_stream()).collect();
+        for &s in &streams {
+            c.launch(s, desc(1_000_000_000, KernelClass::Blas2), |_| {});
+        }
+        c.sync_device();
+        assert!(c.now().as_secs() < 1.5, "got {}", c.now().as_secs());
+    }
+
+    #[test]
+    fn blas3_kernels_never_overlap() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s1 = c.create_stream();
+        let s2 = c.create_stream();
+        c.launch(s1, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        c.launch(s2, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        c.sync_device();
+        assert!(c.now().as_secs() >= 2.0, "got {}", c.now().as_secs());
+    }
+
+    #[test]
+    fn execute_mode_runs_numerics() {
+        let mut c = ctx(ExecMode::Execute);
+        let buf = c
+            .dev_mem
+            .alloc(TileMatrix::from_dense(&Matrix::filled(2, 2, 1.0), 2).unwrap());
+        let s = c.default_stream();
+        c.launch(s, desc(4, KernelClass::Light), move |mem| {
+            mem.tile_mut(buf, 0, 0).scale(3.0);
+        });
+        assert_eq!(c.dev_mem.tile(buf, 0, 0).get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn timing_only_skips_numerics() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let buf = c
+            .dev_mem
+            .alloc(TileMatrix::from_dense(&Matrix::filled(2, 2, 1.0), 2).unwrap());
+        let s = c.default_stream();
+        c.launch(s, desc(4, KernelClass::Light), move |mem| {
+            mem.tile_mut(buf, 0, 0).scale(3.0);
+        });
+        assert_eq!(c.dev_mem.tile(buf, 0, 0).get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn transfers_move_data_and_take_time() {
+        let mut c = ctx(ExecMode::Execute);
+        let dev = c.dev_mem.alloc_zeros(2, 2, 2).unwrap();
+        let host = c.host_mem.alloc(Matrix::filled(2, 2, 7.0));
+        let s = c.default_stream();
+        c.h2d_tile(host, dev, 0, 0, s);
+        c.sync_stream(s);
+        assert_eq!(c.dev_mem.tile(dev, 0, 0).get(0, 0), 7.0);
+        // round trip back
+        let host2 = c.host_mem.alloc_zeros(2, 2);
+        c.d2h_tile(dev, 0, 0, host2, s);
+        c.sync_stream(s);
+        assert_eq!(c.host_mem.buf(host2).get(1, 1), 7.0);
+        // 2x2 f64 = 32 bytes at 1 GB/s: tiny but nonzero
+        assert!(c.now().as_secs() > 0.0);
+        assert_eq!(c.counters.bytes(WorkCategory::Transfer), 64);
+    }
+
+    #[test]
+    fn cpu_exec_blocks_host() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        c.cpu_exec(desc(2_000_000_000, KernelClass::Potf2), |_| {});
+        assert!((c.now().as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_submit_overlaps_with_host() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        c.cpu_submit(desc(1_000_000_000, KernelClass::Blas2), |_, _| {});
+        c.cpu_submit(desc(1_000_000_000, KernelClass::Blas2), |_, _| {});
+        // Host did not block:
+        assert_eq!(c.now().as_secs(), 0.0);
+        c.sync_cpu_workers();
+        // Two lanes in the test profile ⇒ they ran concurrently.
+        assert!((c.now().as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s1 = c.create_stream();
+        let s2 = c.create_stream();
+        c.launch(s1, desc(1_000_000_000, KernelClass::Blas2), |_| {});
+        let e = c.record_event(s1);
+        c.stream_wait_event(s2, e);
+        c.launch(s2, desc(1_000_000_000, KernelClass::Blas2), |_| {});
+        c.sync_stream(s2);
+        // Despite both being small BLAS-2 kernels, the event serializes them.
+        assert!(c.now().as_secs() >= 2.0);
+    }
+
+    #[test]
+    fn host_wait_event_blocks_host_only_until_event() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s = c.default_stream();
+        c.launch(s, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        let e = c.record_event(s);
+        c.launch(s, desc(3_000_000_000, KernelClass::Blas3), |_| {});
+        c.host_wait_event(e);
+        let after_event = c.now().as_secs();
+        assert!((1.0..2.0).contains(&after_event), "got {after_event}");
+        c.sync_device();
+        assert!(c.now().as_secs() >= 4.0);
+    }
+
+    #[test]
+    fn magma_style_overlap_pattern() {
+        // GPU GEMM (3 s) while host does POTF2 (1 s): total ≈ 3 s, not 4.
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s = c.default_stream();
+        c.launch(s, desc(3_000_000_000, KernelClass::Blas3), |_| {});
+        c.cpu_exec(desc(1_000_000_000, KernelClass::Potf2), |_| {});
+        c.sync_device();
+        let total = c.now().as_secs();
+        assert!((3.0..3.2).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn counters_attribute_categories() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s = c.default_stream();
+        c.launch(
+            s,
+            KernelDesc::new("r", KernelClass::Blas2, 500, WorkCategory::ChecksumRecalc),
+            |_| {},
+        );
+        assert_eq!(c.counters.flops(WorkCategory::ChecksumRecalc), 500);
+        assert_eq!(c.counters.overhead_flops(), 500);
+    }
+}

@@ -1,0 +1,251 @@
+//! Data-hazard auditing for the simulated device.
+//!
+//! The context executes kernel numerics eagerly in program order while
+//! computing an *overlapped* schedule for the clock. That is sound only if
+//! the program orders every true dependency through streams, events, or
+//! syncs — the same contract real CUDA code lives under. This module makes
+//! the contract checkable: operations may declare the tiles they read and
+//! write, and [`HazardLog::report`] scans the recorded schedule for
+//! conflicting accesses (RAW/WAR/WAW) whose intervals overlap in virtual
+//! time, i.e. dependencies the program failed to order.
+//!
+//! Auditing is opt-in (`SimContext::enable_hazard_log`) because the scan is
+//! quadratic in the number of declared accesses; the test suites run it on
+//! every driver at small sizes.
+
+use crate::memory::BufferId;
+use crate::time::SimTime;
+
+/// One tile of one device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRef {
+    /// The buffer.
+    pub buf: BufferId,
+    /// Tile row within the buffer's grid.
+    pub bi: usize,
+    /// Tile column within the buffer's grid.
+    pub bj: usize,
+}
+
+impl TileRef {
+    /// Convenience constructor.
+    pub fn new(buf: BufferId, bi: usize, bj: usize) -> Self {
+        TileRef { buf, bi, bj }
+    }
+}
+
+/// Declared accesses of one operation.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSet {
+    /// Tiles the operation reads.
+    pub reads: Vec<TileRef>,
+    /// Tiles the operation writes.
+    pub writes: Vec<TileRef>,
+}
+
+impl AccessSet {
+    /// An empty (undeclared) access set.
+    pub fn none() -> Self {
+        AccessSet::default()
+    }
+
+    /// Build from explicit reads/writes.
+    pub fn new(reads: Vec<TileRef>, writes: Vec<TileRef>) -> Self {
+        AccessSet { reads, writes }
+    }
+
+    /// True if nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LoggedOp {
+    label: String,
+    start: f64,
+    end: f64,
+    access: AccessSet,
+}
+
+/// A detected unordered conflicting pair.
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    /// Label of the earlier-issued operation.
+    pub first: String,
+    /// Label of the later-issued operation.
+    pub second: String,
+    /// The contested tile.
+    pub tile: TileRef,
+    /// Kind: "RAW", "WAR", or "WAW".
+    pub kind: &'static str,
+}
+
+impl std::fmt::Display for Hazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hazard on buf{}({},{}) between `{}` and `{}`",
+            self.kind, self.tile.buf.0, self.tile.bi, self.tile.bj, self.first, self.second
+        )
+    }
+}
+
+/// Accumulates declared accesses with their scheduled intervals.
+#[derive(Debug, Default)]
+pub struct HazardLog {
+    ops: Vec<LoggedOp>,
+    enabled: bool,
+}
+
+const EPS: f64 = 1e-12;
+
+impl HazardLog {
+    /// A recording log.
+    pub fn enabled() -> Self {
+        HazardLog {
+            ops: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an operation (no-op when disabled or nothing declared).
+    pub fn push(&mut self, label: &str, start: SimTime, end: SimTime, access: AccessSet) {
+        if self.enabled && !access.is_empty() {
+            self.ops.push(LoggedOp {
+                label: label.to_string(),
+                start: start.as_secs(),
+                end: end.as_secs(),
+                access,
+            });
+        }
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Scan for unordered conflicting accesses. Two operations conflict on
+    /// a tile if at least one writes it; they are unordered if their
+    /// scheduled intervals overlap (neither finished before the other
+    /// started).
+    pub fn report(&self) -> Vec<Hazard> {
+        let mut out = Vec::new();
+        for (i, a) in self.ops.iter().enumerate() {
+            for b in &self.ops[i + 1..] {
+                // Ordered in time ⇒ fine.
+                if a.end <= b.start + EPS || b.end <= a.start + EPS {
+                    continue;
+                }
+                for (tile, kind) in conflicts(a, b) {
+                    out.push(Hazard {
+                        first: a.label.clone(),
+                        second: b.label.clone(),
+                        tile,
+                        kind,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn conflicts(a: &LoggedOp, b: &LoggedOp) -> Vec<(TileRef, &'static str)> {
+    let mut v = Vec::new();
+    for w in &a.access.writes {
+        if b.access.writes.contains(w) {
+            v.push((*w, "WAW"));
+        }
+        if b.access.reads.contains(w) {
+            v.push((*w, "RAW"));
+        }
+    }
+    for r in &a.access.reads {
+        if b.access.writes.contains(r) {
+            v.push((*r, "WAR"));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(i: usize) -> TileRef {
+        TileRef::new(BufferId(0), i, 0)
+    }
+
+    fn op(reads: &[usize], writes: &[usize]) -> AccessSet {
+        AccessSet::new(
+            reads.iter().map(|&i| tile(i)).collect(),
+            writes.iter().map(|&i| tile(i)).collect(),
+        )
+    }
+
+    #[test]
+    fn ordered_operations_are_clean() {
+        let mut log = HazardLog::enabled();
+        log.push("w", SimTime::secs(0.0), SimTime::secs(1.0), op(&[], &[1]));
+        log.push("r", SimTime::secs(1.0), SimTime::secs(2.0), op(&[1], &[]));
+        assert!(log.report().is_empty());
+    }
+
+    #[test]
+    fn overlapping_raw_is_flagged() {
+        let mut log = HazardLog::enabled();
+        log.push("w", SimTime::secs(0.0), SimTime::secs(2.0), op(&[], &[1]));
+        log.push("r", SimTime::secs(1.0), SimTime::secs(3.0), op(&[1], &[]));
+        let h = log.report();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].kind, "RAW");
+        assert!(h[0].to_string().contains("RAW"));
+    }
+
+    #[test]
+    fn overlapping_waw_and_war_flagged() {
+        let mut log = HazardLog::enabled();
+        log.push("a", SimTime::secs(0.0), SimTime::secs(2.0), op(&[2], &[1]));
+        log.push("b", SimTime::secs(1.0), SimTime::secs(3.0), op(&[], &[1, 2]));
+        let kinds: Vec<_> = log.report().into_iter().map(|h| h.kind).collect();
+        assert!(kinds.contains(&"WAW"));
+        assert!(kinds.contains(&"WAR"));
+    }
+
+    #[test]
+    fn disjoint_tiles_never_conflict() {
+        let mut log = HazardLog::enabled();
+        log.push("a", SimTime::secs(0.0), SimTime::secs(2.0), op(&[], &[1]));
+        log.push("b", SimTime::secs(0.0), SimTime::secs(2.0), op(&[], &[2]));
+        log.push("c", SimTime::secs(0.0), SimTime::secs(2.0), op(&[3], &[]));
+        assert!(log.report().is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_are_fine() {
+        let mut log = HazardLog::enabled();
+        log.push("r1", SimTime::secs(0.0), SimTime::secs(2.0), op(&[1], &[]));
+        log.push("r2", SimTime::secs(0.0), SimTime::secs(2.0), op(&[1], &[]));
+        assert!(log.report().is_empty());
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = HazardLog::default();
+        log.push("w", SimTime::secs(0.0), SimTime::secs(2.0), op(&[], &[1]));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+}

@@ -1,0 +1,129 @@
+//! Virtual (simulated) time.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on (or span of) the virtual clock, in seconds.
+///
+/// Stored as `f64` seconds: at nanosecond granularity this stays exact well
+/// past any simulated run length we care about, and every quantity that
+/// produces it (flops / GFLOPS, bytes / bandwidth) is naturally fractional.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// From seconds.
+    pub fn secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// From microseconds.
+    pub fn micros(us: f64) -> Self {
+        SimTime(us * 1e-6)
+    }
+
+    /// From milliseconds.
+    pub fn millis(ms: f64) -> Self {
+        SimTime(ms * 1e-3)
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Value in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Elementwise maximum.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// True if this is a finite, non-negative time.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.4}s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.2}us", self.0 * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(SimTime::secs(1.5).as_secs(), 1.5);
+        assert!((SimTime::millis(2.0).as_secs() - 0.002).abs() < 1e-15);
+        assert!((SimTime::micros(3.0).as_secs() - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::secs(1.0);
+        let b = SimTime::secs(2.5);
+        assert_eq!((a + b).as_secs(), 3.5);
+        assert_eq!((b - a).as_secs(), 1.5);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 3.5);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(SimTime::ZERO.is_valid());
+        assert!(!SimTime(f64::NAN).is_valid());
+        assert!(!SimTime(-1.0).is_valid());
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimTime::secs(2.0).to_string(), "2.0000s");
+        assert_eq!(SimTime::millis(5.0).to_string(), "5.000ms");
+        assert_eq!(SimTime::micros(7.0).to_string(), "7.00us");
+    }
+}

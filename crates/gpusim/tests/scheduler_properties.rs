@@ -1,0 +1,103 @@
+//! Property tests of the concurrent-kernel scheduler's invariants: whatever
+//! mix of kernels is thrown at it, the placement never violates the
+//! resource budget, the concurrency cap, or issue-order constraints.
+
+use hchol_gpusim::schedule::KernelScheduler;
+use hchol_gpusim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Req {
+    earliest: f64,
+    duration: f64,
+    resource: f64,
+}
+
+fn requests() -> impl Strategy<Value = Vec<Req>> {
+    proptest::collection::vec(
+        (0.0f64..5.0, 0.0f64..2.0, 0.05f64..1.2).prop_map(|(e, d, r)| Req {
+            earliest: e,
+            duration: d,
+            resource: r,
+        }),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn placements_respect_all_constraints(reqs in requests(), cap in 1usize..6) {
+        let mut sched = KernelScheduler::new(cap);
+        let mut placed: Vec<(f64, f64, f64)> = Vec::new();
+        for q in &reqs {
+            let (s, e) = sched.place(
+                SimTime::secs(q.earliest),
+                SimTime::secs(q.duration),
+                q.resource,
+            );
+            let (s, e) = (s.as_secs(), e.as_secs());
+            // Starts no earlier than requested; duration preserved.
+            prop_assert!(s >= q.earliest - 1e-9);
+            prop_assert!((e - s - q.duration).abs() < 1e-9);
+            placed.push((s, e, q.resource.clamp(1e-9, 1.0)));
+        }
+        // Check the invariants at every interval boundary.
+        let mut points: Vec<f64> = placed
+            .iter()
+            .flat_map(|&(s, e, _)| [s, e])
+            .collect();
+        points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &points {
+            // Probe just after each boundary.
+            let probe = p + 1e-7;
+            let mut usage = 0.0;
+            let mut count = 0usize;
+            for &(s, e, r) in &placed {
+                if s <= probe && probe < e {
+                    usage += r;
+                    count += 1;
+                }
+            }
+            prop_assert!(usage <= 1.0 + 1e-6, "resource over-commit: {usage}");
+            prop_assert!(count <= cap, "cap violated: {count} > {cap}");
+        }
+    }
+
+    /// Full-device kernels are strictly serialized in some order, with no
+    /// idle gaps beyond the earliest constraints.
+    #[test]
+    fn full_device_kernels_serialize(durations in proptest::collection::vec(0.1f64..1.0, 1..12)) {
+        let mut sched = KernelScheduler::new(8);
+        let mut intervals = Vec::new();
+        for &d in &durations {
+            let (s, e) = sched.place(SimTime::ZERO, SimTime::secs(d), 1.0);
+            intervals.push((s.as_secs(), e.as_secs()));
+        }
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-9, "overlapping full-device kernels");
+        }
+        // Greedy first-fit leaves no gaps when everything is available at 0.
+        let total: f64 = durations.iter().sum();
+        let makespan = intervals.last().unwrap().1;
+        prop_assert!((makespan - total).abs() < 1e-6);
+    }
+
+    /// With resource 1/k kernels, the makespan beats serialization by
+    /// roughly the concurrency factor.
+    #[test]
+    fn fractional_kernels_overlap(k in 2usize..6, count in 4usize..20) {
+        let mut sched = KernelScheduler::new(64);
+        let d = 1.0;
+        let r = 1.0 / k as f64;
+        let mut makespan = 0.0f64;
+        for _ in 0..count {
+            let (_, e) = sched.place(SimTime::ZERO, SimTime::secs(d), r);
+            makespan = makespan.max(e.as_secs());
+        }
+        let expected = (count as f64 / k as f64).ceil();
+        prop_assert!((makespan - expected).abs() < 1e-6, "makespan {makespan} vs {expected}");
+    }
+}

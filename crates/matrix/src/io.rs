@@ -1,0 +1,223 @@
+//! Matrix persistence: a simple self-describing binary format plus a
+//! human-readable text form.
+//!
+//! Used to cache generated workloads and to export factors/results from the
+//! examples and the bench harness. The binary format is
+//! `HCHM` magic, a u32 version, u64 rows/cols, then column-major little-
+//! endian f64 data — readable from any language in a dozen lines.
+
+use crate::dense::Matrix;
+use crate::error::MatrixError;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HCHM";
+const VERSION: u32 = 1;
+
+/// Errors from matrix (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a matrix file, or an unsupported version.
+    Format(String),
+    /// Shape/length inconsistency.
+    Matrix(MatrixError),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<MatrixError> for IoError {
+    fn from(e: MatrixError) -> Self {
+        IoError::Matrix(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::Matrix(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Write `m` in the binary format.
+pub fn write_binary<W: Write>(m: &Matrix, mut w: W) -> Result<(), IoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    for &x in m.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read a matrix from the binary format.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Matrix, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic (not an HCHM file)".into()));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let version = u32::from_le_bytes(b4);
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let rows = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let cols = u64::from_le_bytes(b8) as usize;
+    let count = rows
+        .checked_mul(cols)
+        .ok_or_else(|| IoError::Format("dimension overflow".into()))?;
+    let mut data = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut b8)?;
+        data.push(f64::from_le_bytes(b8));
+    }
+    Ok(Matrix::from_col_major(rows, cols, data)?)
+}
+
+/// Save to a file in the binary format.
+pub fn save(m: &Matrix, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_binary(m, io::BufWriter::new(f))
+}
+
+/// Load from a binary-format file.
+pub fn load(path: impl AsRef<Path>) -> Result<Matrix, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_binary(io::BufReader::new(f))
+}
+
+/// Render as plain text: `rows cols` header line, then one
+/// whitespace-separated row per line (full f64 round-trip precision).
+pub fn to_text(m: &Matrix) -> String {
+    let mut s = format!("{} {}\n", m.rows(), m.cols());
+    for i in 0..m.rows() {
+        let row: Vec<String> = (0..m.cols())
+            .map(|j| format!("{:?}", m.get(i, j)))
+            .collect();
+        s.push_str(&row.join(" "));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse the text form.
+pub fn from_text(text: &str) -> Result<Matrix, IoError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty input".into()))?;
+    let mut parts = header.split_whitespace();
+    let rows: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| IoError::Format("bad header".into()))?;
+    let cols: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| IoError::Format("bad header".into()))?;
+    let mut m = Matrix::zeros(rows, cols);
+    for (i, line) in lines.enumerate() {
+        if i >= rows {
+            return Err(IoError::Format("too many rows".into()));
+        }
+        let mut count = 0;
+        for (j, tok) in line.split_whitespace().enumerate() {
+            if j >= cols {
+                return Err(IoError::Format(format!("row {i}: too many columns")));
+            }
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| IoError::Format(format!("row {i} col {j}: bad number")))?;
+            m.set(i, j, v);
+            count += 1;
+        }
+        if count != cols {
+            return Err(IoError::Format(format!("row {i}: expected {cols} columns")));
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::uniform;
+
+    #[test]
+    fn binary_roundtrip_exact() {
+        let m = uniform(7, 5, -1e10, 1e10, 1);
+        let mut buf = Vec::new();
+        write_binary(&m, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, m, "binary roundtrip must be bitwise");
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(matches!(
+            read_binary(&b"NOPE"[..]),
+            Err(IoError::Io(_)) | Err(IoError::Format(_))
+        ));
+        let mut buf = Vec::new();
+        write_binary(&Matrix::identity(2), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_binary(buf.as_slice()), Err(IoError::Format(_))));
+        // truncated data
+        let mut buf2 = Vec::new();
+        write_binary(&Matrix::identity(2), &mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 3);
+        assert!(matches!(read_binary(buf2.as_slice()), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = uniform(4, 4, -1.0, 1.0, 2);
+        let dir = std::env::temp_dir().join("hchol_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.hchm");
+        save(&m, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), m);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_roundtrip_exact() {
+        // `{:?}` on f64 prints shortest-roundtrip representation.
+        let m = uniform(3, 4, -1.0, 1.0, 3);
+        let back = from_text(&to_text(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn text_rejects_malformed() {
+        assert!(from_text("").is_err());
+        assert!(from_text("2 2\n1 2\n3").is_err()); // short row
+        assert!(from_text("2 2\n1 2 9\n3 4").is_err()); // long row
+        assert!(from_text("2 2\n1 x\n3 4").is_err()); // bad number
+        assert!(from_text("1 1\n1\n2\n").is_err()); // too many rows
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = Matrix::zeros(0, 0);
+        let mut buf = Vec::new();
+        write_binary(&m, &mut buf).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), m);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hchol-matrix
+//!
+//! Dense column-major matrix storage and the block (tile) layout used by the
+//! ABFT Cholesky reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — an owned, contiguous, column-major `f64` matrix with a safe
+//!   element / column / sub-rectangle API. This is the unit every BLAS kernel
+//!   in `hchol-blas` operates on.
+//! * [`TileMatrix`] — a matrix stored as a grid of `B × B` tiles. MAGMA's
+//!   blocked Cholesky treats blocks as updating units and the paper encodes
+//!   checksums *per block*, so tile storage is the natural representation on
+//!   the simulated device: each tile is an independently owned [`Matrix`],
+//!   which lets Rust's borrow checker prove the disjointness that LAPACK-style
+//!   pointer arithmetic only promises.
+//! * Generators for symmetric positive-definite test problems
+//!   ([`generate`]), norms and approximate comparison ([`norms`],
+//!   [`compare`]), and the IEEE-754 bit manipulation used by the storage-error
+//!   injector ([`bits`]).
+//!
+//! Everything is `f64`: the paper implements and evaluates the double
+//! precision routine (`dpotrf`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bits;
+pub mod compare;
+pub mod dense;
+pub mod error;
+pub mod generate;
+pub mod io;
+pub mod norms;
+pub mod tile;
+pub mod triangular;
+
+pub use compare::{approx_eq, max_abs_diff, relative_residual};
+pub use dense::Matrix;
+pub use error::MatrixError;
+pub use tile::TileMatrix;
+pub use triangular::{Diag, Side, Trans, Uplo};

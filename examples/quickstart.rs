@@ -1,0 +1,76 @@
+//! Quickstart: factor an SPD matrix with Enhanced Online-ABFT on the
+//! simulated heterogeneous system, let a memory bit-flip strike mid-run,
+//! and watch it get located and corrected before it can propagate.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hchol::prelude::*;
+use hchol_blas::potrf::reconstruct_lower;
+use hchol_core::solve::solve_with_factor;
+use hchol_faults::FaultTarget;
+use hchol_faults::InjectionPoint;
+use hchol_matrix::generate::spd_diag_dominant;
+use hchol_matrix::relative_residual;
+
+fn main() {
+    // A 512x512 SPD system, tiled into 32x32 blocks (paper: B = 256/512 on
+    // real GPUs; everything scales).
+    let (n, b) = (512usize, 32usize);
+    let a = spd_diag_dominant(n, 1);
+
+    // The machine: the paper's Tardis node (2x Opteron 6272 + Tesla M2075),
+    // as a calibrated simulation. Execute mode runs real arithmetic.
+    let system = SystemProfile::tardis();
+
+    // One storage error: two bits of an already-factorized block flip in
+    // device memory at the start of iteration 12 — after that block's last
+    // verification, before its next read. This is exactly the window the
+    // paper's Enhanced scheme closes.
+    let plan = FaultPlan::single(FaultSpec {
+        point: InjectionPoint::IterStart { iter: 12 },
+        target: FaultTarget {
+            bi: 13,
+            bj: 7,
+            row: 5,
+            col: 9,
+        },
+        kind: FaultKind::storage(),
+    });
+
+    let outcome = run_scheme(
+        SchemeKind::Enhanced,
+        &system,
+        ExecMode::Execute,
+        n,
+        b,
+        &AbftOptions::default(),
+        plan,
+        Some(&a),
+    )
+    .expect("factorization succeeds");
+
+    let l = outcome.factor.as_ref().expect("Execute mode returns L");
+    let residual = relative_residual(&reconstruct_lower(l), &a);
+    println!("scheme          : {}", outcome.scheme.name());
+    println!("virtual time    : {}", outcome.time);
+    println!("attempts        : {} (no restart needed)", outcome.attempts);
+    println!("errors corrected: {}", outcome.verify.corrected_data);
+    println!("residual ‖LLᵀ−A‖/‖A‖ = {residual:.2e}");
+    assert!(residual < 1e-12, "the corrected factor is numerically exact");
+
+    // Use the factor: solve A x = b.
+    let b_rhs: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let x = solve_with_factor(l, &b_rhs);
+    // Check ‖A x − b‖.
+    let mut ax = vec![0.0; n];
+    hchol_blas::gemv(hchol_matrix::Trans::No, 1.0, &a, &x, 0.0, &mut ax);
+    let err: f64 = ax
+        .iter()
+        .zip(&b_rhs)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    println!("solve check ‖Ax − b‖ = {err:.2e}");
+    assert!(err < 1e-8);
+    println!("ok: one mid-run memory error absorbed with zero restart cost.");
+}

@@ -1,0 +1,168 @@
+//! Integration: degenerate and boundary configurations every driver must
+//! handle — single-tile matrices, two-tile grids, block = n, K larger than
+//! the iteration count, and zero-restart budgets.
+
+use hchol::prelude::*;
+use hchol_blas::potrf::reconstruct_lower;
+use hchol_matrix::generate::spd_diag_dominant;
+use hchol_matrix::relative_residual;
+
+fn check_correct(out: &FactorOutcome, a: &hchol_matrix::Matrix, label: &str) {
+    let l = out.factor.as_ref().expect("factor");
+    let r = relative_residual(&reconstruct_lower(l), a);
+    assert!(r < 1e-12, "{label}: residual {r:.2e}");
+}
+
+#[test]
+fn single_tile_matrix_works_for_all_schemes() {
+    // nt = 1: no SYRK, no GEMM, no TRSM — just the POTF2 round trip.
+    let n = 16;
+    let a = spd_diag_dominant(n, 1);
+    let p = SystemProfile::test_profile();
+    for kind in SchemeKind::all() {
+        let out = run_clean(kind, &p, ExecMode::Execute, n, n, &AbftOptions::default(), Some(&a))
+            .expect("single tile");
+        assert_eq!(out.attempts, 1);
+        check_correct(&out, &a, kind.name());
+    }
+}
+
+#[test]
+fn two_tile_grid_works_for_all_schemes() {
+    let n = 16;
+    let a = spd_diag_dominant(n, 2);
+    let p = SystemProfile::test_profile();
+    for kind in SchemeKind::all() {
+        let out = run_clean(kind, &p, ExecMode::Execute, n, n / 2, &AbftOptions::default(), Some(&a))
+            .expect("two tiles");
+        check_correct(&out, &a, kind.name());
+    }
+}
+
+#[test]
+fn k_larger_than_iteration_count_still_correct_when_clean() {
+    let n = 64;
+    let a = spd_diag_dominant(n, 3);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions::default().with_interval(1000);
+    let out = run_clean(SchemeKind::Enhanced, &p, ExecMode::Execute, n, 16, &opts, Some(&a))
+        .expect("huge K");
+    assert_eq!(out.attempts, 1);
+    check_correct(&out, &a, "K=1000");
+}
+
+#[test]
+fn zero_restart_budget_reports_failure_instead_of_looping() {
+    let n = 64;
+    let b = 16;
+    let a = spd_diag_dominant(n, 4);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions {
+        max_restarts: 0,
+        ..AbftOptions::default()
+    };
+    // Offline cannot correct a propagated computing error; with no restarts
+    // allowed it must end `failed` rather than retry.
+    let out = run_scheme(
+        SchemeKind::Offline,
+        &p,
+        ExecMode::Execute,
+        n,
+        b,
+        &opts,
+        FaultPlan::paper_computing_error(n / b, b),
+        Some(&a),
+    )
+    .expect("run completes");
+    assert!(out.failed);
+    assert_eq!(out.attempts, 1);
+}
+
+#[test]
+fn genuinely_indefinite_input_is_an_error_not_a_retry_loop() {
+    let n = 32;
+    let mut a = spd_diag_dominant(n, 5);
+    a.set(17, 17, -100.0); // break positive definiteness for real
+    let p = SystemProfile::test_profile();
+    for kind in SchemeKind::all() {
+        let r = run_clean(kind, &p, ExecMode::Execute, n, 8, &AbftOptions::default(), Some(&a));
+        assert!(
+            matches!(r, Err(hchol_matrix::MatrixError::NotPositiveDefinite { .. })),
+            "{} must report the indefinite input",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn tiny_blocks_exercise_deep_grids() {
+    let n = 64;
+    let a = spd_diag_dominant(n, 6);
+    let p = SystemProfile::test_profile();
+    let out = run_clean(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::Execute,
+        n,
+        4, // nt = 16 with 4x4 tiles
+        &AbftOptions::default(),
+        Some(&a),
+    )
+    .expect("deep grid");
+    check_correct(&out, &a, "B=4");
+}
+
+#[test]
+fn fault_on_the_first_and_last_iterations() {
+    let n = 96;
+    let b = 16;
+    let nt = n / b;
+    let a = spd_diag_dominant(n, 7);
+    let p = SystemProfile::test_profile();
+    for iter in [0usize, nt - 1] {
+        let plan = FaultPlan::single(FaultSpec {
+            point: hchol_faults::InjectionPoint::IterStart { iter },
+            target: hchol_faults::FaultTarget {
+                bi: nt - 1,
+                bj: if iter == 0 { 0 } else { iter - 1 },
+                row: 1,
+                col: 2,
+            },
+            kind: FaultKind::storage(),
+        });
+        let out = run_scheme(
+            SchemeKind::Enhanced,
+            &p,
+            ExecMode::Execute,
+            n,
+            b,
+            &AbftOptions::default(),
+            plan,
+            Some(&a),
+        )
+        .expect("boundary iteration");
+        assert_eq!(out.attempts, 1, "iter {iter}");
+        check_correct(&out, &a, &format!("iter {iter}"));
+    }
+}
+
+#[test]
+fn cpu_and_inline_placements_produce_identical_factors() {
+    let n = 64;
+    let b = 16;
+    let a = spd_diag_dominant(n, 8);
+    let p = SystemProfile::test_profile();
+    let mut factors = Vec::new();
+    for placement in [
+        ChecksumPlacement::Gpu,
+        ChecksumPlacement::Cpu,
+        ChecksumPlacement::Inline,
+    ] {
+        let opts = AbftOptions::default().with_placement(placement);
+        let out = run_clean(SchemeKind::Enhanced, &p, ExecMode::Execute, n, b, &opts, Some(&a))
+            .expect("placement variant");
+        factors.push(out.factor.unwrap());
+    }
+    assert_eq!(factors[0], factors[1], "placement must not change numerics");
+    assert_eq!(factors[1], factors[2]);
+}

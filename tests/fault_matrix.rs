@@ -1,0 +1,173 @@
+//! Integration: an exhaustive-ish sweep of single-fault positions — every
+//! injection point kind, several target tiles, both fault species — against
+//! all three schemes. The contract: whatever happens mid-run, every scheme
+//! must END with a numerically correct factor (restarting if it must), and
+//! Enhanced must never need more than one attempt.
+
+use hchol::prelude::*;
+use hchol_blas::potrf::reconstruct_lower;
+use hchol_faults::{FaultTarget, InjectionPoint};
+use hchol_matrix::generate::spd_diag_dominant;
+use hchol_matrix::relative_residual;
+
+const N: usize = 96;
+const B: usize = 16;
+const NT: usize = N / B; // 6
+
+fn scenario_points() -> Vec<InjectionPoint> {
+    let mut v = Vec::new();
+    for iter in [1usize, NT / 2, NT - 2] {
+        v.push(InjectionPoint::IterStart { iter });
+        v.push(InjectionPoint::PostSyrk { iter });
+        v.push(InjectionPoint::PostGemm { iter });
+        v.push(InjectionPoint::PostPotf2 { iter });
+        v.push(InjectionPoint::PostTrsm { iter });
+    }
+    v
+}
+
+/// A target that is still "live" at the given iteration (lower triangle,
+/// row at or below the iteration).
+fn live_target(point: InjectionPoint, salt: usize) -> FaultTarget {
+    let iter = point.iter();
+    let bi = (iter + 1 + salt % (NT - iter)).min(NT - 1).max(iter);
+    let bj = (salt * 7 + 1) % (bi + 1);
+    FaultTarget {
+        bi,
+        bj,
+        row: (salt * 3 + 1) % B,
+        col: (salt * 5 + 2) % B,
+    }
+}
+
+#[test]
+fn every_single_fault_position_ends_correct() {
+    let a = spd_diag_dominant(N, 31);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions {
+        max_restarts: 2,
+        ..AbftOptions::default()
+    };
+
+    let mut checked = 0usize;
+    for (salt, point) in scenario_points().into_iter().enumerate() {
+        for kind_of_fault in [FaultKind::computing(), FaultKind::storage()] {
+            let plan = FaultPlan::single(FaultSpec {
+                point,
+                target: live_target(point, salt),
+                kind: kind_of_fault.clone(),
+            });
+            for scheme in SchemeKind::all() {
+                let out = run_scheme(
+                    scheme,
+                    &p,
+                    ExecMode::Execute,
+                    N,
+                    B,
+                    &opts,
+                    plan.clone(),
+                    Some(&a),
+                )
+                .unwrap_or_else(|e| panic!("{} at {point:?}: {e}", scheme.name()));
+                assert!(
+                    !out.failed,
+                    "{} gave up at {point:?} / {kind_of_fault:?}",
+                    scheme.name()
+                );
+                let resid = relative_residual(
+                    &reconstruct_lower(out.factor.as_ref().unwrap()),
+                    &a,
+                );
+                assert!(
+                    resid < 1e-11,
+                    "{} at {point:?} / {kind_of_fault:?}: residual {resid:.2e} (attempts {})",
+                    scheme.name(),
+                    out.attempts
+                );
+                if scheme == SchemeKind::Enhanced {
+                    assert_eq!(
+                        out.attempts, 1,
+                        "Enhanced must absorb {point:?} / {kind_of_fault:?} without restart"
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 80, "swept {checked} scenarios");
+}
+
+#[test]
+fn enhanced_with_large_k_still_ends_correct() {
+    // With K = 4 the verification windows open up; Enhanced may need a
+    // restart (like Online would), but must still finish correct.
+    let a = spd_diag_dominant(N, 32);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions {
+        max_restarts: 2,
+        ..AbftOptions::default().with_interval(4)
+    };
+    for iter in 1..NT - 1 {
+        let plan = FaultPlan::single(FaultSpec {
+            point: InjectionPoint::IterStart { iter },
+            target: FaultTarget {
+                bi: NT - 1,
+                bj: iter.saturating_sub(1),
+                row: 3,
+                col: 5,
+            },
+            kind: FaultKind::storage(),
+        });
+        let out = run_scheme(
+            SchemeKind::Enhanced,
+            &p,
+            ExecMode::Execute,
+            N,
+            B,
+            &opts,
+            plan,
+            Some(&a),
+        )
+        .unwrap();
+        assert!(!out.failed, "iter {iter}");
+        let resid =
+            relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+        assert!(resid < 1e-11, "iter {iter}: residual {resid:.2e}");
+    }
+}
+
+#[test]
+fn multiple_simultaneous_faults_in_distinct_tiles() {
+    let a = spd_diag_dominant(N, 33);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions::default();
+    let iter = NT / 2;
+    let mut plan = FaultPlan::none();
+    for (bi, bj) in [(iter + 1, 0), (NT - 1, 1), (iter, iter)] {
+        plan.faults.push(FaultSpec {
+            point: InjectionPoint::IterStart { iter },
+            target: FaultTarget {
+                bi,
+                bj,
+                row: 2,
+                col: 7,
+            },
+            kind: FaultKind::storage(),
+        });
+    }
+    let out = run_scheme(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::Execute,
+        N,
+        B,
+        &opts,
+        plan,
+        Some(&a),
+    )
+    .unwrap();
+    assert_eq!(out.attempts, 1);
+    assert_eq!(out.verify.corrected_data, 3);
+    let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+    assert!(resid < 1e-11);
+}

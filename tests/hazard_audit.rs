@@ -1,0 +1,162 @@
+//! Integration: hazard auditing of every driver's schedule.
+//!
+//! The simulator executes numerics eagerly while timing an overlapped
+//! schedule — sound only if the drivers order every true dependency through
+//! streams, events, and syncs. Each kernel declares its tile accesses; this
+//! suite runs every driver configuration with the audit on and requires a
+//! clean report (and, as a control, shows the audit *does* fire on a
+//! deliberately unsynchronized program).
+
+use hchol::prelude::*;
+use hchol_gpusim::context::KernelDesc;
+use hchol_gpusim::counters::WorkCategory;
+use hchol_gpusim::profile::KernelClass;
+use hchol_gpusim::{AccessSet, SimContext, TileRef};
+use hchol_matrix::generate::spd_diag_dominant;
+
+fn audited_opts() -> AbftOptions {
+    AbftOptions {
+        audit_hazards: true,
+        ..AbftOptions::default()
+    }
+}
+
+#[test]
+fn all_schemes_schedule_hazard_free() {
+    let (n, b) = (96usize, 16usize);
+    let a = spd_diag_dominant(n, 1);
+    let p = SystemProfile::test_profile();
+    for kind in SchemeKind::all() {
+        let out = run_clean(kind, &p, ExecMode::Execute, n, b, &audited_opts(), Some(&a))
+            .expect("scheme runs");
+        let hazards = out.ctx.hazard_report();
+        assert!(
+            hazards.is_empty(),
+            "{}: {} hazards, first: {}",
+            kind.name(),
+            hazards.len(),
+            hazards[0]
+        );
+    }
+}
+
+#[test]
+fn schemes_hazard_free_on_real_profiles_and_placements() {
+    let (n, b) = (1024usize, 128usize);
+    for profile in [SystemProfile::tardis(), SystemProfile::bulldozer64()] {
+        for placement in [
+            ChecksumPlacement::Gpu,
+            ChecksumPlacement::Cpu,
+            ChecksumPlacement::Inline,
+        ] {
+            let opts = AbftOptions {
+                placement,
+                audit_hazards: true,
+                ..AbftOptions::default()
+            };
+            let out = run_clean(
+                SchemeKind::Enhanced,
+                &profile,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &opts,
+                None,
+            )
+            .expect("scheme runs");
+            let hazards = out.ctx.hazard_report();
+            assert!(
+                hazards.is_empty(),
+                "{} / {placement:?}: first hazard: {}",
+                profile.name,
+                hazards[0]
+            );
+        }
+    }
+}
+
+#[test]
+fn k_gated_and_serial_recalc_variants_hazard_free() {
+    let (n, b) = (768usize, 128usize);
+    for k in [1usize, 3] {
+        for concurrent in [true, false] {
+            let opts = AbftOptions {
+                audit_hazards: true,
+                ..AbftOptions::default()
+                    .with_interval(k)
+                    .with_concurrent_recalc(concurrent)
+            };
+            let out = run_clean(
+                SchemeKind::Enhanced,
+                &SystemProfile::bulldozer64(),
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &opts,
+                None,
+            )
+            .expect("scheme runs");
+            assert!(
+                out.ctx.hazard_report().is_empty(),
+                "K={k} concurrent={concurrent}"
+            );
+        }
+    }
+}
+
+/// Control: an intentionally unsynchronized two-stream program must be
+/// flagged — proving the audit has teeth.
+#[test]
+fn unsynchronized_program_is_flagged() {
+    let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
+    ctx.enable_hazard_log();
+    let buf = ctx.dev_mem.alloc_zeros(4, 4, 4).unwrap();
+    let s1 = ctx.default_stream();
+    let s2 = ctx.create_stream();
+    let tile = TileRef::new(buf, 0, 0);
+    // Writer on stream 1, reader on stream 2, no event between them. Both
+    // are slim kernels, so the scheduler overlaps them.
+    ctx.launch(
+        s1,
+        KernelDesc::new("writer", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
+            .with_access(AccessSet::new(vec![], vec![tile])),
+        |_| {},
+    );
+    ctx.launch(
+        s2,
+        KernelDesc::new("reader", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
+            .with_access(AccessSet::new(vec![tile], vec![])),
+        |_| {},
+    );
+    ctx.sync_all();
+    let hazards = ctx.hazard_report();
+    assert_eq!(hazards.len(), 1);
+    assert_eq!(hazards[0].kind, "RAW");
+}
+
+/// The same program with an event is clean — the fix the audit asks for.
+#[test]
+fn event_ordering_silences_the_flag() {
+    let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
+    ctx.enable_hazard_log();
+    let buf = ctx.dev_mem.alloc_zeros(4, 4, 4).unwrap();
+    let s1 = ctx.default_stream();
+    let s2 = ctx.create_stream();
+    let tile = TileRef::new(buf, 0, 0);
+    ctx.launch(
+        s1,
+        KernelDesc::new("writer", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
+            .with_access(AccessSet::new(vec![], vec![tile])),
+        |_| {},
+    );
+    let e = ctx.record_event(s1);
+    ctx.stream_wait_event(s2, e);
+    ctx.launch(
+        s2,
+        KernelDesc::new("reader", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
+            .with_access(AccessSet::new(vec![tile], vec![])),
+        |_| {},
+    );
+    ctx.sync_all();
+    assert!(ctx.hazard_report().is_empty());
+}

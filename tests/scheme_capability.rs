@@ -1,0 +1,134 @@
+//! Integration: the paper's Table VII/VIII fault-capability matrix as
+//! assertions, in real-arithmetic Execute mode.
+
+use hchol::prelude::*;
+use hchol_blas::potrf::reconstruct_lower;
+use hchol_matrix::generate::spd_diag_dominant;
+use hchol_matrix::relative_residual;
+
+const N: usize = 128;
+const B: usize = 16;
+const NT: usize = N / B;
+
+fn run(kind: SchemeKind, plan: FaultPlan) -> (FactorOutcome, f64) {
+    let a = spd_diag_dominant(N, 777);
+    let out = run_scheme(
+        kind,
+        &SystemProfile::test_profile(),
+        ExecMode::Execute,
+        N,
+        B,
+        &AbftOptions::default(),
+        plan,
+        Some(&a),
+    )
+    .expect("scheme runs");
+    let resid = relative_residual(
+        &reconstruct_lower(out.factor.as_ref().expect("factor")),
+        &a,
+    );
+    (out, resid)
+}
+
+#[test]
+fn all_schemes_correct_without_errors() {
+    for kind in SchemeKind::all() {
+        let (out, resid) = run(kind, FaultPlan::none());
+        assert_eq!(out.attempts, 1, "{}", kind.name());
+        assert!(out.verify.is_clean(), "{}", kind.name());
+        assert!(resid < 1e-13, "{}: residual {resid}", kind.name());
+        assert!(!out.failed);
+    }
+}
+
+#[test]
+fn enhanced_absorbs_computing_error_in_one_attempt() {
+    let (out, resid) = run(
+        SchemeKind::Enhanced,
+        FaultPlan::paper_computing_error(NT, B),
+    );
+    assert_eq!(out.attempts, 1);
+    assert_eq!(out.verify.corrected_data, 1);
+    assert_eq!(out.verify.uncorrectable_columns, 0);
+    assert!(resid < 1e-13, "residual {resid}");
+}
+
+#[test]
+fn enhanced_absorbs_storage_error_in_one_attempt() {
+    let (out, resid) = run(SchemeKind::Enhanced, FaultPlan::paper_storage_error(NT, B));
+    assert_eq!(out.attempts, 1);
+    assert_eq!(out.verify.corrected_data, 1);
+    assert!(resid < 1e-13, "residual {resid}");
+}
+
+#[test]
+fn online_absorbs_computing_but_restarts_on_storage() {
+    let (out, resid) = run(SchemeKind::Online, FaultPlan::paper_computing_error(NT, B));
+    assert_eq!(out.attempts, 1, "computing error is corrected in time");
+    assert!(resid < 1e-13);
+
+    let (out, resid) = run(SchemeKind::Online, FaultPlan::paper_storage_error(NT, B));
+    assert_eq!(out.attempts, 2, "storage error forces a re-run");
+    assert!(!out.failed, "second attempt succeeds");
+    assert!(resid < 1e-13);
+}
+
+#[test]
+fn offline_restarts_on_both_error_kinds() {
+    for plan in [
+        FaultPlan::paper_computing_error(NT, B),
+        FaultPlan::paper_storage_error(NT, B),
+    ] {
+        let (out, resid) = run(SchemeKind::Offline, plan);
+        assert_eq!(out.attempts, 2, "offline only detects at the end");
+        assert!(!out.failed);
+        assert!(resid < 1e-13, "residual {resid}");
+    }
+}
+
+#[test]
+fn restart_roughly_doubles_offline_time() {
+    let (clean, _) = run(SchemeKind::Offline, FaultPlan::none());
+    let (faulty, _) = run(SchemeKind::Offline, FaultPlan::paper_computing_error(NT, B));
+    let ratio = faulty.time.as_secs() / clean.time.as_secs();
+    assert!(
+        (1.8..2.6).contains(&ratio),
+        "computing-error run should cost ~2x, got {ratio}"
+    );
+}
+
+#[test]
+fn enhanced_time_unaffected_by_faults() {
+    let (clean, _) = run(SchemeKind::Enhanced, FaultPlan::none());
+    for plan in [
+        FaultPlan::paper_computing_error(NT, B),
+        FaultPlan::paper_storage_error(NT, B),
+    ] {
+        let (faulty, _) = run(SchemeKind::Enhanced, plan);
+        let ratio = faulty.time.as_secs() / clean.time.as_secs();
+        assert!(
+            (0.99..1.05).contains(&ratio),
+            "enhanced absorbs errors at negligible cost, got ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn both_errors_at_once_still_recovered_by_enhanced() {
+    let plan = FaultPlan::paper_computing_error(NT, B)
+        .merged(FaultPlan::paper_storage_error(NT, B));
+    let (out, resid) = run(SchemeKind::Enhanced, plan);
+    assert_eq!(out.attempts, 1);
+    assert_eq!(out.verify.corrected_data, 2);
+    assert!(resid < 1e-13);
+}
+
+#[test]
+fn scheme_cost_ordering_matches_paper() {
+    // No-error cost: Offline <= Online <= Enhanced (Table VII column 1).
+    let t: Vec<f64> = [SchemeKind::Offline, SchemeKind::Online, SchemeKind::Enhanced]
+        .iter()
+        .map(|&k| run(k, FaultPlan::none()).0.time.as_secs())
+        .collect();
+    assert!(t[0] <= t[1] && t[1] <= t[2], "ordering violated: {t:?}");
+}

@@ -1,0 +1,268 @@
+//! Integration: the virtual-clock timing model — mode equivalence, paper
+//! headline values, and the directional claims behind every figure.
+
+use hchol::prelude::*;
+use hchol_core::cula::factor_cula;
+use hchol_core::magma::factor_magma;
+use hchol_matrix::generate::spd_diag_dominant;
+
+/// Execute mode and TimingOnly mode must produce identical virtual times:
+/// the clock depends only on the issued operations, never on the data.
+#[test]
+fn execute_and_timing_only_agree_for_every_scheme() {
+    let (n, b) = (96usize, 16usize);
+    let a = spd_diag_dominant(n, 5);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions::default();
+    for kind in SchemeKind::all() {
+        let t_exec = run_clean(kind, &p, ExecMode::Execute, n, b, &opts, Some(&a))
+            .unwrap()
+            .time
+            .as_secs();
+        let t_sim = run_clean(kind, &p, ExecMode::TimingOnly, n, b, &opts, None)
+            .unwrap()
+            .time
+            .as_secs();
+        assert!(
+            (t_exec - t_sim).abs() < 1e-12,
+            "{}: {t_exec} vs {t_sim}",
+            kind.name()
+        );
+    }
+}
+
+/// Table VII headline: ~10.5 s at n = 20480 on Tardis, all three schemes
+/// within a few percent of each other with no errors.
+#[test]
+fn tardis_headline_times() {
+    let p = SystemProfile::tardis();
+    let opts = AbftOptions::default();
+    let mut times = Vec::new();
+    for kind in SchemeKind::all() {
+        let t = run_clean(kind, &p, ExecMode::TimingOnly, 20480, 256, &opts, None)
+            .unwrap()
+            .time
+            .as_secs();
+        assert!((9.0..11.5).contains(&t), "{}: {t}", kind.name());
+        times.push(t);
+    }
+    let spread = times.iter().cloned().fold(0.0, f64::max)
+        / times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 1.10, "schemes within 10% with no errors: {times:?}");
+}
+
+/// Table VIII headline: ~8.7-8.8 s at n = 30720 on Bulldozer64.
+#[test]
+fn bulldozer_headline_times() {
+    let p = SystemProfile::bulldozer64();
+    let opts = AbftOptions::default();
+    for kind in SchemeKind::all() {
+        let t = run_clean(kind, &p, ExecMode::TimingOnly, 30720, 512, &opts, None)
+            .unwrap()
+            .time
+            .as_secs();
+        assert!((8.0..9.5).contains(&t), "{}: {t}", kind.name());
+    }
+}
+
+/// Figure 8/9 direction: Optimization 1 helps on both systems, and helps
+/// far more on the Hyper-Q Kepler than on Fermi.
+#[test]
+fn opt1_gains_match_paper_shape() {
+    let gain = |p: &SystemProfile, n: usize| {
+        let b = p.default_block;
+        let base = factor_magma(p, ExecMode::TimingOnly, n, b, None, false)
+            .unwrap()
+            .time
+            .as_secs();
+        let t = |on: bool| {
+            run_clean(
+                SchemeKind::Enhanced,
+                p,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &AbftOptions::default().with_concurrent_recalc(on),
+                None,
+            )
+            .unwrap()
+            .time
+            .as_secs()
+        };
+        ((t(false) - t(true)) / base) * 100.0
+    };
+    let tardis = gain(&SystemProfile::tardis(), 15360);
+    let bulldozer = gain(&SystemProfile::bulldozer64(), 15360);
+    assert!(tardis > 1.0, "some gain on Fermi, got {tardis}");
+    assert!(bulldozer > 8.0, "large gain on Kepler, got {bulldozer}");
+    assert!(
+        bulldozer > tardis * 1.8,
+        "Kepler gains much more: {bulldozer} vs {tardis}"
+    );
+}
+
+/// Figure 10/11 direction: offloading checksum updates (Opt. 2) beats the
+/// inline baseline on both systems, with the paper's placement choices.
+#[test]
+fn opt2_offload_beats_inline() {
+    for p in [SystemProfile::tardis(), SystemProfile::bulldozer64()] {
+        let b = p.default_block;
+        let t = |placement: ChecksumPlacement| {
+            run_clean(
+                SchemeKind::Enhanced,
+                &p,
+                ExecMode::TimingOnly,
+                15360,
+                b,
+                &AbftOptions::default().with_placement(placement),
+                None,
+            )
+            .unwrap()
+            .time
+            .as_secs()
+        };
+        let inline = t(ChecksumPlacement::Inline);
+        let auto = t(ChecksumPlacement::Auto);
+        assert!(auto < inline, "{}: {auto} !< {inline}", p.name);
+    }
+}
+
+/// Figure 12/13 direction: overhead decreases monotonically in K.
+#[test]
+fn opt3_overhead_monotone_in_k() {
+    for p in [SystemProfile::tardis(), SystemProfile::bulldozer64()] {
+        let b = p.default_block;
+        let mut last = f64::INFINITY;
+        for k in [1usize, 3, 5] {
+            let t = run_clean(
+                SchemeKind::Enhanced,
+                &p,
+                ExecMode::TimingOnly,
+                10240,
+                b,
+                &AbftOptions::default().with_interval(k),
+                None,
+            )
+            .unwrap()
+            .time
+            .as_secs();
+            assert!(t < last, "{}: K={k} time {t} !< {last}", p.name);
+            last = t;
+        }
+    }
+}
+
+/// Figure 14/15 direction: Enhanced overhead shrinks as n grows (converging
+/// toward the paper's (2K+2)/BK constant) and stays under the paper's caps
+/// at the largest sizes.
+#[test]
+fn enhanced_overhead_shrinks_with_n_and_respects_caps() {
+    for (p, cap) in [
+        (SystemProfile::tardis(), 7.0f64),
+        (SystemProfile::bulldozer64(), 4.0),
+    ] {
+        let b = p.default_block;
+        let overhead = |n: usize| {
+            let base = factor_magma(&p, ExecMode::TimingOnly, n, b, None, false)
+                .unwrap()
+                .time
+                .as_secs();
+            let t = run_clean(
+                SchemeKind::Enhanced,
+                &p,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &AbftOptions::default(),
+                None,
+            )
+            .unwrap()
+            .time
+            .as_secs();
+            (t / base - 1.0) * 100.0
+        };
+        let small = overhead(7680);
+        let max_n = if p.name == "Bulldozer64" { 30720 } else { 23040 };
+        let large = overhead(max_n);
+        assert!(large < small, "{}: {large} !< {small}", p.name);
+        assert!(large < cap, "{}: {large} above cap {cap}", p.name);
+    }
+}
+
+/// Figure 16/17 direction: MAGMA ≥ ABFT schemes > CULA in GFLOP/s.
+#[test]
+fn performance_ranking_matches_paper() {
+    for p in [SystemProfile::tardis(), SystemProfile::bulldozer64()] {
+        let b = p.default_block;
+        let n = 15360;
+        let magma = factor_magma(&p, ExecMode::TimingOnly, n, b, None, false)
+            .unwrap()
+            .time
+            .as_secs();
+        let cula = factor_cula(&p, ExecMode::TimingOnly, n, b, None)
+            .unwrap()
+            .time
+            .as_secs();
+        let enhanced = run_clean(
+            SchemeKind::Enhanced,
+            &p,
+            ExecMode::TimingOnly,
+            n,
+            b,
+            &AbftOptions::default(),
+            None,
+        )
+        .unwrap()
+        .time
+        .as_secs();
+        assert!(magma <= enhanced, "{}", p.name);
+        assert!(
+            enhanced < cula,
+            "{}: ABFT-protected beats the vendor library ({enhanced} !< {cula})",
+            p.name
+        );
+    }
+}
+
+/// The Opt. 2 decision model makes the paper's system-specific choices.
+#[test]
+fn decision_model_matches_paper_choices() {
+    use hchol_core::decision::choose;
+    assert_eq!(
+        choose(
+            ChecksumPlacement::Auto,
+            &SystemProfile::tardis(),
+            20480,
+            256,
+            1
+        ),
+        ChecksumPlacement::Cpu
+    );
+    assert_eq!(
+        choose(
+            ChecksumPlacement::Auto,
+            &SystemProfile::bulldozer64(),
+            30720,
+            512,
+            1
+        ),
+        ChecksumPlacement::Gpu
+    );
+}
+
+/// Virtual time must be a pure function of the configuration —
+/// rerunning the same configuration gives bit-identical times.
+#[test]
+fn timing_is_deterministic() {
+    let p = SystemProfile::tardis();
+    let opts = AbftOptions::default();
+    let t1 = run_clean(SchemeKind::Enhanced, &p, ExecMode::TimingOnly, 5120, 256, &opts, None)
+        .unwrap()
+        .time
+        .as_secs();
+    let t2 = run_clean(SchemeKind::Enhanced, &p, ExecMode::TimingOnly, 5120, 256, &opts, None)
+        .unwrap()
+        .time
+        .as_secs();
+    assert_eq!(t1, t2);
+}
