@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI: everything the repo expects to stay green, in the order that
+# fails fastest. Offline by design — all external crates are in-repo shims
+# (see DESIGN.md §3), so no network is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "format check"
+cargo fmt --all --check
+
+step "clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "build (release)"
+cargo build --release --workspace
+
+step "tests: tier-1 (root package)"
+cargo test -q
+
+step "tests: full workspace"
+cargo test --workspace -q
+
+step "tests: hchol-blas without default features (no 'parallel')"
+cargo test -q -p hchol-blas --no-default-features
+
+step "kernel bench sweep (quick) -> BENCH_kernels.json"
+cargo bench -p hchol-bench --bench kernels -- --quick
+
+step "done"

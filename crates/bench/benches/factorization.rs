@@ -21,9 +21,7 @@ fn bench_execute_mode(c: &mut Criterion) {
         let a = spd_diag_dominant(n, 7);
         g.bench_with_input(BenchmarkId::new("magma", n), &n, |bench, _| {
             bench.iter(|| {
-                black_box(
-                    factor_magma(&profile, ExecMode::Execute, n, b, Some(&a), false).unwrap(),
-                )
+                black_box(factor_magma(&profile, ExecMode::Execute, n, b, Some(&a), false).unwrap())
             });
         });
         for kind in SchemeKind::all() {

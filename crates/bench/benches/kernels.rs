@@ -1,12 +1,21 @@
 //! Criterion microbenchmarks of the from-scratch BLAS kernels — the
 //! arithmetic substrate every simulated kernel executes. (Wall-clock here;
 //! the paper experiments use the virtual clock and live in `src/bin/`.)
+//!
+//! Besides the small-size criterion groups, the main sweep times the blocked
+//! level-3 engine against the naive seed kernels at n ∈ {256, 512, 1024,
+//! 2048} and writes the GFLOP/s of every kernel to `BENCH_kernels.json`
+//! (machine-readable; consumed by CI and EXPERIMENTS.md). Pass `--quick` to
+//! stop the sweep at n = 1024 and shorten per-point timing budgets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hchol_blas::{gemm, potf2, syrk, trsm};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use hchol_blas::flops;
+use hchol_blas::par::par_gemm;
+use hchol_blas::{gemm, naive_gemm, naive_syrk, potf2, syrk, trsm};
 use hchol_matrix::generate::{spd_diag_dominant, uniform};
 use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm");
@@ -95,4 +104,158 @@ fn bench_potf2(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_gemm, bench_syrk_trsm, bench_potf2);
-criterion_main!(benches);
+
+// ---------------------------------------------------------------------------
+// Blocked-vs-naive sweep → BENCH_kernels.json
+// ---------------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct Entry {
+    kernel: String,
+    n: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    /// Host threads the parallel kernels could use (1 ⇒ par == sequential).
+    threads: usize,
+    quick: bool,
+    results: Vec<Entry>,
+    /// gemm_blocked GFLOP/s ÷ gemm_naive GFLOP/s at n = 1024
+    /// (the ≥5× single-thread acceptance figure).
+    speedup_gemm_n1024: f64,
+}
+
+/// Mean seconds per call: one warmup, then iterate until the budget (or an
+/// iteration cap for the slow naive points) is spent.
+fn time_call<F: FnMut()>(mut f: F, budget: f64) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget || iters >= 50 {
+            return elapsed / f64::from(iters);
+        }
+    }
+}
+
+fn sweep(quick: bool) -> Report {
+    let sizes: &[usize] = if quick {
+        &[256, 512, 1024]
+    } else {
+        &[256, 512, 1024, 2048]
+    };
+    let budget = if quick { 0.1 } else { 0.3 };
+    let mut results = Vec::new();
+    let mut push = |kernel: &str, n: usize, secs: f64, fl: u64| {
+        let gflops = fl as f64 / secs / 1e9;
+        println!("  {kernel:<14} n={n:<5} {secs:>9.4} s   {gflops:>7.2} GFLOP/s");
+        results.push(Entry {
+            kernel: kernel.to_string(),
+            n,
+            seconds: secs,
+            gflops,
+        });
+    };
+
+    for &n in sizes {
+        let a = uniform(n, n, -1.0, 1.0, 11);
+        let b = uniform(n, n, -1.0, 1.0, 12);
+        let mut c = Matrix::zeros(n, n);
+        let gemm_fl = flops::gemm(n, n, n);
+
+        let s = time_call(
+            || naive_gemm(Trans::No, Trans::Yes, -1.0, &a, &b, 1.0, &mut c),
+            budget,
+        );
+        push("gemm_naive", n, s, gemm_fl);
+        let s = time_call(
+            || gemm(Trans::No, Trans::Yes, -1.0, &a, &b, 1.0, &mut c),
+            budget,
+        );
+        push("gemm_blocked", n, s, gemm_fl);
+        let s = time_call(
+            || par_gemm(Trans::No, Trans::Yes, -1.0, &a, &b, 1.0, &mut c),
+            budget,
+        );
+        push("gemm_par", n, s, gemm_fl);
+
+        let syrk_fl = flops::syrk(n, n);
+        let s = time_call(
+            || naive_syrk(Uplo::Lower, Trans::No, -1.0, &a, 1.0, &mut c),
+            budget,
+        );
+        push("syrk_naive", n, s, syrk_fl);
+        let s = time_call(
+            || syrk(Uplo::Lower, Trans::No, -1.0, &a, 1.0, &mut c),
+            budget,
+        );
+        push("syrk_blocked", n, s, syrk_fl);
+
+        let mut l = spd_diag_dominant(n, 13);
+        potf2(&mut l, 0).unwrap();
+        let trsm_fl = flops::trsm(n, n);
+        let mut rhs = uniform(n, n, -1.0, 1.0, 14);
+        let s = time_call(
+            || {
+                trsm(
+                    Side::Right,
+                    Uplo::Lower,
+                    Trans::Yes,
+                    Diag::NonUnit,
+                    1.0,
+                    &l,
+                    &mut rhs,
+                );
+                black_box(&mut rhs);
+            },
+            budget,
+        );
+        push("trsm_blocked", n, s, trsm_fl);
+    }
+
+    let gf = |kernel: &str| {
+        results
+            .iter()
+            .find(|e| e.kernel == kernel && e.n == 1024)
+            .map_or(f64::NAN, |e| e.gflops)
+    };
+    let speedup = gf("gemm_blocked") / gf("gemm_naive");
+    Report {
+        threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+        quick,
+        results,
+        speedup_gemm_n1024: speedup,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Under `cargo test --benches` only smoke-run the criterion groups.
+    if args.iter().any(|a| a == "--test") {
+        benches();
+        return;
+    }
+    benches();
+
+    let quick = args.iter().any(|a| a == "--quick");
+    println!(
+        "\nblocked-vs-naive sweep ({}):",
+        if quick { "quick" } else { "full" }
+    );
+    let report = sweep(quick);
+    println!(
+        "\ngemm blocked/naive speedup at n=1024: {:.2}x",
+        report.speedup_gemm_n1024
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    // Anchor to the workspace root: cargo runs benches from the package dir.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

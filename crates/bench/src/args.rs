@@ -34,10 +34,7 @@ impl BenchArgs {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--system" => {
-                    out.system = Some(
-                        it.next()
-                            .unwrap_or_else(|| usage("--system needs a value")),
-                    );
+                    out.system = Some(it.next().unwrap_or_else(|| usage("--system needs a value")));
                 }
                 "--quick" => out.quick = true,
                 "--json" => out.json = true,
@@ -62,9 +59,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!(
-        "usage: <experiment> [--system tardis|bulldozer64] [--quick] [--json]"
-    );
+    eprintln!("usage: <experiment> [--system tardis|bulldozer64] [--quick] [--json]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 

@@ -48,14 +48,24 @@ fn upset_population(count: usize, grid: usize, block: usize, seed: u64) -> Vec<F
 
 fn main() {
     let args = BenchArgs::parse();
-    let (n, b) = if args.quick { (128usize, 16usize) } else { (256, 16) };
+    let (n, b) = if args.quick {
+        (128usize, 16usize)
+    } else {
+        (256, 16)
+    };
     let grid = n / b;
     let a = spd_diag_dominant(n, 77);
     let population = upset_population(24, grid, b, 20260705);
 
     let mut t = Table::new(
         &format!("Ablation — ECC vs ABFT on {n}x{n} (24 storage upsets, Enhanced, K = 1)"),
-        &["Configuration", "upsets reaching memory", "attempts", "ABFT corrections", "residual"],
+        &[
+            "Configuration",
+            "upsets reaching memory",
+            "attempts",
+            "ABFT corrections",
+            "residual",
+        ],
     );
     // "minimal" keeps only the scheme's mandatory positive-definiteness
     // guards (SYRK/POTF2 input checks cannot be disabled — without them the
@@ -104,12 +114,7 @@ fn main() {
         let resid = out
             .factor
             .as_ref()
-            .map(|l| {
-                hchol_matrix::relative_residual(
-                    &hchol_blas::potrf::reconstruct_lower(l),
-                    &a,
-                )
-            })
+            .map(|l| hchol_matrix::relative_residual(&hchol_blas::potrf::reconstruct_lower(l), &a))
             .unwrap_or(f64::NAN);
         t.row(&[
             label.to_string(),

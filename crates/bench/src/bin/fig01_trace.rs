@@ -14,8 +14,8 @@ fn main() {
     for profile in args.systems() {
         let n = if args.quick { 2048 } else { 8192 };
         let b = profile.default_block;
-        let rep = factor_magma(&profile, ExecMode::TimingOnly, n, b, None, true)
-            .expect("baseline runs");
+        let rep =
+            factor_magma(&profile, ExecMode::TimingOnly, n, b, None, true).expect("baseline runs");
         println!(
             "# Figure 1 — MAGMA hybrid Cholesky trace on {} (n = {n}, B = {b})",
             profile.name
@@ -25,7 +25,10 @@ fn main() {
             rep.time.as_secs()
         );
         println!("{}", rep.ctx.timeline.ascii_gantt(100));
-        println!("lane utilization: {}", rep.ctx.timeline.utilization_summary());
+        println!(
+            "lane utilization: {}",
+            rep.ctx.timeline.utilization_summary()
+        );
         let busy_gpu = rep.ctx.timeline.lane_busy(hchol_gpusim::Lane::GpuStream(0));
         let busy_cpu = rep.ctx.timeline.lane_busy(hchol_gpusim::Lane::HostMain);
         println!(

@@ -53,7 +53,10 @@ fn main() {
             out.time.as_secs()
         );
         println!("{}", out.ctx.timeline.ascii_gantt(100));
-        println!("lane utilization: {}\n", out.ctx.timeline.utilization_summary());
+        println!(
+            "lane utilization: {}\n",
+            out.ctx.timeline.utilization_summary()
+        );
     }
     println!(
         "reading: every input is verified (recalc `c` kernels on the recalc streams)\n\

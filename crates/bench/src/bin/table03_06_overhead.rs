@@ -26,7 +26,11 @@ fn main() {
     let mut t2 = Table::new("Table II — symbols", &["Symbol", "Description", "Value"]);
     t2.row(&["n".into(), "input matrix size".into(), n.to_string()]);
     t2.row(&["B".into(), "matrix block size".into(), b.to_string()]);
-    t2.row(&["K".into(), "verify every K iterations".into(), k.to_string()]);
+    t2.row(&[
+        "K".into(),
+        "verify every K iterations".into(),
+        k.to_string(),
+    ]);
     t2.print();
 
     let chol = m.cholesky_flops();
@@ -97,10 +101,7 @@ fn main() {
             "(24K+6)/(nK) + (2K+2)/(BK) = {}",
             fmt_pct(100.0 * m.total_relative_enhanced())
         ),
-        format!(
-            "(2K+2)/(BK) = {}",
-            fmt_pct(100.0 * m.asymptote_enhanced())
-        ),
+        format!("(2K+2)/(BK) = {}", fmt_pct(100.0 * m.asymptote_enhanced())),
     ]);
     t6.print();
 

@@ -73,7 +73,14 @@ fn main() {
     let opts = AbftOptions::default();
     let mut t = Table::new(
         "Same scenarios with real data (virtual time; residual = ‖LLᵀ−A‖/‖A‖)",
-        &["Scheme", "Scenario", "Time", "Attempts", "Corrected", "Residual"],
+        &[
+            "Scheme",
+            "Scenario",
+            "Time",
+            "Attempts",
+            "Corrected",
+            "Residual",
+        ],
     );
     for kind in SchemeKind::all() {
         for (label, plan) in [

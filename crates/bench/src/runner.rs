@@ -81,8 +81,7 @@ pub fn run_variant(
             (r.time.as_secs(), 1, 0)
         }
         Variant::Scheme(kind) => {
-            let r = run_scheme(kind, profile, mode, n, b, opts, plan, input)
-                .expect("abft scheme");
+            let r = run_scheme(kind, profile, mode, n, b, opts, plan, input).expect("abft scheme");
             (r.time.as_secs(), r.attempts, r.verify.corrected_data)
         }
     };

@@ -199,9 +199,8 @@ mod tests {
 
     #[test]
     fn trsv_lower_roundtrip() {
-        let l =
-            Matrix::from_col_major(3, 3, vec![2.0, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0])
-                .unwrap();
+        let l = Matrix::from_col_major(3, 3, vec![2.0, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0])
+            .unwrap();
         let x_true = [1.0, -2.0, 0.5];
         // b = L * x
         let mut b = vec![0.0; 3];
@@ -214,9 +213,8 @@ mod tests {
 
     #[test]
     fn trsv_lower_trans_roundtrip() {
-        let l =
-            Matrix::from_col_major(3, 3, vec![2.0, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0])
-                .unwrap();
+        let l = Matrix::from_col_major(3, 3, vec![2.0, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0])
+            .unwrap();
         let x_true = [0.25, 1.0, -1.0];
         let mut b = vec![0.0; 3];
         gemv(Trans::Yes, 1.0, &l, &x_true, 0.0, &mut b);
@@ -228,12 +226,8 @@ mod tests {
 
     #[test]
     fn trsv_upper_both_transposes() {
-        let u = Matrix::from_col_major(
-            3,
-            3,
-            vec![3.0, 0.0, 0.0, -1.0, 2.0, 0.0, 4.0, 1.0, 5.0],
-        )
-        .unwrap();
+        let u = Matrix::from_col_major(3, 3, vec![3.0, 0.0, 0.0, -1.0, 2.0, 0.0, 4.0, 1.0, 5.0])
+            .unwrap();
         for trans in [Trans::No, Trans::Yes] {
             let x_true = [1.0, 2.0, 3.0];
             let mut b = vec![0.0; 3];
@@ -258,12 +252,8 @@ mod tests {
     #[test]
     fn symv_matches_full_gemv() {
         // Full symmetric matrix, but store garbage in the unused triangle.
-        let full = Matrix::from_col_major(
-            3,
-            3,
-            vec![2.0, 1.0, 4.0, 1.0, 3.0, 5.0, 4.0, 5.0, 6.0],
-        )
-        .unwrap();
+        let full = Matrix::from_col_major(3, 3, vec![2.0, 1.0, 4.0, 1.0, 3.0, 5.0, 4.0, 5.0, 6.0])
+            .unwrap();
         let x = [1.0, -1.0, 2.0];
         let mut want = vec![0.0; 3];
         gemv(Trans::No, 1.5, &full, &x, 0.0, &mut want);

@@ -1,16 +1,67 @@
-//! General matrix-matrix multiply.
+//! General matrix-matrix multiply: blocked engine + naive fallback.
+//!
+//! Large products run through a BLIS-style three-level blocked engine:
+//!
+//! ```text
+//! for jc in 0..n step NC              (B column slabs, ~L3)
+//!   for pc in 0..k step KC            (k slabs — pack op(B) once, ~L2)
+//!     pack B[pc.., jc..] into NR-col micro-panels
+//!     for ic in 0..m step MC          (A row slabs — pack op(A), ~L1/L2)
+//!       pack A[ic.., pc..] into MR-row micro-panels
+//!       for each NR col panel × MR row panel: micro-kernel, masked store
+//! ```
+//!
+//! `beta` is applied to the whole of `C` once, up front; the engine then only
+//! ever accumulates `alpha·op(A)·op(B)`. Products below [`BLOCK_THRESHOLD`]
+//! fall back to the seed column-loop kernels in [`super::naive`], whose
+//! per-call overhead is lower.
 
-use crate::level1::axpy;
+use super::microkernel::{micro_kernel, MR, NR};
+use super::naive;
+use super::pack::{pack_a, pack_b, MatMut, MatRef};
 use hchol_matrix::{Matrix, Trans};
+
+/// Rows per packed A slab (fits `MC×KC` doubles comfortably in L2).
+pub const MC: usize = 128;
+/// Inner (k) extent of one packing pass.
+pub const KC: usize = 256;
+/// Columns per packed B slab (bounds the shared B panel at ~`KC·NC` doubles).
+pub const NC: usize = 2048;
+
+/// Minimum `m·n·k` for the blocked engine; below this the packing overhead
+/// outweighs the cache wins and the naive loops are faster.
+pub const BLOCK_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `C := beta·C` with BLAS semantics: `beta == 0` overwrites (clearing NaN
+/// and Inf), `beta == 1` is a no-op. Shared by the sequential and parallel
+/// front ends.
+pub(crate) fn apply_beta(beta: f64, c: &mut [f64]) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else {
+        for x in c {
+            *x *= beta;
+        }
+    }
+}
+
+/// Should this product take the blocked path?
+#[inline]
+pub(crate) fn use_blocked(m: usize, n: usize, k: usize) -> bool {
+    // Few-row / few-column products (e.g. the 2×B checksum recalculation
+    // GEMMs) stay on the naive dot/axpy loops: a micro-tile would be mostly
+    // padding.
+    m >= MR && n >= NR && m.saturating_mul(n).saturating_mul(k) >= BLOCK_THRESHOLD
+}
 
 /// `C := alpha * op(A) * op(B) + beta * C`.
 ///
 /// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
 /// Panics on shape mismatch; `A`, `B` and `C` must be distinct matrices
 /// (guaranteed by Rust's borrow rules).
-///
-/// Loop order is chosen per transposition so the innermost loop always runs
-/// down a stored column (unit stride in column-major storage).
 pub fn gemm(
     trans_a: Trans,
     trans_b: Trans,
@@ -26,62 +77,18 @@ pub fn gemm(
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
     let k = ka;
 
-    if beta != 1.0 {
-        if beta == 0.0 {
-            c.fill_zero();
-        } else {
-            c.scale(beta);
-        }
-    }
+    apply_beta(beta, c.as_mut_slice());
     if alpha == 0.0 || k == 0 {
         return;
     }
 
-    match (trans_a, trans_b) {
-        // C[:,j] += alpha * Σ_l A[:,l] * B[l,j] — pure axpy form.
-        (Trans::No, Trans::No) => {
-            for j in 0..n {
-                let bcol = b.col(j);
-                let ccol = c.col_mut(j);
-                for (l, &blj) in bcol.iter().enumerate() {
-                    axpy(alpha * blj, a.col(l), ccol);
-                }
-            }
-        }
-        // B used transposed: B[l,j] = Bᵀ stored as b[j,l].
-        (Trans::No, Trans::Yes) => {
-            for j in 0..n {
-                let ccol = c.col_mut(j);
-                for l in 0..k {
-                    axpy(alpha * b.get(j, l), a.col(l), ccol);
-                }
-            }
-        }
-        // A used transposed: C[i,j] += alpha * dot(A[:,i], B[:,j]).
-        (Trans::Yes, Trans::No) => {
-            for j in 0..n {
-                let bcol = b.col(j);
-                for i in 0..m {
-                    let s = crate::level1::dot(a.col(i), bcol);
-                    let v = c.get(i, j) + alpha * s;
-                    c.set(i, j, v);
-                }
-            }
-        }
-        // Both transposed: C[i,j] += alpha * Σ_l a[l,i] * b[j,l].
-        (Trans::Yes, Trans::Yes) => {
-            for j in 0..n {
-                for i in 0..m {
-                    let acol = a.col(i);
-                    let mut s = 0.0;
-                    for (l, &ali) in acol.iter().enumerate() {
-                        s += ali * b.get(j, l);
-                    }
-                    let v = c.get(i, j) + alpha * s;
-                    c.set(i, j, v);
-                }
-            }
-        }
+    if use_blocked(m, n, k) {
+        let av = MatRef::new(a, trans_a);
+        let bv = MatRef::new(b, trans_b);
+        let cv = MatMut::new(c);
+        gemm_blocked(alpha, &av, &bv, &cv);
+    } else {
+        naive::naive_gemm_accum(trans_a, trans_b, alpha, a, b, c);
     }
 }
 
@@ -92,6 +99,101 @@ pub fn gemm_into(trans_a: Trans, trans_b: Trans, a: &Matrix, b: &Matrix) -> Matr
     let mut c = Matrix::zeros(m, n);
     gemm(trans_a, trans_b, 1.0, a, b, 0.0, &mut c);
     c
+}
+
+/// View-level `C += alpha·A·B` for the internal SYRK/TRSM callers:
+/// dispatches between the blocked engine and a simple loop by size.
+///
+/// Caller guarantees `c` is disjoint from the storage behind `a`/`b`.
+pub(crate) fn gemm_views(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    debug_assert_eq!(b.rows, k);
+    debug_assert!(c.rows == m && c.cols == n);
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+    if use_blocked(m, n, k) {
+        gemm_blocked(alpha, a, b, c);
+    } else {
+        gemm_views_small(alpha, a, b, c);
+    }
+}
+
+/// Unblocked view multiply for blocks too small to be worth packing.
+/// j-l-i loop order keeps the inner loop on C's (and untransposed A's)
+/// unit stride.
+fn gemm_views_small(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    for j in 0..n {
+        for l in 0..k {
+            let f = alpha * b.get(l, j);
+            if f == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                // SAFETY: i < m = c.rows, j < n = c.cols; `c` is the unique
+                // accessor of this block (gemm_views contract).
+                unsafe { c.add(i, j, f * a.get(i, l)) };
+            }
+        }
+    }
+}
+
+/// The three-level macro-loop around the packed micro-kernel.
+/// Computes `C += alpha · A·B` (beta is the front ends' job).
+pub(crate) fn gemm_blocked(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut packed_a = vec![0.0; MC.div_ceil(MR) * MR * KC];
+    let mut packed_b = vec![0.0; KC * NC.div_ceil(NR) * NR];
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(&b.sub(pc, jc, kc, nc), &mut packed_b);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(&a.sub(ic, pc, mc, kc), &mut packed_a);
+                let c_block = c.sub(ic, jc, mc, nc);
+                run_tiles(alpha, kc, mc, nc, &packed_a, &packed_b, &c_block);
+            }
+        }
+    }
+}
+
+/// Inner two loops: every `MR×NR` micro-tile of one `mc×nc` C block.
+/// Exposed to `par.rs`, whose threads share `packed_b` and run disjoint
+/// row-stripes.
+pub(crate) fn run_tiles(
+    alpha: f64,
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    packed_a: &[f64],
+    packed_b: &[f64],
+    c_block: &MatMut,
+) {
+    for jp in 0..nc.div_ceil(NR) {
+        let j0 = jp * NR;
+        let nr = NR.min(nc - j0);
+        let pb = &packed_b[jp * NR * kc..(jp + 1) * NR * kc];
+        for ip in 0..mc.div_ceil(MR) {
+            let i0 = ip * MR;
+            let mr = MR.min(mc - i0);
+            let pa = &packed_a[ip * MR * kc..(ip + 1) * MR * kc];
+            let mut acc = [[0.0; MR]; NR];
+            micro_kernel(kc, pa, pb, &mut acc);
+            // Masked store: edge tiles computed full-width over the packing
+            // zeros, written back only where C exists.
+            for (j, col) in acc.iter().enumerate().take(nr) {
+                for (i, &v) in col.iter().enumerate().take(mr) {
+                    // SAFETY: i0+i < mc, j0+j < nc; tiles are disjoint and
+                    // the caller hands each stripe to at most one thread.
+                    unsafe { c_block.add(i0 + i, j0 + j, alpha * v) };
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +230,30 @@ mod tests {
             gemm(ta, tb, 1.7, &a, &b, -0.3, &mut c);
             ref_gemm(ta, tb, 1.7, &a, &b, -0.3, &mut c_ref);
             assert!(approx_eq(&c, &c_ref, 1e-12), "ta={ta:?} tb={tb:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_reference_all_transposes() {
+        // Big enough to force the blocked engine, odd enough to exercise
+        // every edge tile (m, n not multiples of MR/NR; k crosses KC).
+        let (m, n, k) = (MC + MR + 3, NR * 12 + 5, KC + 7);
+        assert!(use_blocked(m, n, k));
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a_shape = ta.apply((m, k));
+            let b_shape = tb.apply((k, n));
+            let a = uniform(a_shape.0, a_shape.1, -1.0, 1.0, 11);
+            let b = uniform(b_shape.0, b_shape.1, -1.0, 1.0, 12);
+            let mut c = uniform(m, n, -1.0, 1.0, 13);
+            let mut c_ref = c.clone();
+            gemm(ta, tb, -0.8, &a, &b, 0.6, &mut c);
+            naive::naive_gemm(ta, tb, -0.8, &a, &b, 0.6, &mut c_ref);
+            assert!(approx_eq(&c, &c_ref, 1e-11), "ta={ta:?} tb={tb:?}");
         }
     }
 

@@ -5,11 +5,28 @@
 //! on whole [`hchol_matrix::Matrix`] operands — the tile layout of
 //! `hchol-matrix` supplies the disjointness that BLAS expresses through
 //! pointer/leading-dimension arithmetic.
+//!
+//! Two implementations coexist:
+//! * the **blocked engine** ([`microkernel`]/[`pack`] plus the macro-loops in
+//!   `gemm`), a BLIS-style cache-blocked path that packs operands and runs a
+//!   register-tiled micro-kernel — used automatically above a size threshold;
+//! * the **naive kernels** ([`naive_gemm`], [`naive_syrk`]), the seed
+//!   column-loop implementations, kept as the small-size fallback and as the
+//!   baseline for benchmarks and property tests.
 
 mod gemm;
+pub mod microkernel;
+mod naive;
+mod pack;
 mod syrk;
 mod trsm;
 
-pub use gemm::{gemm, gemm_into};
+pub use gemm::{gemm, gemm_into, BLOCK_THRESHOLD, KC, MC, NC};
+pub use naive::{naive_gemm, naive_syrk};
 pub use syrk::syrk;
 pub use trsm::trsm;
+
+#[cfg(feature = "parallel")]
+pub(crate) use gemm::{apply_beta, run_tiles, use_blocked};
+#[cfg(feature = "parallel")]
+pub(crate) use pack::{pack_a, pack_b, MatMut, MatRef};

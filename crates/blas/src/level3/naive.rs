@@ -1,0 +1,183 @@
+//! Naive (unblocked) level-3 kernels: the seed implementations, kept as the
+//! small-size fallback of the blocked engine and as the baseline the
+//! benchmarks and property tests compare against.
+//!
+//! Loop order is chosen per transposition so the innermost loop always runs
+//! down a stored column (unit stride in column-major storage).
+
+use crate::level1::{axpy, dot};
+use hchol_matrix::{Matrix, Trans, Uplo};
+
+/// Naive `C := alpha * op(A) * op(B) + beta * C` (axpy/dot column loops).
+///
+/// Same contract as [`crate::gemm`]; exposed so benchmarks can measure the
+/// blocked engine against the original kernel.
+pub fn naive_gemm(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = trans_a.apply(a.shape());
+    let (kb, n) = trans_b.apply(b.shape());
+    assert_eq!(ka, kb, "gemm inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    let k = ka;
+
+    super::gemm::apply_beta(beta, c.as_mut_slice());
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+    naive_gemm_accum(trans_a, trans_b, alpha, a, b, c);
+}
+
+/// The accumulation half of [`naive_gemm`] (`C += alpha * op(A) * op(B)`),
+/// assuming shapes already validated and beta already applied.
+pub(crate) fn naive_gemm_accum(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+) {
+    let (m, k) = trans_a.apply(a.shape());
+    let n = c.cols();
+    match (trans_a, trans_b) {
+        // C[:,j] += alpha * Σ_l A[:,l] * B[l,j] — pure axpy form.
+        (Trans::No, Trans::No) => {
+            for j in 0..n {
+                let bcol = b.col(j);
+                let ccol = c.col_mut(j);
+                for (l, &blj) in bcol.iter().enumerate() {
+                    axpy(alpha * blj, a.col(l), ccol);
+                }
+            }
+        }
+        // B used transposed: B[l,j] = Bᵀ stored as b[j,l].
+        (Trans::No, Trans::Yes) => {
+            for j in 0..n {
+                let ccol = c.col_mut(j);
+                for l in 0..k {
+                    axpy(alpha * b.get(j, l), a.col(l), ccol);
+                }
+            }
+        }
+        // A used transposed: C[i,j] += alpha * dot(A[:,i], B[:,j]).
+        (Trans::Yes, Trans::No) => {
+            for j in 0..n {
+                let bcol = b.col(j);
+                for i in 0..m {
+                    let s = dot(a.col(i), bcol);
+                    let v = c.get(i, j) + alpha * s;
+                    c.set(i, j, v);
+                }
+            }
+        }
+        // Both transposed: C[i,j] += alpha * Σ_l a[l,i] * b[j,l].
+        (Trans::Yes, Trans::Yes) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut s = 0.0;
+                    for (l, &ali) in acol.iter().enumerate() {
+                        s += ali * b.get(j, l);
+                    }
+                    let v = c.get(i, j) + alpha * s;
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+/// Naive `C := alpha * op(A) * op(A)ᵀ + beta * C` on the `uplo` triangle.
+///
+/// Same contract as [`crate::syrk`]; the blocked engine's small-size
+/// fallback and the benchmark baseline.
+pub fn naive_syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let (n, k) = trans.apply(a.shape());
+    assert!(c.is_square(), "syrk C must be square");
+    assert_eq!(c.rows(), n, "syrk C dimension mismatch");
+
+    super::syrk::apply_beta_triangle(uplo, beta, c);
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+    naive_syrk_accum(uplo, trans, alpha, a, c);
+}
+
+/// The accumulation half of [`naive_syrk`], beta already applied.
+pub(crate) fn naive_syrk_accum(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, c: &mut Matrix) {
+    let (n, k) = trans.apply(a.shape());
+    match trans {
+        // C[i,j] += alpha * Σ_l A[i,l]·A[j,l]: axpy down each column segment.
+        Trans::No => {
+            for j in 0..n {
+                for l in 0..k {
+                    let ajl = a.get(j, l);
+                    if ajl == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    match uplo {
+                        Uplo::Lower => {
+                            let ccol = &mut c.col_mut(j)[j..];
+                            axpy(alpha * ajl, &acol[j..], ccol);
+                        }
+                        Uplo::Upper => {
+                            let ccol = &mut c.col_mut(j)[..=j];
+                            axpy(alpha * ajl, &acol[..=j], ccol);
+                        }
+                    }
+                }
+            }
+        }
+        // op(A) = Aᵀ: C[i,j] += alpha * dot(A[:,i], A[:,j]).
+        Trans::Yes => {
+            for j in 0..n {
+                let (lo, hi) = match uplo {
+                    Uplo::Lower => (j, n),
+                    Uplo::Upper => (0, j + 1),
+                };
+                let acj = a.col(j);
+                for i in lo..hi {
+                    let s = dot(a.col(i), acj);
+                    let v = c.get(i, j) + alpha * s;
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ref_gemm;
+    use hchol_matrix::approx_eq;
+    use hchol_matrix::generate::uniform;
+
+    #[test]
+    fn naive_gemm_matches_reference() {
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a_shape = ta.apply((6, 4));
+            let b_shape = tb.apply((4, 5));
+            let a = uniform(a_shape.0, a_shape.1, -1.0, 1.0, 61);
+            let b = uniform(b_shape.0, b_shape.1, -1.0, 1.0, 62);
+            let mut c = uniform(6, 5, -1.0, 1.0, 63);
+            let mut c_ref = c.clone();
+            naive_gemm(ta, tb, 1.1, &a, &b, -0.7, &mut c);
+            ref_gemm(ta, tb, 1.1, &a, &b, -0.7, &mut c_ref);
+            assert!(approx_eq(&c, &c_ref, 1e-13), "ta={ta:?} tb={tb:?}");
+        }
+    }
+}

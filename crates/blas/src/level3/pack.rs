@@ -1,0 +1,291 @@
+//! Operand views and cache-friendly packing for the blocked GEMM engine.
+//!
+//! The engine never walks the original column-major operands in its inner
+//! loop. Instead each `MC×KC` block of `op(A)` is packed into row-panels of
+//! [`MR`] rows (`MR` contiguous values per k step) and each `KC×NC` block of
+//! `op(B)` into column-panels of [`NR`] columns, so the micro-kernel streams
+//! both operands with unit stride regardless of the original transposition —
+//! all four `Trans` combinations are resolved here, at pack time. Partial
+//! edge panels are zero-padded to full width; the zeros multiply into the
+//! accumulator harmlessly and the store step masks them off.
+
+use super::microkernel::{MR, NR};
+use hchol_matrix::{Matrix, Trans};
+
+/// Read-only view of `op(M)` for a sub-block of a column-major matrix.
+///
+/// Logical element `(i, j)` of the view is storage element
+/// `(row0 + i, col0 + j)` when `trans` is `No`, `(row0 + j, col0 + i)` when
+/// `trans` is `Yes` (offsets are in storage coordinates).
+#[derive(Clone, Copy)]
+pub(crate) struct MatRef<'a> {
+    data: &'a [f64],
+    ld: usize,
+    row0: usize,
+    col0: usize,
+    /// Logical rows of op(M).
+    pub rows: usize,
+    /// Logical cols of op(M).
+    pub cols: usize,
+    trans: bool,
+}
+
+impl<'a> MatRef<'a> {
+    /// View of the whole matrix as `op(M)`.
+    pub fn new(m: &'a Matrix, trans: Trans) -> Self {
+        let (rows, cols) = trans.apply(m.shape());
+        MatRef {
+            data: m.as_slice(),
+            ld: m.rows(),
+            row0: 0,
+            col0: 0,
+            rows,
+            cols,
+            trans: trans == Trans::Yes,
+        }
+    }
+
+    /// Sub-view: logical rows `[r0, r0+nrows)`, logical cols `[c0, c0+ncols)`.
+    pub fn sub(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> Self {
+        debug_assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols);
+        let (dr, dc) = if self.trans { (c0, r0) } else { (r0, c0) };
+        MatRef {
+            data: self.data,
+            ld: self.ld,
+            row0: self.row0 + dr,
+            col0: self.col0 + dc,
+            rows: nrows,
+            cols: ncols,
+            trans: self.trans,
+        }
+    }
+
+    /// Logical element `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (si, sj) = if self.trans { (j, i) } else { (i, j) };
+        self.data[self.row0 + si + (self.col0 + sj) * self.ld]
+    }
+}
+
+/// Mutable view of a sub-block of a column-major matrix.
+///
+/// Raw-pointer based because the blocked SYRK/TRSM paths need simultaneous
+/// disjoint read and write views into one matrix (e.g. TRSM's rank update
+/// reads solved rows of `B` while writing unsolved ones), which column-major
+/// interleaving puts beyond safe slice splitting. All accesses are bounds-
+/// checked against the view in debug builds; callers guarantee disjointness.
+#[derive(Clone, Copy)]
+pub(crate) struct MatMut {
+    ptr: *mut f64,
+    ld: usize,
+    /// Rows of the block.
+    pub rows: usize,
+    /// Cols of the block.
+    pub cols: usize,
+}
+
+impl MatMut {
+    /// View of a whole matrix.
+    pub fn new(m: &mut Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let ld = rows;
+        MatMut {
+            ptr: m.as_mut_slice().as_mut_ptr(),
+            ld,
+            rows,
+            cols,
+        }
+    }
+
+    /// View over raw column-major storage (e.g. a scratch buffer) with
+    /// leading dimension `ld`. The caller keeps the backing allocation alive
+    /// and unaliased for the view's whole use.
+    pub fn from_raw(ptr: *mut f64, ld: usize, rows: usize, cols: usize) -> Self {
+        debug_assert!(ld >= rows);
+        MatMut {
+            ptr,
+            ld,
+            rows,
+            cols,
+        }
+    }
+
+    /// Sub-block `[r0, r0+nrows) × [c0, c0+ncols)` of this block.
+    pub fn sub(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> Self {
+        debug_assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols);
+        MatMut {
+            // SAFETY: stays within the parent allocation (checked above).
+            ptr: unsafe { self.ptr.add(r0 + c0 * self.ld) },
+            ld: self.ld,
+            rows: nrows,
+            cols: ncols,
+        }
+    }
+
+    /// Add `v` to element `(i, j)`.
+    ///
+    /// # Safety
+    /// `i < rows && j < cols`, and this view is the unique accessor of the
+    /// element.
+    #[inline(always)]
+    pub unsafe fn add(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i + j * self.ld) += v;
+    }
+
+    /// Column `j` as a mutable slice (columns are contiguous).
+    ///
+    /// # Safety
+    /// `j < cols`, and this view is the unique accessor of the column.
+    #[inline(always)]
+    pub unsafe fn col_mut<'s>(&self, j: usize) -> &'s mut [f64] {
+        debug_assert!(j < self.cols);
+        std::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows)
+    }
+
+    /// Read-only view of this block (for GEMM operands aliasing the output
+    /// matrix at disjoint coordinates).
+    ///
+    /// # Safety
+    /// The caller chooses the lifetime and must not write through `self` (or
+    /// any overlapping view) while the returned view is read — the blocked
+    /// TRSM recursion only reads rows/cols it has finished writing.
+    pub unsafe fn as_ref<'s>(&self) -> MatRef<'s> {
+        MatRef {
+            data: std::slice::from_raw_parts(self.ptr, self.len_spanned()),
+            ld: self.ld,
+            row0: 0,
+            col0: 0,
+            rows: self.rows,
+            cols: self.cols,
+            trans: false,
+        }
+    }
+
+    /// Number of elements spanned in the parent allocation (last column ends
+    /// at `rows`, earlier columns span `ld`).
+    fn len_spanned(&self) -> usize {
+        if self.rows == 0 || self.cols == 0 {
+            0
+        } else {
+            (self.cols - 1) * self.ld + self.rows
+        }
+    }
+}
+
+// The engine hands MatMut row-stripes to scoped threads; disjointness of the
+// stripes is guaranteed by the ic-loop partitioning in par.rs.
+unsafe impl Send for MatMut {}
+
+/// Pack the `mc × kc` block of `op(A)` into MR-row micro-panels.
+///
+/// Output layout: panel `ip` (rows `ip*MR ..`) occupies
+/// `buf[ip*MR*kc .. (ip+1)*MR*kc]`, as `kc` groups of `MR` contiguous row
+/// values. Rows past `mc` are zero-filled.
+pub(crate) fn pack_a(block: &MatRef<'_>, buf: &mut [f64]) {
+    let (mc, kc) = (block.rows, block.cols);
+    let panels = mc.div_ceil(MR);
+    debug_assert!(buf.len() >= panels * MR * kc);
+    for ip in 0..panels {
+        let i0 = ip * MR;
+        let mr = MR.min(mc - i0);
+        let panel = &mut buf[ip * MR * kc..(ip + 1) * MR * kc];
+        for p in 0..kc {
+            let dst = &mut panel[p * MR..p * MR + MR];
+            for (r, d) in dst.iter_mut().enumerate().take(mr) {
+                *d = block.get(i0 + r, p);
+            }
+            for d in dst.iter_mut().skip(mr) {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack the `kc × nc` block of `op(B)` into NR-column micro-panels.
+///
+/// Output layout: panel `jp` (cols `jp*NR ..`) occupies
+/// `buf[jp*NR*kc .. (jp+1)*NR*kc]`, as `kc` groups of `NR` contiguous column
+/// values. Columns past `nc` are zero-filled.
+pub(crate) fn pack_b(block: &MatRef<'_>, buf: &mut [f64]) {
+    let (kc, nc) = (block.rows, block.cols);
+    let panels = nc.div_ceil(NR);
+    debug_assert!(buf.len() >= panels * NR * kc);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let nr = NR.min(nc - j0);
+        let panel = &mut buf[jp * NR * kc..(jp + 1) * NR * kc];
+        for p in 0..kc {
+            let dst = &mut panel[p * NR..p * NR + NR];
+            for (col, d) in dst.iter_mut().enumerate().take(nr) {
+                *d = block.get(p, j0 + col);
+            }
+            for d in dst.iter_mut().skip(nr) {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hchol_matrix::generate::uniform;
+
+    #[test]
+    fn matref_transposition_and_subviews() {
+        let m = uniform(7, 5, -1.0, 1.0, 71);
+        let v = MatRef::new(&m, Trans::No);
+        assert_eq!((v.rows, v.cols), (7, 5));
+        assert_eq!(v.get(3, 2), m.get(3, 2));
+        let t = MatRef::new(&m, Trans::Yes);
+        assert_eq!((t.rows, t.cols), (5, 7));
+        assert_eq!(t.get(2, 3), m.get(3, 2));
+        let s = v.sub(2, 1, 4, 3);
+        assert_eq!(s.get(0, 0), m.get(2, 1));
+        let st = t.sub(1, 2, 3, 4);
+        assert_eq!(st.get(0, 0), m.get(2, 1));
+        assert_eq!(st.get(2, 3), m.get(5, 3));
+    }
+
+    #[test]
+    fn pack_a_layout_with_padding() {
+        let m = uniform(MR + 3, 4, -1.0, 1.0, 72);
+        let v = MatRef::new(&m, Trans::No);
+        let kc = v.cols;
+        let mut buf = vec![f64::NAN; 2 * MR * kc];
+        pack_a(&v, &mut buf);
+        // First panel, k step 2, row 5 = element (5, 2).
+        assert_eq!(buf[2 * MR + 5], m.get(5, 2));
+        // Second panel holds rows MR..MR+3 then zero padding.
+        assert_eq!(buf[MR * kc + MR + 1], m.get(MR + 1, 1));
+        assert_eq!(buf[MR * kc + MR + 5], 0.0);
+    }
+
+    #[test]
+    fn pack_b_layout_with_padding() {
+        let m = uniform(3, NR + 2, -1.0, 1.0, 73);
+        let v = MatRef::new(&m, Trans::No);
+        let kc = v.rows;
+        let mut buf = vec![f64::NAN; 2 * NR * kc];
+        pack_b(&v, &mut buf);
+        // First panel, k step 1, col 4 = element (1, 4).
+        assert_eq!(buf[NR + 4], m.get(1, 4));
+        // Second panel holds cols NR..NR+2 then zero padding.
+        assert_eq!(buf[NR * kc + 2 * NR + 1], m.get(2, NR + 1));
+        assert_eq!(buf[NR * kc + 2 * NR + 3], 0.0);
+    }
+
+    #[test]
+    fn matmut_subblock_addressing() {
+        let mut m = uniform(6, 6, -1.0, 1.0, 74);
+        let before = m.get(4, 3);
+        let mm = MatMut::new(&mut m);
+        let sub = mm.sub(2, 1, 4, 5);
+        unsafe {
+            sub.add(2, 2, 1.0);
+        }
+        assert_eq!(m.get(4, 3), before + 1.0);
+    }
+}

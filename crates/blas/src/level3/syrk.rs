@@ -1,7 +1,45 @@
-//! Symmetric rank-k update.
+//! Symmetric rank-k update, blocked over the referenced triangle.
+//!
+//! Large updates are decomposed into `TB × TB` blocks of `C`: off-diagonal
+//! blocks are plain GEMMs (`C_ij += alpha · op(A)_i · op(A)ᵀ_j`) routed
+//! through the blocked engine, while diagonal blocks are computed full into a
+//! small scratch tile and added back triangle-masked, so elements outside the
+//! `uplo` triangle are never touched. Small updates keep the seed loops in
+//! [`super::naive`].
 
-use crate::level1::{axpy, dot};
+use super::gemm::{gemm_views, use_blocked};
+use super::naive::naive_syrk_accum;
+use super::pack::{MatMut, MatRef};
 use hchol_matrix::{Matrix, Trans, Uplo};
+
+/// Block size of the triangular decomposition (C blocks are `TB × TB`).
+/// Wide blocks amortize the engine's packing across many columns of `C`;
+/// the wasted flops on diagonal blocks (computed full, added back masked)
+/// stay bounded by `TB / 2n` of the total.
+const TB: usize = 256;
+
+/// `C := beta·C` restricted to the `uplo` triangle, with BLAS semantics
+/// (`beta == 0` overwrites NaN/Inf). Shared between the naive and blocked
+/// SYRK front ends.
+pub(crate) fn apply_beta_triangle(uplo: Uplo, beta: f64, c: &mut Matrix) {
+    if beta == 1.0 {
+        return;
+    }
+    let n = c.rows();
+    for j in 0..n {
+        let seg = match uplo {
+            Uplo::Lower => &mut c.col_mut(j)[j..],
+            Uplo::Upper => &mut c.col_mut(j)[..=j],
+        };
+        if beta == 0.0 {
+            seg.fill(0.0);
+        } else {
+            for x in seg {
+                *x *= beta;
+            }
+        }
+    }
+}
 
 /// `C := alpha * op(A) * op(A)ᵀ + beta * C`, updating only the `uplo`
 /// triangle of the square matrix `C`.
@@ -14,59 +52,57 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut
     assert!(c.is_square(), "syrk C must be square");
     assert_eq!(c.rows(), n, "syrk C dimension mismatch");
 
-    // Scale the referenced triangle.
-    if beta != 1.0 {
-        for j in 0..n {
-            let (lo, hi) = match uplo {
-                Uplo::Lower => (j, n),
-                Uplo::Upper => (0, j + 1),
-            };
-            for i in lo..hi {
-                let v = if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
-                c.set(i, j, v);
-            }
-        }
-    }
+    apply_beta_triangle(uplo, beta, c);
     if alpha == 0.0 || k == 0 {
         return;
     }
 
-    match trans {
-        // C[i,j] += alpha * Σ_l A[i,l]·A[j,l]: axpy down each column segment.
-        Trans::No => {
-            for j in 0..n {
-                for l in 0..k {
-                    let ajl = a.get(j, l);
-                    if ajl == 0.0 {
-                        continue;
-                    }
-                    let acol = a.col(l);
-                    match uplo {
-                        Uplo::Lower => {
-                            let ccol = &mut c.col_mut(j)[j..];
-                            axpy(alpha * ajl, &acol[j..], ccol);
-                        }
-                        Uplo::Upper => {
-                            let ccol = &mut c.col_mut(j)[..=j];
-                            axpy(alpha * ajl, &acol[..=j], ccol);
-                        }
-                    }
-                }
-            }
+    if use_blocked(n, n, k) {
+        syrk_blocked(uplo, trans, alpha, a, c);
+    } else {
+        naive_syrk_accum(uplo, trans, alpha, a, c);
+    }
+}
+
+/// Blocked accumulation `C += alpha · op(A)·op(A)ᵀ` over the `uplo` triangle.
+fn syrk_blocked(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, c: &mut Matrix) {
+    let (n, k) = trans.apply(a.shape());
+    let flip = match trans {
+        Trans::No => Trans::Yes,
+        Trans::Yes => Trans::No,
+    };
+    let av = MatRef::new(a, trans); // op(A):  n × k
+    let avt = MatRef::new(a, flip); // op(A)ᵀ: k × n
+    let cv = MatMut::new(c);
+    let mut scratch = vec![0.0; TB * TB];
+
+    for jb in (0..n).step_by(TB) {
+        let nb = TB.min(n - jb);
+        let bt = avt.sub(0, jb, k, nb);
+        // Off-diagonal block rows of this block column.
+        let (lo, hi) = match uplo {
+            Uplo::Lower => (jb + nb, n),
+            Uplo::Upper => (0, jb),
+        };
+        let mut ib = lo;
+        while ib < hi {
+            let mb = TB.min(hi - ib);
+            gemm_views(alpha, &av.sub(ib, 0, mb, k), &bt, &cv.sub(ib, jb, mb, nb));
+            ib += mb;
         }
-        // op(A) = Aᵀ: C[i,j] += alpha * dot(A[:,i], A[:,j]).
-        Trans::Yes => {
-            for j in 0..n {
-                let (lo, hi) = match uplo {
-                    Uplo::Lower => (j, n),
-                    Uplo::Upper => (0, j + 1),
-                };
-                let acj = a.col(j);
-                for i in lo..hi {
-                    let s = dot(a.col(i), acj);
-                    let v = c.get(i, j) + alpha * s;
-                    c.set(i, j, v);
-                }
+        // Diagonal block: full product into scratch, triangle-masked add.
+        scratch[..nb * nb].fill(0.0);
+        let sv = MatMut::from_raw(scratch.as_mut_ptr(), nb, nb, nb);
+        gemm_views(alpha, &av.sub(jb, 0, nb, k), &bt, &sv);
+        for j in 0..nb {
+            let range = match uplo {
+                Uplo::Lower => j..nb,
+                Uplo::Upper => 0..j + 1,
+            };
+            for i in range {
+                // SAFETY: (jb+i, jb+j) is inside C; `cv` is the sole accessor
+                // of C in this function.
+                unsafe { cv.add(jb + i, jb + j, scratch[i + j * nb]) };
             }
         }
     }
@@ -136,6 +172,30 @@ mod tests {
         syrk(Uplo::Lower, Trans::No, 1.0, &a, 0.0, &mut c);
         for i in 0..6 {
             assert!(c.get(i, i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_naive() {
+        use super::super::naive::naive_syrk;
+        // Odd size spanning several TB blocks, both uplos and transposes.
+        let n = 2 * TB + 13;
+        let k = 96;
+        for trans in [Trans::No, Trans::Yes] {
+            let (sr, sc) = trans.apply((n, k));
+            let a = uniform(sr, sc, -1.0, 1.0, 90);
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                let mut c = uniform(n, n, -1.0, 1.0, 91);
+                let mut c_ref = c.clone();
+                syrk(uplo, trans, 1.3, &a, -0.4, &mut c);
+                naive_syrk(uplo, trans, 1.3, &a, -0.4, &mut c_ref);
+                for j in 0..n {
+                    for i in 0..n {
+                        let d = (c.get(i, j) - c_ref.get(i, j)).abs();
+                        assert!(d < 1e-11, "uplo={uplo:?} trans={trans:?} ({i},{j})");
+                    }
+                }
+            }
         }
     }
 }

@@ -1,8 +1,23 @@
 //! Triangular solve with multiple right-hand sides.
+//!
+//! Solves with a triangle larger than [`TRSM_BASE`] recurse by halving the
+//! triangle: solve with one diagonal sub-triangle, eliminate its contribution
+//! from the remaining right-hand side with a rank update (`GEMM`, routed
+//! through the blocked engine when large), then solve with the other
+//! sub-triangle. The recursion bottoms out on a materialized
+//! `TRSM_BASE × TRSM_BASE` triangle solved column-by-column, so the bulk of
+//! the flops of a large solve run at GEMM speed. Small solves keep the seed
+//! per-column substitution directly.
 
 use crate::level1::axpy;
 use crate::level2::trsv;
 use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
+
+use super::gemm::gemm_views;
+use super::pack::{MatMut, MatRef};
+
+/// Triangle size at (or below) which solves run unblocked.
+const TRSM_BASE: usize = 32;
 
 /// Solve `op(A) · X = alpha · B` (`side = Left`) or `X · op(A) = alpha · B`
 /// (`side = Right`) for `X`, overwriting `B`.
@@ -32,18 +47,148 @@ pub fn trsm(
         return;
     }
 
-    match side {
-        // Each column of B is an independent triangular system.
-        Side::Left => {
-            for j in 0..n {
-                trsv(uplo, trans, diag, a, b.col_mut(j));
+    if a.rows() <= TRSM_BASE {
+        // Small triangle: straight substitution on the original storage.
+        match side {
+            Side::Left => {
+                for j in 0..n {
+                    trsv(uplo, trans, diag, a, b.col_mut(j));
+                }
             }
+            Side::Right => right_solve(uplo, trans, diag, a, b),
         }
-        Side::Right => right_solve(uplo, trans, diag, a, b),
+        return;
+    }
+
+    // op(A) is lower triangular either stored lower and used as-is, or
+    // stored upper and used transposed.
+    let eff_lower = matches!(
+        (uplo, trans),
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+    );
+    let av = MatRef::new(a, trans);
+    let bv = MatMut::new(b);
+    match side {
+        Side::Left => left_rec(eff_lower, diag, &av, &bv),
+        Side::Right => right_rec(eff_lower, diag, &av, &bv),
     }
 }
 
-/// Column-oriented algorithms for `X · op(A) = B`.
+/// Copy the referenced triangle of the `op(A)` view into a dense matrix
+/// (the recursion base solves on contiguous storage).
+fn materialize_tri(av: &MatRef<'_>, eff_lower: bool) -> Matrix {
+    let nb = av.rows;
+    let mut t = Matrix::zeros(nb, nb);
+    for j in 0..nb {
+        let range = if eff_lower { j..nb } else { 0..j + 1 };
+        for i in range {
+            t.set(i, j, av.get(i, j));
+        }
+    }
+    t
+}
+
+/// Recursive solve `op(A) · X = B` on views; `av` is the effective triangle.
+fn left_rec(eff_lower: bool, diag: Diag, av: &MatRef<'_>, b: &MatMut) {
+    let m = b.rows;
+    if m <= TRSM_BASE {
+        let t = materialize_tri(av, eff_lower);
+        let eff_uplo = if eff_lower { Uplo::Lower } else { Uplo::Upper };
+        for j in 0..b.cols {
+            // SAFETY: columns are visited once; `b` is this solve's unique
+            // view of the block.
+            trsv(eff_uplo, Trans::No, diag, &t, unsafe { b.col_mut(j) });
+        }
+        return;
+    }
+    let m1 = m / 2;
+    let m2 = m - m1;
+    let n = b.cols;
+    let a11 = av.sub(0, 0, m1, m1);
+    let a22 = av.sub(m1, m1, m2, m2);
+    let b1 = b.sub(0, 0, m1, n);
+    let b2 = b.sub(m1, 0, m2, n);
+    if eff_lower {
+        left_rec(eff_lower, diag, &a11, &b1);
+        // B2 -= A21 · X1 (reads the rows just solved, writes the rest).
+        // SAFETY: b1 rows [0, m1) are disjoint from b2 rows [m1, m).
+        let x1 = unsafe { b1.as_ref() };
+        gemm_views(-1.0, &av.sub(m1, 0, m2, m1), &x1, &b2);
+        left_rec(eff_lower, diag, &a22, &b2);
+    } else {
+        left_rec(eff_lower, diag, &a22, &b2);
+        // B1 -= A12 · X2.
+        // SAFETY: row ranges disjoint as above.
+        let x2 = unsafe { b2.as_ref() };
+        gemm_views(-1.0, &av.sub(0, m1, m1, m2), &x2, &b1);
+        left_rec(eff_lower, diag, &a11, &b1);
+    }
+}
+
+/// Recursive solve `X · op(A) = B` on views.
+fn right_rec(eff_lower: bool, diag: Diag, av: &MatRef<'_>, b: &MatMut) {
+    let n = b.cols;
+    if n <= TRSM_BASE {
+        let t = materialize_tri(av, eff_lower);
+        right_base(eff_lower, diag, &t, b);
+        return;
+    }
+    let n1 = n / 2;
+    let n2 = n - n1;
+    let m = b.rows;
+    let a11 = av.sub(0, 0, n1, n1);
+    let a22 = av.sub(n1, n1, n2, n2);
+    let b1 = b.sub(0, 0, m, n1);
+    let b2 = b.sub(0, n1, m, n2);
+    if eff_lower {
+        // X1·A11 + X2·A21 = B1;  X2·A22 = B2  →  X2 first.
+        right_rec(eff_lower, diag, &a22, &b2);
+        // SAFETY: b2 cols [n1, n) are disjoint from b1 cols [0, n1).
+        let x2 = unsafe { b2.as_ref() };
+        gemm_views(-1.0, &x2, &av.sub(n1, 0, n2, n1), &b1);
+        right_rec(eff_lower, diag, &a11, &b1);
+    } else {
+        // X1·A11 = B1;  X1·A12 + X2·A22 = B2  →  X1 first.
+        right_rec(eff_lower, diag, &a11, &b1);
+        // SAFETY: column ranges disjoint as above.
+        let x1 = unsafe { b1.as_ref() };
+        gemm_views(-1.0, &x1, &av.sub(0, n1, n1, n2), &b2);
+        right_rec(eff_lower, diag, &a22, &b2);
+    }
+}
+
+/// Unblocked `X · T = B` where `T` is a materialized effective triangle.
+fn right_base(eff_lower: bool, diag: Diag, t: &Matrix, b: &MatMut) {
+    let n = b.cols;
+    // Effective-lower T: column j of X depends on columns k > j (backward);
+    // effective-upper: on k < j (forward).
+    let order: Vec<usize> = if eff_lower {
+        (0..n).rev().collect()
+    } else {
+        (0..n).collect()
+    };
+    for &j in &order {
+        // SAFETY: col j accessed mutably, cols k ≠ j read-only; `b` is this
+        // solve's unique view of the block.
+        let dst = unsafe { b.col_mut(j) };
+        let ks = if eff_lower { (j + 1)..n } else { 0..j };
+        for k in ks {
+            let coef = t.get(k, j);
+            if coef != 0.0 {
+                let src = unsafe { &*b.col_mut(k) };
+                axpy(-coef, src, dst);
+            }
+        }
+        if diag == Diag::NonUnit {
+            let inv = 1.0 / t.get(j, j);
+            for x in dst.iter_mut() {
+                *x *= inv;
+            }
+        }
+    }
+}
+
+/// Column-oriented substitution for `X · op(A) = B` on whole small matrices.
 fn right_solve(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, b: &mut Matrix) {
     let n = b.cols();
     // Effective upper/lower structure of op(A):
@@ -115,8 +260,7 @@ mod tests {
     }
 
     /// Check `op(A)·X = alpha·B` or `X·op(A) = alpha·B` by reconstruction.
-    fn check(side: Side, uplo: Uplo, trans: Trans, diag: Diag) {
-        let (m, n) = (4, 5);
+    fn check(side: Side, uplo: Uplo, trans: Trans, diag: Diag, m: usize, n: usize, tol: f64) {
         let asize = match side {
             Side::Left => m,
             Side::Right => n,
@@ -150,8 +294,8 @@ mod tests {
         let mut want = b0.clone();
         want.scale(alpha);
         assert!(
-            approx_eq(&recon, &want, 1e-12),
-            "side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?}"
+            approx_eq(&recon, &want, tol),
+            "side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?} m={m} n={n}"
         );
     }
 
@@ -161,7 +305,26 @@ mod tests {
             for uplo in [Uplo::Lower, Uplo::Upper] {
                 for trans in [Trans::No, Trans::Yes] {
                     for diag in [Diag::NonUnit, Diag::Unit] {
-                        check(side, uplo, trans, diag);
+                        check(side, uplo, trans, diag, 4, 5, 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_path_reconstructs_all_combinations() {
+        // Triangle well above TRSM_BASE with an odd size, so the recursion
+        // splits unevenly and the rank updates hit the blocked GEMM.
+        for side in [Side::Left, Side::Right] {
+            let (m, n) = match side {
+                Side::Left => (3 * TRSM_BASE + 5, 17),
+                Side::Right => (17, 3 * TRSM_BASE + 5),
+            };
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for trans in [Trans::No, Trans::Yes] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        check(side, uplo, trans, diag, m, n, 1e-10);
                     }
                 }
             }

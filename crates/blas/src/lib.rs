@@ -8,9 +8,11 @@
 //! so these kernels are the arithmetic that actually runs inside the
 //! simulated device of `hchol-gpusim` *and* on the simulated host. Absolute
 //! speed therefore does not determine experiment outcomes — the device
-//! profiles' analytic cost model does — but the kernels are still written
-//! with cache-aware loop orders (column-major "axpy form") and optional
-//! rayon parallelism so that real-execution tests run in reasonable time.
+//! profiles' analytic cost model does — but Execute-mode hot paths still run
+//! real flops, so large level-3 calls route through a BLIS-style blocked
+//! engine (packed operands, register-tiled micro-kernel, `MC/KC/NC`
+//! macro-loops — see [`level3`]) with optional `std::thread` parallelism
+//! over macro-tiles, and small calls keep simple cache-aware column loops.
 //!
 //! Conventions match reference BLAS:
 //! * column-major storage ([`hchol_matrix::Matrix`]),
@@ -33,5 +35,5 @@ pub mod potrf;
 pub mod reference;
 
 pub use level2::{gemv, ger, trsv};
-pub use level3::{gemm, syrk, trsm};
+pub use level3::{gemm, naive_gemm, naive_syrk, syrk, trsm};
 pub use potrf::{potf2, potrf_blocked, potrf_tiled};

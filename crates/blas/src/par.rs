@@ -1,19 +1,37 @@
-//! Rayon-parallel kernel variants (feature `parallel`, on by default).
+//! Multithreaded kernel variants (feature `parallel`, on by default), built
+//! on `std::thread::scope` — no external runtime.
 //!
 //! The simulated device charges time from its cost model, so these do not
 //! change any experiment — they exist so that *real* wall-clock work
 //! (Execute-mode tests, examples, and library users factoring actual
-//! matrices) scales across host cores. Column-major storage makes columns
-//! the natural parallel unit: each output column of a GEMM/TRSM is
-//! independent.
+//! matrices) scales across host cores.
+//!
+//! Parallelism follows the blocked engine's macro-tiles: within each
+//! `(jc, pc)` block the packed-B panel is shared read-only by the whole team
+//! while `MC`-row stripes of `C` (each with its own packed-A buffer) are
+//! dealt round-robin to the threads — stripes are disjoint, so no
+//! synchronization is needed beyond the scope join. Small products and
+//! single-core hosts fall through to the sequential engine.
 
-use crate::level1::axpy;
 use crate::level2::trsv;
+use crate::level3::microkernel::{MR, NR};
+use crate::level3::{
+    apply_beta, gemm, pack_a, pack_b, run_tiles, use_blocked, MatMut, MatRef, KC, MC, NC,
+};
 use hchol_matrix::{Diag, Matrix, Trans, Uplo};
-use rayon::prelude::*;
 
-/// Parallel `C := alpha·op(A)·op(B) + beta·C`, parallelized over columns
-/// of `C`. Falls back to a sequential inner kernel per column.
+/// Number of worker threads the host offers.
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel `C := alpha·op(A)·op(B) + beta·C`.
+///
+/// Same contract and (to rounding) same result as [`crate::gemm`];
+/// products too small for the blocked engine — or hosts with one core —
+/// run the sequential kernel.
 pub fn par_gemm(
     trans_a: Trans,
     trans_b: Trans,
@@ -28,79 +46,88 @@ pub fn par_gemm(
     assert_eq!(ka, kb, "par_gemm inner dimension mismatch");
     assert_eq!(c.shape(), (m, n), "par_gemm output shape mismatch");
     let k = ka;
-    let rows = c.rows();
 
-    // Split the output into disjoint column slices and hand each to a task.
-    c.as_mut_slice()
-        .par_chunks_mut(rows.max(1))
-        .enumerate()
-        .for_each(|(j, ccol)| {
-            if beta != 1.0 {
-                if beta == 0.0 {
-                    ccol.fill(0.0);
-                } else {
-                    for x in ccol.iter_mut() {
-                        *x *= beta;
-                    }
-                }
-            }
-            if alpha == 0.0 || k == 0 {
-                return;
-            }
-            match (trans_a, trans_b) {
-                (Trans::No, Trans::No) => {
-                    for l in 0..k {
-                        axpy(alpha * b.get(l, j), a.col(l), ccol);
-                    }
-                }
-                (Trans::No, Trans::Yes) => {
-                    for l in 0..k {
-                        axpy(alpha * b.get(j, l), a.col(l), ccol);
-                    }
-                }
-                (Trans::Yes, Trans::No) => {
-                    let bcol = b.col(j);
-                    for (i, ci) in ccol.iter_mut().enumerate() {
-                        *ci += alpha * crate::level1::dot(a.col(i), bcol);
-                    }
-                }
-                (Trans::Yes, Trans::Yes) => {
-                    for (i, ci) in ccol.iter_mut().enumerate() {
-                        let acol = a.col(i);
-                        let mut s = 0.0;
-                        for (l, &ali) in acol.iter().enumerate() {
-                            s += ali * b.get(j, l);
+    let threads = max_threads().min(m.div_ceil(MC));
+    if threads <= 1 || !use_blocked(m, n, k) || alpha == 0.0 || k == 0 {
+        gemm(trans_a, trans_b, alpha, a, b, beta, c);
+        return;
+    }
+
+    apply_beta(beta, c.as_mut_slice());
+    let av = MatRef::new(a, trans_a);
+    let bv = MatRef::new(b, trans_b);
+    let cv = MatMut::new(c);
+    par_gemm_blocked(alpha, &av, &bv, &cv, threads);
+}
+
+/// Threaded macro-loop: identical blocking to the sequential engine, with
+/// the `ic` stripe loop of each `(jc, pc)` block split across `threads`.
+fn par_gemm_blocked(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut, threads: usize) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let stripes = m.div_ceil(MC);
+    let mut packed_b = vec![0.0; KC * NC.div_ceil(NR) * NR];
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(&b.sub(pc, jc, kc, nc), &mut packed_b);
+            let pb: &[f64] = &packed_b;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let (a, c) = (*a, *c);
+                    s.spawn(move || {
+                        let mut packed_a = vec![0.0; MC.div_ceil(MR) * MR * KC];
+                        // Round-robin stripe assignment: stripe si → thread
+                        // si mod threads. Stripes are disjoint C row ranges.
+                        let mut si = t;
+                        while si < stripes {
+                            let ic = si * MC;
+                            let mc = MC.min(m - ic);
+                            pack_a(&a.sub(ic, pc, mc, kc), &mut packed_a);
+                            run_tiles(alpha, kc, mc, nc, &packed_a, pb, &c.sub(ic, jc, mc, nc));
+                            si += threads;
                         }
-                        *ci += alpha * s;
-                    }
+                    });
                 }
-            }
-        });
+            });
+        }
+    }
 }
 
 /// Parallel left-sided triangular solve `op(A)·X = alpha·B`: every column
-/// of `B` is an independent `trsv`.
-pub fn par_trsm_left(
-    uplo: Uplo,
-    trans: Trans,
-    diag: Diag,
-    alpha: f64,
-    a: &Matrix,
-    b: &mut Matrix,
-) {
+/// of `B` is an independent `trsv`, dealt round-robin to the threads.
+pub fn par_trsm_left(uplo: Uplo, trans: Trans, diag: Diag, alpha: f64, a: &Matrix, b: &mut Matrix) {
     assert!(a.is_square(), "par_trsm_left A must be square");
     assert_eq!(a.rows(), b.rows(), "par_trsm_left dimension mismatch");
-    let rows = b.rows();
-    b.as_mut_slice()
-        .par_chunks_mut(rows.max(1))
-        .for_each(|col| {
-            if alpha != 1.0 {
-                for x in col.iter_mut() {
-                    *x *= alpha;
+    if alpha != 1.0 {
+        apply_beta(alpha, b.as_mut_slice());
+    }
+    let n = b.cols();
+    if b.rows() == 0 || n == 0 {
+        return;
+    }
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        for j in 0..n {
+            trsv(uplo, trans, diag, a, b.col_mut(j));
+        }
+        return;
+    }
+    let bv = MatMut::new(b);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut j = t;
+                while j < n {
+                    // SAFETY: each column index is claimed by exactly one
+                    // thread (j ≡ t mod threads) and columns are disjoint.
+                    trsv(uplo, trans, diag, a, unsafe { bv.col_mut(j) });
+                    j += threads;
                 }
-            }
-            trsv(uplo, trans, diag, a, col);
-        });
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -109,7 +136,7 @@ mod tests {
     use crate::level3::gemm;
     use crate::level3::trsm;
     use hchol_matrix::generate::uniform;
-    use hchol_matrix::{approx_eq, Side};
+    use hchol_matrix::{approx_eq, Matrix, Side};
 
     #[test]
     fn par_gemm_matches_sequential_all_transposes() {
@@ -129,6 +156,24 @@ mod tests {
             par_gemm(ta, tb, 1.3, &a, &b, 0.4, &mut c2);
             assert!(approx_eq(&c1, &c2, 1e-12), "ta={ta:?} tb={tb:?}");
         }
+    }
+
+    #[test]
+    fn threaded_macro_loop_matches_sequential() {
+        // Drive par_gemm_blocked directly with several threads so the
+        // threaded path is exercised even on single-core CI hosts.
+        let (m, n, k) = (2 * MC + 9, NC.min(80) + 7, KC + 5);
+        let a = uniform(m, k, -1.0, 1.0, 6);
+        let b = uniform(k, n, -1.0, 1.0, 7);
+        let mut c1 = uniform(m, n, -1.0, 1.0, 8);
+        let mut c2 = c1.clone();
+        gemm(Trans::No, Trans::No, 0.9, &a, &b, -0.2, &mut c1);
+        apply_beta(-0.2, c2.as_mut_slice());
+        let av = MatRef::new(&a, Trans::No);
+        let bv = MatRef::new(&b, Trans::No);
+        let cv = MatMut::new(&mut c2);
+        par_gemm_blocked(0.9, &av, &bv, &cv, 3);
+        assert!(approx_eq(&c1, &c2, 1e-12));
     }
 
     #[test]
@@ -165,6 +210,4 @@ mod tests {
         par_gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
         assert!(approx_eq(&c, &Matrix::identity(4), 0.0));
     }
-
-    use hchol_matrix::Matrix;
 }

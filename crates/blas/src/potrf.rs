@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn potf2_rejects_rectangular() {
         let mut a = Matrix::zeros(2, 3);
-        assert!(matches!(potf2(&mut a, 0), Err(MatrixError::NotSquare { .. })));
+        assert!(matches!(
+            potf2(&mut a, 0),
+            Err(MatrixError::NotSquare { .. })
+        ));
     }
 
     #[test]

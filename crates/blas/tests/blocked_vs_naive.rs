@@ -1,0 +1,163 @@
+//! Property tests pinning the blocked level-3 engine to the naive seed
+//! kernels: for every operation, transposition, triangle, side, and
+//! coefficient — across shapes straddling the micro-tile (`MR`/`NR`), the
+//! macro-tile (`MC`/`KC`), and the empty/degenerate edges — the blocked
+//! result must agree with the naive one to 1e-12 relative.
+
+use hchol_blas::level3::{microkernel::MR, MC};
+use hchol_blas::{gemm, naive_gemm, naive_syrk, syrk, trsm, trsv};
+use hchol_matrix::generate::uniform;
+use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
+use proptest::prelude::*;
+
+/// Dimensions around every blocking boundary: 0 and 1, the micro-tile edge
+/// (`MR−1`, `MR`, `MR+1`), mid-range odd sizes, and `3·MC+7` (several macro
+/// stripes plus an edge) — per the micro-kernel with MR = 8, NR = 6.
+const SIZES: &[usize] = &[0, 1, MR - 1, MR, MR + 1, 45, 64, 131, 3 * MC + 7];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0..SIZES.len()).prop_map(|i| SIZES[i])
+}
+
+/// The spec's coefficient set: the two BLAS fast paths and a general value.
+fn coeff() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(-0.3)]
+}
+
+fn trans() -> impl Strategy<Value = Trans> {
+    prop_oneof![Just(Trans::No), Just(Trans::Yes)]
+}
+
+fn uplo() -> impl Strategy<Value = Uplo> {
+    prop_oneof![Just(Uplo::Lower), Just(Uplo::Upper)]
+}
+
+fn side() -> impl Strategy<Value = Side> {
+    prop_oneof![Just(Side::Left), Just(Side::Right)]
+}
+
+/// `max |x−y| / (1 + max |y|) ≤ tol`, elementwise over whole matrices.
+fn rel_close(x: &Matrix, y: &Matrix, tol: f64) -> bool {
+    assert_eq!(x.shape(), y.shape());
+    let denom = 1.0 + y.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    x.as_slice()
+        .iter()
+        .zip(y.as_slice())
+        .all(|(a, b)| (a - b).abs() <= tol * denom)
+}
+
+/// Well-conditioned triangle for solves (diagonally dominant).
+fn tri(n: usize, uplo: Uplo, seed: u64) -> Matrix {
+    let mut a = uniform(n, n, -0.5, 0.5, seed);
+    for j in 0..n {
+        for i in 0..n {
+            let zero = match uplo {
+                Uplo::Lower => i < j,
+                Uplo::Upper => i > j,
+            };
+            if zero {
+                a.set(i, j, 0.0);
+            }
+        }
+        a.set(j, j, 2.0 + 0.1 * (j % 7) as f64);
+    }
+    a
+}
+
+/// Naive TRSM reference built from the level-2 `trsv` alone: left side is a
+/// solve per column; the right side solves the transposed system
+/// `op(A)ᵀ·Xᵀ = alpha·Bᵀ` column-by-column.
+fn reference_trsm(s: Side, up: Uplo, tr: Trans, dg: Diag, alpha: f64, a: &Matrix, b: &mut Matrix) {
+    if alpha != 1.0 {
+        b.scale(alpha);
+    }
+    match s {
+        Side::Left => {
+            for j in 0..b.cols() {
+                trsv(up, tr, dg, a, b.col_mut(j));
+            }
+        }
+        Side::Right => {
+            let flipped = match tr {
+                Trans::No => Trans::Yes,
+                Trans::Yes => Trans::No,
+            };
+            let mut bt = b.transpose();
+            for j in 0..bt.cols() {
+                trsv(up, flipped, dg, a, bt.col_mut(j));
+            }
+            *b = bt.transpose();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_blocked_matches_naive(
+        m in dim(), n in dim(), k in dim(),
+        ta in trans(), tb in trans(),
+        alpha in coeff(), beta in coeff(),
+        seed in 0u64..1000,
+    ) {
+        let (ar, ac) = ta.apply((m, k));
+        let (br, bc) = tb.apply((k, n));
+        let a = uniform(ar, ac, -1.0, 1.0, seed);
+        let b = uniform(br, bc, -1.0, 1.0, seed + 1);
+        let mut c = uniform(m, n, -1.0, 1.0, seed + 2);
+        let mut c_ref = c.clone();
+        gemm(ta, tb, alpha, &a, &b, beta, &mut c);
+        naive_gemm(ta, tb, alpha, &a, &b, beta, &mut c_ref);
+        prop_assert!(
+            rel_close(&c, &c_ref, 1e-12),
+            "m={m} n={n} k={k} ta={ta:?} tb={tb:?} alpha={alpha} beta={beta}"
+        );
+    }
+
+    #[test]
+    fn syrk_blocked_matches_naive(
+        n in dim(), k in dim(),
+        up in uplo(), tr in trans(),
+        alpha in coeff(), beta in coeff(),
+        seed in 0u64..1000,
+    ) {
+        let (ar, ac) = tr.apply((n, k));
+        let a = uniform(ar, ac, -1.0, 1.0, seed);
+        let mut c = uniform(n, n, -1.0, 1.0, seed + 1);
+        let mut c_ref = c.clone();
+        syrk(up, tr, alpha, &a, beta, &mut c);
+        naive_syrk(up, tr, alpha, &a, beta, &mut c_ref);
+        // Naive comparison covers the opposite triangle too: both paths must
+        // leave it exactly as it was.
+        prop_assert!(
+            rel_close(&c, &c_ref, 1e-12),
+            "n={n} k={k} up={up:?} tr={tr:?} alpha={alpha} beta={beta}"
+        );
+    }
+
+    #[test]
+    fn trsm_blocked_matches_trsv_reference(
+        asize in dim(), other in dim(),
+        s in side(), up in uplo(), tr in trans(),
+        unit in any::<bool>(),
+        alpha in coeff(),
+        seed in 0u64..1000,
+    ) {
+        let dg = if unit { Diag::Unit } else { Diag::NonUnit };
+        let a = tri(asize, up, seed);
+        let (m, n) = match s {
+            Side::Left => (asize, other),
+            Side::Right => (other, asize),
+        };
+        let b0 = uniform(m, n, -1.0, 1.0, seed + 1);
+        let mut x = b0.clone();
+        let mut x_ref = b0.clone();
+        trsm(s, up, tr, dg, alpha, &a, &mut x);
+        reference_trsm(s, up, tr, dg, alpha, &a, &mut x_ref);
+        prop_assert!(
+            rel_close(&x, &x_ref, 1e-12),
+            "asize={asize} other={other} s={s:?} up={up:?} tr={tr:?} dg={dg:?} alpha={alpha}"
+        );
+    }
+}

@@ -59,14 +59,22 @@ fn one_by_one_everything() {
     assert_eq!(s.get(0, 0), 16.0);
     // trsm 1x1
     let mut b = Matrix::from_col_major(1, 1, vec![8.0]).unwrap();
-    trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, &a, &mut b);
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::No,
+        Diag::NonUnit,
+        1.0,
+        &a,
+        &mut b,
+    );
     assert_eq!(b.get(0, 0), 2.0);
 }
 
 #[test]
 fn single_column_rhs_trsm_equals_trsv() {
-    let l = Matrix::from_col_major(3, 3, vec![2.0, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0])
-        .unwrap();
+    let l =
+        Matrix::from_col_major(3, 3, vec![2.0, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0]).unwrap();
     let rhs = vec![2.0, -1.0, 5.0];
     let mut via_trsv = rhs.clone();
     trsv(Uplo::Lower, Trans::No, Diag::NonUnit, &l, &mut via_trsv);

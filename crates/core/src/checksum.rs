@@ -12,7 +12,8 @@
 //! *detect* but *locate* (row index `j = δ₂/δ₁`) and *correct* (subtract
 //! `δ₁`) one error per block column.
 
-use hchol_matrix::Matrix;
+use hchol_blas::gemm;
+use hchol_matrix::{Matrix, Trans};
 
 /// Number of weighted checksums per block (two: detect + locate).
 pub const CHECKSUM_COUNT: usize = 2;
@@ -53,20 +54,27 @@ pub fn encode(block: &Matrix) -> Matrix {
     chk
 }
 
-/// Encode into an existing `2 × cols` matrix (no allocation).
+/// Encode into an existing `2 × cols` matrix.
+///
+/// Runs as one GEMM, `chk = Wᵀ · block` with `W = [v₁ v₂]` — the
+/// recalculation batches of verification/re-encoding go through the same
+/// level-3 dispatch as every other kernel (a 2-row product takes the
+/// unit-stride dot path) instead of a bespoke scalar loop. Each column's
+/// sums still accumulate in ascending row order, so results match the
+/// definition to normal rounding.
 pub fn encode_into(block: &Matrix, chk: &mut Matrix) {
-    assert_eq!(chk.shape(), (CHECKSUM_COUNT, block.cols()), "checksum shape");
-    for j in 0..block.cols() {
-        let col = block.col(j);
-        let mut s1 = 0.0;
-        let mut s2 = 0.0;
-        for (i, &x) in col.iter().enumerate() {
-            s1 += x;
-            s2 += (i + 1) as f64 * x;
-        }
-        chk.set(0, j, s1);
-        chk.set(1, j, s2);
+    assert_eq!(
+        chk.shape(),
+        (CHECKSUM_COUNT, block.cols()),
+        "checksum shape"
+    );
+    let rows = block.rows();
+    let mut w = Matrix::zeros(rows, CHECKSUM_COUNT);
+    for i in 0..rows {
+        w.set(i, 0, 1.0);
+        w.set(i, 1, (i + 1) as f64);
     }
+    gemm(Trans::Yes, Trans::No, 1.0, &w, block, 0.0, chk);
 }
 
 /// A pair of checksum rows for one block column, as scalars — convenient

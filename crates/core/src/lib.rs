@@ -32,8 +32,8 @@ pub mod chkops;
 pub mod cula;
 pub mod decision;
 pub mod magma;
-pub mod ops;
 pub mod multichk;
+pub mod ops;
 pub mod options;
 pub mod outer;
 pub mod overhead;

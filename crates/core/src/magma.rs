@@ -14,9 +14,9 @@
 
 use crate::ops::{self, CholLayout};
 use crate::options::ChecksumPlacement;
+use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, SimContext, SimTime};
 use hchol_matrix::{Matrix, MatrixError};
-use hchol_gpusim::profile::SystemProfile;
 
 /// Result of a baseline (non-fault-tolerant) factorization.
 pub struct BaselineReport {
@@ -126,11 +126,9 @@ mod tests {
         let entries = rep.ctx.timeline.entries();
         let overlap = entries.iter().any(|p| {
             p.label.starts_with("POTF2")
-                && entries.iter().any(|g| {
-                    g.label.starts_with("GEMM")
-                        && g.start < p.end
-                        && p.start < g.end
-                })
+                && entries
+                    .iter()
+                    .any(|g| g.label.starts_with("GEMM") && g.start < p.end && p.start < g.end)
         });
         assert!(overlap, "CPU POTF2 should hide under GPU GEMM");
     }

@@ -138,14 +138,23 @@ pub fn verify_and_correct_multi(
 }
 
 /// Single error: location from S₁/S₀, all higher syndromes must agree.
-fn try_single(data: &mut Matrix, syn: &[f64], j: usize, rows: usize, policy: &VerifyPolicy) -> bool {
+fn try_single(
+    data: &mut Matrix,
+    syn: &[f64],
+    j: usize,
+    rows: usize,
+    policy: &VerifyPolicy,
+) -> bool {
     let s0 = syn[0];
     if s0 == 0.0 {
         return false;
     }
     let ratio = syn[1] / s0;
     let w = ratio.round();
-    if !(ratio.is_finite() && (ratio - w).abs() <= policy.locate_tol && w >= 1.0 && w <= rows as f64)
+    if !(ratio.is_finite()
+        && (ratio - w).abs() <= policy.locate_tol
+        && w >= 1.0
+        && w <= rows as f64)
     {
         return false;
     }
@@ -222,8 +231,8 @@ fn try_pair(data: &mut Matrix, syn: &[f64], j: usize, rows: usize, policy: &Veri
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hchol_matrix::generate::uniform;
     use hchol_matrix::approx_eq;
+    use hchol_matrix::generate::uniform;
 
     #[test]
     fn m1_reduces_to_paper_encoding() {
@@ -277,8 +286,7 @@ mod tests {
         let mut a = a0.clone();
         a.set(7, 3, a.get(7, 3) + 4.0);
         let recalc = encode_multi(&a, 2);
-        let out =
-            verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
         assert_eq!(out.single_corrected, 1);
         assert_eq!(out.uncorrectable, 0);
         assert!(approx_eq(&a, &a0, 1e-8));
@@ -293,8 +301,7 @@ mod tests {
         a.set(2, 4, a.get(2, 4) + 3.0);
         a.set(9, 4, a.get(9, 4) - 1.5);
         let recalc = encode_multi(&a, 2);
-        let out =
-            verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
         assert_eq!(out.double_corrected, 1);
         assert_eq!(out.uncorrectable, 0);
         assert!(approx_eq(&a, &a0, 1e-7));
@@ -309,8 +316,7 @@ mod tests {
         a.set(2, 4, a.get(2, 4) + 3.0);
         a.set(9, 4, a.get(9, 4) - 1.5);
         let recalc = encode_multi(&a, 1);
-        let out =
-            verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
         assert_eq!(out.uncorrectable, 1);
     }
 
@@ -323,8 +329,7 @@ mod tests {
             a.set(r, 2, a.get(r, 2) + 2.0);
         }
         let recalc = encode_multi(&a, 2);
-        let out =
-            verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
         // Either flagged uncorrectable, or (rarely) a phantom pair explains
         // the syndromes — but never reported as clean.
         assert!(!out.is_clean());
@@ -339,8 +344,7 @@ mod tests {
         a.set(1, 5, a.get(1, 5) + 2.0); // pair...
         a.set(8, 5, a.get(8, 5) - 2.5);
         let recalc = encode_multi(&a, 2);
-        let out =
-            verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
         assert_eq!(out.single_corrected, 1);
         assert_eq!(out.double_corrected, 1);
         assert!(approx_eq(&a, &a0, 1e-7));
@@ -352,8 +356,7 @@ mod tests {
         let stored = encode_multi(&a0, 2);
         let mut a = a0.clone();
         let recalc = encode_multi(&a, 2);
-        let out =
-            verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct_multi(&mut a, &stored, &recalc, &VerifyPolicy::default());
         assert!(out.is_clean());
         assert!(out.fully_recovered());
     }

@@ -15,11 +15,11 @@ use hchol_blas::{flops, gemm, potf2, trsm};
 use hchol_faults::{Dirtiness, InjectionPoint, Injector};
 use hchol_gpusim::context::KernelDesc;
 use hchol_gpusim::counters::WorkCategory;
+#[cfg(test)]
+use hchol_gpusim::ExecMode;
 use hchol_gpusim::{
     AccessSet, BufferId, EventId, HostBufferId, KernelClass, SimContext, StreamId, TileRef,
 };
-#[cfg(test)]
-use hchol_gpusim::ExecMode;
 use hchol_matrix::{
     triangular::force_lower, Diag, Matrix, MatrixError, Side, TileMatrix, Trans, Uplo,
 };
@@ -156,7 +156,9 @@ fn ensure_scratch(ctx: &mut SimContext, lay: &mut CholLayout, count: usize) {
                 .alloc_zeros(checksum::CHECKSUM_COUNT, lay.b, lay.b)
                 .expect("nonzero block size")
         } else {
-            ctx.dev_mem.alloc_zeros(0, 0, lay.b).expect("nonzero block size")
+            ctx.dev_mem
+                .alloc_zeros(0, 0, lay.b)
+                .expect("nonzero block size")
         };
         lay.scratch.push(id);
     }
@@ -168,7 +170,12 @@ fn ensure_scratch(ctx: &mut SimContext, lay: &mut CholLayout, count: usize) {
 
 /// Fire any faults planned for `point` (data corruption in Execute mode,
 /// ledger-only in TimingOnly).
-pub fn poll_faults(ctx: &mut SimContext, lay: &CholLayout, inj: &mut Injector, point: InjectionPoint) {
+pub fn poll_faults(
+    ctx: &mut SimContext,
+    lay: &CholLayout,
+    inj: &mut Injector,
+    point: InjectionPoint,
+) {
     if ctx.mode.executes() {
         inj.poll(point, ctx.dev_mem.buf_mut(lay.mat));
     } else {
@@ -191,7 +198,10 @@ pub fn syrk_diag(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
     let f = lay.charge(flops::gemm(lay.b, lay.b, j * lay.b));
     let mat = lay.mat;
     let access = AccessSet::new(
-        (0..j).map(|k| TileRef::new(mat, j, k)).chain([TileRef::new(mat, j, j)]).collect(),
+        (0..j)
+            .map(|k| TileRef::new(mat, j, k))
+            .chain([TileRef::new(mat, j, j)])
+            .collect(),
         vec![TileRef::new(mat, j, j)],
     );
     ctx.launch(
@@ -488,13 +498,20 @@ pub fn update_chk_gemm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usiz
             .collect(),
         vec![TileRef::new(cks_i, 0, j)],
     );
-    dispatch_update(ctx, lay, format!("UPD-GEMM ({i},{j})"), f, access, move |mem| {
-        let (cks, m) = mem.buf_pair_mut(cks_i, mat);
-        for k in 0..j {
-            let (cij, cik) = cks.tile_pair((0, j), (0, k));
-            chkops::update_product(cij, cik, m.tile(j, k));
-        }
-    });
+    dispatch_update(
+        ctx,
+        lay,
+        format!("UPD-GEMM ({i},{j})"),
+        f,
+        access,
+        move |mem| {
+            let (cks, m) = mem.buf_pair_mut(cks_i, mat);
+            for k in 0..j {
+                let (cij, cik) = cks.tile_pair((0, j), (0, k));
+                chkops::update_product(cij, cik, m.tile(j, k));
+            }
+        },
+    );
 }
 
 /// Checksum update mirroring POTF2 (Algorithm 2 of the paper).
@@ -516,10 +533,17 @@ pub fn update_chk_potf2(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
         vec![TileRef::new(mat, j, j), TileRef::new(cks_j, 0, j)],
         vec![TileRef::new(cks_j, 0, j)],
     );
-    dispatch_update(ctx, lay, format!("UPD-POTF2 j={j}"), f, access, move |mem| {
-        let (cks, m) = mem.buf_pair_mut(cks_j, mat);
-        chkops::update_potf2(cks.tile_mut(0, j), m.tile(j, j));
-    });
+    dispatch_update(
+        ctx,
+        lay,
+        format!("UPD-POTF2 j={j}"),
+        f,
+        access,
+        move |mem| {
+            let (cks, m) = mem.buf_pair_mut(cks_j, mat);
+            chkops::update_potf2(cks.tile_mut(0, j), m.tile(j, j));
+        },
+    );
 }
 
 /// Checksum update mirroring the TRSM for panel row `i`:
@@ -531,10 +555,17 @@ pub fn update_chk_trsm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usiz
         vec![TileRef::new(mat, j, j), TileRef::new(cks_i, 0, j)],
         vec![TileRef::new(cks_i, 0, j)],
     );
-    dispatch_update(ctx, lay, format!("UPD-TRSM ({i},{j})"), f, access, move |mem| {
-        let (cks, m) = mem.buf_pair_mut(cks_i, mat);
-        chkops::update_trsm(cks.tile_mut(0, j), m.tile(j, j));
-    });
+    dispatch_update(
+        ctx,
+        lay,
+        format!("UPD-TRSM ({i},{j})"),
+        f,
+        access,
+        move |mem| {
+            let (cks, m) = mem.buf_pair_mut(cks_i, mat);
+            chkops::update_trsm(cks.tile_mut(0, j), m.tile(j, j));
+        },
+    );
 }
 
 /// With CPU placement, ship the freshly factorized panel column `j` to the
@@ -866,7 +897,10 @@ mod tests {
         // The correction subtracts δ₁, which carries the rounding of the two
         // checksum sums — recovery is exact to a few ulps, not bitwise.
         let after = ctx.dev_mem.tile(lay.mat, 1, 0).get(2, 3);
-        assert!((after - v).abs() < 1e-12 * v.abs().max(1.0), "{after} vs {v}");
+        assert!(
+            (after - v).abs() < 1e-12 * v.abs().max(1.0),
+            "{after} vs {v}"
+        );
     }
 
     #[test]
@@ -897,10 +931,8 @@ mod tests {
     fn concurrent_recalc_is_faster_than_serial() {
         let tiles: Vec<_> = lower_tiles(8);
         let run = |concurrent: bool| {
-            let mut ctx =
-                SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
-            let mut lay =
-                setup(&mut ctx, 64, 8, true, ChecksumPlacement::Gpu, None).unwrap();
+            let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
+            let mut lay = setup(&mut ctx, 64, 8, true, ChecksumPlacement::Gpu, None).unwrap();
             let opts = AbftOptions::default().with_concurrent_recalc(concurrent);
             let mut inj = Injector::inert();
             verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, &opts);

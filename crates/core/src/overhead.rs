@@ -149,22 +149,16 @@ mod tests {
         let chol = m.cholesky_flops();
         assert!((m.encode_flops() / chol - m.encode_relative()).abs() < 1e-12);
         assert!((m.update_flops() / chol - m.update_relative()).abs() < 1e-12);
-        assert!(
-            (m.recalc_flops_online() / chol - m.recalc_relative_online()).abs() < 1e-12
-        );
-        assert!(
-            (m.recalc_flops_enhanced() / chol - m.recalc_relative_enhanced()).abs() < 1e-12
-        );
+        assert!((m.recalc_flops_online() / chol - m.recalc_relative_online()).abs() < 1e-12);
+        assert!((m.recalc_flops_enhanced() / chol - m.recalc_relative_enhanced()).abs() < 1e-12);
     }
 
     #[test]
     fn table6_totals_are_component_sums() {
         let m = p();
-        let online =
-            m.encode_relative() + m.update_relative() + m.recalc_relative_online();
+        let online = m.encode_relative() + m.update_relative() + m.recalc_relative_online();
         assert!((online - m.total_relative_online()).abs() < 1e-12);
-        let enhanced =
-            m.encode_relative() + m.update_relative() + m.recalc_relative_enhanced();
+        let enhanced = m.encode_relative() + m.update_relative() + m.recalc_relative_enhanced();
         assert!((enhanced - m.total_relative_enhanced()).abs() < 1e-12);
     }
 
@@ -175,9 +169,7 @@ mod tests {
         let k100 = ModelParams::new(20480, 256, 100);
         // With huge K the extra recalculation vanishes and the totals of the
         // two schemes come within the 6/(nK) sliver of each other.
-        assert!(
-            (k100.total_relative_enhanced() - k100.total_relative_online()).abs() < 1e-3
-        );
+        assert!((k100.total_relative_enhanced() - k100.total_relative_online()).abs() < 1e-3);
     }
 
     #[test]

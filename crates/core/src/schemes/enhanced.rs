@@ -23,7 +23,12 @@ use hchol_faults::InjectionPoint;
 use hchol_matrix::MatrixError;
 
 pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
-    let AttemptCtx { ctx, lay, inj, opts } = a;
+    let AttemptCtx {
+        ctx,
+        lay,
+        inj,
+        opts,
+    } = a;
     let nt = lay.nt;
     let mut vo = VerifyOutcome::default();
 

@@ -48,7 +48,11 @@ impl SchemeKind {
 
     /// All three, in the paper's table order.
     pub fn all() -> [SchemeKind; 3] {
-        [SchemeKind::Enhanced, SchemeKind::Online, SchemeKind::Offline]
+        [
+            SchemeKind::Enhanced,
+            SchemeKind::Online,
+            SchemeKind::Offline,
+        ]
     }
 }
 

@@ -332,8 +332,7 @@ mod tests {
             let truth = data.clone();
             data.set(row, 1, data.get(row, 1) + 4.0);
             let recalc = encode(&data);
-            let out =
-                verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+            let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
             assert_eq!(out.corrected_data, 1, "row {row}");
             assert!(approx_eq(&data, &truth, 1e-9));
         }

@@ -86,7 +86,10 @@ fn recalc_ordering_offline_lt_online_lt_enhanced() {
     let off = counters_for(SchemeKind::Offline, n, b, 1).flops(WorkCategory::ChecksumRecalc);
     let on = counters_for(SchemeKind::Online, n, b, 1).flops(WorkCategory::ChecksumRecalc);
     let enh = counters_for(SchemeKind::Enhanced, n, b, 1).flops(WorkCategory::ChecksumRecalc);
-    assert!(off < on, "offline verifies once, online per update: {off} vs {on}");
+    assert!(
+        off < on,
+        "offline verifies once, online per update: {off} vs {on}"
+    );
     assert!(on < enh, "enhanced verifies per read: {on} vs {enh}");
 }
 
@@ -100,7 +103,10 @@ fn k_scales_enhanced_recalc_but_not_updates() {
     // The dominant 2n³/(3BK) term shrinks ~4x; the SYRK/POTF2-input share
     // is K-independent, so the overall ratio sits between 2 and 4.
     let ratio = r1 / r4;
-    assert!((2.0..4.5).contains(&ratio), "recalc K-scaling ratio {ratio}");
+    assert!(
+        (2.0..4.5).contains(&ratio),
+        "recalc K-scaling ratio {ratio}"
+    );
     assert_eq!(
         k1.flops(WorkCategory::ChecksumUpdate),
         k4.flops(WorkCategory::ChecksumUpdate),
@@ -150,8 +156,7 @@ fn transfer_bytes_scale_with_cpu_placement_model() {
     // updating n²/2 + verification n³/3KB²).
     let nf = n as f64;
     let bf = b as f64;
-    let model_extra =
-        8.0 * (2.0 * nf * nf / bf + nf * nf / 2.0 + nf.powi(3) / (3.0 * bf * bf));
+    let model_extra = 8.0 * (2.0 * nf * nf / bf + nf * nf / 2.0 + nf.powi(3) / (3.0 * bf * bf));
     let extra = (cpu - gpu) as f64;
     let ratio = extra / model_extra;
     assert!((0.8..1.3).contains(&ratio), "transfer ratio {ratio}");
@@ -161,14 +166,17 @@ fn transfer_bytes_scale_with_cpu_placement_model() {
 fn verification_kernel_counts_match_table1_orders() {
     let (n, b) = (2048usize, 128usize);
     let nt = n / b; // 16
-    let online = counters_for(SchemeKind::Online, n, b, 1)
-        .kernel_count(WorkCategory::ChecksumRecalc) as f64;
+    let online =
+        counters_for(SchemeKind::Online, n, b, 1).kernel_count(WorkCategory::ChecksumRecalc) as f64;
     let enhanced = counters_for(SchemeKind::Enhanced, n, b, 1)
         .kernel_count(WorkCategory::ChecksumRecalc) as f64;
     // Online: Θ(nt²); Enhanced: Θ(nt³/6). Constants are small; check the
     // growth orders within generous factors.
     let ntf = nt as f64;
-    assert!(online > ntf * ntf * 0.5 && online < ntf * ntf * 4.0, "online {online}");
+    assert!(
+        online > ntf * ntf * 0.5 && online < ntf * ntf * 4.0,
+        "online {online}"
+    );
     assert!(
         enhanced > ntf.powi(3) / 6.0 && enhanced < ntf.powi(3),
         "enhanced {enhanced}"

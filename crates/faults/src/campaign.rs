@@ -82,7 +82,11 @@ pub fn run_campaign(
         survived,
         restarted,
         total_corrected,
-        mean_seconds: if trials > 0 { sum_secs / trials as f64 } else { 0.0 },
+        mean_seconds: if trials > 0 {
+            sum_secs / trials as f64
+        } else {
+            0.0
+        },
         max_seconds: max_secs,
         mean_attempts: if trials > 0 {
             sum_attempts as f64 / trials as f64

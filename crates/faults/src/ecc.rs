@@ -37,7 +37,10 @@ pub fn sec_ded(flipped_bits: usize) -> EccOutcome {
 /// Does the upset survive ECC and corrupt memory (i.e. become ABFT's
 /// problem)?
 pub fn survives_ecc(flipped_bits: usize) -> bool {
-    !matches!(sec_ded(flipped_bits), EccOutcome::Clean | EccOutcome::Corrected)
+    !matches!(
+        sec_ded(flipped_bits),
+        EccOutcome::Clean | EccOutcome::Corrected
+    )
 }
 
 /// Filter a planned storage upset through an (optional) ECC layer: returns

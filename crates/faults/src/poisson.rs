@@ -49,12 +49,7 @@ pub fn poisson_count(lambda: f64, rng: &mut ChaCha8Rng) -> usize {
 /// the current iteration are retired output: no online scheme (the paper's
 /// included) re-reads them, so corrupting them models errors outside the
 /// algorithm's protection window and is deliberately excluded here.
-pub fn storage_plan(
-    grid: usize,
-    block: usize,
-    rate_per_iter: f64,
-    seed: u64,
-) -> FaultPlan {
+pub fn storage_plan(grid: usize, block: usize, rate_per_iter: f64, seed: u64) -> FaultPlan {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut plan = FaultPlan::none();
     for iter in 0..grid {

@@ -299,7 +299,11 @@ impl SimContext {
         F: FnOnce(&mut DeviceMemory, &mut HostMemory),
     {
         let (start, end) = self.schedule_transfer(bytes, stream, to_device);
-        let lane = if to_device { Lane::CopyH2D } else { Lane::CopyD2H };
+        let lane = if to_device {
+            Lane::CopyH2D
+        } else {
+            Lane::CopyD2H
+        };
         self.hazards.push("transfer", start, end, access);
         self.push_transfer_trace(lane, "bulk", start, end, bytes);
         if self.mode.executes() {
@@ -321,7 +325,14 @@ impl SimContext {
         (start, end)
     }
 
-    fn push_transfer_trace(&mut self, lane: Lane, label: &str, start: SimTime, end: SimTime, bytes: u64) {
+    fn push_transfer_trace(
+        &mut self,
+        lane: Lane,
+        label: &str,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+    ) {
         self.timeline.push(TraceEntry {
             lane,
             label: label.into(),

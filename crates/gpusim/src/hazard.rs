@@ -218,7 +218,12 @@ mod tests {
     fn overlapping_waw_and_war_flagged() {
         let mut log = HazardLog::enabled();
         log.push("a", SimTime::secs(0.0), SimTime::secs(2.0), op(&[2], &[1]));
-        log.push("b", SimTime::secs(1.0), SimTime::secs(3.0), op(&[], &[1, 2]));
+        log.push(
+            "b",
+            SimTime::secs(1.0),
+            SimTime::secs(3.0),
+            op(&[], &[1, 2]),
+        );
         let kinds: Vec<_> = log.report().into_iter().map(|h| h.kind).collect();
         assert!(kinds.contains(&"WAW"));
         assert!(kinds.contains(&"WAR"));

@@ -127,7 +127,10 @@ impl DeviceMemory {
         b: BufferId,
         c: BufferId,
     ) -> (&mut TileMatrix, &mut TileMatrix, &mut TileMatrix) {
-        assert!(a.0 != b.0 && b.0 != c.0 && a.0 != c.0, "buffers must be distinct");
+        assert!(
+            a.0 != b.0 && b.0 != c.0 && a.0 != c.0,
+            "buffers must be distinct"
+        );
         let [x, y, z] = self
             .buffers
             .get_disjoint_mut([a.0, b.0, c.0])

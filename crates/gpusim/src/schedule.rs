@@ -52,7 +52,12 @@ impl KernelScheduler {
 
     /// Place a kernel requiring `resource` of the device for `duration`,
     /// starting no earlier than `earliest`. Returns `(start, end)`.
-    pub fn place(&mut self, earliest: SimTime, duration: SimTime, resource: f64) -> (SimTime, SimTime) {
+    pub fn place(
+        &mut self,
+        earliest: SimTime,
+        duration: SimTime,
+        resource: f64,
+    ) -> (SimTime, SimTime) {
         let resource = resource.clamp(EPS, 1.0);
         let d = duration.as_secs().max(0.0);
         let e = earliest.as_secs();

@@ -7,8 +7,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// Stored as `f64` seconds: at nanosecond granularity this stays exact well
 /// past any simulated run length we care about, and every quantity that
 /// produces it (flops / GFLOPS, bytes / bandwidth) is naturally fractional.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimTime(pub f64);
 
 impl SimTime {

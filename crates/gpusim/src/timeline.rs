@@ -143,7 +143,11 @@ impl Timeline {
                     *slot = ch;
                 }
             }
-            out.push_str(&format!("{:>12} |{}|\n", lane.to_string(), row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{:>12} |{}|\n",
+                lane.to_string(),
+                row.iter().collect::<String>()
+            ));
         }
         out.push_str(&format!(
             "{:>12}  0{}{:.3}s\n",
@@ -170,7 +174,9 @@ impl Timeline {
             }
         }
         acc.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        acc.into_iter().map(|(c, t)| (c, SimTime::secs(t))).collect()
+        acc.into_iter()
+            .map(|(c, t)| (c, SimTime::secs(t)))
+            .collect()
     }
 
     /// One-line utilization summary: per-lane busy fractions of the
@@ -218,8 +224,18 @@ mod tests {
     #[test]
     fn busy_and_makespan() {
         let mut t = Timeline::recording();
-        t.push(entry(Lane::GpuStream(0), 0.0, 1.0, Some(KernelClass::Blas3)));
-        t.push(entry(Lane::GpuStream(0), 2.0, 3.0, Some(KernelClass::Blas3)));
+        t.push(entry(
+            Lane::GpuStream(0),
+            0.0,
+            1.0,
+            Some(KernelClass::Blas3),
+        ));
+        t.push(entry(
+            Lane::GpuStream(0),
+            2.0,
+            3.0,
+            Some(KernelClass::Blas3),
+        ));
         t.push(entry(Lane::HostMain, 0.5, 0.7, Some(KernelClass::Potf2)));
         assert!((t.lane_busy(Lane::GpuStream(0)).as_secs() - 2.0).abs() < 1e-12);
         assert!((t.lane_busy(Lane::HostMain).as_secs() - 0.2).abs() < 1e-12);
@@ -238,7 +254,12 @@ mod tests {
     #[test]
     fn gantt_renders_rows() {
         let mut t = Timeline::recording();
-        t.push(entry(Lane::GpuStream(0), 0.0, 0.5, Some(KernelClass::Blas3)));
+        t.push(entry(
+            Lane::GpuStream(0),
+            0.0,
+            0.5,
+            Some(KernelClass::Blas3),
+        ));
         t.push(entry(Lane::HostMain, 0.5, 1.0, Some(KernelClass::Potf2)));
         let g = t.ascii_gantt(40);
         assert!(g.contains("gpu/stream0"));
@@ -256,9 +277,24 @@ mod tests {
     #[test]
     fn class_busy_groups_and_sorts() {
         let mut t = Timeline::recording();
-        t.push(entry(Lane::GpuStream(0), 0.0, 2.0, Some(KernelClass::Blas3)));
-        t.push(entry(Lane::GpuStream(0), 2.0, 2.5, Some(KernelClass::Blas2)));
-        t.push(entry(Lane::GpuStream(1), 0.0, 1.0, Some(KernelClass::Blas3)));
+        t.push(entry(
+            Lane::GpuStream(0),
+            0.0,
+            2.0,
+            Some(KernelClass::Blas3),
+        ));
+        t.push(entry(
+            Lane::GpuStream(0),
+            2.0,
+            2.5,
+            Some(KernelClass::Blas2),
+        ));
+        t.push(entry(
+            Lane::GpuStream(1),
+            0.0,
+            1.0,
+            Some(KernelClass::Blas3),
+        ));
         let cb = t.class_busy();
         assert_eq!(cb[0].0, Some(KernelClass::Blas3));
         assert!((cb[0].1.as_secs() - 3.0).abs() < 1e-12);
@@ -268,12 +304,20 @@ mod tests {
     #[test]
     fn utilization_summary_mentions_lanes() {
         let mut t = Timeline::recording();
-        t.push(entry(Lane::GpuStream(0), 0.0, 1.0, Some(KernelClass::Blas3)));
+        t.push(entry(
+            Lane::GpuStream(0),
+            0.0,
+            1.0,
+            Some(KernelClass::Blas3),
+        ));
         t.push(entry(Lane::HostMain, 0.0, 0.5, Some(KernelClass::Potf2)));
         let s = t.utilization_summary();
         assert!(s.contains("gpu/stream0 100%"), "{s}");
         assert!(s.contains("cpu/main 50%"), "{s}");
-        assert_eq!(Timeline::recording().utilization_summary(), "(empty timeline)");
+        assert_eq!(
+            Timeline::recording().utilization_summary(),
+            "(empty timeline)"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ fn event_is_a_snapshot_not_a_live_reference() {
     c.launch(s, desc(1_000_000_000), |_| {});
     c.host_wait_event(e);
     let t = c.now().as_secs();
-    assert!((1.0..1.5).contains(&t), "waited only for the first kernel: {t}");
+    assert!(
+        (1.0..1.5).contains(&t),
+        "waited only for the first kernel: {t}"
+    );
 }
 
 #[test]
@@ -63,7 +66,12 @@ fn cpu_submit_balances_across_lanes() {
     let mut c = ctx(); // 2 worker lanes in the test profile
     for _ in 0..4 {
         c.cpu_submit(
-            KernelDesc::new("t", KernelClass::Blas2, 1_000_000_000, WorkCategory::ChecksumUpdate),
+            KernelDesc::new(
+                "t",
+                KernelClass::Blas2,
+                1_000_000_000,
+                WorkCategory::ChecksumUpdate,
+            ),
             |_, _| {},
         );
     }
@@ -128,7 +136,12 @@ fn gantt_of_a_real_run_contains_all_lanes() {
     let s = c.default_stream();
     c.launch(s, desc(1_000_000_000), |_| {});
     c.cpu_exec(
-        KernelDesc::new("p", KernelClass::Potf2, 500_000_000, WorkCategory::Factorization),
+        KernelDesc::new(
+            "p",
+            KernelClass::Potf2,
+            500_000_000,
+            WorkCategory::Factorization,
+        ),
         |_| {},
     );
     c.bulk_transfer(1_000_000, s, false, |_, _| {});

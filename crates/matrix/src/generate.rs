@@ -137,10 +137,7 @@ mod tests {
         let a = spd_diag_dominant(16, 7);
         assert!(is_symmetric(&a, 0.0));
         for i in 0..16 {
-            let off: f64 = (0..16)
-                .filter(|&j| j != i)
-                .map(|j| a.get(i, j).abs())
-                .sum();
+            let off: f64 = (0..16).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
             assert!(a.get(i, i) > off, "row {i} not dominant");
         }
     }

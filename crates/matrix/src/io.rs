@@ -177,7 +177,10 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&Matrix::identity(2), &mut buf).unwrap();
         buf[0] = b'X';
-        assert!(matches!(read_binary(buf.as_slice()), Err(IoError::Format(_))));
+        assert!(matches!(
+            read_binary(buf.as_slice()),
+            Err(IoError::Format(_))
+        ));
         // truncated data
         let mut buf2 = Vec::new();
         write_binary(&Matrix::identity(2), &mut buf2).unwrap();

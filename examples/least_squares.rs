@@ -27,7 +27,9 @@ fn main() {
     // Ground truth: y = 2 - x + 0.5x² + noise, sampled at m points.
     let (m, d) = (2048usize, 64usize); // heavily overdetermined, d params
     let mut r = rng(7);
-    let xs: Vec<f64> = (0..m).map(|i| (i as f64 + 0.5) / m as f64 * 2.0 - 1.0).collect();
+    let xs: Vec<f64> = (0..m)
+        .map(|i| (i as f64 + 0.5) / m as f64 * 2.0 - 1.0)
+        .collect();
     let truth = |x: f64| 2.0 - x + 0.5 * x * x;
     let ys: Vec<f64> = xs
         .iter()
@@ -84,9 +86,7 @@ fn main() {
         let l = out.factor.as_ref().unwrap();
         let x = solve_with_factor(l, &rhs);
         // Evaluate the fit at a few probe points against the ground truth.
-        let predict = |t: f64| -> f64 {
-            (0..d).map(|j| x[j] * (j as f64 * t.acos()).cos()).sum()
-        };
+        let predict = |t: f64| -> f64 { (0..d).map(|j| x[j] * (j as f64 * t.acos()).cos()).sum() };
         let probes = [-0.9f64, -0.3, 0.0, 0.4, 0.8];
         let max_err = probes
             .iter()

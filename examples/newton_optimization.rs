@@ -112,16 +112,13 @@ fn main() {
 
     let f_clean = objective(&x_clean);
     let f_fault = objective(&x_fault);
-    let g_final: f64 = gradient(&x_fault)
-        .iter()
-        .map(|v| v * v)
-        .sum::<f64>()
-        .sqrt();
+    let g_final: f64 = gradient(&x_fault).iter().map(|v| v * v).sum::<f64>().sqrt();
 
     println!("Newton steps (clean run)  : {steps_clean}");
     println!("Newton steps (fault run)  : {steps_fault}");
     println!("storage errors corrected  : {corrected}");
-    println!("final objective           : {f_fault:.12}");
+    println!("final objective (clean)   : {f_clean:.12}");
+    println!("final objective (fault)   : {f_fault:.12}");
     println!("final gradient norm       : {g_final:.2e}");
 
     assert!(g_final < 1e-8, "converged to a stationary point");

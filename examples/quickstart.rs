@@ -56,7 +56,10 @@ fn main() {
     println!("attempts        : {} (no restart needed)", outcome.attempts);
     println!("errors corrected: {}", outcome.verify.corrected_data);
     println!("residual ‖LLᵀ−A‖/‖A‖ = {residual:.2e}");
-    assert!(residual < 1e-12, "the corrected factor is numerically exact");
+    assert!(
+        residual < 1e-12,
+        "the corrected factor is numerically exact"
+    );
 
     // Use the factor: solve A x = b.
     let b_rhs: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();

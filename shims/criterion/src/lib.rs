@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's `harness = false` benches use
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `bench_function`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`) with a simple
+//! adaptive wall-clock loop: warm up briefly, then run batches until either
+//! the requested sample count or a time budget is reached, and print the
+//! mean per-iteration time. No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Top-level bench context.
+pub struct Criterion {
+    /// Per-benchmark measurement budget.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--quick` (or being invoked via `cargo test`) shrinks the budget so
+        // a full bench binary run stays cheap in CI.
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+        Criterion {
+            budget: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(400)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure that receives its input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.budget, self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.budget, self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    budget: Duration,
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration, sample_size: usize) -> Self {
+        Bencher {
+            budget,
+            sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `f`, adaptively choosing the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup iteration (pulls code and data into cache).
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if iters >= self.sample_size as u64 || start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        println!(
+            "{group}/{id}: {:>12} /iter  ({} iters)",
+            format_time(per_iter),
+            self.iters
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export so existing `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| ()));
+        g.finish();
+        assert!(calls >= 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements a genuine ChaCha8 stream generator (16-word state, 8
+//! double-rounds, 64-byte blocks) behind the workspace `rand` shim traits.
+//! The `seed_from_u64` key schedule follows the same SplitMix64 expansion
+//! upstream `rand` uses, but bit-stream compatibility with the real crate is
+//! *not* guaranteed — nothing in this workspace depends on specific values,
+//! only on per-seed determinism and statistical quality.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 double-rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key (8 words), constant words and counter/nonce are rebuilt per block.
+    key: [u32; 8],
+    counter: u64,
+    buf: [u64; 8],
+    /// Next unread index into `buf`; 8 means "refill".
+    idx: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            state[i] = state[i].wrapping_add(input[i]);
+        }
+        for i in 0..8 {
+            self.buf[i] = state[2 * i] as u64 | ((state[2 * i + 1] as u64) << 32);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 key expansion, as upstream rand does for small seeds.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = next();
+            pair[0] = w as u32;
+            if pair.len() > 1 {
+                pair[1] = (w >> 32) as u32;
+            }
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 8],
+            idx: 8,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.idx >= 8 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_mean_and_spread() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|_| r.gen::<f64>()).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let below = vals.iter().filter(|v| **v < 0.25).count() as f64 / n as f64;
+        assert!((below - 0.25).abs() < 0.02, "P(<0.25) {below}");
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` available offline)
+//! and emits `impl serde::Serialize` / `impl serde::Deserialize` blocks
+//! against the shimmed `serde` Value-tree API. Supports exactly the shapes
+//! this workspace derives on: non-generic named/tuple/unit structs and
+//! enums with unit/tuple/struct variants. Field *types* are never parsed —
+//! the generated code leans on inference (`serde::Deserialize::from_value`
+//! inside struct/variant literals).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields: arity only.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) starting at
+/// `i`; returns the next interesting index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token list at top-level commas (angle-bracket depth 0).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse `{ a: T, b: U }` field names.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let i = skip_attrs_and_vis(seg, 0);
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+/// Parse `(T, U, ...)` arity.
+fn parse_tuple_arity(group: &[TokenTree]) -> usize {
+    split_top_level_commas(group)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(parse_tuple_arity(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive shim: unsupported struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+            let variants = split_top_level_commas(&body_tokens)
+                .iter()
+                .filter(|seg| !seg.is_empty())
+                .map(|seg| {
+                    let j = skip_attrs_and_vis(seg, 0);
+                    let vname = match &seg[j] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde_derive shim: expected variant name, got {other}"),
+                    };
+                    let fields = match seg.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Named(parse_named_fields(&inner))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Tuple(parse_tuple_arity(&inner))
+                        }
+                        None => Fields::Unit,
+                        other => {
+                            panic!("serde_derive shim: unsupported variant body: {other:?}")
+                        }
+                    };
+                    Variant {
+                        name: vname,
+                        fields,
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{\n\
+                         let arr = v.as_array().ok_or_else(|| serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                         if arr.len() != {n} {{ return Err(serde::Error::expected(\"array of {n}\", \"{name}\")); }}\n\
+                         Ok({name}({}))\n\
+                         }}",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(serde::field(obj, \"{f}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{{\n\
+                         let obj = v.as_object().ok_or_else(|| serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                         Ok({name} {{\n{}\n}})\n\
+                         }}",
+                        inits.join("\n")
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| serde::Error::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                 if arr.len() != {n} {{ return Err(serde::Error::expected(\"array of {n}\", \"{name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::field(fobj, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let fobj = inner.as_object().ok_or_else(|| serde::Error::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {{\n{}\n}})\n\
+                                 }}",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => Err(serde::Error(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => Err(serde::Error(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(serde::Error::expected(\"string or single-key object\", \"{name}\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (Value-tree form) for a non-generic item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl did not parse")
+}
+
+/// Derive `serde::Deserialize` (Value-tree form) for a non-generic item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl did not parse")
+}

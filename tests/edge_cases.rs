@@ -20,8 +20,16 @@ fn single_tile_matrix_works_for_all_schemes() {
     let a = spd_diag_dominant(n, 1);
     let p = SystemProfile::test_profile();
     for kind in SchemeKind::all() {
-        let out = run_clean(kind, &p, ExecMode::Execute, n, n, &AbftOptions::default(), Some(&a))
-            .expect("single tile");
+        let out = run_clean(
+            kind,
+            &p,
+            ExecMode::Execute,
+            n,
+            n,
+            &AbftOptions::default(),
+            Some(&a),
+        )
+        .expect("single tile");
         assert_eq!(out.attempts, 1);
         check_correct(&out, &a, kind.name());
     }
@@ -33,8 +41,16 @@ fn two_tile_grid_works_for_all_schemes() {
     let a = spd_diag_dominant(n, 2);
     let p = SystemProfile::test_profile();
     for kind in SchemeKind::all() {
-        let out = run_clean(kind, &p, ExecMode::Execute, n, n / 2, &AbftOptions::default(), Some(&a))
-            .expect("two tiles");
+        let out = run_clean(
+            kind,
+            &p,
+            ExecMode::Execute,
+            n,
+            n / 2,
+            &AbftOptions::default(),
+            Some(&a),
+        )
+        .expect("two tiles");
         check_correct(&out, &a, kind.name());
     }
 }
@@ -45,8 +61,16 @@ fn k_larger_than_iteration_count_still_correct_when_clean() {
     let a = spd_diag_dominant(n, 3);
     let p = SystemProfile::test_profile();
     let opts = AbftOptions::default().with_interval(1000);
-    let out = run_clean(SchemeKind::Enhanced, &p, ExecMode::Execute, n, 16, &opts, Some(&a))
-        .expect("huge K");
+    let out = run_clean(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::Execute,
+        n,
+        16,
+        &opts,
+        Some(&a),
+    )
+    .expect("huge K");
     assert_eq!(out.attempts, 1);
     check_correct(&out, &a, "K=1000");
 }
@@ -85,9 +109,20 @@ fn genuinely_indefinite_input_is_an_error_not_a_retry_loop() {
     a.set(17, 17, -100.0); // break positive definiteness for real
     let p = SystemProfile::test_profile();
     for kind in SchemeKind::all() {
-        let r = run_clean(kind, &p, ExecMode::Execute, n, 8, &AbftOptions::default(), Some(&a));
+        let r = run_clean(
+            kind,
+            &p,
+            ExecMode::Execute,
+            n,
+            8,
+            &AbftOptions::default(),
+            Some(&a),
+        );
         assert!(
-            matches!(r, Err(hchol_matrix::MatrixError::NotPositiveDefinite { .. })),
+            matches!(
+                r,
+                Err(hchol_matrix::MatrixError::NotPositiveDefinite { .. })
+            ),
             "{} must report the indefinite input",
             kind.name()
         );
@@ -159,8 +194,16 @@ fn cpu_and_inline_placements_produce_identical_factors() {
         ChecksumPlacement::Inline,
     ] {
         let opts = AbftOptions::default().with_placement(placement);
-        let out = run_clean(SchemeKind::Enhanced, &p, ExecMode::Execute, n, b, &opts, Some(&a))
-            .expect("placement variant");
+        let out = run_clean(
+            SchemeKind::Enhanced,
+            &p,
+            ExecMode::Execute,
+            n,
+            b,
+            &opts,
+            Some(&a),
+        )
+        .expect("placement variant");
         factors.push(out.factor.unwrap());
     }
     assert_eq!(factors[0], factors[1], "placement must not change numerics");

@@ -63,10 +63,7 @@ fn all_paths_agree_on_diag_dominant() {
 
 #[test]
 fn gram_and_lehmer_matrices_factor_cleanly() {
-    for (label, a) in [
-        ("gram", spd_gram(48, 2)),
-        ("lehmer", lehmer(48)),
-    ] {
+    for (label, a) in [("gram", spd_gram(48, 2)), ("lehmer", lehmer(48))] {
         let factors = all_paths_factor(&a, 8);
         for (name, l) in &factors {
             let r = relative_residual(&reconstruct_lower(l), &a);
@@ -100,7 +97,10 @@ fn ragged_edge_sizes_work_on_host_path() {
         let a = spd_diag_dominant(n, n as u64);
         let mut l = a.clone();
         potrf_blocked(&mut l, 16).unwrap();
-        assert!(relative_residual(&reconstruct_lower(&l), &a) < 1e-12, "n={n}");
+        assert!(
+            relative_residual(&reconstruct_lower(&l), &a) < 1e-12,
+            "n={n}"
+        );
     }
 }
 

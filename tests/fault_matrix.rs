@@ -74,10 +74,7 @@ fn every_single_fault_position_ends_correct() {
                     "{} gave up at {point:?} / {kind_of_fault:?}",
                     scheme.name()
                 );
-                let resid = relative_residual(
-                    &reconstruct_lower(out.factor.as_ref().unwrap()),
-                    &a,
-                );
+                let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
                 assert!(
                     resid < 1e-11,
                     "{} at {point:?} / {kind_of_fault:?}: residual {resid:.2e} (attempts {})",
@@ -130,8 +127,7 @@ fn enhanced_with_large_k_still_ends_correct() {
         )
         .unwrap();
         assert!(!out.failed, "iter {iter}");
-        let resid =
-            relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+        let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
         assert!(resid < 1e-11, "iter {iter}: residual {resid:.2e}");
     }
 }

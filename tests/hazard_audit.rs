@@ -118,14 +118,24 @@ fn unsynchronized_program_is_flagged() {
     // are slim kernels, so the scheduler overlaps them.
     ctx.launch(
         s1,
-        KernelDesc::new("writer", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
-            .with_access(AccessSet::new(vec![], vec![tile])),
+        KernelDesc::new(
+            "writer",
+            KernelClass::Blas2,
+            1_000_000,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(vec![], vec![tile])),
         |_| {},
     );
     ctx.launch(
         s2,
-        KernelDesc::new("reader", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
-            .with_access(AccessSet::new(vec![tile], vec![])),
+        KernelDesc::new(
+            "reader",
+            KernelClass::Blas2,
+            1_000_000,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(vec![tile], vec![])),
         |_| {},
     );
     ctx.sync_all();
@@ -145,16 +155,26 @@ fn event_ordering_silences_the_flag() {
     let tile = TileRef::new(buf, 0, 0);
     ctx.launch(
         s1,
-        KernelDesc::new("writer", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
-            .with_access(AccessSet::new(vec![], vec![tile])),
+        KernelDesc::new(
+            "writer",
+            KernelClass::Blas2,
+            1_000_000,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(vec![], vec![tile])),
         |_| {},
     );
     let e = ctx.record_event(s1);
     ctx.stream_wait_event(s2, e);
     ctx.launch(
         s2,
-        KernelDesc::new("reader", KernelClass::Blas2, 1_000_000, WorkCategory::Factorization)
-            .with_access(AccessSet::new(vec![tile], vec![])),
+        KernelDesc::new(
+            "reader",
+            KernelClass::Blas2,
+            1_000_000,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(vec![tile], vec![])),
         |_| {},
     );
     ctx.sync_all();

@@ -23,10 +23,7 @@ fn run(kind: SchemeKind, plan: FaultPlan) -> (FactorOutcome, f64) {
         Some(&a),
     )
     .expect("scheme runs");
-    let resid = relative_residual(
-        &reconstruct_lower(out.factor.as_ref().expect("factor")),
-        &a,
-    );
+    let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().expect("factor")), &a);
     (out, resid)
 }
 
@@ -115,8 +112,8 @@ fn enhanced_time_unaffected_by_faults() {
 
 #[test]
 fn both_errors_at_once_still_recovered_by_enhanced() {
-    let plan = FaultPlan::paper_computing_error(NT, B)
-        .merged(FaultPlan::paper_storage_error(NT, B));
+    let plan =
+        FaultPlan::paper_computing_error(NT, B).merged(FaultPlan::paper_storage_error(NT, B));
     let (out, resid) = run(SchemeKind::Enhanced, plan);
     assert_eq!(out.attempts, 1);
     assert_eq!(out.verify.corrected_data, 2);
@@ -126,9 +123,13 @@ fn both_errors_at_once_still_recovered_by_enhanced() {
 #[test]
 fn scheme_cost_ordering_matches_paper() {
     // No-error cost: Offline <= Online <= Enhanced (Table VII column 1).
-    let t: Vec<f64> = [SchemeKind::Offline, SchemeKind::Online, SchemeKind::Enhanced]
-        .iter()
-        .map(|&k| run(k, FaultPlan::none()).0.time.as_secs())
-        .collect();
+    let t: Vec<f64> = [
+        SchemeKind::Offline,
+        SchemeKind::Online,
+        SchemeKind::Enhanced,
+    ]
+    .iter()
+    .map(|&k| run(k, FaultPlan::none()).0.time.as_secs())
+    .collect();
     assert!(t[0] <= t[1] && t[1] <= t[2], "ordering violated: {t:?}");
 }

@@ -48,7 +48,10 @@ fn tardis_headline_times() {
     }
     let spread = times.iter().cloned().fold(0.0, f64::max)
         / times.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread < 1.10, "schemes within 10% with no errors: {times:?}");
+    assert!(
+        spread < 1.10,
+        "schemes within 10% with no errors: {times:?}"
+    );
 }
 
 /// Table VIII headline: ~8.7-8.8 s at n = 30720 on Bulldozer64.
@@ -182,7 +185,11 @@ fn enhanced_overhead_shrinks_with_n_and_respects_caps() {
             (t / base - 1.0) * 100.0
         };
         let small = overhead(7680);
-        let max_n = if p.name == "Bulldozer64" { 30720 } else { 23040 };
+        let max_n = if p.name == "Bulldozer64" {
+            30720
+        } else {
+            23040
+        };
         let large = overhead(max_n);
         assert!(large < small, "{}: {large} !< {small}", p.name);
         assert!(large < cap, "{}: {large} above cap {cap}", p.name);
@@ -256,13 +263,29 @@ fn decision_model_matches_paper_choices() {
 fn timing_is_deterministic() {
     let p = SystemProfile::tardis();
     let opts = AbftOptions::default();
-    let t1 = run_clean(SchemeKind::Enhanced, &p, ExecMode::TimingOnly, 5120, 256, &opts, None)
-        .unwrap()
-        .time
-        .as_secs();
-    let t2 = run_clean(SchemeKind::Enhanced, &p, ExecMode::TimingOnly, 5120, 256, &opts, None)
-        .unwrap()
-        .time
-        .as_secs();
+    let t1 = run_clean(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::TimingOnly,
+        5120,
+        256,
+        &opts,
+        None,
+    )
+    .unwrap()
+    .time
+    .as_secs();
+    let t2 = run_clean(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::TimingOnly,
+        5120,
+        256,
+        &opts,
+        None,
+    )
+    .unwrap()
+    .time
+    .as_secs();
     assert_eq!(t1, t2);
 }
