@@ -25,6 +25,12 @@ cargo test --workspace -q
 step "tests: hchol-blas without default features (no 'parallel')"
 cargo test -q -p hchol-blas --no-default-features
 
+step "rustdoc (deny warnings, no deps)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+step "doctests"
+cargo test --doc --workspace -q
+
 step "kernel bench sweep (quick) -> BENCH_kernels.json"
 cargo bench -p hchol-bench --bench kernels -- --quick
 

@@ -72,6 +72,13 @@ fn main() {
             ]);
         }
         t.print();
+        if args.json {
+            let p = t.save_json(&format!(
+                "ablation_block_{}.json",
+                profile.name.to_lowercase()
+            ));
+            println!("table written to {}", p.display());
+        }
         println!(
             "reading: overhead falls roughly as 1/B (the checksum rows shrink relative to the block) until per-iteration fixed costs take over; MAGMA's defaults sit near the sweet spot.\n"
         );

@@ -125,6 +125,10 @@ fn main() {
         ]);
     }
     t.print();
+    if args.json {
+        let p = t.save_json("ablation_ecc.json");
+        println!("table written to {}", p.display());
+    }
     println!(
         "reading: ECC thins the population (single-bit upsets vanish) but multi-bit\n\
          upsets still corrupt the factor (wrong residual, no recovery); only the two\n\

@@ -73,6 +73,13 @@ fn main() {
             ]);
         }
         t.print();
+        if args.json {
+            let p = t.save_json(&format!(
+                "ablation_variant_{}.json",
+                profile.name.to_lowercase()
+            ));
+            println!("table written to {}", p.display());
+        }
     }
     println!(
         "reading: the outer-product form pays its exposed POTF2 round trips (Section\n\

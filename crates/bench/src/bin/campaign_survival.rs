@@ -95,6 +95,7 @@ fn main() {
     );
     if args.json {
         let p = save("campaign_survival.csv", &t.to_csv());
-        println!("series written to {}", p.display());
+        let j = t.save_json("campaign_survival.json");
+        println!("series written to {} and {}", p.display(), j.display());
     }
 }

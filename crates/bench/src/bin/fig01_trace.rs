@@ -39,11 +39,21 @@ fn main() {
             100.0 * busy_cpu.as_secs() / rep.time.as_secs(),
         );
         if args.json {
-            let path = report::save(
-                &format!("fig01_trace_{}.json", profile.name.to_lowercase()),
-                &rep.ctx.timeline.to_json(),
+            let tag = profile.name.to_lowercase();
+            let trace =
+                serde_json::value_from_str(&rep.ctx.timeline.to_json()).expect("trace serializes");
+            let path = report::save_envelope(
+                "trace",
+                &format!("MAGMA hybrid trace on {}", profile.name),
+                &format!("fig01_trace_{tag}.json"),
+                trace,
             );
             println!("trace written to {}", path.display());
+            let run = report::save(
+                &format!("fig01_run_report_{tag}.json"),
+                &rep.report("MAGMA hybrid").to_json(),
+            );
+            println!("run report written to {}", run.display());
         }
     }
 }

@@ -55,11 +55,10 @@ fn main() {
         }
         t.print();
         if args.json {
-            let p = save(
-                &format!("fig{fig}_opt3_{}.csv", profile.name.to_lowercase()),
-                &t.to_csv(),
-            );
-            println!("series written to {}\n", p.display());
+            let tag = profile.name.to_lowercase();
+            let p = save(&format!("fig{fig}_opt3_{tag}.csv"), &t.to_csv());
+            let j = t.save_json(&format!("fig{fig}_opt3_{tag}.json"));
+            println!("series written to {} and {}\n", p.display(), j.display());
         }
     }
 }

@@ -56,11 +56,10 @@ fn main() {
             );
         }
         if args.json {
-            let p = save(
-                &format!("fig{fig}_performance_{}.csv", profile.name.to_lowercase()),
-                &t.to_csv(),
-            );
-            println!("series written to {}\n", p.display());
+            let tag = profile.name.to_lowercase();
+            let p = save(&format!("fig{fig}_performance_{tag}.csv"), &t.to_csv());
+            let j = t.save_json(&format!("fig{fig}_performance_{tag}.json"));
+            println!("series written to {} and {}\n", p.display(), j.display());
         }
     }
 }

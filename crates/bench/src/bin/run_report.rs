@@ -1,0 +1,50 @@
+//! Run one Enhanced Online-ABFT factorization with a mid-run storage error
+//! and export the full observability run report — the end-to-end
+//! demonstration the `EXPERIMENTS.md` walkthrough follows.
+//!
+//! Prints the human-readable summary (phase breakdown, engine busy/idle,
+//! fault-tolerance counters, event log) and, with `--json`, writes the
+//! complete versioned JSON document under `bench_results/`.
+
+use hchol_bench::report;
+use hchol_bench::BenchArgs;
+use hchol_core::schemes::{run_scheme, SchemeKind};
+use hchol_core::AbftOptions;
+use hchol_faults::FaultPlan;
+use hchol_gpusim::ExecMode;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for profile in args.systems() {
+        let n = if args.quick { 2048 } else { 10240 };
+        let b = profile.default_block;
+        let nt = n / b;
+        let out = run_scheme(
+            SchemeKind::Enhanced,
+            &profile,
+            ExecMode::TimingOnly,
+            n,
+            b,
+            &AbftOptions::default(),
+            FaultPlan::paper_storage_error(nt, b),
+            None,
+        )
+        .expect("scheme runs");
+        let rep = out.report();
+        rep.validate(1e-6)
+            .expect("per-phase totals sum to the run's total virtual time");
+        print!("{}", rep.render_text());
+        let phase_sum: f64 = rep.phase_totals.iter().map(|p| p.secs).sum();
+        println!(
+            "partition check: Σ phases = {phase_sum:.6}s vs total {:.6}s ✓\n",
+            rep.total_secs
+        );
+        if args.json {
+            let p = report::save(
+                &format!("run_report_{}.json", profile.name.to_lowercase()),
+                &rep.to_json(),
+            );
+            println!("run report written to {}\n", p.display());
+        }
+    }
+}

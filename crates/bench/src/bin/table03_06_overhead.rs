@@ -157,6 +157,18 @@ fn main() {
         ]);
     }
     x.print();
+    if args.json {
+        for (table, file) in [
+            (&t2, "table02_symbols.json"),
+            (&t3, "table03_encode.json"),
+            (&t45, "table04_05_update.json"),
+            (&t6, "table06_recalc.json"),
+            (&x, "table_model_vs_measured.json"),
+        ] {
+            let p = table.save_json(file);
+            println!("table written to {}", p.display());
+        }
+    }
     println!(
         "(Ratios near 1.0 confirm the implementation performs the work volumes the paper's Section VI budgets — the encode row counts the full lower triangle, slightly above the paper's n²-halving approximation.)"
     );

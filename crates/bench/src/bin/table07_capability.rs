@@ -62,6 +62,13 @@ fn main() {
             t.row(&cells);
         }
         t.print();
+        if args.json {
+            let p = t.save_json(&format!(
+                "table07_capability_{}.json",
+                profile.name.to_lowercase()
+            ));
+            println!("table written to {}", p.display());
+        }
     }
 
     // Execute-mode replica: real numbers, real corrections.
@@ -113,6 +120,10 @@ fn main() {
         }
     }
     t.print();
+    if args.json {
+        let p = t.save_json("table07_execute_replica.json");
+        println!("table written to {}", p.display());
+    }
     println!(
         "Reading: Enhanced absorbs both error kinds in-place (1 attempt, tiny residual).\n\
          Online corrects the computing error but must re-run after the storage error.\n\

@@ -1,7 +1,13 @@
 //! Plain-text tables, CSV series, and JSON dumps for the experiment
 //! binaries. Everything prints to stdout; `--json` additionally writes a
 //! machine-readable file under `bench_results/`.
+//!
+//! Every JSON artifact goes through [`save_envelope`], which wraps the body
+//! in the workspace's versioned envelope (`hchol_obs::envelope`) so
+//! downstream tooling can dispatch on `schema_version` and `kind` instead
+//! of sniffing shapes.
 
+use hchol_obs::envelope;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -70,6 +76,28 @@ impl Table {
         }
         out
     }
+
+    /// Structured JSON body of the table: `{title, header, rows}` with all
+    /// cells as strings (exactly what was rendered).
+    pub fn to_value(&self) -> serde::Value {
+        let strs = |v: &[String]| {
+            serde::Value::Array(v.iter().map(|s| serde::Value::Str(s.clone())).collect())
+        };
+        serde::Value::Object(vec![
+            ("title".to_string(), serde::Value::Str(self.title.clone())),
+            ("header".to_string(), strs(&self.header)),
+            (
+                "rows".to_string(),
+                serde::Value::Array(self.rows.iter().map(|r| strs(r)).collect()),
+            ),
+        ])
+    }
+
+    /// Write the table as a versioned-envelope JSON artifact to
+    /// `bench_results/<name>`; returns the path written.
+    pub fn save_json(&self, name: &str) -> PathBuf {
+        save_envelope("table", &self.title, name, self.to_value())
+    }
 }
 
 /// Format seconds like the paper's tables (4 significant decimals).
@@ -90,6 +118,17 @@ pub fn save(name: &str, content: &str) -> PathBuf {
     let path = dir.join(name);
     fs::write(&path, content).expect("write result file");
     path
+}
+
+/// Wrap `body` in the versioned artifact envelope
+/// (`{schema_version, kind, name, body}`) and write it pretty-printed to
+/// `bench_results/<file>`; returns the path written.
+pub fn save_envelope(kind: &str, name: &str, file: &str, body: serde::Value) -> PathBuf {
+    let env = envelope(kind, name, body);
+    save(
+        file,
+        &serde_json::to_string_pretty(&env).expect("artifact serializes"),
+    )
 }
 
 #[cfg(test)]
@@ -127,5 +166,18 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_secs(10.65721), "10.6572s");
         assert_eq!(fmt_pct(6.377), "6.38%");
+    }
+
+    #[test]
+    fn table_value_is_enveloped_json() {
+        let mut t = Table::new("demo", &["n", "secs"]);
+        t.row(&["5120".into(), "1.5".into()]);
+        let env = envelope("table", "demo", t.to_value());
+        let json = serde_json::to_string_pretty(&env).unwrap();
+        assert!(json.contains("\"schema_version\""));
+        assert!(json.contains("\"kind\": \"table\""));
+        let back = serde_json::value_from_str(&json).unwrap();
+        let obj = back.as_object().unwrap();
+        assert!(obj.iter().any(|(k, _)| k == "body"));
     }
 }

@@ -7,7 +7,7 @@
 //! pointer/leading-dimension arithmetic.
 //!
 //! Two implementations coexist:
-//! * the **blocked engine** ([`microkernel`]/[`pack`] plus the macro-loops in
+//! * the **blocked engine** ([`microkernel`]/`pack` plus the macro-loops in
 //!   `gemm`), a BLIS-style cache-blocked path that packs operands and runs a
 //!   register-tiled micro-kernel — used automatically above a size threshold;
 //! * the **naive kernels** ([`naive_gemm`], [`naive_syrk`]), the seed

@@ -17,9 +17,11 @@
 use crate::magma::BaselineReport;
 use crate::ops::{self};
 use crate::options::ChecksumPlacement;
+use crate::span_util::scope;
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, SimContext};
 use hchol_matrix::{Matrix, MatrixError};
+use hchol_obs::Phase;
 
 /// Relative inefficiency of the simulated CULA BLAS versus MAGMA's
 /// (charged flops are inflated by this factor).
@@ -35,26 +37,62 @@ pub fn factor_cula(
 ) -> Result<BaselineReport, MatrixError> {
     let mut ctx = SimContext::new(profile.clone(), mode);
     ctx.disable_timeline();
-    let mut lay = ops::setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, input)?;
+    let run_span = ctx
+        .obs
+        .spans
+        .open(format!("CULA n={n} b={b}"), Phase::Run, 0.0);
+    let mut lay = scope!(
+        ctx,
+        "setup",
+        Phase::Setup,
+        ops::setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, input)
+    )?;
     lay.flop_inflation = CULA_FLOP_INFLATION;
     for j in 0..lay.nt {
+        let iter_span = {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.open(format!("iter {j}"), Phase::Iteration, t)
+        };
         // Fully synchronous: every step drains the device before the next.
-        ops::syrk_diag(&mut ctx, &lay, j);
-        ctx.sync_device();
-        ops::diag_to_host(&mut ctx, &mut lay, j);
-        ctx.sync_stream(lay.s_tran);
-        ops::host_potf2(&mut ctx, &lay, j)?;
-        ops::diag_to_device(&mut ctx, &lay, j);
-        ctx.sync_stream(lay.s_tran);
-        ops::gemm_panel(&mut ctx, &lay, j);
-        ctx.sync_device();
-        ops::trsm_panel(&mut ctx, &lay, j);
-        ctx.sync_device();
+        scope!(ctx, "syrk", Phase::Syrk, {
+            ops::syrk_diag(&mut ctx, &lay, j);
+            ctx.sync_device();
+        });
+        scope!(ctx, "diag d2h", Phase::Transfer, {
+            ops::diag_to_host(&mut ctx, &mut lay, j);
+            ctx.sync_stream(lay.s_tran);
+        });
+        let potf2_result = scope!(ctx, "potf2", Phase::Potf2, {
+            let r = ops::host_potf2(&mut ctx, &lay, j);
+            ops::diag_to_device(&mut ctx, &lay, j);
+            ctx.sync_stream(lay.s_tran);
+            r
+        });
+        scope!(ctx, "gemm", Phase::Gemm, {
+            ops::gemm_panel(&mut ctx, &lay, j);
+            ctx.sync_device();
+        });
+        scope!(ctx, "trsm", Phase::Trsm, {
+            ops::trsm_panel(&mut ctx, &lay, j);
+            ctx.sync_device();
+        });
+        {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.close(iter_span, t);
+        }
+        potf2_result?;
     }
-    ctx.sync_all();
+    scope!(ctx, "drain", Phase::Drain, ctx.sync_all());
     let time = ctx.now();
+    ctx.obs.spans.close(run_span, time.as_secs());
     let factor = ops::extract_factor(&ctx, &lay);
-    Ok(BaselineReport { time, factor, ctx })
+    Ok(BaselineReport {
+        n,
+        b,
+        time,
+        factor,
+        ctx,
+    })
 }
 
 #[cfg(test)]

@@ -23,6 +23,11 @@
 //!   generalization, implemented for m = 2 (an extension beyond the
 //!   published system).
 //! * [`solve`] — using the factor (least squares, Monte Carlo, Kalman).
+//!
+//! Every driver emits observability data (scope spans per phase, metrics,
+//! fault events) into its simulation context's `obs` state; call
+//! [`FactorOutcome::report`] or `BaselineReport::report` to export a run as
+//! a versioned JSON document (re-exported [`obs`] crate).
 
 #![warn(missing_docs)]
 
@@ -40,8 +45,10 @@ pub mod overhead;
 pub mod rowchk;
 pub mod schemes;
 pub mod solve;
+mod span_util;
 pub mod verify;
 
+pub use hchol_obs as obs;
 pub use options::{AbftOptions, ChecksumPlacement};
 pub use schemes::{run_clean, run_scheme, FactorOutcome, SchemeKind};
 pub use verify::{VerifyOutcome, VerifyPolicy};

@@ -14,17 +14,24 @@
 
 use crate::ops::{self, CholLayout};
 use crate::options::ChecksumPlacement;
+use crate::span_util::scope;
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, SimContext, SimTime};
 use hchol_matrix::{Matrix, MatrixError};
+use hchol_obs::{Phase, RunReport};
 
 /// Result of a baseline (non-fault-tolerant) factorization.
 pub struct BaselineReport {
+    /// Matrix size.
+    pub n: usize,
+    /// Block size.
+    pub b: usize,
     /// Total virtual time.
     pub time: SimTime,
     /// The lower factor (Execute mode only).
     pub factor: Option<Matrix>,
-    /// The simulation context (timeline, counters) for inspection.
+    /// The simulation context (timeline, counters, observability state)
+    /// for inspection.
     pub ctx: SimContext,
 }
 
@@ -33,6 +40,22 @@ impl BaselineReport {
     pub fn gflops(&self, n: usize) -> f64 {
         let f = (n as f64).powi(3) / 3.0;
         f / self.time.as_secs() / 1e9
+    }
+
+    /// Export the run as a structured [`RunReport`] named `name` (e.g.
+    /// `"MAGMA hybrid"`), with config, per-phase virtual-time totals,
+    /// metrics, and the span tree.
+    pub fn report(&self, name: &str) -> RunReport {
+        let mut r = RunReport::new(
+            name,
+            &self.ctx.profile().name,
+            &format!("{:?}", self.ctx.mode),
+            self.time.as_secs(),
+            &self.ctx.obs,
+        );
+        r.config_kv("n", self.n);
+        r.config_kv("block", self.b);
+        r
     }
 }
 
@@ -43,19 +66,26 @@ pub fn magma_iteration(
     lay: &mut CholLayout,
     j: usize,
 ) -> Result<(), MatrixError> {
-    ops::syrk_diag(ctx, lay, j);
-    let syrk_done = ctx.record_event(lay.s_comp);
-    ctx.stream_wait_event(lay.s_tran, syrk_done);
-    ops::diag_to_host(ctx, lay, j);
+    scope!(ctx, "syrk", Phase::Syrk, ops::syrk_diag(ctx, lay, j));
+    scope!(ctx, "diag d2h", Phase::Transfer, {
+        let syrk_done = ctx.record_event(lay.s_comp);
+        ctx.stream_wait_event(lay.s_tran, syrk_done);
+        ops::diag_to_host(ctx, lay, j);
+    });
     // Enqueue the panel GEMM before blocking on the transfer: the GPU works
     // on it while the host factors the diagonal block.
-    ops::gemm_panel(ctx, lay, j);
-    ctx.sync_stream(lay.s_tran);
-    let potf2_result = ops::host_potf2(ctx, lay, j);
-    ops::diag_to_device(ctx, lay, j);
-    let diag_back = ctx.record_event(lay.s_tran);
-    ctx.stream_wait_event(lay.s_comp, diag_back);
-    ops::trsm_panel(ctx, lay, j);
+    scope!(ctx, "gemm", Phase::Gemm, ops::gemm_panel(ctx, lay, j));
+    let potf2_result = scope!(ctx, "potf2", Phase::Potf2, {
+        ctx.sync_stream(lay.s_tran);
+        let r = ops::host_potf2(ctx, lay, j);
+        ops::diag_to_device(ctx, lay, j);
+        r
+    });
+    scope!(ctx, "trsm", Phase::Trsm, {
+        let diag_back = ctx.record_event(lay.s_tran);
+        ctx.stream_wait_event(lay.s_comp, diag_back);
+        ops::trsm_panel(ctx, lay, j);
+    });
     potf2_result
 }
 
@@ -75,14 +105,39 @@ pub fn factor_magma(
     if !record_timeline {
         ctx.disable_timeline();
     }
-    let mut lay = ops::setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, input)?;
+    let run_span = ctx
+        .obs
+        .spans
+        .open(format!("MAGMA n={n} b={b}"), Phase::Run, 0.0);
+    let mut lay = scope!(
+        ctx,
+        "setup",
+        Phase::Setup,
+        ops::setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, input)
+    )?;
     for j in 0..lay.nt {
-        magma_iteration(&mut ctx, &mut lay, j)?;
+        let iter_span = {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.open(format!("iter {j}"), Phase::Iteration, t)
+        };
+        let r = magma_iteration(&mut ctx, &mut lay, j);
+        {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.close(iter_span, t);
+        }
+        r?;
     }
-    ctx.sync_all();
+    scope!(ctx, "drain", Phase::Drain, ctx.sync_all());
     let time = ctx.now();
+    ctx.obs.spans.close(run_span, time.as_secs());
     let factor = ops::extract_factor(&ctx, &lay);
-    Ok(BaselineReport { time, factor, ctx })
+    Ok(BaselineReport {
+        n,
+        b,
+        time,
+        factor,
+        ctx,
+    })
 }
 
 #[cfg(test)]

@@ -176,10 +176,25 @@ pub fn poll_faults(
     inj: &mut Injector,
     point: InjectionPoint,
 ) {
+    let before = inj.applied().len();
     if ctx.mode.executes() {
         inj.poll(point, ctx.dev_mem.buf_mut(lay.mat));
     } else {
         inj.poll_timing(point);
+    }
+    let after = inj.applied().len();
+    if after > before {
+        // The event detail carries only the fault *spec* (site, species,
+        // trigger), never the corrupted values — specs are identical across
+        // Execute and TimingOnly, so reports stay mode-invariant.
+        let t = ctx.now().as_secs();
+        ctx.obs
+            .metrics
+            .add_count("faults.injected", (after - before) as u64);
+        for k in before..after {
+            let detail = format!("{:?}", inj.applied()[k].spec);
+            ctx.obs.event(t, "fault.injected", detail);
+        }
     }
 }
 
@@ -726,6 +741,45 @@ pub fn verify_batch(
                     out.tiles_flagged += 1;
                 }
             }
+        }
+    }
+
+    // Observability: batch totals and fault-tolerance events. Only the
+    // `VerifyOutcome` totals are recorded — they are mode-invariant (the
+    // TimingOnly ledger oracle mirrors the Execute-mode comparison).
+    let m = &mut ctx.obs.metrics;
+    m.inc("verify.batches");
+    m.add_count("verify.tiles", tiles.len() as u64);
+    if !out.is_clean() {
+        m.add_count("verify.detections", out.tiles_flagged as u64);
+        m.add_count("verify.corrected_data", out.corrected_data as u64);
+        m.add_count("verify.repaired_checksums", out.repaired_checksums as u64);
+        m.add_count(
+            "verify.uncorrectable_columns",
+            out.uncorrectable_columns as u64,
+        );
+        let t = ctx.now().as_secs();
+        ctx.obs.event(
+            t,
+            "fault.detected",
+            format!("flagged {} of {} tiles", out.tiles_flagged, tiles.len()),
+        );
+        if out.corrected_data > 0 || out.repaired_checksums > 0 {
+            ctx.obs.event(
+                t,
+                "fault.corrected",
+                format!(
+                    "data columns: {}, checksum rows: {}",
+                    out.corrected_data, out.repaired_checksums
+                ),
+            );
+        }
+        if out.uncorrectable_columns > 0 {
+            ctx.obs.event(
+                t,
+                "fault.uncorrectable",
+                format!("{} columns beyond correction", out.uncorrectable_columns),
+            );
         }
     }
     out

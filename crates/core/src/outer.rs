@@ -1,5 +1,5 @@
 //! The outer-product (right-looking, trailing-update) Cholesky variant —
-//! the form FT-ScaLAPACK [18] protects, and the form MAGMA rejected.
+//! the form FT-ScaLAPACK \[18\] protects, and the form MAGMA rejected.
 //!
 //! Section II-A of the paper: "MAGMA chose the inner product version because
 //! it has more BLAS Level-3 operations, hence, can utilize the heterogeneous
@@ -130,7 +130,13 @@ pub fn factor_outer(
     ctx.sync_all();
     let time = ctx.now();
     let factor = ops::extract_factor(&ctx, &lay);
-    Ok(BaselineReport { time, factor, ctx })
+    Ok(BaselineReport {
+        n,
+        b,
+        time,
+        factor,
+        ctx,
+    })
 }
 
 #[cfg(test)]

@@ -18,9 +18,11 @@
 
 use super::{AttemptCtx, AttemptEnd};
 use crate::ops;
+use crate::span_util::scope;
 use crate::verify::VerifyOutcome;
 use hchol_faults::InjectionPoint;
 use hchol_matrix::MatrixError;
+use hchol_obs::Phase;
 
 pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
     let AttemptCtx {
@@ -34,19 +36,33 @@ pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutco
 
     macro_rules! check {
         ($tiles:expr) => {{
-            let o = ops::verify_batch(ctx, lay, inj, $tiles, opts);
+            let o = scope!(
+                ctx,
+                "verify",
+                Phase::Verify,
+                ops::verify_batch(ctx, lay, inj, $tiles, opts)
+            );
             let ok = o.fully_recovered();
             vo.merge(o);
             if !ok {
-                ctx.sync_all();
+                scope!(ctx, "restart drain", Phase::Drain, ctx.sync_all());
                 return Ok((AttemptEnd::Restart, vo));
             }
         }};
     }
 
-    ops::encode_all(ctx, lay, opts);
+    scope!(
+        ctx,
+        "encode",
+        Phase::Encode,
+        ops::encode_all(ctx, lay, opts)
+    );
 
     for j in 0..nt {
+        let iter_span = {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.open(format!("iter {j}"), Phase::Iteration, t)
+        };
         ops::poll_faults(ctx, lay, inj, InjectionPoint::IterStart { iter: j });
         let has_panel = j + 1 < nt;
 
@@ -54,18 +70,22 @@ pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutco
         let mut syrk_inputs: Vec<(usize, usize)> = vec![(j, j)];
         syrk_inputs.extend((0..j).map(|k| (j, k)));
         check!(&syrk_inputs);
-        ops::syrk_diag(ctx, lay, j);
-        ops::propagate_syrk(inj, j);
-        ops::update_chk_syrk(ctx, lay, j);
-        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostSyrk { iter: j });
+        scope!(ctx, "syrk", Phase::Syrk, {
+            ops::syrk_diag(ctx, lay, j);
+            ops::propagate_syrk(inj, j);
+            ops::update_chk_syrk(ctx, lay, j);
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostSyrk { iter: j });
+        });
 
         // --- POTF2 input check: the SYRK output feeds the unblocked
         // factorization; an undetected error here is a fail-stop risk, so
         // it is verified every iteration regardless of K. ---
         check!(&[(j, j)]);
-        let syrk_done = ctx.record_event(lay.s_comp);
-        ctx.stream_wait_event(lay.s_tran, syrk_done);
-        ops::diag_to_host(ctx, lay, j);
+        scope!(ctx, "diag d2h", Phase::Transfer, {
+            let syrk_done = ctx.record_event(lay.s_comp);
+            ctx.stream_wait_event(lay.s_tran, syrk_done);
+            ops::diag_to_host(ctx, lay, j);
+        });
 
         // --- GEMM step: verify inputs B, C, D on K-gated iterations. ---
         if has_panel && j > 0 {
@@ -82,19 +102,23 @@ pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutco
                 }
                 check!(&gemm_inputs);
             }
-            ops::gemm_panel(ctx, lay, j);
-            ops::propagate_gemm(inj, nt, j);
-            for i in (j + 1)..nt {
-                ops::update_chk_gemm(ctx, lay, j, i);
-            }
-            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostGemm { iter: j });
+            scope!(ctx, "gemm", Phase::Gemm, {
+                ops::gemm_panel(ctx, lay, j);
+                ops::propagate_gemm(inj, nt, j);
+                for i in (j + 1)..nt {
+                    ops::update_chk_gemm(ctx, lay, j, i);
+                }
+                ops::poll_faults(ctx, lay, inj, InjectionPoint::PostGemm { iter: j });
+            });
         }
 
-        ctx.sync_stream(lay.s_tran);
-        ops::host_potf2(ctx, lay, j)?;
-        ops::diag_to_device(ctx, lay, j);
-        ops::update_chk_potf2(ctx, lay, j);
-        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostPotf2 { iter: j });
+        scope!(ctx, "potf2", Phase::Potf2, {
+            ctx.sync_stream(lay.s_tran);
+            ops::host_potf2(ctx, lay, j)?;
+            ops::diag_to_device(ctx, lay, j);
+            ops::update_chk_potf2(ctx, lay, j);
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostPotf2 { iter: j });
+        });
 
         // --- TRSM step: verify inputs L = (j,j) and B = (i,j) on K-gated
         // iterations. ---
@@ -104,18 +128,24 @@ pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutco
                 trsm_inputs.extend(((j + 1)..nt).map(|i| (i, j)));
                 check!(&trsm_inputs);
             }
-            let diag_back = ctx.record_event(lay.s_tran);
-            ctx.stream_wait_event(lay.s_comp, diag_back);
-            ops::trsm_panel(ctx, lay, j);
-            ops::propagate_trsm(inj, nt, j);
-            for i in (j + 1)..nt {
-                ops::update_chk_trsm(ctx, lay, j, i);
-            }
-            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostTrsm { iter: j });
+            scope!(ctx, "trsm", Phase::Trsm, {
+                let diag_back = ctx.record_event(lay.s_tran);
+                ctx.stream_wait_event(lay.s_comp, diag_back);
+                ops::trsm_panel(ctx, lay, j);
+                ops::propagate_trsm(inj, nt, j);
+                for i in (j + 1)..nt {
+                    ops::update_chk_trsm(ctx, lay, j, i);
+                }
+                ops::poll_faults(ctx, lay, inj, InjectionPoint::PostTrsm { iter: j });
+            });
         }
         ops::mark_panel_ready(ctx, lay);
         ops::cpu_mirror_panel(ctx, lay, j);
+        {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.close(iter_span, t);
+        }
     }
-    ctx.sync_all();
+    scope!(ctx, "drain", Phase::Drain, ctx.sync_all());
     Ok((AttemptEnd::Completed, vo))
 }

@@ -19,11 +19,13 @@ mod online;
 use crate::decision;
 use crate::ops::{self};
 use crate::options::AbftOptions;
+use crate::span_util::scope;
 use crate::verify::VerifyOutcome;
 use hchol_faults::{FaultPlan, Injector};
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, SimContext, SimTime};
 use hchol_matrix::{Matrix, MatrixError};
+use hchol_obs::{Phase, RunReport};
 
 /// Which fault-tolerance scheme drives the factorization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +78,12 @@ pub(crate) struct AttemptCtx<'a> {
 pub struct FactorOutcome {
     /// Which scheme ran.
     pub scheme: SchemeKind,
+    /// Matrix size.
+    pub n: usize,
+    /// Block size.
+    pub b: usize,
+    /// The options the run actually used (placement resolved).
+    pub opts: AbftOptions,
     /// Total virtual time across all attempts.
     pub time: SimTime,
     /// Number of attempts (1 = no restart).
@@ -86,7 +94,8 @@ pub struct FactorOutcome {
     pub factor: Option<Matrix>,
     /// True if the final attempt still ended with uncorrectable corruption.
     pub failed: bool,
-    /// The simulation context (timeline, counters) for inspection.
+    /// The simulation context (timeline, counters, observability state)
+    /// for inspection.
     pub ctx: SimContext,
 }
 
@@ -94,6 +103,27 @@ impl FactorOutcome {
     /// Achieved GFLOP/s on the canonical `n³/3` flop count for size `n`.
     pub fn gflops(&self, n: usize) -> f64 {
         (n as f64).powi(3) / 3.0 / self.time.as_secs() / 1e9
+    }
+
+    /// Export the run as a structured [`RunReport`] (config, per-phase
+    /// virtual-time totals, metrics, fault events, span tree).
+    pub fn report(&self) -> RunReport {
+        let mut r = RunReport::new(
+            self.scheme.name(),
+            &self.ctx.profile().name,
+            &format!("{:?}", self.ctx.mode),
+            self.time.as_secs(),
+            &self.ctx.obs,
+        );
+        r.config_kv("n", self.n);
+        r.config_kv("block", self.b);
+        r.config_kv("placement", format!("{:?}", self.opts.placement));
+        r.config_kv("verify_interval", self.opts.verify_interval);
+        r.config_kv("concurrent_recalc", self.opts.concurrent_recalc);
+        r.config_kv("max_restarts", self.opts.max_restarts);
+        r.config_kv("attempts", self.attempts);
+        r.config_kv("failed", self.failed);
+        r
     }
 }
 
@@ -123,10 +153,19 @@ pub fn run_scheme(
     if opts.audit_hazards {
         ctx.enable_hazard_log();
     }
+    let run_span = ctx
+        .obs
+        .spans
+        .open(format!("{} n={n} b={b}", kind.name()), Phase::Run, 0.0);
     let placement = decision::choose(opts.placement, profile, n, b, opts.verify_interval);
     let mut resolved = opts.clone();
     resolved.placement = placement;
-    let mut lay = ops::setup(&mut ctx, n, b, true, placement, input)?;
+    let mut lay = scope!(
+        ctx,
+        "setup",
+        Phase::Setup,
+        ops::setup(&mut ctx, n, b, true, placement, input)
+    )?;
     let pristine = if mode.executes() {
         Some(ctx.dev_mem.buf(lay.mat).clone())
     } else {
@@ -140,9 +179,23 @@ pub fn run_scheme(
     let mut failed = false;
     loop {
         attempts += 1;
+        let att = {
+            let t = ctx.now().as_secs();
+            ctx.obs
+                .spans
+                .open(format!("attempt {attempts}"), Phase::Attempt, t)
+        };
         if attempts > 1 {
-            ops::reload(&mut ctx, &lay, pristine.as_ref());
-            inj.reset_dirty();
+            let t = ctx.now().as_secs();
+            ctx.obs.event(
+                t,
+                "run.restart",
+                format!("attempt {attempts} after uncorrectable corruption"),
+            );
+            scope!(ctx, "reload", Phase::Transfer, {
+                ops::reload(&mut ctx, &lay, pristine.as_ref());
+                inj.reset_dirty();
+            });
         }
         let mut a = AttemptCtx {
             ctx: &mut ctx,
@@ -155,33 +208,48 @@ pub fn run_scheme(
             SchemeKind::Online => online::attempt(&mut a),
             SchemeKind::Enhanced => enhanced::attempt(&mut a),
         };
-        match result {
+        let done = match result {
             Ok((AttemptEnd::Completed, vo)) => {
                 verify_total.merge(vo);
                 failed = false;
-                break;
+                true
             }
             Ok((AttemptEnd::Restart, vo)) => {
                 verify_total.merge(vo);
                 failed = true;
+                false
             }
             Err(e) => {
                 if inj.applied().is_empty() {
                     // Genuine numerical failure, not fault-induced.
                     return Err(e);
                 }
+                let t = ctx.now().as_secs();
+                ctx.obs
+                    .event(t, "run.failstop", format!("fault-induced error: {e:?}"));
                 failed = true;
+                false
             }
+        };
+        // Closing the attempt unwinds any scope the attempt left open on an
+        // early (restart / fail-stop) return.
+        {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.close(att, t);
         }
-        if attempts > resolved.max_restarts {
+        if done || attempts > resolved.max_restarts {
             break;
         }
     }
-    ctx.sync_all();
+    scope!(ctx, "drain", Phase::Drain, ctx.sync_all());
     let time = ctx.now();
+    ctx.obs.spans.close(run_span, time.as_secs());
     let factor = ops::extract_factor(&ctx, &lay);
     Ok(FactorOutcome {
         scheme: kind,
+        n,
+        b,
+        opts: resolved,
         time,
         attempts,
         verify: verify_total,

@@ -3,9 +3,11 @@
 
 use super::{AttemptCtx, AttemptEnd};
 use crate::ops;
+use crate::span_util::scope;
 use crate::verify::VerifyOutcome;
 use hchol_faults::InjectionPoint;
 use hchol_matrix::MatrixError;
+use hchol_obs::Phase;
 
 pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
     let AttemptCtx {
@@ -17,58 +19,86 @@ pub(crate) fn attempt(a: &mut AttemptCtx<'_>) -> Result<(AttemptEnd, VerifyOutco
     let nt = lay.nt;
     let mut vo = VerifyOutcome::default();
 
-    ops::encode_all(ctx, lay, opts);
+    scope!(
+        ctx,
+        "encode",
+        Phase::Encode,
+        ops::encode_all(ctx, lay, opts)
+    );
 
     for j in 0..nt {
+        let iter_span = {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.open(format!("iter {j}"), Phase::Iteration, t)
+        };
         ops::poll_faults(ctx, lay, inj, InjectionPoint::IterStart { iter: j });
 
         // SYRK + its checksum update.
-        ops::syrk_diag(ctx, lay, j);
-        ops::propagate_syrk(inj, j);
-        ops::update_chk_syrk(ctx, lay, j);
-        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostSyrk { iter: j });
+        scope!(ctx, "syrk", Phase::Syrk, {
+            ops::syrk_diag(ctx, lay, j);
+            ops::propagate_syrk(inj, j);
+            ops::update_chk_syrk(ctx, lay, j);
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostSyrk { iter: j });
+        });
 
         // Ship the diagonal block while the panel GEMM occupies the GPU.
-        let syrk_done = ctx.record_event(lay.s_comp);
-        ctx.stream_wait_event(lay.s_tran, syrk_done);
-        ops::diag_to_host(ctx, lay, j);
+        scope!(ctx, "diag d2h", Phase::Transfer, {
+            let syrk_done = ctx.record_event(lay.s_comp);
+            ctx.stream_wait_event(lay.s_tran, syrk_done);
+            ops::diag_to_host(ctx, lay, j);
+        });
 
-        ops::gemm_panel(ctx, lay, j);
-        ops::propagate_gemm(inj, nt, j);
-        for i in (j + 1)..nt {
-            if j > 0 {
-                ops::update_chk_gemm(ctx, lay, j, i);
+        scope!(ctx, "gemm", Phase::Gemm, {
+            ops::gemm_panel(ctx, lay, j);
+            ops::propagate_gemm(inj, nt, j);
+            for i in (j + 1)..nt {
+                if j > 0 {
+                    ops::update_chk_gemm(ctx, lay, j, i);
+                }
             }
-        }
-        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostGemm { iter: j });
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostGemm { iter: j });
+        });
 
-        ctx.sync_stream(lay.s_tran);
-        ops::host_potf2(ctx, lay, j)?;
-        ops::propagate_potf2(inj, j);
-        ops::diag_to_device(ctx, lay, j);
-        ops::update_chk_potf2(ctx, lay, j);
-        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostPotf2 { iter: j });
+        scope!(ctx, "potf2", Phase::Potf2, {
+            ctx.sync_stream(lay.s_tran);
+            ops::host_potf2(ctx, lay, j)?;
+            ops::propagate_potf2(inj, j);
+            ops::diag_to_device(ctx, lay, j);
+            ops::update_chk_potf2(ctx, lay, j);
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostPotf2 { iter: j });
+        });
 
-        let diag_back = ctx.record_event(lay.s_tran);
-        ctx.stream_wait_event(lay.s_comp, diag_back);
-        ops::trsm_panel(ctx, lay, j);
-        ops::propagate_trsm(inj, nt, j);
-        for i in (j + 1)..nt {
-            ops::update_chk_trsm(ctx, lay, j, i);
-        }
-        ops::poll_faults(ctx, lay, inj, InjectionPoint::PostTrsm { iter: j });
-        ops::mark_panel_ready(ctx, lay);
+        scope!(ctx, "trsm", Phase::Trsm, {
+            let diag_back = ctx.record_event(lay.s_tran);
+            ctx.stream_wait_event(lay.s_comp, diag_back);
+            ops::trsm_panel(ctx, lay, j);
+            ops::propagate_trsm(inj, nt, j);
+            for i in (j + 1)..nt {
+                ops::update_chk_trsm(ctx, lay, j, i);
+            }
+            ops::poll_faults(ctx, lay, inj, InjectionPoint::PostTrsm { iter: j });
+            ops::mark_panel_ready(ctx, lay);
+        });
         ops::cpu_mirror_panel(ctx, lay, j);
+        {
+            let t = ctx.now().as_secs();
+            ctx.obs.spans.close(iter_span, t);
+        }
     }
     ops::flush_mirror(ctx, lay);
 
     // The offline check: one full verification sweep at the end. Isolated
     // single errors are still correctable here; anything that propagated is
     // not, and forces the re-run the paper reports as "twice the time".
-    let final_vo = ops::verify_all(ctx, lay, inj, opts);
+    let final_vo = scope!(
+        ctx,
+        "final verify",
+        Phase::Verify,
+        ops::verify_all(ctx, lay, inj, opts)
+    );
     let recovered = final_vo.final_sweep_accepts();
     vo.merge(final_vo);
-    ctx.sync_all();
+    scope!(ctx, "drain", Phase::Drain, ctx.sync_all());
     if recovered {
         Ok((AttemptEnd::Completed, vo))
     } else {

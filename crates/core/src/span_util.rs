@@ -1,0 +1,28 @@
+//! Internal helper for wrapping driver code in host-clock scope spans.
+//!
+//! The tiling discipline (see `hchol_obs::span`): within any parent scope,
+//! sibling scopes are issued back-to-back with no host-clock advance
+//! between a close and the next open, so leaf scopes tile the run exactly.
+//! Code inside a `scope!` body may early-return (`?`, restart); the span it
+//! leaves open is closed later by the caller's unwinding
+//! `SpanRecorder::close`, which closes the whole stack at one instant and
+//! therefore preserves the tiling.
+
+/// Run `$body` inside a scope span named `$name` with phase `$phase` on
+/// `$ctx`'s recorder, returning the body's value.
+macro_rules! scope {
+    ($ctx:expr, $name:expr, $phase:expr, $body:expr) => {{
+        let sp = {
+            let t = $ctx.now().as_secs();
+            $ctx.obs.spans.open($name, $phase, t)
+        };
+        let r = $body;
+        {
+            let t = $ctx.now().as_secs();
+            $ctx.obs.spans.close(sp, t);
+        }
+        r
+    }};
+}
+
+pub(crate) use scope;

@@ -28,6 +28,25 @@ use crate::schedule::KernelScheduler;
 use crate::time::SimTime;
 use crate::timeline::{Lane, Timeline, TraceEntry};
 use crate::ExecMode;
+use hchol_obs::{Obs, Phase};
+
+/// Map a kernel to its op-span phase: checksum work goes by category, and
+/// factorization work by kernel class.
+fn op_phase(class: KernelClass, category: WorkCategory) -> Phase {
+    match category {
+        WorkCategory::ChecksumEncode => Phase::Encode,
+        WorkCategory::ChecksumUpdate => Phase::ChecksumUpdate,
+        WorkCategory::ChecksumRecalc | WorkCategory::Verify => Phase::Verify,
+        WorkCategory::Transfer => Phase::Transfer,
+        WorkCategory::Factorization => match class {
+            KernelClass::Syrk => Phase::Syrk,
+            KernelClass::Trsm => Phase::Trsm,
+            KernelClass::Potf2 => Phase::Potf2,
+            KernelClass::Blas3 => Phase::Gemm,
+            KernelClass::Blas2 | KernelClass::Light => Phase::Other,
+        },
+    }
+}
 
 /// Handle to a device stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,7 +137,15 @@ pub struct SimContext {
     /// Execution trace.
     pub timeline: Timeline,
     /// FLOP/byte accounting by category.
+    ///
+    /// Retained as the compact per-category ledger the analytic-overhead
+    /// tests consume; the richer per-class/per-engine view (plus spans and
+    /// events) lives in [`SimContext::obs`].
     pub counters: WorkCounters,
+    /// Observability state: span tree, metrics registry, event stream.
+    /// Drivers open/close scope spans here; the context itself records op
+    /// spans and per-kernel metrics on every launch/task/transfer.
+    pub obs: Obs,
 }
 
 impl SimContext {
@@ -144,12 +171,16 @@ impl SimContext {
             hazards: HazardLog::default(),
             timeline: Timeline::recording(),
             counters: WorkCounters::default(),
+            obs: Obs::new(),
         }
     }
 
-    /// Stop recording the timeline (keeps memory flat on big sweeps).
+    /// Stop recording the timeline (keeps memory flat on big sweeps). Also
+    /// stops recording per-kernel op spans for the same reason; scope
+    /// spans, metrics, and events (all O(iterations)) stay on.
     pub fn disable_timeline(&mut self) {
         self.timeline = Timeline::disabled();
+        self.obs.spans.set_ops_enabled(false);
     }
 
     /// Start auditing declared kernel accesses for unordered conflicts.
@@ -207,6 +238,7 @@ impl SimContext {
         let earliest = self.host_clock.max(self.streams[stream.0]);
         let (start, end) = self.sched.place(earliest, duration, resource);
         self.streams[stream.0] = end;
+        self.record_work(&desc, "gpu", start, end, (start - earliest).as_secs());
         self.hazards.push(&desc.label, start, end, desc.access);
         self.timeline.push(TraceEntry {
             lane: Lane::GpuStream(stream.0),
@@ -220,6 +252,35 @@ impl SimContext {
         self.counters.add_flops(desc.category, desc.flops);
         if self.mode.executes() {
             body(&mut self.dev_mem);
+        }
+    }
+
+    /// Common metrics/op-span bookkeeping for one scheduled unit of work.
+    fn record_work(
+        &mut self,
+        desc: &KernelDesc,
+        engine: &str,
+        start: SimTime,
+        end: SimTime,
+        queue_delay: f64,
+    ) {
+        let dur = (end - start).as_secs();
+        let m = &mut self.obs.metrics;
+        m.inc(&format!("kernels.class.{:?}", desc.class));
+        m.add_f64(&format!("busy_secs.class.{:?}", desc.class), dur);
+        m.add_f64(&format!("busy_secs.engine.{engine}"), dur);
+        m.add_count(&format!("flops.cat.{:?}", desc.category), desc.flops);
+        m.observe(&format!("kernel_secs.class.{:?}", desc.class), dur);
+        if queue_delay > 0.0 {
+            m.add_f64("sched.queue_delay_secs", queue_delay);
+        }
+        if self.obs.spans.ops_enabled() {
+            self.obs.spans.op(
+                desc.label.clone(),
+                op_phase(desc.class, desc.category),
+                start.as_secs(),
+                end.as_secs(),
+            );
         }
     }
 
@@ -322,6 +383,18 @@ impl SimContext {
             self.d2h_lane = end;
         }
         self.counters.add_bytes(WorkCategory::Transfer, bytes);
+        let (dir, engine) = if h2d {
+            ("h2d", "dma_h2d")
+        } else {
+            ("d2h", "dma_d2h")
+        };
+        let m = &mut self.obs.metrics;
+        m.add_count(&format!("pcie.bytes.{dir}"), bytes);
+        m.inc(&format!("transfers.{dir}"));
+        m.add_f64(
+            &format!("busy_secs.engine.{engine}"),
+            (end - start).as_secs(),
+        );
         (start, end)
     }
 
@@ -333,6 +406,11 @@ impl SimContext {
         end: SimTime,
         bytes: u64,
     ) {
+        if self.obs.spans.ops_enabled() {
+            self.obs
+                .spans
+                .op(label, Phase::Transfer, start.as_secs(), end.as_secs());
+        }
         self.timeline.push(TraceEntry {
             lane,
             label: label.into(),
@@ -355,6 +433,7 @@ impl SimContext {
         let start = self.host_clock;
         let end = start + duration;
         self.host_clock = end;
+        self.record_work(&desc, "host", start, end, 0.0);
         self.hazards.push(&desc.label, start, end, desc.access);
         self.timeline.push(TraceEntry {
             lane: Lane::HostMain,
@@ -391,6 +470,7 @@ impl SimContext {
         let end = start + duration;
         self.cpu_workers[w] = end;
         self.next_cpu_worker = (w + 1) % self.cpu_workers.len();
+        self.record_work(&desc, "cpu_workers", start, end, 0.0);
         self.hazards.push(&desc.label, start, end, desc.access);
         self.timeline.push(TraceEntry {
             lane: Lane::CpuWorker(w),
@@ -620,6 +700,58 @@ mod tests {
         c.sync_device();
         let total = c.now().as_secs();
         assert!((3.0..3.2).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn obs_records_metrics_and_op_spans() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s = c.default_stream();
+        c.launch(s, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        c.cpu_exec(desc(1_000_000_000, KernelClass::Potf2), |_| {});
+        c.sync_all();
+        assert_eq!(c.obs.metrics.count("kernels.class.Blas3"), 1);
+        assert_eq!(c.obs.metrics.count("kernels.class.Potf2"), 1);
+        assert!(c.obs.metrics.sum("busy_secs.engine.gpu") > 0.9);
+        assert!(c.obs.metrics.sum("busy_secs.engine.host") > 0.9);
+        assert_eq!(
+            c.obs
+                .metrics
+                .histogram("kernel_secs.class.Blas3")
+                .expect("histogram recorded")
+                .count,
+            1
+        );
+        // Two op spans (the kernel and the host task), no scopes opened.
+        assert_eq!(c.obs.spans.spans().len(), 2);
+        assert!(c
+            .obs
+            .spans
+            .spans()
+            .iter()
+            .all(|s| s.kind == hchol_obs::SpanKind::Op));
+    }
+
+    #[test]
+    fn disable_timeline_stops_op_spans_but_not_metrics() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        c.disable_timeline();
+        let s = c.default_stream();
+        c.launch(s, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        assert!(c.obs.spans.spans().is_empty());
+        assert_eq!(c.obs.metrics.count("kernels.class.Blas3"), 1);
+    }
+
+    #[test]
+    fn transfers_feed_pcie_metrics() {
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s = c.default_stream();
+        c.bulk_transfer(1024, s, true, |_, _| {});
+        c.bulk_transfer(256, s, false, |_, _| {});
+        c.sync_device();
+        assert_eq!(c.obs.metrics.count("pcie.bytes.h2d"), 1024);
+        assert_eq!(c.obs.metrics.count("pcie.bytes.d2h"), 256);
+        assert_eq!(c.obs.metrics.count("transfers.h2d"), 1);
+        assert!(c.obs.metrics.sum("busy_secs.engine.dma_h2d") > 0.0);
     }
 
     #[test]

@@ -32,8 +32,13 @@
 //!   device caps both total occupancy and kernel count.
 //! * A [`timeline::Timeline`] trace of every operation (lane, label, start,
 //!   end) from which Figure-1-style execution charts are regenerated.
+//! * An [`obs`] (re-exported `hchol-obs`) attachment on every context:
+//!   the span tree, metrics registry, and event stream that
+//!   [`obs::RunReport`] serializes — see `DESIGN.md` §"Observability".
 
 #![warn(missing_docs)]
+
+pub use hchol_obs as obs;
 
 pub mod context;
 pub mod counters;

@@ -1,0 +1,20 @@
+//! Discrete, timestamped happenings worth surfacing in a run report.
+//!
+//! Events bridge the fault injector's ledger into the report: every fault
+//! that strikes, every detection, correction, and uncorrectable finding is
+//! appended here by the driver. Event `detail` strings carry only
+//! structural facts (tile coordinates, injection point, counts) — never
+//! numeric data values — so Execute and TimingOnly runs of the same
+//! configuration produce byte-identical event streams.
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunEvent {
+    /// Virtual time (seconds) at which the event was recorded.
+    pub t: f64,
+    /// Machine-matchable kind: `fault.injected`, `fault.detected`,
+    /// `fault.corrected`, `fault.uncorrectable`, `run.restart`, ….
+    pub kind: String,
+    /// Human-readable specifics (tile coordinates, counts, spec summary).
+    pub detail: String,
+}

@@ -1,0 +1,326 @@
+//! Hierarchical spans over the virtual clock.
+//!
+//! Two kinds of span share one tree:
+//!
+//! * [`SpanKind::Scope`] — a contiguous **host-clock** interval opened and
+//!   closed by driver code (`run_scheme`, the scheme attempt loops,
+//!   `factor_magma`, …). Scope spans nest strictly: a parent's children are
+//!   issued back-to-back, so sibling scopes tile their parent exactly and
+//!   the **leaf** scopes of the tree tile the whole run. That is the
+//!   invariant behind [`SpanRecorder::phase_totals`] summing to the run's
+//!   total virtual time.
+//! * [`SpanKind::Op`] — one device-scheduled kernel or DMA transfer, with
+//!   its *scheduled* `(start, end)` from the concurrent-kernel scheduler.
+//!   Ops overlap freely across streams and routinely outlive the scope
+//!   that launched them (asynchrony), so they are excluded from the tiling
+//!   invariant. Their parent is the scope that was open at launch time.
+//!
+//! Because scope spans measure the host's critical path, their phase totals
+//! answer "what was the driver *waiting on*" (verification syncs, the POTF2
+//! round trip), while op spans and the metrics registry answer "what was
+//! each engine *doing*".
+
+use std::collections::HashMap;
+
+/// The fixed phase taxonomy; every span carries one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Phase {
+    /// Whole factorization run (the root scope).
+    Run,
+    /// Buffer/stream allocation and input placement.
+    Setup,
+    /// One restart attempt of a fault-tolerant scheme.
+    Attempt,
+    /// Initial checksum encoding of the full matrix.
+    Encode,
+    /// One outer iteration of the blocked factorization.
+    Iteration,
+    /// SYRK diagonal update (plus its checksum-update dispatch).
+    Syrk,
+    /// Panel GEMM (plus its checksum-update dispatch).
+    Gemm,
+    /// Host POTF2 including the diagonal-block round trip it waits on.
+    Potf2,
+    /// Panel TRSM (plus its checksum-update dispatch).
+    Trsm,
+    /// Checksum-update kernels/tasks (op spans; dispatch rides Syrk/…).
+    ChecksumUpdate,
+    /// Checksum recalculation + compare + correction.
+    Verify,
+    /// Host↔device data movement.
+    Transfer,
+    /// End-of-run (or pre-restart) synchronization draining all engines.
+    Drain,
+    /// Anything else.
+    Other,
+}
+
+impl Phase {
+    /// Stable lowercase name used in reports and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Run => "run",
+            Phase::Setup => "setup",
+            Phase::Attempt => "attempt",
+            Phase::Encode => "encode",
+            Phase::Iteration => "iteration",
+            Phase::Syrk => "syrk",
+            Phase::Gemm => "gemm",
+            Phase::Potf2 => "potf2",
+            Phase::Trsm => "trsm",
+            Phase::ChecksumUpdate => "checksum_update",
+            Phase::Verify => "verify",
+            Phase::Transfer => "transfer",
+            Phase::Drain => "drain",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// Whether a span is a host-clock scope or a scheduled device op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SpanKind {
+    /// Contiguous host-clock interval; participates in the tiling invariant.
+    Scope,
+    /// Scheduled kernel/transfer interval; may overlap anything.
+    Op,
+}
+
+/// One node of the span tree. Times are virtual seconds.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    /// Index of this span in the recorder's arena.
+    pub id: usize,
+    /// Arena index of the enclosing scope (`None` for roots).
+    pub parent: Option<usize>,
+    /// Human label ("attempt 1", "iter 3", "GEMM (4,2)", …).
+    pub name: String,
+    /// Taxonomy bucket.
+    pub phase: Phase,
+    /// Scope or op.
+    pub kind: SpanKind,
+    /// Start time (virtual seconds).
+    pub start: f64,
+    /// End time (virtual seconds); equals `start` while still open.
+    pub end: f64,
+}
+
+impl Span {
+    /// Duration in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Handle to an open scope span, returned by [`SpanRecorder::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub usize);
+
+/// Arena of spans plus the stack of currently-open scopes.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    spans: Vec<Span>,
+    stack: Vec<usize>,
+    ops_enabled: bool,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        SpanRecorder {
+            spans: Vec::new(),
+            stack: Vec::new(),
+            ops_enabled: true,
+        }
+    }
+}
+
+impl SpanRecorder {
+    /// Fresh recorder with op-span recording enabled.
+    pub fn new() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// Toggle recording of per-kernel/per-transfer op spans (scope spans
+    /// are always recorded — they are O(iterations), not O(kernels)).
+    pub fn set_ops_enabled(&mut self, on: bool) {
+        self.ops_enabled = on;
+    }
+
+    /// Are op spans being recorded?
+    pub fn ops_enabled(&self) -> bool {
+        self.ops_enabled
+    }
+
+    /// Open a scope span starting at virtual time `t`, nested under the
+    /// currently-open scope (if any).
+    pub fn open(&mut self, name: impl Into<String>, phase: Phase, t: f64) -> SpanId {
+        let id = self.spans.len();
+        self.spans.push(Span {
+            id,
+            parent: self.stack.last().copied(),
+            name: name.into(),
+            phase,
+            kind: SpanKind::Scope,
+            start: t,
+            end: t,
+        });
+        self.stack.push(id);
+        SpanId(id)
+    }
+
+    /// Close scope `id` at virtual time `t`. Any scopes opened after `id`
+    /// and still open are closed first, at the same `t` — this is the
+    /// unwind path for early returns (restart, fail-stop), and closing the
+    /// whole stack at one instant preserves the tiling invariant. A no-op
+    /// if `id` is not on the open stack.
+    pub fn close(&mut self, id: SpanId, t: f64) {
+        if !self.stack.contains(&id.0) {
+            return;
+        }
+        while let Some(top) = self.stack.pop() {
+            self.spans[top].end = t;
+            if top == id.0 {
+                break;
+            }
+        }
+    }
+
+    /// Close every open scope at virtual time `t`.
+    pub fn close_all(&mut self, t: f64) {
+        while let Some(top) = self.stack.pop() {
+            self.spans[top].end = t;
+        }
+    }
+
+    /// Record a completed op span (scheduled kernel/transfer interval)
+    /// under the currently-open scope. Dropped when op recording is off.
+    pub fn op(&mut self, name: impl Into<String>, phase: Phase, start: f64, end: f64) {
+        if !self.ops_enabled {
+            return;
+        }
+        let id = self.spans.len();
+        self.spans.push(Span {
+            id,
+            parent: self.stack.last().copied(),
+            name: name.into(),
+            phase,
+            kind: SpanKind::Op,
+            start,
+            end,
+        });
+    }
+
+    /// All recorded spans, in creation order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of scopes currently open.
+    pub fn open_count(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Total duration of root scopes (spans with no parent) — the run's
+    /// wall virtual time when a single root span wraps the run.
+    pub fn root_total(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Scope && s.parent.is_none())
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Virtual time per phase, summed over **leaf** scope spans (scopes
+    /// with no scope children). By the tiling invariant these totals sum
+    /// to [`SpanRecorder::root_total`] up to rounding.
+    pub fn phase_totals(&self) -> HashMap<String, f64> {
+        let mut has_scope_child = vec![false; self.spans.len()];
+        for s in &self.spans {
+            if s.kind == SpanKind::Scope {
+                if let Some(p) = s.parent {
+                    has_scope_child[p] = true;
+                }
+            }
+        }
+        let mut totals = HashMap::new();
+        for s in &self.spans {
+            if s.kind == SpanKind::Scope && !has_scope_child[s.id] {
+                *totals.entry(s.phase.name().to_string()).or_insert(0.0) += s.duration();
+            }
+        }
+        totals
+    }
+
+    /// `|root_total − Σ leaf scope durations|` — zero (up to rounding) when
+    /// the scope tree tiles the run correctly.
+    pub fn partition_residual(&self) -> f64 {
+        let leaves: f64 = self.phase_totals().values().sum();
+        (self.root_total() - leaves).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_tile() {
+        let mut r = SpanRecorder::new();
+        let run = r.open("run", Phase::Run, 0.0);
+        let a = r.open("a", Phase::Encode, 0.0);
+        r.close(a, 2.0);
+        let b = r.open("b", Phase::Iteration, 2.0);
+        r.close(b, 5.0);
+        r.close(run, 5.0);
+        assert_eq!(r.open_count(), 0);
+        assert_eq!(r.root_total(), 5.0);
+        let t = r.phase_totals();
+        assert_eq!(t["encode"], 2.0);
+        assert_eq!(t["iteration"], 3.0);
+        assert!(r.partition_residual() < 1e-12);
+    }
+
+    #[test]
+    fn close_unwinds_inner_scopes() {
+        let mut r = SpanRecorder::new();
+        let run = r.open("run", Phase::Run, 0.0);
+        let _inner = r.open("iter", Phase::Iteration, 0.0);
+        let _deeper = r.open("verify", Phase::Verify, 0.0);
+        // Early return: only the outer handle is closed.
+        r.close(run, 3.0);
+        assert_eq!(r.open_count(), 0);
+        for s in r.spans() {
+            assert_eq!(s.end, 3.0);
+        }
+        assert!(r.partition_residual() < 1e-12);
+    }
+
+    #[test]
+    fn ops_attach_to_current_scope_and_skip_tiling() {
+        let mut r = SpanRecorder::new();
+        let run = r.open("run", Phase::Run, 0.0);
+        r.op("GEMM", Phase::Gemm, 0.5, 9.0); // outlives everything
+        r.close(run, 2.0);
+        assert_eq!(r.spans()[1].parent, Some(0));
+        // Only the run scope (a leaf) counts toward totals.
+        let sum: f64 = r.phase_totals().values().sum();
+        assert!((sum - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabling_ops_drops_them() {
+        let mut r = SpanRecorder::new();
+        r.set_ops_enabled(false);
+        r.op("k", Phase::Gemm, 0.0, 1.0);
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn close_of_unknown_id_is_noop() {
+        let mut r = SpanRecorder::new();
+        let a = r.open("a", Phase::Run, 0.0);
+        r.close(a, 1.0);
+        r.close(a, 9.0); // second close ignored
+        assert_eq!(r.spans()[0].end, 1.0);
+    }
+}

@@ -294,7 +294,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Length specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait IntoVecLen {
         /// Sample a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;

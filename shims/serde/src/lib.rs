@@ -260,6 +260,21 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+// A `Value` serializes to itself — this is what lets pre-assembled JSON
+// trees (e.g. hchol-obs artifact envelopes) pass through the generic
+// `serde_json::to_string*` entry points.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Map keys must serialize to `Value::Str` (strings or unit-variant enums);
 /// anything else is a programming error in this workspace.
 fn key_to_string<K: Serialize>(k: &K) -> String {

@@ -36,6 +36,7 @@ pub use hchol_core as core;
 pub use hchol_faults as faults;
 pub use hchol_gpusim as gpusim;
 pub use hchol_matrix as matrix;
+pub use hchol_obs as obs;
 
 /// Convenience prelude pulling in the names almost every user needs.
 pub mod prelude {
@@ -47,4 +48,5 @@ pub mod prelude {
     pub use hchol_gpusim::profile::{DeviceProfile, SystemProfile};
     pub use hchol_gpusim::ExecMode;
     pub use hchol_matrix::{Matrix, TileMatrix};
+    pub use hchol_obs::RunReport;
 }
