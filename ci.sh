@@ -31,6 +31,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 step "doctests"
 cargo test --doc --workspace -q
 
+step "source lint (SAFETY comments, obs names, wall-clock)"
+cargo run --release -q -p hchol-analyze --bin lint
+
+step "schedule analyzer (races + ABFT protocol conformance, all schemes)"
+cargo run --release -q -p hchol-analyze --bin analyze > /dev/null
+
 step "kernel bench sweep (quick) -> BENCH_kernels.json"
 cargo bench -p hchol-bench --bench kernels -- --quick
 

@@ -1,0 +1,52 @@
+//! Schedule-analyzer runner: `cargo run -p hchol-analyze --bin analyze`.
+//!
+//! Runs all three ABFT schemes (TimingOnly, fault-free) over a sweep of
+//! sizes, analyzes every recorded schedule for races and protocol
+//! conformance, and prints one `analysis_report` JSON envelope per run.
+//! Exits nonzero when any finding survives, so CI can gate on it.
+//!
+//! Usage: `analyze [n ...]` — sizes default to 64 128 256 512.
+
+use hchol_analyze::{analyze_outcome, AnalysisReport};
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::{run_clean, SchemeKind};
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::ExecMode;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap_or_else(|_| panic!("bad size `{a}`")))
+        .collect();
+    if sizes.is_empty() {
+        sizes = vec![64, 128, 256, 512];
+    }
+    let profile = SystemProfile::tardis();
+    let opts = AbftOptions::default();
+    let mut findings = 0usize;
+    for &n in &sizes {
+        let b = (n / 4).max(16);
+        for kind in SchemeKind::all() {
+            let out = run_clean(kind, &profile, ExecMode::TimingOnly, n, b, &opts, None)
+                .expect("fault-free TimingOnly run succeeds");
+            let analysis = analyze_outcome(&out);
+            let name = format!("{} n={n} b={b}", kind.name());
+            println!(
+                "{}",
+                AnalysisReport::from_analysis(&analysis).to_json(&name)
+            );
+            if !analysis.is_clean() {
+                eprintln!("{name}:\n{}", analysis.render_text());
+                findings += analysis.races.len() + analysis.violations.len();
+            }
+        }
+    }
+    if findings == 0 {
+        println!("analyze: all schedules race-free and protocol-conformant");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("analyze: {findings} finding(s)");
+        ExitCode::FAILURE
+    }
+}

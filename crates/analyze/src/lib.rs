@@ -1,0 +1,34 @@
+//! # hchol-analyze
+//!
+//! Static analysis for the workspace, in two halves:
+//!
+//! * [`schedule`] — a vector-clock happens-before sweep over the
+//!   [`hchol_gpusim::ProgramTrace`] a driver records: block-granular race
+//!   detection (RAW/WAR/WAW between unordered stream/CPU/DMA operations)
+//!   plus per-scheme ABFT **protocol conformance** — offline encodes once
+//!   and verifies at the end, online verifies every block after writing it,
+//!   enhanced verifies every block before reading it. One linear sweep,
+//!   cheap enough that every driver test checks its own schedule.
+//! * [`lint`] — token-level source lints run by `cargo run -p hchol-analyze
+//!   --bin lint`: `// SAFETY:` comments on every `unsafe` block,
+//!   observability name literals cross-checked against
+//!   [`hchol_obs::names`], and wall-clock APIs forbidden outside the
+//!   simulator.
+//!
+//! Findings are exported through the versioned `hchol-obs` report envelope
+//! ([`report`]), so analyzer output is consumed like any other run
+//! artifact. See `DESIGN.md` §8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod report;
+pub mod schedule;
+
+pub use lint::{lint_workspace, Lint};
+pub use report::AnalysisReport;
+pub use schedule::{
+    analyze_outcome, analyze_schedule, analyze_with_protocol, Protocol, Race, RaceKind,
+    ScheduleAnalysis, Violation,
+};

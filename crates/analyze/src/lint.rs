@@ -1,0 +1,587 @@
+//! Token-level source lints for the workspace.
+//!
+//! Three rules, all comment- and string-aware (a hand-rolled scanner — no
+//! `syn` in the offline build):
+//!
+//! * **`safety-comment`** — every `unsafe { … }` block and `unsafe impl`
+//!   must carry a `// SAFETY:` comment on the same line or within the three
+//!   preceding lines. (`unsafe fn` declarations are covered by rustdoc
+//!   `# Safety` sections and clippy's `missing_safety_doc` instead.)
+//! * **`obs-name`** — string literals at observability call sites
+//!   (`MetricsRegistry::{inc, add_count, add_f64, set_gauge, observe}`,
+//!   `Obs::event`, `scope!`, `spans.open`) must match the central registry
+//!   in [`hchol_obs::names`]. `format!` literals normalize `{…}`
+//!   placeholders to `*` first, so patterned producers resolve against
+//!   wildcard registry entries. A typo on either side of a metric is a lint
+//!   failure, not a silently-empty data series.
+//! * **`wall-clock`** — `std::time::Instant` / `SystemTime` are forbidden
+//!   outside `crates/gpusim` (everything is supposed to run on the virtual
+//!   clock). Deliberate uses are waived with a `lint:allow(wall-clock)`
+//!   comment on the same or the preceding line.
+//!
+//! Scanning stops at the first `#[cfg(test)]` line of a file: test modules
+//! may use free-form labels and scratch names by design. `shims/` (vendored
+//! stand-ins) and `target/` are never scanned.
+
+use hchol_obs::names;
+use std::collections::HashSet;
+use std::fs;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule tag: `safety-comment`, `obs-name`, or `wall-clock`.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lint every workspace source file under `root` (`crates/`, `src/`,
+/// `tests/`; `shims/` and `target/` excluded). Panics on unreadable files —
+/// the lint runs in CI over a checkout it owns.
+pub fn lint_workspace(root: &Path) -> Vec<Lint> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&f)
+            .unwrap_or_else(|e| panic!("lint: cannot read {}: {e}", f.display()));
+        out.extend(lint_file(&rel, &content));
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name != "target" && name != "shims" {
+                collect_rs(&p, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint one file's content. `file` is the path used both for reporting and
+/// for path-scoped rules (the `wall-clock` exemption of `crates/gpusim`).
+pub fn lint_file(file: &str, content: &str) -> Vec<Lint> {
+    // Test modules are exempt from all rules: scan only up to the first
+    // `#[cfg(test)]` line (workspace convention keeps tests at the bottom).
+    let scanned = match content
+        .lines()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+    {
+        Some(i) => {
+            let cut: usize = content
+                .lines()
+                .take(i)
+                .map(|l| l.len() + 1)
+                .sum::<usize>()
+                .min(content.len());
+            &content[..cut]
+        }
+        None => content,
+    };
+    let scan = Scan::of(scanned);
+    let mut out = Vec::new();
+    rule_safety_comment(file, &scan, &mut out);
+    rule_obs_names(file, &scan, &mut out);
+    if !file.contains("crates/gpusim/") {
+        rule_wall_clock(file, &scan, &mut out);
+    }
+    out
+}
+
+#[derive(Debug, PartialEq)]
+enum TokKind {
+    Word(String),
+    /// A string literal's content (quotes stripped, escapes kept verbatim).
+    Str(String),
+    Punct(char),
+}
+
+struct Tok {
+    kind: TokKind,
+    line: usize,
+}
+
+/// Tokenized file plus per-line comment annotations.
+struct Scan {
+    tokens: Vec<Tok>,
+    /// Lines whose comments contain `SAFETY:`.
+    safety_lines: HashSet<usize>,
+    /// Lines whose comments contain `lint:allow(wall-clock)`.
+    allow_wall_clock: HashSet<usize>,
+}
+
+impl Scan {
+    fn of(src: &str) -> Scan {
+        let mut s = Scan {
+            tokens: Vec::new(),
+            safety_lines: HashSet::new(),
+            allow_wall_clock: HashSet::new(),
+        };
+        let b = src.as_bytes();
+        let mut i = 0;
+        let mut line = 1;
+        while i < b.len() {
+            let c = b[i];
+            match c {
+                b'\n' => {
+                    line += 1;
+                    i += 1;
+                }
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    let start = i;
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    s.note_comment(&src[start..i], line);
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    let start = i;
+                    let start_line = line;
+                    let mut depth = 1;
+                    i += 2;
+                    while i < b.len() && depth > 0 {
+                        if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                            depth += 1;
+                            i += 2;
+                        } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            if b[i] == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    s.note_comment(&src[start..i], start_line);
+                }
+                b'"' => {
+                    let (content, nl, next) = scan_string(src, i + 1, false);
+                    s.tokens.push(Tok {
+                        kind: TokKind::Str(content),
+                        line,
+                    });
+                    line += nl;
+                    i = next;
+                }
+                b'r' if matches!(b.get(i + 1), Some(b'"') | Some(b'#')) => {
+                    // Raw string r"..." or r#"..."#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        let close: String = std::iter::once('"')
+                            .chain("#".repeat(hashes).chars())
+                            .collect();
+                        let rest = &src[j + 1..];
+                        let end = rest.find(&close).unwrap_or(rest.len());
+                        let content = &rest[..end];
+                        s.tokens.push(Tok {
+                            kind: TokKind::Str(content.to_string()),
+                            line,
+                        });
+                        line += content.matches('\n').count();
+                        i = j + 1 + end + close.len();
+                    } else {
+                        // `r#ident` raw identifier: treat as a word.
+                        i = j;
+                    }
+                }
+                b'\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let mut j = i + 1;
+                    if b.get(j)
+                        .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                    {
+                        let mut k = j + 1;
+                        while b
+                            .get(k)
+                            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                        {
+                            k += 1;
+                        }
+                        if b.get(k) != Some(&b'\'') {
+                            // Lifetime: skip the quote, let the word lex.
+                            i += 1;
+                            continue;
+                        }
+                        i = k + 1; // char literal like 'a'
+                        continue;
+                    }
+                    if b.get(j) == Some(&b'\\') {
+                        j += 2; // escape like '\n' or '\\'
+                    } else {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+                c if c.is_ascii_alphanumeric() || c == b'_' => {
+                    let start = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    s.tokens.push(Tok {
+                        kind: TokKind::Word(src[start..i].to_string()),
+                        line,
+                    });
+                }
+                c if c.is_ascii_whitespace() => i += 1,
+                c => {
+                    s.tokens.push(Tok {
+                        kind: TokKind::Punct(c as char),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+        s
+    }
+
+    fn note_comment(&mut self, text: &str, line: usize) {
+        if text.contains("SAFETY:") {
+            self.safety_lines.insert(line);
+        }
+        if text.contains("lint:allow(wall-clock)") {
+            self.allow_wall_clock.insert(line);
+        }
+    }
+
+    fn word_at(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i).map(|t| &t.kind) {
+            Some(TokKind::Word(w)) => Some(w),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+    }
+}
+
+/// Scan a (non-raw) string literal body starting right after the opening
+/// quote; returns (content, newlines consumed, index past closing quote).
+fn scan_string(src: &str, mut i: usize, _raw: bool) -> (String, usize, usize) {
+    let b = src.as_bytes();
+    let start = i;
+    let mut nl = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (src[start..i].to_string(), nl, i + 1),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start..].to_string(), nl, i)
+}
+
+fn rule_safety_comment(file: &str, scan: &Scan, out: &mut Vec<Lint>) {
+    for (i, t) in scan.tokens.iter().enumerate() {
+        if t.kind != TokKind::Word("unsafe".to_string()) {
+            continue;
+        }
+        let is_block = scan.punct_at(i + 1, '{');
+        let is_impl = scan.word_at(i + 1) == Some("impl");
+        if !is_block && !is_impl {
+            continue;
+        }
+        let covered = (t.line.saturating_sub(3)..=t.line).any(|l| scan.safety_lines.contains(&l));
+        if !covered {
+            out.push(Lint {
+                file: file.to_string(),
+                line: t.line,
+                rule: "safety-comment",
+                message: format!(
+                    "`unsafe {}` without a `// SAFETY:` comment on the same or the 3 preceding lines",
+                    if is_impl { "impl" } else { "{ .. }" }
+                ),
+            });
+        }
+    }
+}
+
+fn rule_wall_clock(file: &str, scan: &Scan, out: &mut Vec<Lint>) {
+    for t in &scan.tokens {
+        let TokKind::Word(w) = &t.kind else { continue };
+        if w != "Instant" && w != "SystemTime" {
+            continue;
+        }
+        let waived =
+            (t.line.saturating_sub(1)..=t.line).any(|l| scan.allow_wall_clock.contains(&l));
+        if !waived {
+            out.push(Lint {
+                file: file.to_string(),
+                line: t.line,
+                rule: "wall-clock",
+                message: format!(
+                    "`{w}` outside gpusim: all timing must use the virtual clock \
+                     (waive deliberate uses with `// lint:allow(wall-clock)`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Methods of `MetricsRegistry` whose first string argument is a metric name.
+const METRIC_METHODS: &[&str] = &["inc", "add_count", "add_f64", "set_gauge", "observe"];
+
+/// A recognized call site: registry check fn, registry label, index of the
+/// opening paren.
+type NameSite = (fn(&str) -> bool, &'static str, usize);
+
+fn rule_obs_names(file: &str, scan: &Scan, out: &mut Vec<Lint>) {
+    let toks = &scan.tokens;
+    for i in 0..toks.len() {
+        let Some(word) = scan.word_at(i) else {
+            continue;
+        };
+        let site: Option<NameSite> = if scan.punct_at(i.wrapping_sub(1), '.')
+            && METRIC_METHODS.contains(&word)
+            && scan.punct_at(i + 1, '(')
+        {
+            Some((names::metric_registered, "metric", i + 1))
+        } else if scan.punct_at(i.wrapping_sub(1), '.')
+            && word == "event"
+            && scan.punct_at(i + 1, '(')
+        {
+            Some((names::event_registered, "event kind", i + 1))
+        } else if word == "scope" && scan.punct_at(i + 1, '!') && scan.punct_at(i + 2, '(') {
+            Some((names::scope_registered, "scope label", i + 2))
+        } else if word == "open"
+            && scan.punct_at(i.wrapping_sub(1), '.')
+            && scan.word_at(i.wrapping_sub(2)) == Some("spans")
+            && scan.punct_at(i + 1, '(')
+        {
+            Some((names::scope_registered, "scope label", i + 1))
+        } else {
+            None
+        };
+        let Some((check, what, open)) = site else {
+            continue;
+        };
+        if let Some((name, line)) = first_literal_in_call(scan, open) {
+            if !check(&name) {
+                out.push(Lint {
+                    file: file.to_string(),
+                    line,
+                    rule: "obs-name",
+                    message: format!("{what} `{name}` is not in the hchol_obs::names registry"),
+                });
+            }
+        }
+    }
+}
+
+/// First string literal inside the balanced-paren call starting at token
+/// index `open` (which must be the `(`). A literal directly inside a
+/// `format!( … )` is normalized: every `{…}` placeholder becomes `*`.
+/// Returns `None` when the call passes no literal (dynamic name — not
+/// statically checkable).
+fn first_literal_in_call(scan: &Scan, open: usize) -> Option<(String, usize)> {
+    let toks = &scan.tokens;
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            TokKind::Str(s) => {
+                let from_format = k >= 3
+                    && scan.punct_at(k - 1, '(')
+                    && scan.punct_at(k - 2, '!')
+                    && scan.word_at(k - 3) == Some("format");
+                let name = if from_format {
+                    normalize_format_literal(s)
+                } else {
+                    s.clone()
+                };
+                return Some((name, toks[k].line));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// `"busy_secs.engine.{engine}"` → `"busy_secs.engine.*"`; `{{`/`}}`
+/// unescape to literal braces.
+fn normalize_format_literal(s: &str) -> String {
+    let b = s.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'{' if b.get(i + 1) == Some(&b'{') => {
+                out.push('{');
+                i += 2;
+            }
+            b'}' if b.get(i + 1) == Some(&b'}') => {
+                out.push('}');
+                i += 2;
+            }
+            b'{' => {
+                while i < b.len() && b[i] != b'}' {
+                    i += 1;
+                }
+                i += 1;
+                out.push('*');
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_format_placeholders() {
+        assert_eq!(normalize_format_literal("a.{x}.b"), "a.*.b");
+        assert_eq!(normalize_format_literal("{}:{:?}"), "*:*");
+        assert_eq!(normalize_format_literal("lit {{x}}"), "lit {x}");
+        assert_eq!(normalize_format_literal("{} n={} b={}"), "* n=* b=*");
+    }
+
+    #[test]
+    fn flags_unsafe_block_without_safety_comment() {
+        let src = "fn f() {\n    unsafe { g() };\n}\n";
+        let lints = lint_file("crates/x/src/a.rs", src);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].rule, "safety-comment");
+        assert_eq!(lints[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_within_three_lines_passes() {
+        let src = "fn f() {\n    // SAFETY: g is fine here.\n    unsafe { g() };\n}\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+        let src = "// SAFETY: stripes are disjoint.\nunsafe impl Send for T {}\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+        let src = "unsafe impl Send for T {}\n";
+        assert_eq!(lint_file("crates/x/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_decl_is_not_flagged() {
+        let src = "/// # Safety\n/// caller checks bounds.\npub unsafe fn f(p: *const f64) {}\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_ignored() {
+        let src = "// this mentions unsafe { } in prose\nfn f() { let _ = \"unsafe {\"; }\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_gpusim_only() {
+        let src = "use std::time::Instant;\n";
+        assert_eq!(lint_file("crates/core/src/a.rs", src).len(), 1);
+        assert!(lint_file("crates/gpusim/src/a.rs", src).is_empty());
+        let waived = "// lint:allow(wall-clock)\nuse std::time::Instant;\n";
+        assert!(lint_file("crates/core/src/a.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn unregistered_metric_name_flagged() {
+        let src = "fn f(m: &mut M) { m.inc(\"verify.batchez\"); }\n";
+        let lints = lint_file("crates/x/src/a.rs", src);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].rule, "obs-name");
+        let ok = "fn f(m: &mut M) { m.inc(\"verify.batches\"); }\n";
+        assert!(lint_file("crates/x/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn format_metric_names_resolve_against_wildcards() {
+        let src = "fn f(m: &mut M) { m.add_f64(&format!(\"busy_secs.engine.{e}\"), x); }\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+        let bad = "fn f(m: &mut M) { m.add_f64(&format!(\"busy_sec.engine.{e}\"), x); }\n";
+        assert_eq!(lint_file("crates/x/src/a.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn scope_and_event_sites_checked() {
+        let ok = "fn f() { scope!(ctx, \"syrk\", Phase::Syrk, body()); }\n";
+        assert!(lint_file("crates/x/src/a.rs", ok).is_empty());
+        let bad = "fn f() { scope!(ctx, \"sirk\", Phase::Syrk, body()); }\n";
+        assert_eq!(lint_file("crates/x/src/a.rs", bad).len(), 1);
+        let ev = "fn f(o: &mut Obs) { o.event(t, \"fault.detected\", d); }\n";
+        assert!(lint_file("crates/x/src/a.rs", ev).is_empty());
+        let open = "fn f(o: &mut Obs) { o.spans.open(format!(\"iter {j}\"), p, t); }\n";
+        assert!(lint_file("crates/x/src/a.rs", open).is_empty());
+    }
+
+    #[test]
+    fn dynamic_names_are_skipped() {
+        let src = "fn f(m: &mut M, name: &str) { m.inc(name); }\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(m: &mut M) { m.inc(\"nope\"); unsafe { h() }; }\n}\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_the_scanner() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let e = '\\n'; x }\n";
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+    }
+}

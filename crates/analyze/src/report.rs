@@ -1,0 +1,124 @@
+//! Serialization of analysis results through the `hchol-obs` report
+//! envelope, so downstream tooling consumes analyzer findings exactly like
+//! bench artifacts: versioned JSON dispatched on `schema_version`/`kind`.
+
+use crate::schedule::{Protocol, ScheduleAnalysis};
+use hchol_obs::envelope;
+
+/// One race finding, flattened to strings for the report body.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RaceRecord {
+    /// `RAW` / `WAR` / `WAW`.
+    pub kind: String,
+    /// The contested tile, e.g. `buf0(2,1)`.
+    pub tile: String,
+    /// Label of the earlier-issued op.
+    pub first: String,
+    /// Label of the later-issued op.
+    pub second: String,
+}
+
+/// One protocol-conformance finding, flattened to strings.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ViolationRecord {
+    /// Machine-readable kind tag, e.g. `unverified_read`.
+    pub kind: String,
+    /// The tile the violation concerns.
+    pub tile: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The report body for one schedule analysis.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AnalysisReport {
+    /// Which protocol was conformance-checked (`races-only` when none).
+    pub protocol: String,
+    /// Number of access-declaring ops analyzed.
+    pub ops: u64,
+    /// All race findings.
+    pub races: Vec<RaceRecord>,
+    /// All conformance findings.
+    pub violations: Vec<ViolationRecord>,
+}
+
+/// Name of the protocol for reporting.
+pub fn protocol_name(p: Option<Protocol>) -> &'static str {
+    match p {
+        Some(Protocol::Offline) => "offline",
+        Some(Protocol::Online) => "online",
+        Some(Protocol::Enhanced) => "enhanced",
+        None => "races-only",
+    }
+}
+
+impl AnalysisReport {
+    /// Flatten a [`ScheduleAnalysis`] into a serializable report.
+    pub fn from_analysis(a: &ScheduleAnalysis) -> Self {
+        AnalysisReport {
+            protocol: protocol_name(a.protocol).to_string(),
+            ops: a.ops as u64,
+            races: a
+                .races
+                .iter()
+                .map(|r| RaceRecord {
+                    kind: r.kind.name().to_string(),
+                    tile: r.tile.to_string(),
+                    first: r.first.clone(),
+                    second: r.second.clone(),
+                })
+                .collect(),
+            violations: a
+                .violations
+                .iter()
+                .map(|v| ViolationRecord {
+                    kind: v.kind().to_string(),
+                    tile: v.tile().to_string(),
+                    detail: v.to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Wrap in the versioned `hchol-obs` envelope and render as JSON.
+    /// `name` identifies the analyzed run, e.g. `enhanced n=512 b=64`.
+    pub fn to_json(&self, name: &str) -> String {
+        use serde::Serialize;
+        serde_json::to_string_pretty(&envelope("analysis_report", name, self.to_value()))
+            .expect("analysis report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Race, RaceKind};
+    use hchol_gpusim::{BufferId, TileRef};
+
+    fn lookup<'a>(v: &'a serde::Value, key: &str) -> &'a serde::Value {
+        serde::field(v.as_object().expect("object"), key).expect("field present")
+    }
+
+    #[test]
+    fn report_round_trips_through_envelope() {
+        let a = ScheduleAnalysis {
+            ops: 3,
+            protocol: Some(Protocol::Enhanced),
+            races: vec![Race {
+                kind: RaceKind::Raw,
+                tile: TileRef::new(BufferId(0), 1, 0),
+                first: "w".into(),
+                second: "r".into(),
+            }],
+            violations: vec![],
+        };
+        let json = AnalysisReport::from_analysis(&a).to_json("test n=64 b=16");
+        let v: serde::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(lookup(&v, "kind").as_str(), Some("analysis_report"));
+        let body = lookup(&v, "body");
+        assert_eq!(lookup(body, "protocol").as_str(), Some("enhanced"));
+        let races = lookup(body, "races").as_array().expect("races");
+        assert_eq!(races.len(), 1);
+        assert_eq!(lookup(&races[0], "kind").as_str(), Some("RAW"));
+    }
+}

@@ -15,7 +15,7 @@ use hchol_blas::{gemm, naive_gemm, naive_syrk, potf2, syrk, trsm};
 use hchol_matrix::generate::{spd_diag_dominant, uniform};
 use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::Instant; // lint:allow(wall-clock) — microbenchmark, not a model path
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm");
@@ -132,7 +132,8 @@ struct Report {
 /// iteration cap for the slow naive points) is spent.
 fn time_call<F: FnMut()>(mut f: F, budget: f64) -> f64 {
     f();
-    let start = Instant::now();
+    let start = Instant::now(); // lint:allow(wall-clock) — real kernel timing
+
     let mut iters = 0u32;
     loop {
         f();

@@ -12,6 +12,7 @@
 //! Execute-mode test suites; `table07`/`table08` additionally run a scaled
 //! Execute-mode replica to show real corrections happening.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

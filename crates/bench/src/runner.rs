@@ -81,7 +81,13 @@ pub fn run_variant(
             (r.time.as_secs(), 1, 0)
         }
         Variant::Scheme(kind) => {
-            let r = run_scheme(kind, profile, mode, n, b, opts, plan, input).expect("abft scheme");
+            // Bench measures virtual time only; the schedule trace is for
+            // hchol-analyze and just costs memory on paper-scale sweeps.
+            let opts = AbftOptions {
+                trace_schedule: false,
+                ..opts.clone()
+            };
+            let r = run_scheme(kind, profile, mode, n, b, &opts, plan, input).expect("abft scheme");
             (r.time.as_secs(), r.attempts, r.verify.corrected_data)
         }
     };

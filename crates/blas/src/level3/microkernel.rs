@@ -76,20 +76,25 @@ mod x86 {
         pb: *const f64,
         acc: &mut [[f64; MR]; NR],
     ) {
-        let mut c: [__m512d; NR] = [_mm512_setzero_pd(); NR];
-        for (j, col) in acc.iter().enumerate() {
-            c[j] = _mm512_loadu_pd(col.as_ptr());
-        }
-        for p in 0..kc {
-            let a = _mm512_loadu_pd(pa.add(p * MR));
-            let bp = pb.add(p * NR);
-            for (j, cj) in c.iter_mut().enumerate() {
-                let b = _mm512_set1_pd(*bp.add(j));
-                *cj = _mm512_fmadd_pd(a, b, *cj);
+        // SAFETY: caller upholds the documented contract — AVX-512F present,
+        // panels hold `kc·MR` / `kc·NR` doubles — and `acc` columns are
+        // exactly MR = 8 lanes wide, so every load/store is in bounds.
+        unsafe {
+            let mut c: [__m512d; NR] = [_mm512_setzero_pd(); NR];
+            for (j, col) in acc.iter().enumerate() {
+                c[j] = _mm512_loadu_pd(col.as_ptr());
             }
-        }
-        for (j, col) in acc.iter_mut().enumerate() {
-            _mm512_storeu_pd(col.as_mut_ptr(), c[j]);
+            for p in 0..kc {
+                let a = _mm512_loadu_pd(pa.add(p * MR));
+                let bp = pb.add(p * NR);
+                for (j, cj) in c.iter_mut().enumerate() {
+                    let b = _mm512_set1_pd(*bp.add(j));
+                    *cj = _mm512_fmadd_pd(a, b, *cj);
+                }
+            }
+            for (j, col) in acc.iter_mut().enumerate() {
+                _mm512_storeu_pd(col.as_mut_ptr(), c[j]);
+            }
         }
     }
 
@@ -100,25 +105,30 @@ mod x86 {
     /// to at least `kc·MR` / `kc·NR` readable doubles.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn kernel_fma(kc: usize, pa: *const f64, pb: *const f64, acc: &mut [[f64; MR]; NR]) {
-        let mut lo: [__m256d; NR] = [_mm256_setzero_pd(); NR];
-        let mut hi: [__m256d; NR] = [_mm256_setzero_pd(); NR];
-        for (j, col) in acc.iter().enumerate() {
-            lo[j] = _mm256_loadu_pd(col.as_ptr());
-            hi[j] = _mm256_loadu_pd(col.as_ptr().add(4));
-        }
-        for p in 0..kc {
-            let a0 = _mm256_loadu_pd(pa.add(p * MR));
-            let a1 = _mm256_loadu_pd(pa.add(p * MR + 4));
-            let bp = pb.add(p * NR);
-            for j in 0..NR {
-                let b = _mm256_set1_pd(*bp.add(j));
-                lo[j] = _mm256_fmadd_pd(a0, b, lo[j]);
-                hi[j] = _mm256_fmadd_pd(a1, b, hi[j]);
+        // SAFETY: caller upholds the documented contract — AVX2+FMA present,
+        // panels hold `kc·MR` / `kc·NR` doubles — and each 8-lane `acc`
+        // column splits into two in-bounds 4-lane halves.
+        unsafe {
+            let mut lo: [__m256d; NR] = [_mm256_setzero_pd(); NR];
+            let mut hi: [__m256d; NR] = [_mm256_setzero_pd(); NR];
+            for (j, col) in acc.iter().enumerate() {
+                lo[j] = _mm256_loadu_pd(col.as_ptr());
+                hi[j] = _mm256_loadu_pd(col.as_ptr().add(4));
             }
-        }
-        for (j, col) in acc.iter_mut().enumerate() {
-            _mm256_storeu_pd(col.as_mut_ptr(), lo[j]);
-            _mm256_storeu_pd(col.as_mut_ptr().add(4), hi[j]);
+            for p in 0..kc {
+                let a0 = _mm256_loadu_pd(pa.add(p * MR));
+                let a1 = _mm256_loadu_pd(pa.add(p * MR + 4));
+                let bp = pb.add(p * NR);
+                for j in 0..NR {
+                    let b = _mm256_set1_pd(*bp.add(j));
+                    lo[j] = _mm256_fmadd_pd(a0, b, lo[j]);
+                    hi[j] = _mm256_fmadd_pd(a1, b, hi[j]);
+                }
+            }
+            for (j, col) in acc.iter_mut().enumerate() {
+                _mm256_storeu_pd(col.as_mut_ptr(), lo[j]);
+                _mm256_storeu_pd(col.as_mut_ptr().add(4), hi[j]);
+            }
         }
     }
 }

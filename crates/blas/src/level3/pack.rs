@@ -131,7 +131,8 @@ impl MatMut {
     #[inline(always)]
     pub unsafe fn add(&self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);
-        *self.ptr.add(i + j * self.ld) += v;
+        // SAFETY: caller upholds the bounds/uniqueness contract above.
+        unsafe { *self.ptr.add(i + j * self.ld) += v };
     }
 
     /// Column `j` as a mutable slice (columns are contiguous).
@@ -141,7 +142,9 @@ impl MatMut {
     #[inline(always)]
     pub unsafe fn col_mut<'s>(&self, j: usize) -> &'s mut [f64] {
         debug_assert!(j < self.cols);
-        std::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows)
+        // SAFETY: caller upholds the bounds/uniqueness contract above;
+        // columns are contiguous (`rows <= ld`).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows) }
     }
 
     /// Read-only view of this block (for GEMM operands aliasing the output
@@ -153,7 +156,9 @@ impl MatMut {
     /// TRSM recursion only reads rows/cols it has finished writing.
     pub unsafe fn as_ref<'s>(&self) -> MatRef<'s> {
         MatRef {
-            data: std::slice::from_raw_parts(self.ptr, self.len_spanned()),
+            // SAFETY: the span is within the parent allocation; caller
+            // guarantees no overlapping writes for the chosen lifetime.
+            data: unsafe { std::slice::from_raw_parts(self.ptr, self.len_spanned()) },
             ld: self.ld,
             row0: 0,
             col0: 0,
@@ -174,8 +179,9 @@ impl MatMut {
     }
 }
 
-// The engine hands MatMut row-stripes to scoped threads; disjointness of the
-// stripes is guaranteed by the ic-loop partitioning in par.rs.
+// SAFETY: the engine hands MatMut row-stripes to scoped threads;
+// disjointness of the stripes is guaranteed by the ic-loop partitioning in
+// par.rs, so no two threads ever touch the same element.
 unsafe impl Send for MatMut {}
 
 /// Pack the `mc × kc` block of `op(A)` into MR-row micro-panels.
@@ -283,6 +289,8 @@ mod tests {
         let before = m.get(4, 3);
         let mm = MatMut::new(&mut m);
         let sub = mm.sub(2, 1, 4, 5);
+        // SAFETY: (2,2) is inside the 4×5 sub-view; `sub` is the only
+        // accessor of `m` here.
         unsafe {
             sub.add(2, 2, 1.0);
         }

@@ -175,6 +175,8 @@ fn right_base(eff_lower: bool, diag: Diag, t: &Matrix, b: &MatMut) {
         for k in ks {
             let coef = t.get(k, j);
             if coef != 0.0 {
+                // SAFETY: k ≠ j, so this read-only view of col k cannot
+                // alias `dst` (col j) — disjoint columns of the same block.
                 let src = unsafe { &*b.col_mut(k) };
                 axpy(-coef, src, dst);
             }

@@ -23,6 +23,11 @@
 //!   storage error can cause mid-factorization) are returned as
 //!   `Err(MatrixError::NotPositiveDefinite)`.
 
+// The only crate in the workspace allowed to contain `unsafe` (raw-pointer
+// matrix views and SIMD intrinsics); every unsafe operation must be spelled
+// out even inside unsafe fns, and every block carries a `// SAFETY:` comment
+// (enforced by the hchol-analyze lint).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod flops;

@@ -29,6 +29,7 @@
 //! [`FactorOutcome::report`] or `BaselineReport::report` to export a run as
 //! a versioned JSON document (re-exported [`obs`] crate).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capacity;

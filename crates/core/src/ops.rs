@@ -431,7 +431,17 @@ pub fn encode_all(ctx: &mut SimContext, lay: &CholLayout, opts: &AbftOptions) {
     ctx.sync_device();
     if lay.placement == ChecksumPlacement::Cpu {
         let bytes = 8 * 2 * (lay.n as u64) * (lay.nt as u64);
-        ctx.bulk_transfer(bytes, lay.s_tran, false, |_, _| {});
+        // The shipment reads every freshly encoded checksum tile.
+        let reads = (0..lay.nt)
+            .flat_map(|bj| (bj..lay.nt).map(move |bi| TileRef::new(lay.cks[bi], 0, bj)))
+            .collect();
+        ctx.bulk_transfer_with_access(
+            bytes,
+            lay.s_tran,
+            false,
+            AccessSet::new(reads, vec![]),
+            |_, _| {},
+        );
         ctx.sync_stream(lay.s_tran);
     }
 }
@@ -696,8 +706,22 @@ pub fn verify_batch(
     }
 
     // Comparison itself (a handful of flops per column — the overhead the
-    // paper's Section VI deems ignorable, charged anyway).
+    // paper's Section VI deems ignorable, charged anyway). Reads only: data
+    // tiles, their stored checksums, and the recalculated sums. This is the
+    // op whose reads mark tiles *verified* for the conformance analysis, so
+    // it must not declare writes (a write would invalidate its own marks).
     let f = lay.charge(flops::verify_compare(lay.b) * tiles.len() as u64);
+    let cmp_reads = tiles
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, &(bi, bj))| {
+            [
+                TileRef::new(lay.mat, bi, bj),
+                TileRef::new(lay.cks[bi], 0, bj),
+                TileRef::new(lay.scratch[idx], 0, 0),
+            ]
+        })
+        .collect();
     ctx.launch(
         lay.s_comp,
         KernelDesc::new(
@@ -705,7 +729,8 @@ pub fn verify_batch(
             KernelClass::Light,
             f,
             WorkCategory::Verify,
-        ),
+        )
+        .with_access(AccessSet::new(cmp_reads, vec![])),
         |_| {},
     );
     ctx.sync_stream(lay.s_comp);
@@ -862,9 +887,20 @@ pub fn reload(ctx: &mut SimContext, lay: &CholLayout, pristine: Option<&TileMatr
     let bytes = 8 * (lay.n as u64) * (lay.n as u64);
     let mat = lay.mat;
     let clone = pristine.cloned();
-    ctx.bulk_transfer(bytes, lay.s_tran, true, move |dev, _| {
-        *dev.buf_mut(mat) = clone.expect("Execute mode keeps a pristine copy");
-    });
+    // The upload rewrites every tile, which also (correctly) invalidates
+    // every verify mark from the failed attempt in the schedule analysis.
+    let writes = (0..lay.nt)
+        .flat_map(|bi| (0..lay.nt).map(move |bj| TileRef::new(mat, bi, bj)))
+        .collect();
+    ctx.bulk_transfer_with_access(
+        bytes,
+        lay.s_tran,
+        true,
+        AccessSet::new(vec![], writes),
+        move |dev, _| {
+            *dev.buf_mut(mat) = clone.expect("Execute mode keeps a pristine copy");
+        },
+    );
     ctx.sync_stream(lay.s_tran);
 }
 

@@ -38,9 +38,11 @@ pub struct AbftOptions {
     pub max_restarts: usize,
     /// Record a full execution timeline (memory-heavy on big runs).
     pub record_timeline: bool,
-    /// Audit declared kernel accesses for unordered conflicts (quadratic
-    /// scan — test-sized runs only).
-    pub audit_hazards: bool,
+    /// Record the ordering-relevant program (kernel launches with declared
+    /// accesses, events, syncs) for `hchol-analyze`'s race and
+    /// protocol-conformance checks. On by default — the analyzer's linear
+    /// sweep is cheap; bench sweeps at paper scale turn it off.
+    pub trace_schedule: bool,
 }
 
 impl Default for AbftOptions {
@@ -52,7 +54,7 @@ impl Default for AbftOptions {
             policy: VerifyPolicy::default(),
             max_restarts: 1,
             record_timeline: false,
-            audit_hazards: false,
+            trace_schedule: true,
         }
     }
 }
@@ -103,6 +105,8 @@ mod tests {
         assert_eq!(o.verify_interval, 1);
         assert!(o.concurrent_recalc);
         assert_eq!(o.max_restarts, 1);
+        assert!(o.trace_schedule);
+        assert!(!o.record_timeline);
     }
 
     #[test]

@@ -150,8 +150,8 @@ pub fn run_scheme(
     if !opts.record_timeline {
         ctx.disable_timeline();
     }
-    if opts.audit_hazards {
-        ctx.enable_hazard_log();
+    if !opts.trace_schedule {
+        ctx.disable_trace();
     }
     let run_span = ctx
         .obs

@@ -24,6 +24,7 @@
 //! exactly this point) and Poisson fault arrival processes ([`poisson`])
 //! for rate-driven campaigns.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;

@@ -17,13 +17,15 @@
 //! Numerics execute **eagerly in program order** while timing is computed
 //! for the overlapped schedule. For a race-free program (one whose
 //! stream/event usage orders every true dependency) the two give identical
-//! results; a debug-mode hazard checker in `hchol-core` guards that
-//! assumption at the tile level.
+//! results; the context records every ordering-relevant action in a
+//! [`ProgramTrace`] and `hchol-analyze` checks that assumption at the tile
+//! level with a vector-clock happens-before sweep.
 
+use crate::access::{AccessSet, TileRef};
 use crate::counters::{WorkCategory, WorkCounters};
-use crate::hazard::{AccessSet, Hazard, HazardLog};
 use crate::memory::{BufferId, DeviceMemory, HostBufferId, HostMemory};
 use crate::profile::{KernelClass, SystemProfile};
+use crate::program::{DmaDir, ExecSite, ProgramTrace, TraceAction};
 use crate::schedule::KernelScheduler;
 use crate::time::SimTime;
 use crate::timeline::{Lane, Timeline, TraceEntry};
@@ -67,7 +69,8 @@ pub struct KernelDesc {
     pub flops: u64,
     /// Accounting category.
     pub category: WorkCategory,
-    /// Declared tile accesses, audited by the hazard log when enabled.
+    /// Declared tile accesses, carried into the recorded program for the
+    /// happens-before analysis in `hchol-analyze`.
     pub access: AccessSet,
 }
 
@@ -88,8 +91,8 @@ impl KernelDesc {
         }
     }
 
-    /// Builder: declare the tiles this kernel reads and writes (enables
-    /// hazard auditing of the schedule).
+    /// Builder: declare the tiles this kernel reads and writes (makes the
+    /// kernel visible to the schedule analysis).
     pub fn with_access(mut self, access: AccessSet) -> Self {
         self.access = access;
         self
@@ -132,8 +135,9 @@ pub struct SimContext {
     next_cpu_worker: usize,
     events: Vec<SimTime>,
     sched: KernelScheduler,
-    /// Optional data-hazard audit log.
-    pub hazards: HazardLog,
+    /// The recorded program: ordering actions + declared accesses, replayed
+    /// by `hchol-analyze` for race and protocol-conformance checking.
+    pub trace: ProgramTrace,
     /// Execution trace.
     pub timeline: Timeline,
     /// FLOP/byte accounting by category.
@@ -168,7 +172,7 @@ impl SimContext {
             next_cpu_worker: 0,
             events: Vec::new(),
             sched: KernelScheduler::new(maxk),
-            hazards: HazardLog::default(),
+            trace: ProgramTrace::recording(),
             timeline: Timeline::recording(),
             counters: WorkCounters::default(),
             obs: Obs::new(),
@@ -183,15 +187,11 @@ impl SimContext {
         self.obs.spans.set_ops_enabled(false);
     }
 
-    /// Start auditing declared kernel accesses for unordered conflicts.
-    pub fn enable_hazard_log(&mut self) {
-        self.hazards = HazardLog::enabled();
-    }
-
-    /// Scan the audit log for hazards (empty when auditing is off or the
-    /// program ordered every dependency).
-    pub fn hazard_report(&self) -> Vec<Hazard> {
-        self.hazards.report()
+    /// Stop recording the program trace (drops what was recorded). The
+    /// trace is on by default — cheap enough for every driver test — but
+    /// paper-scale sweeps hold millions of tile refs and switch it off.
+    pub fn disable_trace(&mut self) {
+        self.trace.disable();
     }
 
     /// The system profile in use.
@@ -239,7 +239,13 @@ impl SimContext {
         let (start, end) = self.sched.place(earliest, duration, resource);
         self.streams[stream.0] = end;
         self.record_work(&desc, "gpu", start, end, (start - earliest).as_secs());
-        self.hazards.push(&desc.label, start, end, desc.access);
+        self.trace.push_op(
+            &desc.label,
+            ExecSite::Stream(stream.0),
+            None,
+            desc.category,
+            desc.access,
+        );
         self.timeline.push(TraceEntry {
             lane: Lane::GpuStream(stream.0),
             label: desc.label,
@@ -299,6 +305,13 @@ impl SimContext {
             (t.rows() * t.cols()) as u64
         };
         let (start, end) = self.schedule_transfer(bytes, stream, /* h2d = */ true);
+        self.trace.push_op(
+            "h2d",
+            ExecSite::Stream(stream.0),
+            Some(DmaDir::H2D),
+            WorkCategory::Transfer,
+            AccessSet::new(vec![], vec![TileRef::new(dev, bi, bj)]),
+        );
         self.push_transfer_trace(Lane::CopyH2D, "h2d", start, end, bytes);
         if self.mode.executes() {
             let src = self.host_mem.buf(host).clone();
@@ -323,6 +336,13 @@ impl SimContext {
             (t.rows() * t.cols()) as u64
         };
         let (start, end) = self.schedule_transfer(bytes, stream, /* h2d = */ false);
+        self.trace.push_op(
+            "d2h",
+            ExecSite::Stream(stream.0),
+            Some(DmaDir::D2H),
+            WorkCategory::Transfer,
+            AccessSet::new(vec![TileRef::new(dev, bi, bj)], vec![]),
+        );
         self.push_transfer_trace(Lane::CopyD2H, "d2h", start, end, bytes);
         if self.mode.executes() {
             let src = self.dev_mem.tile(dev, bi, bj).clone();
@@ -347,8 +367,8 @@ impl SimContext {
     }
 
     /// [`SimContext::bulk_transfer`] with declared device-tile accesses for
-    /// hazard auditing (a d2h transfer *reads* device tiles, an h2d one
-    /// *writes* them).
+    /// the schedule analysis (a d2h transfer *reads* device tiles, an h2d
+    /// one *writes* them).
     pub fn bulk_transfer_with_access<F>(
         &mut self,
         bytes: u64,
@@ -360,12 +380,18 @@ impl SimContext {
         F: FnOnce(&mut DeviceMemory, &mut HostMemory),
     {
         let (start, end) = self.schedule_transfer(bytes, stream, to_device);
-        let lane = if to_device {
-            Lane::CopyH2D
+        let (lane, dir) = if to_device {
+            (Lane::CopyH2D, DmaDir::H2D)
         } else {
-            Lane::CopyD2H
+            (Lane::CopyD2H, DmaDir::D2H)
         };
-        self.hazards.push("transfer", start, end, access);
+        self.trace.push_op(
+            "transfer",
+            ExecSite::Stream(stream.0),
+            Some(dir),
+            WorkCategory::Transfer,
+            access,
+        );
         self.push_transfer_trace(lane, "bulk", start, end, bytes);
         if self.mode.executes() {
             body(&mut self.dev_mem, &mut self.host_mem);
@@ -434,7 +460,13 @@ impl SimContext {
         let end = start + duration;
         self.host_clock = end;
         self.record_work(&desc, "host", start, end, 0.0);
-        self.hazards.push(&desc.label, start, end, desc.access);
+        self.trace.push_op(
+            &desc.label,
+            ExecSite::Host,
+            None,
+            desc.category,
+            desc.access,
+        );
         self.timeline.push(TraceEntry {
             lane: Lane::HostMain,
             label: desc.label,
@@ -471,7 +503,13 @@ impl SimContext {
         self.cpu_workers[w] = end;
         self.next_cpu_worker = (w + 1) % self.cpu_workers.len();
         self.record_work(&desc, "cpu_workers", start, end, 0.0);
-        self.hazards.push(&desc.label, start, end, desc.access);
+        self.trace.push_op(
+            &desc.label,
+            ExecSite::CpuWorker(w),
+            None,
+            desc.category,
+            desc.access,
+        );
         self.timeline.push(TraceEntry {
             lane: Lane::CpuWorker(w),
             label: desc.label,
@@ -490,17 +528,28 @@ impl SimContext {
     /// Record an event capturing `stream`'s current completion frontier.
     pub fn record_event(&mut self, stream: StreamId) -> EventId {
         self.events.push(self.streams[stream.0]);
-        EventId(self.events.len() - 1)
+        let id = self.events.len() - 1;
+        self.trace.push_action(TraceAction::RecordEvent {
+            event: id,
+            stream: stream.0,
+        });
+        EventId(id)
     }
 
     /// Block the host until `event` has completed.
     pub fn host_wait_event(&mut self, event: EventId) {
         self.host_clock = self.host_clock.max(self.events[event.0]);
+        self.trace
+            .push_action(TraceAction::HostWaitEvent { event: event.0 });
     }
 
     /// Make all *future* work on `stream` wait for `event`.
     pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
         self.streams[stream.0] = self.streams[stream.0].max(self.events[event.0]);
+        self.trace.push_action(TraceAction::StreamWaitEvent {
+            stream: stream.0,
+            event: event.0,
+        });
     }
 
     /// Block the host until all work on `stream` (including its transfers)
@@ -508,6 +557,8 @@ impl SimContext {
     pub fn sync_stream(&mut self, stream: StreamId) {
         self.host_clock = self.host_clock.max(self.streams[stream.0]);
         self.sched.prune(self.host_clock);
+        self.trace
+            .push_action(TraceAction::SyncStream { stream: stream.0 });
     }
 
     /// Block the host until the whole device (all streams + DMA lanes) is
@@ -520,6 +571,7 @@ impl SimContext {
         t = t.max(self.h2d_lane).max(self.d2h_lane);
         self.host_clock = t;
         self.sched.prune(self.host_clock);
+        self.trace.push_action(TraceAction::SyncDevice);
     }
 
     /// Block the host until all CPU worker lanes are idle.
@@ -529,6 +581,7 @@ impl SimContext {
             t = t.max(w);
         }
         self.host_clock = t;
+        self.trace.push_action(TraceAction::SyncCpuWorkers);
     }
 
     /// Block on everything: device, DMA, CPU workers.

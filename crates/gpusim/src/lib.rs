@@ -32,27 +32,33 @@
 //!   device caps both total occupancy and kernel count.
 //! * A [`timeline::Timeline`] trace of every operation (lane, label, start,
 //!   end) from which Figure-1-style execution charts are regenerated.
+//! * A [`program::ProgramTrace`] record of every ordering-relevant action
+//!   (stream ops with declared [`AccessSet`]s, events, syncs), replayed by
+//!   `hchol-analyze` for race and ABFT-protocol-conformance checking.
 //! * An [`obs`] (re-exported `hchol-obs`) attachment on every context:
 //!   the span tree, metrics registry, and event stream that
 //!   [`obs::RunReport`] serializes — see `DESIGN.md` §"Observability".
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hchol_obs as obs;
 
+pub mod access;
 pub mod context;
 pub mod counters;
-pub mod hazard;
 pub mod memory;
 pub mod profile;
+pub mod program;
 pub mod schedule;
 pub mod time;
 pub mod timeline;
 
+pub use access::{AccessSet, TileRef};
 pub use context::{EventId, SimContext, StreamId};
-pub use hazard::{AccessSet, Hazard, HazardLog, TileRef};
 pub use memory::{BufferId, DeviceMemory, HostBufferId, HostMemory};
 pub use profile::{CpuProfile, DeviceProfile, KernelClass, SystemProfile};
+pub use program::{DmaDir, ExecSite, ProgramTrace, TraceAction, TraceOp};
 pub use time::SimTime;
 pub use timeline::{Lane, Timeline, TraceEntry};
 

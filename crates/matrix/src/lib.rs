@@ -22,8 +22,8 @@
 //! Everything is `f64`: the paper implements and evaluates the double
 //! precision routine (`dpotrf`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bits;
 pub mod compare;

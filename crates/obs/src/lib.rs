@@ -26,10 +26,12 @@
 //! in-repo `serde`/`serde_json` shims) so every layer — gpusim, core,
 //! bench — can emit into it without cycles.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod span;
 
