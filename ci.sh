@@ -37,6 +37,9 @@ cargo run --release -q -p hchol-analyze --bin lint
 step "schedule analyzer (races + ABFT protocol conformance, all schemes)"
 cargo run --release -q -p hchol-analyze --bin analyze > /dev/null
 
+step "plan checker (static ABFT contract over plan edges, all schemes)"
+cargo run --release -q -p hchol-analyze --bin plan_check > /dev/null
+
 step "kernel bench sweep (quick) -> BENCH_kernels.json"
 cargo bench -p hchol-bench --bench kernels -- --quick
 

@@ -1,0 +1,60 @@
+//! Static plan checker runner: `cargo run -p hchol-analyze --bin
+//! plan_check`.
+//!
+//! Builds the [`hchol_core::plan::FactorPlan`] for every scheme over a
+//! sweep of sizes and verify intervals, checks each plan's dependency
+//! edges against the scheme's ABFT contract (see
+//! [`hchol_analyze::plancheck`]), and exits nonzero on any violation so CI
+//! can gate on it. This runs *before* any simulation — a broken policy
+//! pass is caught without executing a single node.
+//!
+//! Usage: `plan_check [n ...]` — sizes default to 64 128 256 512.
+
+use hchol_analyze::check_scheme_plan;
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::SchemeKind;
+use hchol_gpusim::profile::SystemProfile;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap_or_else(|_| panic!("bad size `{a}`")))
+        .collect();
+    if sizes.is_empty() {
+        sizes = vec![64, 128, 256, 512];
+    }
+    let profile = SystemProfile::tardis();
+    let mut violations = 0usize;
+    for &n in &sizes {
+        let b = (n / 4).max(16);
+        for kind in SchemeKind::all() {
+            for k in [1usize, 4] {
+                let opts = AbftOptions::default().with_interval(k);
+                let chk = check_scheme_plan(kind, &profile, n, b, &opts);
+                println!(
+                    "plan_check: {} n={n} b={b} K={k}: {} nodes, {} edges, {}",
+                    kind.name(),
+                    chk.nodes,
+                    chk.edges,
+                    if chk.is_clean() {
+                        "clean".to_string()
+                    } else {
+                        format!("{} violation(s)", chk.violations.len())
+                    }
+                );
+                if !chk.is_clean() {
+                    eprintln!("{}", chk.render_text());
+                    violations += chk.violations.len();
+                }
+            }
+        }
+    }
+    if violations == 0 {
+        println!("plan_check: every plan satisfies its scheme's ABFT contract");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("plan_check: {violations} violation(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -14,6 +14,12 @@
 //!   observability name literals cross-checked against
 //!   [`hchol_obs::names`], and wall-clock APIs forbidden outside the
 //!   simulator.
+//! * [`plancheck`] — **static** ABFT-contract checking of a
+//!   [`hchol_core::plan::FactorPlan`] over its dependency edges, before
+//!   anything executes (`cargo run -p hchol-analyze --bin plan_check`).
+//!   A clean plan check covers every schedule the plan executor may
+//!   legally choose (in-order, lookahead, batched), where the
+//!   [`schedule`] sweep covers the one schedule that actually ran.
 //!
 //! Findings are exported through the versioned `hchol-obs` report envelope
 //! ([`report`]), so analyzer output is consumed like any other run
@@ -23,10 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod lint;
+pub mod plancheck;
 pub mod report;
 pub mod schedule;
 
 pub use lint::{lint_workspace, Lint};
+pub use plancheck::{check_plan, check_scheme_plan, PlanCheck, PlanViolation};
 pub use report::AnalysisReport;
 pub use schedule::{
     analyze_outcome, analyze_schedule, analyze_with_protocol, Protocol, Race, RaceKind,

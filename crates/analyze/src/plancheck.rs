@@ -1,0 +1,430 @@
+//! Static ABFT-contract checking of a [`FactorPlan`] — *before* execution.
+//!
+//! The dynamic half of this crate ([`crate::schedule`]) proves a recorded
+//! program race-free and protocol-conformant after a run. This module
+//! proves the same protocol obligations on the plan's **dependency
+//! edges** alone: no simulator, no trace, just the task graph the policy
+//! passes emitted. Because every execution mode (in-order, lookahead,
+//! batched) issues along those edges, a clean plan check holds for every
+//! schedule the executor may choose — which is what makes it safe to run
+//! reordered at all.
+//!
+//! Checked obligations, per scheme:
+//!
+//! * **All schemes** — exactly one [`TaskKind::Encode`] node, and it must
+//!   be an ancestor of every factorization write (checksums must cover the
+//!   data they protect from the start).
+//! * **Enhanced** — every matrix tile a factorization node reads must have
+//!   an ancestor [`TaskKind::VerifyBatch`] covering that tile, with the
+//!   tile's last writer an ancestor of the verify (no window for an error
+//!   to slip in between). Under `K > 1` (Optimization 3) the policy
+//!   deliberately skips panel checks on gated iterations, so only the
+//!   every-iteration SYRK-input checks remain obligations.
+//! * **Online** — the read rule applies only to tiles with a prior
+//!   factorization write (fresh input tiles are not yet protected), plus
+//!   every written tile must be covered by a final-sweep verify after its
+//!   last write.
+//! * **Offline** — no mid-run obligations; every written tile must be
+//!   covered by the final sweep after its last write.
+
+use hchol_core::options::AbftOptions;
+use hchol_core::plan::{FactorPlan, NodeId, SweepKind, TaskKind};
+use hchol_core::schemes::SchemeKind;
+use hchol_gpusim::BufferId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One broken contract obligation found in a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// A factorization node reads a tile with no covering verify between
+    /// the tile's last write and the read.
+    UnverifiedRead {
+        /// The reading node (debug-rendered task).
+        reader: String,
+        /// Position of the reader in the authored order.
+        pos: usize,
+        /// The unprotected tile (block row, block column).
+        tile: (usize, usize),
+    },
+    /// A written tile is not covered by any final-sweep verify after its
+    /// last write.
+    MissingFinalVerify {
+        /// The uncovered tile.
+        tile: (usize, usize),
+        /// The tile's last writer (debug-rendered task).
+        writer: String,
+    },
+    /// No encode node, or the encode does not precede every write.
+    MissingEncode,
+    /// More than one encode node (checksums would be clobbered).
+    DuplicateEncode {
+        /// How many encodes the plan carries.
+        count: usize,
+    },
+}
+
+impl PlanViolation {
+    /// Stable machine-readable kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlanViolation::UnverifiedRead { .. } => "unverified_read",
+            PlanViolation::MissingFinalVerify { .. } => "missing_final_verify",
+            PlanViolation::MissingEncode => "missing_encode",
+            PlanViolation::DuplicateEncode { .. } => "duplicate_encode",
+        }
+    }
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::UnverifiedRead { reader, pos, tile } => write!(
+                f,
+                "unverified read of ({},{}) by `{reader}` at order position {pos}",
+                tile.0, tile.1
+            ),
+            PlanViolation::MissingFinalVerify { tile, writer } => write!(
+                f,
+                "tile ({},{}) never verified by the final sweep after its last write (`{writer}`)",
+                tile.0, tile.1
+            ),
+            PlanViolation::MissingEncode => {
+                write!(f, "no encode node precedes the factorization writes")
+            }
+            PlanViolation::DuplicateEncode { count } => {
+                write!(f, "{count} encode nodes (expected exactly one)")
+            }
+        }
+    }
+}
+
+/// Result of checking one plan.
+#[derive(Debug)]
+pub struct PlanCheck {
+    /// The scheme whose contract was checked.
+    pub scheme: SchemeKind,
+    /// Nodes in the plan's issue order.
+    pub nodes: usize,
+    /// Dependency edges in the plan.
+    pub edges: usize,
+    /// Broken obligations (empty = the contract holds on every schedule).
+    pub violations: Vec<PlanViolation>,
+}
+
+impl PlanCheck {
+    /// True if every obligation holds.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut s = format!(
+            "{}: {} nodes, {} edges, {} violation(s)\n",
+            self.scheme.name(),
+            self.nodes,
+            self.edges,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            s.push_str(&format!("  [{}] {v}\n", v.kind()));
+        }
+        s
+    }
+}
+
+/// Ancestor bitsets over positions in the authored order: `anc[p]` has bit
+/// `q` set iff position `q` reaches `p` through dependency edges.
+struct Ancestors {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Ancestors {
+    fn compute(plan: &FactorPlan, pos_of: &HashMap<NodeId, usize>) -> Self {
+        let n = plan.len();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        for (p, &id) in plan.order().iter().enumerate() {
+            for &d in plan.deps(id) {
+                let q = pos_of[&d];
+                debug_assert!(q < p, "authored order must be topological");
+                let (dst, src) = (p * words, q * words);
+                for w in 0..words {
+                    let v = bits[src + w];
+                    bits[dst + w] |= v;
+                }
+                bits[dst + q / 64] |= 1 << (q % 64);
+            }
+        }
+        Ancestors { words, bits }
+    }
+
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        self.bits[to * self.words + from / 64] & (1 << (from % 64)) != 0
+    }
+}
+
+/// Is this node a factorization writer/reader of matrix data (as opposed
+/// to checksum maintenance, verification, or bookkeeping)?
+fn is_factorization(kind: &TaskKind) -> bool {
+    matches!(
+        kind,
+        TaskKind::Syrk { .. } | TaskKind::GemmPanel { .. } | TaskKind::TrsmPanel { .. }
+    )
+}
+
+/// Does this node *produce* matrix data (factorization kernels plus the
+/// host→device return of the factorized diagonal)?
+fn is_data_writer(kind: &TaskKind) -> bool {
+    is_factorization(kind) || matches!(kind, TaskKind::DiagToDevice { .. })
+}
+
+/// One verify node's placement: order position, covered tiles, sweep kind.
+type VerifyInfo = (usize, Vec<(usize, usize)>, SweepKind);
+
+/// Check `plan` (built for `kind` with `opts`) against the scheme's ABFT
+/// contract using only its dependency edges.
+pub fn check_plan(kind: SchemeKind, plan: &FactorPlan, opts: &AbftOptions) -> PlanCheck {
+    let mat = BufferId(0);
+    let order = plan.order();
+    let pos_of: HashMap<NodeId, usize> = order.iter().enumerate().map(|(p, &id)| (id, p)).collect();
+    let anc = Ancestors::compute(plan, &pos_of);
+    let mut violations = Vec::new();
+
+    // Per-position verify info.
+    let mut verifies: Vec<VerifyInfo> = Vec::new();
+    for (p, &id) in order.iter().enumerate() {
+        if let TaskKind::VerifyBatch { tiles, sweep } = &plan.node(id).kind {
+            verifies.push((p, tiles.clone(), *sweep));
+        }
+    }
+
+    // Walk the authored order tracking each matrix tile's last data writer.
+    // The authored order is a topological order of the edges, so "last
+    // writer at this position" is well-defined.
+    let mut last_writer: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut encode_positions: Vec<usize> = Vec::new();
+    let mut writer_positions: Vec<usize> = Vec::new();
+
+    for (p, &id) in order.iter().enumerate() {
+        let node = plan.node(id);
+        if matches!(node.kind, TaskKind::Encode) {
+            encode_positions.push(p);
+        }
+        let accesses = plan.node_access(id);
+
+        // Read obligations (Enhanced always; Online only for written tiles;
+        // under K > 1 only the ungated SYRK-input checks remain).
+        let read_rule = match kind {
+            SchemeKind::Enhanced => {
+                if opts.verify_interval <= 1 {
+                    is_factorization(&node.kind)
+                } else {
+                    matches!(node.kind, TaskKind::Syrk { .. })
+                }
+            }
+            SchemeKind::Online => is_factorization(&node.kind),
+            SchemeKind::Offline => false,
+        };
+        if read_rule {
+            for t in &accesses.tiles.reads {
+                if t.buf != mat {
+                    continue;
+                }
+                let tile = (t.bi, t.bj);
+                let lw = last_writer.get(&tile).copied();
+                if kind == SchemeKind::Online && lw.is_none() {
+                    continue;
+                }
+                let covered = verifies.iter().any(|(vp, tiles, _)| {
+                    tiles.contains(&tile)
+                        && anc.reaches(*vp, p)
+                        && lw.is_none_or(|w| anc.reaches(w, *vp))
+                });
+                if !covered {
+                    violations.push(PlanViolation::UnverifiedRead {
+                        reader: format!("{:?}", node.kind),
+                        pos: p,
+                        tile,
+                    });
+                }
+            }
+        }
+
+        if is_data_writer(&node.kind) {
+            for t in &accesses.tiles.writes {
+                if t.buf == mat {
+                    last_writer.insert((t.bi, t.bj), p);
+                }
+            }
+            if !accesses.tiles.writes.is_empty() {
+                writer_positions.push(p);
+            }
+        }
+    }
+
+    // Encode obligations: exactly one, preceding every data write.
+    match encode_positions.len() {
+        0 => violations.push(PlanViolation::MissingEncode),
+        1 => {
+            let e = encode_positions[0];
+            if writer_positions.iter().any(|&w| !anc.reaches(e, w)) {
+                violations.push(PlanViolation::MissingEncode);
+            }
+        }
+        n => violations.push(PlanViolation::DuplicateEncode { count: n }),
+    }
+
+    // Final-sweep obligations (Offline / Online): every written tile is
+    // verified after its last write.
+    if matches!(kind, SchemeKind::Offline | SchemeKind::Online) {
+        for (&tile, &w) in &last_writer {
+            let covered = verifies.iter().any(|(vp, tiles, sweep)| {
+                *sweep == SweepKind::Final && tiles.contains(&tile) && anc.reaches(w, *vp)
+            });
+            if !covered {
+                let id = order[w];
+                violations.push(PlanViolation::MissingFinalVerify {
+                    tile,
+                    writer: format!("{:?}", plan.node(id).kind),
+                });
+            }
+        }
+    }
+
+    violations.sort_by_key(|v| match v {
+        PlanViolation::UnverifiedRead { pos, tile, .. } => (0, *pos, *tile),
+        PlanViolation::MissingFinalVerify { tile, .. } => (1, 0, *tile),
+        PlanViolation::MissingEncode => (2, 0, (0, 0)),
+        PlanViolation::DuplicateEncode { .. } => (3, 0, (0, 0)),
+    });
+    PlanCheck {
+        scheme: kind,
+        nodes: plan.len(),
+        edges: plan.edge_count(),
+        violations,
+    }
+}
+
+/// Build the plan for `(kind, nt, opts)` and check it — the one-call form
+/// drivers and CI use. `opts.placement` may be `Auto`; it is resolved
+/// against the given profile exactly as `run_scheme` resolves it.
+pub fn check_scheme_plan(
+    kind: SchemeKind,
+    profile: &hchol_gpusim::profile::SystemProfile,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+) -> PlanCheck {
+    let placement =
+        hchol_core::decision::choose(opts.placement, profile, n, b, opts.verify_interval);
+    let mut resolved = opts.clone();
+    resolved.placement = placement;
+    let plan = hchol_core::plan::for_scheme(kind, n / b, &resolved, false);
+    check_plan(kind, &plan, &resolved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hchol_core::plan::for_scheme;
+    use hchol_core::schemes::SchemeKind;
+
+    fn resolved_opts() -> AbftOptions {
+        AbftOptions::default().with_placement(hchol_core::options::ChecksumPlacement::Gpu)
+    }
+
+    #[test]
+    fn all_schemes_clean_across_sizes_and_intervals() {
+        for kind in SchemeKind::all() {
+            for nt in [2usize, 4, 8, 16] {
+                for k in [1usize, 4] {
+                    let opts = resolved_opts().with_interval(k);
+                    let plan = for_scheme(kind, nt, &opts, false);
+                    let chk = check_plan(kind, &plan, &opts);
+                    assert!(
+                        chk.is_clean(),
+                        "{} nt={nt} K={k}:\n{}",
+                        kind.name(),
+                        chk.render_text()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_placement_plans_are_clean() {
+        let opts =
+            AbftOptions::default().with_placement(hchol_core::options::ChecksumPlacement::Cpu);
+        for kind in SchemeKind::all() {
+            let plan = for_scheme(kind, 8, &opts, false);
+            let chk = check_plan(kind, &plan, &opts);
+            assert!(chk.is_clean(), "{}:\n{}", kind.name(), chk.render_text());
+        }
+    }
+
+    /// Mutation control: sever the out-edges of one inline verify — its
+    /// paired correction no longer depends on it, so the verified data can
+    /// reach readers unchecked. The checker must flag an unverified read.
+    #[test]
+    fn dropped_verify_edge_is_flagged() {
+        let opts = resolved_opts();
+        let plan = for_scheme(SchemeKind::Enhanced, 8, &opts, false);
+        let victim = plan
+            .find(|n| matches!(&n.kind, TaskKind::VerifyBatch { sweep, .. } if *sweep == SweepKind::Inline && n.iter >= Some(1)))
+            .expect("an inline verify exists");
+        let mut mutated = plan.clone();
+        mutated.drop_edges_from(victim);
+        let chk = check_plan(SchemeKind::Enhanced, &mutated, &opts);
+        assert!(
+            chk.violations.iter().any(|v| v.kind() == "unverified_read"),
+            "expected an unverified read, got:\n{}",
+            chk.render_text()
+        );
+        // The unmutated plan stays clean — the edge was load-bearing.
+        assert!(check_plan(SchemeKind::Enhanced, &plan, &opts).is_clean());
+    }
+
+    /// Mutation control: removing the encode breaks every scheme's
+    /// contract.
+    #[test]
+    fn missing_encode_is_flagged() {
+        let opts = resolved_opts();
+        let mut plan = for_scheme(SchemeKind::Offline, 4, &opts, false);
+        let enc = plan
+            .find(|n| matches!(n.kind, TaskKind::Encode))
+            .expect("encode exists");
+        plan.remove(enc);
+        plan.derive_deps();
+        let chk = check_plan(SchemeKind::Offline, &plan, &opts);
+        assert!(
+            chk.violations.iter().any(|v| v.kind() == "missing_encode"),
+            "{}",
+            chk.render_text()
+        );
+    }
+
+    /// Mutation control: removing one final-sweep verify leaves its tiles
+    /// unaccepted in Offline.
+    #[test]
+    fn missing_final_verify_is_flagged() {
+        let opts = resolved_opts();
+        let mut plan = for_scheme(SchemeKind::Offline, 4, &opts, false);
+        let sweep = plan
+            .find(|n| matches!(&n.kind, TaskKind::VerifyBatch { sweep, .. } if *sweep == SweepKind::Final))
+            .expect("final sweep exists");
+        plan.remove(sweep);
+        plan.derive_deps();
+        let chk = check_plan(SchemeKind::Offline, &plan, &opts);
+        assert!(
+            chk.violations
+                .iter()
+                .any(|v| v.kind() == "missing_final_verify"),
+            "{}",
+            chk.render_text()
+        );
+    }
+}

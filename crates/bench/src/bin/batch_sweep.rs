@@ -1,0 +1,55 @@
+//! Batched-run sweep: B ∈ {1, 4, 8} concurrent n = 512 factorizations per
+//! scheme, on both paper systems → `BENCH_batch.json` at the repo root.
+//!
+//! The plan layer's [`hchol_core::plan::exec::run_batch`] interleaves
+//! several factorization plans round-robin through one simulator context;
+//! this sweep records how much of one run's host-blocking time (POTF2,
+//! verification) the other runs' device work reclaims, relative to issuing
+//! the same runs back to back.
+//!
+//! Usage: `cargo run --release -p hchol-bench --bin batch_sweep`.
+
+use hchol_bench::runner::{run_batched, BatchResult};
+use hchol_core::options::AbftOptions;
+use hchol_core::schemes::SchemeKind;
+use hchol_gpusim::profile::SystemProfile;
+
+#[derive(serde::Serialize)]
+struct Report {
+    n: usize,
+    results: Vec<Entry>,
+}
+
+#[derive(serde::Serialize)]
+struct Entry {
+    system: String,
+    result: BatchResult,
+}
+
+fn main() {
+    let n = 512usize;
+    let opts = AbftOptions::default();
+    let mut results = Vec::new();
+    for profile in [SystemProfile::tardis(), SystemProfile::bulldozer64()] {
+        let b = 64usize;
+        for kind in SchemeKind::all() {
+            for batch in [1usize, 4, 8] {
+                let r = run_batched(&profile, kind, n, b, &opts, batch);
+                println!(
+                    "{:<12} {:<22} B={}: sequential {:.4}s, batched {:.4}s, {:.2}x",
+                    profile.name, r.scheme, r.batch, r.sequential_secs, r.batched_secs, r.speedup
+                );
+                results.push(Entry {
+                    system: profile.name.clone(),
+                    result: r,
+                });
+            }
+        }
+    }
+    let report = Report { n, results };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    // Anchor to the workspace root: cargo runs binaries from their cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    std::fs::write(path, json).expect("write BENCH_batch.json");
+    println!("wrote {path}");
+}

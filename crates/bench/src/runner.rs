@@ -3,6 +3,7 @@
 use hchol_core::cula::factor_cula;
 use hchol_core::magma::factor_magma;
 use hchol_core::options::AbftOptions;
+use hchol_core::plan::exec::{run_batch, BatchRequest};
 use hchol_core::schemes::{run_scheme, SchemeKind};
 use hchol_faults::FaultPlan;
 use hchol_gpusim::profile::SystemProfile;
@@ -106,6 +107,81 @@ pub fn overhead_pct(t: f64, base: f64) -> f64 {
     (t / base - 1.0) * 100.0
 }
 
+/// One batched-run measurement: `batch` identical factorizations
+/// interleaved through one simulator context versus the same runs back to
+/// back (see [`hchol_core::plan::exec::run_batch`]).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BatchResult {
+    /// Scheme under measurement.
+    pub scheme: &'static str,
+    /// Matrix size of every member run.
+    pub n: usize,
+    /// Block size.
+    pub b: usize,
+    /// Number of concurrent factorizations.
+    pub batch: usize,
+    /// Virtual seconds for the runs issued sequentially.
+    pub sequential_secs: f64,
+    /// Virtual makespan of the batched execution.
+    pub batched_secs: f64,
+    /// `sequential_secs / batched_secs`.
+    pub speedup: f64,
+}
+
+/// Measure `batch` concurrent `kind` factorizations of size `n` against
+/// the same runs back to back (both TimingOnly, traces off).
+pub fn run_batched(
+    profile: &SystemProfile,
+    kind: SchemeKind,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+    batch: usize,
+) -> BatchResult {
+    let opts = AbftOptions {
+        trace_schedule: false,
+        ..opts.clone()
+    };
+    let sequential: f64 = (0..batch)
+        .map(|_| {
+            run_scheme(
+                kind,
+                profile,
+                ExecMode::TimingOnly,
+                n,
+                b,
+                &opts,
+                FaultPlan::none(),
+                None,
+            )
+            .expect("sequential run")
+            .time
+            .as_secs()
+        })
+        .sum();
+    let reqs: Vec<BatchRequest> = (0..batch)
+        .map(|_| BatchRequest {
+            kind,
+            n,
+            b,
+            opts: opts.clone(),
+        })
+        .collect();
+    let batched = run_batch(profile, &reqs)
+        .expect("batched run")
+        .time
+        .as_secs();
+    BatchResult {
+        scheme: kind.name(),
+        n,
+        b,
+        batch,
+        sequential_secs: sequential,
+        batched_secs: batched,
+        speedup: sequential / batched,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +205,26 @@ mod tests {
             assert!(r.gflops > 0.0);
             assert_eq!(r.attempts, 1);
         }
+    }
+
+    #[test]
+    fn batched_mode_reports_a_speedup() {
+        let r = run_batched(
+            &SystemProfile::test_profile(),
+            SchemeKind::Enhanced,
+            256,
+            32,
+            &AbftOptions::default(),
+            4,
+        );
+        assert_eq!(r.batch, 4);
+        assert!(
+            r.batched_secs < r.sequential_secs,
+            "batched {} vs sequential {}",
+            r.batched_secs,
+            r.sequential_secs
+        );
+        assert!(r.speedup > 1.0);
     }
 
     #[test]

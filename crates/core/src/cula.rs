@@ -16,8 +16,11 @@
 
 use crate::magma::BaselineReport;
 use crate::ops::{self};
-use crate::options::ChecksumPlacement;
+use crate::options::{AbftOptions, ChecksumPlacement};
+use crate::plan::exec::ExecConfig;
+use crate::schemes::AttemptCtx;
 use crate::span_util::scope;
+use hchol_faults::Injector;
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, SimContext};
 use hchol_matrix::{Matrix, MatrixError};
@@ -48,41 +51,18 @@ pub fn factor_cula(
         ops::setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, input)
     )?;
     lay.flop_inflation = CULA_FLOP_INFLATION;
-    for j in 0..lay.nt {
-        let iter_span = {
-            let t = ctx.now().as_secs();
-            ctx.obs.spans.open(format!("iter {j}"), Phase::Iteration, t)
-        };
-        // Fully synchronous: every step drains the device before the next.
-        scope!(ctx, "syrk", Phase::Syrk, {
-            ops::syrk_diag(&mut ctx, &lay, j);
-            ctx.sync_device();
-        });
-        scope!(ctx, "diag d2h", Phase::Transfer, {
-            ops::diag_to_host(&mut ctx, &mut lay, j);
-            ctx.sync_stream(lay.s_tran);
-        });
-        let potf2_result = scope!(ctx, "potf2", Phase::Potf2, {
-            let r = ops::host_potf2(&mut ctx, &lay, j);
-            ops::diag_to_device(&mut ctx, &lay, j);
-            ctx.sync_stream(lay.s_tran);
-            r
-        });
-        scope!(ctx, "gemm", Phase::Gemm, {
-            ops::gemm_panel(&mut ctx, &lay, j);
-            ctx.sync_device();
-        });
-        scope!(ctx, "trsm", Phase::Trsm, {
-            ops::trsm_panel(&mut ctx, &lay, j);
-            ctx.sync_device();
-        });
-        {
-            let t = ctx.now().as_secs();
-            ctx.obs.spans.close(iter_span, t);
-        }
-        potf2_result?;
-    }
-    scope!(ctx, "drain", Phase::Drain, ctx.sync_all());
+    // Fully synchronous driving: the Synchronous-style plan drains the
+    // device after every step and runs POTF2 before the panel GEMM.
+    let plan = crate::plan::for_cula(lay.nt);
+    let mut inj = Injector::inert();
+    let opts = AbftOptions::default();
+    let mut a = AttemptCtx {
+        ctx: &mut ctx,
+        lay: &mut lay,
+        inj: &mut inj,
+        opts: &opts,
+    };
+    crate::plan::exec::run_attempt(&plan, &mut a, &ExecConfig::default())?;
     let time = ctx.now();
     ctx.obs.spans.close(run_span, time.as_secs());
     let factor = ops::extract_factor(&ctx, &lay);

@@ -43,6 +43,7 @@ pub mod ops;
 pub mod options;
 pub mod outer;
 pub mod overhead;
+pub mod plan;
 pub mod rowchk;
 pub mod schemes;
 pub mod solve;

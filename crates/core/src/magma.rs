@@ -12,9 +12,12 @@
 //! 6. `[GPU]` TRSM solves the panel (ordered after the return transfer via
 //!    an event).
 
-use crate::ops::{self, CholLayout};
-use crate::options::ChecksumPlacement;
+use crate::ops;
+use crate::options::{AbftOptions, ChecksumPlacement};
+use crate::plan::exec::ExecConfig;
+use crate::schemes::AttemptCtx;
 use crate::span_util::scope;
+use hchol_faults::Injector;
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, SimContext, SimTime};
 use hchol_matrix::{Matrix, MatrixError};
@@ -59,37 +62,9 @@ impl BaselineReport {
     }
 }
 
-/// One iteration of the overlapped MAGMA loop. Shared with the ABFT
-/// schemes, which wrap it with checksum work. Returns the POTF2 outcome.
-pub fn magma_iteration(
-    ctx: &mut SimContext,
-    lay: &mut CholLayout,
-    j: usize,
-) -> Result<(), MatrixError> {
-    scope!(ctx, "syrk", Phase::Syrk, ops::syrk_diag(ctx, lay, j));
-    scope!(ctx, "diag d2h", Phase::Transfer, {
-        let syrk_done = ctx.record_event(lay.s_comp);
-        ctx.stream_wait_event(lay.s_tran, syrk_done);
-        ops::diag_to_host(ctx, lay, j);
-    });
-    // Enqueue the panel GEMM before blocking on the transfer: the GPU works
-    // on it while the host factors the diagonal block.
-    scope!(ctx, "gemm", Phase::Gemm, ops::gemm_panel(ctx, lay, j));
-    let potf2_result = scope!(ctx, "potf2", Phase::Potf2, {
-        ctx.sync_stream(lay.s_tran);
-        let r = ops::host_potf2(ctx, lay, j);
-        ops::diag_to_device(ctx, lay, j);
-        r
-    });
-    scope!(ctx, "trsm", Phase::Trsm, {
-        let diag_back = ctx.record_event(lay.s_tran);
-        ctx.stream_wait_event(lay.s_comp, diag_back);
-        ops::trsm_panel(ctx, lay, j);
-    });
-    potf2_result
-}
-
-/// Run the full MAGMA-style factorization.
+/// Run the full MAGMA-style factorization: the bare Algorithm-1 task-graph
+/// plan ([`crate::plan::for_magma`]) driven by the plan executor with an
+/// inert fault injector.
 ///
 /// `input` must be `Some` in Execute mode. `record_timeline` keeps the full
 /// trace (for Figure-1-style charts).
@@ -115,19 +90,16 @@ pub fn factor_magma(
         Phase::Setup,
         ops::setup(&mut ctx, n, b, false, ChecksumPlacement::Gpu, input)
     )?;
-    for j in 0..lay.nt {
-        let iter_span = {
-            let t = ctx.now().as_secs();
-            ctx.obs.spans.open(format!("iter {j}"), Phase::Iteration, t)
-        };
-        let r = magma_iteration(&mut ctx, &mut lay, j);
-        {
-            let t = ctx.now().as_secs();
-            ctx.obs.spans.close(iter_span, t);
-        }
-        r?;
-    }
-    scope!(ctx, "drain", Phase::Drain, ctx.sync_all());
+    let plan = crate::plan::for_magma(lay.nt);
+    let mut inj = Injector::inert();
+    let opts = AbftOptions::default();
+    let mut a = AttemptCtx {
+        ctx: &mut ctx,
+        lay: &mut lay,
+        inj: &mut inj,
+        opts: &opts,
+    };
+    crate::plan::exec::run_attempt(&plan, &mut a, &ExecConfig::default())?;
     let time = ctx.now();
     ctx.obs.spans.close(run_span, time.as_secs());
     let factor = ops::extract_factor(&ctx, &lay);

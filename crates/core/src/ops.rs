@@ -88,6 +88,33 @@ pub fn setup(
     placement: ChecksumPlacement,
     input: Option<&Matrix>,
 ) -> Result<CholLayout, MatrixError> {
+    setup_impl(ctx, n, b, with_checksums, placement, input, false)
+}
+
+/// Like [`setup`], but with a *created* (non-default) compute stream, so
+/// several layouts can coexist in one context without sharing the default
+/// stream — the foundation of batched multi-matrix runs
+/// (`plan::exec::run_batch`).
+pub fn setup_batch(
+    ctx: &mut SimContext,
+    n: usize,
+    b: usize,
+    with_checksums: bool,
+    placement: ChecksumPlacement,
+    input: Option<&Matrix>,
+) -> Result<CholLayout, MatrixError> {
+    setup_impl(ctx, n, b, with_checksums, placement, input, true)
+}
+
+fn setup_impl(
+    ctx: &mut SimContext,
+    n: usize,
+    b: usize,
+    with_checksums: bool,
+    placement: ChecksumPlacement,
+    input: Option<&Matrix>,
+    dedicated_comp: bool,
+) -> Result<CholLayout, MatrixError> {
     assert!(
         !matches!(placement, ChecksumPlacement::Auto),
         "resolve placement via decision::choose before setup"
@@ -119,7 +146,11 @@ pub fn setup(
     } else {
         ctx.host_mem.alloc_zeros(0, 0)
     };
-    let s_comp = ctx.default_stream();
+    let s_comp = if dedicated_comp {
+        ctx.create_stream()
+    } else {
+        ctx.default_stream()
+    };
     let s_tran = ctx.create_stream();
     let s_chk = ctx.create_stream();
     let s_verif = ctx.create_stream();
@@ -624,24 +655,21 @@ pub fn flush_mirror(ctx: &mut SimContext, lay: &mut CholLayout) {
     ctx.bulk_transfer_with_access(bytes, lay.s_tran, false, access, |_, _| {});
 }
 
-/// Recalculate, compare, locate, and correct a batch of tiles — the
-/// verification step, on the critical path.
+/// Stage 1 of verification: recalculate fresh checksums of `tiles` into
+/// the scratch buffers.
 ///
-/// Recalculation kernels spread across the recalc streams (Optimization 1)
-/// or serialize on the compute stream. In Execute mode the comparison and
-/// correction operate on real data via [`verify_and_correct`]; in
-/// TimingOnly mode the injector's ledger decides outcomes (a directly-hit
-/// tile is correctable, a propagated one is not).
-pub fn verify_batch(
+/// Waits for outstanding checksum *updates* to land (they race the compare
+/// otherwise), then spreads recalculation kernels across the recalc streams
+/// (Optimization 1) or serializes them on the compute stream. A
+/// `VerifyBatch` plan node runs this followed by [`verify_compare`].
+pub fn verify_recalc(
     ctx: &mut SimContext,
     lay: &mut CholLayout,
-    inj: &mut Injector,
     tiles: &[(usize, usize)],
     opts: &AbftOptions,
-) -> VerifyOutcome {
-    let mut out = VerifyOutcome::default();
+) {
     if tiles.is_empty() {
-        return out;
+        return;
     }
     // Updates to these checksums must have landed before we compare.
     if lay.placement == ChecksumPlacement::Cpu {
@@ -693,7 +721,20 @@ pub fn verify_batch(
     } else {
         ctx.sync_stream(lay.s_comp);
     }
+}
 
+/// Stage 2 of verification: compare recalculated checksums (left in scratch
+/// by [`verify_recalc`]) against the maintained ones.
+pub fn verify_compare(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    tiles: &[(usize, usize)],
+    opts: &AbftOptions,
+) {
+    let _ = opts;
+    if tiles.is_empty() {
+        return;
+    }
     // With CPU-resident checksums, comparing means moving checksums across
     // the bus (the paper's "verification related transfer"). The stored
     // sums ride host→device — the direction the panel mirrors don't use —
@@ -734,7 +775,28 @@ pub fn verify_batch(
         |_| {},
     );
     ctx.sync_stream(lay.s_comp);
+}
 
+/// Stages 3–4 of verification: locate and correct, per tile, from the
+/// comparison results. Maps onto a `Correct` plan node.
+///
+/// In Execute mode this operates on real data via [`verify_and_correct`]
+/// (which locates errors by the paper's `j = δ₂/δ₁` ratio — see
+/// [`crate::verify::locate_row`]); in TimingOnly mode the injector's ledger
+/// decides outcomes (a directly-hit tile is correctable, a propagated one
+/// is not). Records the `verify.*` metrics and `fault.*` events for the
+/// batch.
+pub fn verify_correct(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    inj: &mut Injector,
+    tiles: &[(usize, usize)],
+    opts: &AbftOptions,
+) -> VerifyOutcome {
+    let mut out = VerifyOutcome::default();
+    if tiles.is_empty() {
+        return out;
+    }
     for (idx, &(bi, bj)) in tiles.iter().enumerate() {
         if ctx.mode.executes() {
             let (m, cks, scr) = ctx
@@ -808,6 +870,27 @@ pub fn verify_batch(
         }
     }
     out
+}
+
+/// Recalculate, compare, locate, and correct a batch of tiles — the
+/// verification step, on the critical path.
+///
+/// Composition of the pipeline stages [`verify_recalc`] →
+/// [`verify_compare`] → [`verify_correct`]; plan nodes invoke the stages
+/// individually (`VerifyBatch` covers the first two, `Correct` the last).
+pub fn verify_batch(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    inj: &mut Injector,
+    tiles: &[(usize, usize)],
+    opts: &AbftOptions,
+) -> VerifyOutcome {
+    if tiles.is_empty() {
+        return VerifyOutcome::default();
+    }
+    verify_recalc(ctx, lay, tiles, opts);
+    verify_compare(ctx, lay, tiles, opts);
+    verify_correct(ctx, lay, inj, tiles, opts)
 }
 
 /// Every tile of the lower triangle (including the diagonal).

@@ -36,6 +36,12 @@ pub struct AbftOptions {
     /// How many full restarts are allowed after uncorrectable corruption
     /// (the paper's recovery story: re-do the decomposition once).
     pub max_restarts: usize,
+    /// Cross-iteration lookahead depth for the plan executor: issue any
+    /// dependency-satisfied task up to this many iterations beyond the
+    /// oldest unfinished one (0 = replay the authored order, the
+    /// byte-stable default). Reordered runs skip per-scope spans, since
+    /// authored scope nesting no longer reflects execution order.
+    pub lookahead: usize,
     /// Record a full execution timeline (memory-heavy on big runs).
     pub record_timeline: bool,
     /// Record the ordering-relevant program (kernel launches with declared
@@ -53,6 +59,7 @@ impl Default for AbftOptions {
             concurrent_recalc: true,
             policy: VerifyPolicy::default(),
             max_restarts: 1,
+            lookahead: 0,
             record_timeline: false,
             trace_schedule: true,
         }
@@ -80,6 +87,12 @@ impl AbftOptions {
     /// Builder: toggle Optimization 1.
     pub fn with_concurrent_recalc(mut self, on: bool) -> Self {
         self.concurrent_recalc = on;
+        self
+    }
+
+    /// Builder: set the plan executor's cross-iteration lookahead depth.
+    pub fn with_lookahead(mut self, depth: usize) -> Self {
+        self.lookahead = depth;
         self
     }
 

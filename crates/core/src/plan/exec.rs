@@ -1,0 +1,456 @@
+//! The plan interpreter: drives a [`FactorPlan`] against a live
+//! `SimContext`.
+//!
+//! Under the default [`IssuePolicy::InOrder`] the interpreter replays the
+//! authored node order and reproduces the legacy imperative drivers
+//! byte-for-byte — identical factor bits, identical serialized
+//! `RunReport` (the golden-equivalence suite pins this). Scope and
+//! iteration spans are *derived* from node annotations: a span opens when
+//! the first node referencing it executes and closes when the next node
+//! belongs elsewhere, which matches the back-to-back open/close discipline
+//! of the old drivers because none of the boundary bookkeeping advances
+//! the virtual clock.
+//!
+//! Two execution modes the legacy drivers could not express:
+//!
+//! * **Lookahead** ([`IssuePolicy::Lookahead`]): issue any
+//!   dependency-satisfied node within a bounded iteration window,
+//!   preferring asynchronous work — cross-iteration overlap beyond the
+//!   one-iteration pipelining hard-coded in Algorithm 1.
+//! * **Batched runs** ([`run_batch`]): several factorization plans
+//!   round-robin through one context, each with its own streams; one
+//!   plan's host-blocking POTF2/verify stalls are reclaimed by the other
+//!   plans' enqueued device work.
+
+use super::{DriveStyle, FactorPlan, NodeId, ScopeId, SweepKind, TaskKind, UpdateOp};
+use crate::decision;
+use crate::ops;
+use crate::options::AbftOptions;
+use crate::schemes::{AttemptCtx, AttemptEnd, SchemeKind};
+use crate::verify::VerifyOutcome;
+use hchol_faults::Injector;
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::{ExecMode, IssuePolicy, SimContext, SimTime};
+use hchol_matrix::MatrixError;
+use hchol_obs::{Phase, SpanId};
+
+/// How the interpreter runs a plan.
+pub struct ExecConfig {
+    /// Node issue discipline.
+    pub policy: IssuePolicy,
+    /// Open/close the per-iteration and per-scope spans (disabled under
+    /// reordering policies, where authored scope nesting no longer
+    /// reflects execution order).
+    pub record_scopes: bool,
+    /// Execute the drain barrier's `sync_all` (batched runs defer it to
+    /// one final sync so plans keep overlapping through each other's
+    /// tails).
+    pub sync_on_drain: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            policy: IssuePolicy::InOrder,
+            record_scopes: true,
+            sync_on_drain: true,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The configuration `opts` asks for: in-order with spans by default,
+    /// lookahead issue (spans off) when `opts.lookahead > 0`.
+    pub fn for_options(opts: &AbftOptions) -> Self {
+        if opts.lookahead > 0 {
+            ExecConfig {
+                policy: IssuePolicy::Lookahead(opts.lookahead),
+                record_scopes: false,
+                sync_on_drain: true,
+            }
+        } else {
+            ExecConfig::default()
+        }
+    }
+}
+
+/// Per-attempt interpreter state.
+struct ExecState {
+    vo: VerifyOutcome,
+    vo_final: VerifyOutcome,
+    saw_final: bool,
+    restart_at_end: bool,
+    pending_err: Option<MatrixError>,
+    cur_iter: Option<usize>,
+    cur_scope: Option<ScopeId>,
+    iter_span: Option<SpanId>,
+    scope_span: Option<SpanId>,
+}
+
+impl ExecState {
+    fn new() -> Self {
+        ExecState {
+            vo: VerifyOutcome::default(),
+            vo_final: VerifyOutcome::default(),
+            saw_final: false,
+            restart_at_end: false,
+            pending_err: None,
+            cur_iter: None,
+            cur_scope: None,
+            iter_span: None,
+            scope_span: None,
+        }
+    }
+}
+
+enum StepOut {
+    Continue,
+    Restart,
+}
+
+fn close_span(ctx: &mut SimContext, sp: SpanId) {
+    let t = ctx.now().as_secs();
+    ctx.obs.spans.close(sp, t);
+}
+
+/// Span/iteration boundary bookkeeping before executing `id`. A deferred
+/// POTF2 error (baselines) surfaces here, once its iteration's span has
+/// closed — exactly where the legacy loop checked the iteration result.
+fn transition(
+    plan: &FactorPlan,
+    a: &mut AttemptCtx<'_>,
+    cfg: &ExecConfig,
+    st: &mut ExecState,
+    id: NodeId,
+) -> Result<(), MatrixError> {
+    let node = plan.node(id);
+    if node.iter != st.cur_iter {
+        if cfg.record_scopes {
+            if let Some(sp) = st.scope_span.take() {
+                close_span(a.ctx, sp);
+            }
+            if let Some(sp) = st.iter_span.take() {
+                close_span(a.ctx, sp);
+            }
+        }
+        st.cur_scope = None;
+        if let Some(e) = st.pending_err.take() {
+            return Err(e);
+        }
+        st.cur_iter = node.iter;
+        if cfg.record_scopes {
+            if let Some(j) = node.iter {
+                let t = a.ctx.now().as_secs();
+                st.iter_span = Some(
+                    a.ctx
+                        .obs
+                        .spans
+                        .open(format!("iter {j}"), Phase::Iteration, t),
+                );
+            }
+        }
+    }
+    if node.scope != st.cur_scope {
+        if cfg.record_scopes {
+            if let Some(sp) = st.scope_span.take() {
+                close_span(a.ctx, sp);
+            }
+            if let Some(sid) = node.scope {
+                let spec = &plan.scopes()[sid.0];
+                let t = a.ctx.now().as_secs();
+                st.scope_span = Some(a.ctx.obs.spans.open(spec.label.clone(), spec.phase, t));
+            }
+        }
+        st.cur_scope = node.scope;
+    }
+    Ok(())
+}
+
+/// Execute one node.
+fn step(
+    plan: &FactorPlan,
+    a: &mut AttemptCtx<'_>,
+    cfg: &ExecConfig,
+    st: &mut ExecState,
+    id: NodeId,
+) -> Result<StepOut, MatrixError> {
+    transition(plan, a, cfg, st, id)?;
+    let sync_style = plan.style == DriveStyle::Synchronous;
+    let AttemptCtx {
+        ctx,
+        lay,
+        inj,
+        opts,
+    } = a;
+    match &plan.node(id).kind {
+        TaskKind::Encode => ops::encode_all(ctx, lay, opts),
+        TaskKind::FaultPoint(p) => ops::poll_faults(ctx, lay, inj, *p),
+        TaskKind::Syrk { j, propagate } => {
+            ops::syrk_diag(ctx, lay, *j);
+            if sync_style {
+                ctx.sync_device();
+            }
+            if *propagate {
+                ops::propagate_syrk(inj, *j);
+            }
+        }
+        TaskKind::DiagToHost { j } => {
+            if sync_style {
+                ops::diag_to_host(ctx, lay, *j);
+                ctx.sync_stream(lay.s_tran);
+            } else {
+                let syrk_done = ctx.record_event(lay.s_comp);
+                ctx.stream_wait_event(lay.s_tran, syrk_done);
+                ops::diag_to_host(ctx, lay, *j);
+            }
+        }
+        TaskKind::GemmPanel { j, propagate } => {
+            ops::gemm_panel(ctx, lay, *j);
+            if sync_style {
+                ctx.sync_device();
+            }
+            if *propagate {
+                ops::propagate_gemm(inj, lay.nt, *j);
+            }
+        }
+        TaskKind::Potf2 { j, propagate } => {
+            if !sync_style {
+                ctx.sync_stream(lay.s_tran);
+            }
+            match ops::host_potf2(ctx, lay, *j) {
+                Ok(()) => {
+                    if *propagate {
+                        ops::propagate_potf2(inj, *j);
+                    }
+                }
+                Err(e) if plan.defer_potf2_error => st.pending_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        TaskKind::DiagToDevice { j } => {
+            ops::diag_to_device(ctx, lay, *j);
+            if sync_style {
+                ctx.sync_stream(lay.s_tran);
+            }
+        }
+        TaskKind::TrsmPanel { j, propagate } => {
+            if !sync_style {
+                let diag_back = ctx.record_event(lay.s_tran);
+                ctx.stream_wait_event(lay.s_comp, diag_back);
+            }
+            ops::trsm_panel(ctx, lay, *j);
+            if sync_style {
+                ctx.sync_device();
+            }
+            if *propagate {
+                ops::propagate_trsm(inj, lay.nt, *j);
+            }
+        }
+        TaskKind::ChkUpdate { op, j, i } => match op {
+            UpdateOp::Syrk => ops::update_chk_syrk(ctx, lay, *j),
+            UpdateOp::Gemm => ops::update_chk_gemm(ctx, lay, *j, *i),
+            UpdateOp::Potf2 => ops::update_chk_potf2(ctx, lay, *j),
+            UpdateOp::Trsm => ops::update_chk_trsm(ctx, lay, *j, *i),
+        },
+        TaskKind::VerifyBatch { tiles, .. } => {
+            ops::verify_recalc(ctx, lay, tiles, opts);
+            ops::verify_compare(ctx, lay, tiles, opts);
+        }
+        TaskKind::Correct { tiles, sweep } => {
+            let o = ops::verify_correct(ctx, lay, inj, tiles, opts);
+            match sweep {
+                SweepKind::Inline => {
+                    let ok = o.fully_recovered();
+                    st.vo.merge(o);
+                    if !ok {
+                        if cfg.record_scopes {
+                            if let Some(sp) = st.scope_span.take() {
+                                close_span(ctx, sp);
+                            }
+                            st.cur_scope = None;
+                            let t = ctx.now().as_secs();
+                            let sp = ctx.obs.spans.open("restart drain", Phase::Drain, t);
+                            ctx.sync_all();
+                            close_span(ctx, sp);
+                        } else {
+                            ctx.sync_all();
+                        }
+                        return Ok(StepOut::Restart);
+                    }
+                }
+                SweepKind::Final => {
+                    st.saw_final = true;
+                    st.vo_final.merge(o);
+                }
+            }
+        }
+        TaskKind::MarkPanelReady => ops::mark_panel_ready(ctx, lay),
+        TaskKind::MirrorPanel { j } => ops::cpu_mirror_panel(ctx, lay, *j),
+        TaskKind::FlushMirror => ops::flush_mirror(ctx, lay),
+        TaskKind::Drain => {
+            if st.saw_final {
+                let vf = std::mem::take(&mut st.vo_final);
+                let recovered = vf.final_sweep_accepts();
+                st.vo.merge(vf);
+                if !recovered {
+                    st.restart_at_end = true;
+                }
+            }
+            if cfg.sync_on_drain {
+                ctx.sync_all();
+            }
+        }
+    }
+    Ok(StepOut::Continue)
+}
+
+/// Run one attempt of `plan` to completion (or restart / error), exactly
+/// as the legacy per-scheme attempt functions did.
+pub(crate) fn run_attempt(
+    plan: &FactorPlan,
+    a: &mut AttemptCtx<'_>,
+    cfg: &ExecConfig,
+) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
+    let positions: Vec<usize> = if cfg.policy == IssuePolicy::InOrder {
+        (0..plan.len()).collect()
+    } else {
+        let schedule = plan.to_schedule();
+        let order = schedule.issue_order(cfg.policy);
+        let moved = order.iter().enumerate().filter(|&(i, &p)| i != p).count();
+        a.ctx.obs.metrics.add_count("plan.nodes", plan.len() as u64);
+        a.ctx
+            .obs
+            .metrics
+            .add_count("plan.edges", plan.edge_count() as u64);
+        a.ctx.obs.metrics.add_count("plan.reordered", moved as u64);
+        order
+    };
+    let mut st = ExecState::new();
+    let order = plan.order();
+    for &pos in &positions {
+        match step(plan, a, cfg, &mut st, order[pos]) {
+            Ok(StepOut::Continue) => {}
+            Ok(StepOut::Restart) => return Ok((AttemptEnd::Restart, st.vo)),
+            Err(e) => return Err(e),
+        }
+    }
+    if cfg.record_scopes {
+        if let Some(sp) = st.scope_span.take() {
+            close_span(a.ctx, sp);
+        }
+        if let Some(sp) = st.iter_span.take() {
+            close_span(a.ctx, sp);
+        }
+    }
+    if let Some(e) = st.pending_err.take() {
+        return Err(e);
+    }
+    let end = if st.restart_at_end {
+        AttemptEnd::Restart
+    } else {
+        AttemptEnd::Completed
+    };
+    Ok((end, st.vo))
+}
+
+/// One matrix in a batched run.
+pub struct BatchRequest {
+    /// Scheme to run.
+    pub kind: SchemeKind,
+    /// Matrix size.
+    pub n: usize,
+    /// Block size.
+    pub b: usize,
+    /// Scheme options (placement may be `Auto`; resolved per request).
+    pub opts: AbftOptions,
+}
+
+/// Result of [`run_batch`].
+pub struct BatchOutcome {
+    /// Virtual makespan of the whole batch.
+    pub time: SimTime,
+    /// Per-request accumulated verification statistics.
+    pub runs: Vec<VerifyOutcome>,
+    /// The shared simulation context for inspection.
+    pub ctx: SimContext,
+}
+
+/// Execute several factorization plans concurrently in **one** simulator
+/// context ([`ExecMode::TimingOnly`]), each with its own streams and a
+/// dedicated compute stream ([`ops::setup_batch`]), interleaving nodes
+/// round-robin. Host-blocking stalls of one plan (POTF2, verification)
+/// overlap the other plans' enqueued device work, so the batch makespan
+/// beats running the same plans back to back.
+pub fn run_batch(
+    profile: &SystemProfile,
+    reqs: &[BatchRequest],
+) -> Result<BatchOutcome, MatrixError> {
+    assert!(!reqs.is_empty(), "empty batch");
+    let mut ctx = SimContext::new(profile.clone(), ExecMode::TimingOnly);
+    ctx.disable_timeline();
+    if reqs.iter().any(|r| !r.opts.trace_schedule) {
+        ctx.disable_trace();
+    }
+    let root = ctx.obs.spans.open(
+        format!("batch x{} n={} b={}", reqs.len(), reqs[0].n, reqs[0].b),
+        Phase::Run,
+        0.0,
+    );
+    ctx.obs
+        .metrics
+        .add_count("plan.batch.plans", reqs.len() as u64);
+
+    let mut plans = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        let placement =
+            decision::choose(r.opts.placement, profile, r.n, r.b, r.opts.verify_interval);
+        let mut resolved = r.opts.clone();
+        resolved.placement = placement;
+        let lay = ops::setup_batch(&mut ctx, r.n, r.b, true, placement, None)?;
+        let plan = super::for_scheme(r.kind, lay.nt, &resolved, false);
+        ctx.obs.metrics.add_count("plan.nodes", plan.len() as u64);
+        ctx.obs
+            .metrics
+            .add_count("plan.edges", plan.edge_count() as u64);
+        plans.push((plan, lay, resolved));
+    }
+    let orders: Vec<Vec<usize>> = plans
+        .iter()
+        .map(|(p, _, _)| p.to_schedule().issue_order(IssuePolicy::InOrder))
+        .collect();
+    let cfg = ExecConfig {
+        policy: IssuePolicy::InOrder,
+        record_scopes: false,
+        sync_on_drain: false,
+    };
+    let mut injs: Vec<Injector> = (0..plans.len()).map(|_| Injector::inert()).collect();
+    let mut states: Vec<ExecState> = (0..plans.len()).map(|_| ExecState::new()).collect();
+    let mut halted = vec![false; plans.len()];
+    for (p, pos) in hchol_gpusim::round_robin(&orders) {
+        if halted[p] {
+            continue;
+        }
+        let (plan, lay, resolved) = &mut plans[p];
+        let id = plan.order()[pos];
+        let mut a = AttemptCtx {
+            ctx: &mut ctx,
+            lay,
+            inj: &mut injs[p],
+            opts: resolved,
+        };
+        match step(plan, &mut a, &cfg, &mut states[p], id)? {
+            StepOut::Continue => {}
+            // Clean batched runs don't restart; an uncorrectable outcome
+            // (only possible with real corruption) just halts that plan.
+            StepOut::Restart => halted[p] = true,
+        }
+    }
+    ctx.sync_all();
+    let time = ctx.now();
+    ctx.obs.spans.close(root, time.as_secs());
+    Ok(BatchOutcome {
+        time,
+        runs: states.into_iter().map(|s| s.vo).collect(),
+        ctx,
+    })
+}

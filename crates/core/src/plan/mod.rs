@@ -1,0 +1,680 @@
+//! The task-graph plan layer: a typed IR for one factorization attempt.
+//!
+//! Every driver in this crate — the three ABFT schemes and the MAGMA/CULA
+//! baselines — executes a [`FactorPlan`]: a list of [`TaskKind`] nodes in
+//! an authored issue order, each carrying the same tile-level
+//! [`AccessSet`] declarations the simulator's kernels declare, plus
+//! explicit dependency edges derived from those declarations. The planner
+//! ([`skeleton`]) emits the bare Algorithm-1 iteration skeleton; each
+//! scheme is a *policy pass* ([`policy::EnhancedPolicy`],
+//! [`policy::OnlinePolicy`], [`policy::OfflinePolicy`]) that inserts
+//! encode/verify/update nodes into that skeleton, and the paper's
+//! optimizations are plan rewrites (Opt 3 decides *which* verify nodes are
+//! inserted; Opt 2's CPU placement inserts the panel-mirror nodes).
+//!
+//! The plan is built once per run, statically — tiles are named with
+//! canonical buffer ids (`mat = BufferId(0)`, `cks[bi] = BufferId(1+bi)`),
+//! so no simulator context is needed to construct or check one. The
+//! executor ([`exec`]) then interprets nodes against a live `SimContext`;
+//! under the default in-order issue policy it reproduces the legacy
+//! imperative drivers byte-for-byte (goldens in `tests/fixtures/golden/`),
+//! while [`hchol_gpusim::IssuePolicy::Lookahead`] and [`exec::run_batch`]
+//! reorder and interleave independent nodes along the derived edges.
+//! `hchol-analyze`'s static checker walks the same edges to prove each
+//! scheme's ABFT contract *before* execution.
+
+pub mod exec;
+pub mod policy;
+pub mod skeleton;
+
+use crate::ops;
+use hchol_faults::InjectionPoint;
+use hchol_gpusim::{AccessSet, BufferId, DagSchedule, NodeMeta, TileRef};
+use hchol_obs::Phase;
+use std::collections::{BTreeSet, HashMap};
+
+/// Which checksum update a [`TaskKind::ChkUpdate`] node performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `chk(A[j,j]) -= Σ chk(L[j,k])·L[j,k]ᵀ` (mirrors the SYRK).
+    Syrk,
+    /// `chk(A[i,j]) -= Σ chk(L[i,k])·L[j,k]ᵀ` (mirrors the GEMM, row `i`).
+    Gemm,
+    /// Checksum update mirroring POTF2 (Algorithm 2 of the paper).
+    Potf2,
+    /// `chk(L[i,j]) = chk(A[i,j])·(L[j,j]ᵀ)⁻¹` (mirrors the TRSM, row `i`).
+    Trsm,
+}
+
+/// Whether a verify/correct pair is an in-loop check or part of the final
+/// acceptance sweep (Offline/Online tails).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Mid-run check: an uncorrectable outcome restarts the attempt
+    /// immediately.
+    Inline,
+    /// End-of-run sweep: outcomes accumulate and the
+    /// `final_sweep_accepts` rule decides completion vs restart.
+    Final,
+}
+
+/// How the per-iteration operations drive the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveStyle {
+    /// MAGMA-style: async transfers ordered by events, POTF2 overlapping
+    /// the panel GEMM.
+    Overlapped,
+    /// CULA-style: every step drains the device before the next
+    /// (synchronous `cudaMemcpy`-era driving), POTF2 before the GEMM.
+    Synchronous,
+}
+
+/// One schedulable unit of a factorization attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Initial checksum encoding of the full lower triangle.
+    Encode,
+    /// Poll the fault injector at a trigger point.
+    FaultPoint(InjectionPoint),
+    /// SYRK diagonal update of iteration `j`.
+    Syrk {
+        /// Outer iteration.
+        j: usize,
+        /// Mirror the operation in the injector's propagation ledger.
+        propagate: bool,
+    },
+    /// Panel GEMM of iteration `j`.
+    GemmPanel {
+        /// Outer iteration.
+        j: usize,
+        /// Mirror the operation in the injector's propagation ledger.
+        propagate: bool,
+    },
+    /// Diagonal block device→host transfer.
+    DiagToHost {
+        /// Outer iteration.
+        j: usize,
+    },
+    /// Host POTF2 of the staged diagonal block.
+    Potf2 {
+        /// Outer iteration.
+        j: usize,
+        /// Mirror the operation in the injector's propagation ledger.
+        propagate: bool,
+    },
+    /// Factorized diagonal block host→device transfer.
+    DiagToDevice {
+        /// Outer iteration.
+        j: usize,
+    },
+    /// Panel TRSM of iteration `j`.
+    TrsmPanel {
+        /// Outer iteration.
+        j: usize,
+        /// Mirror the operation in the injector's propagation ledger.
+        propagate: bool,
+    },
+    /// One checksum-update task (dispatched per Optimization 2).
+    ChkUpdate {
+        /// Which operation's update.
+        op: UpdateOp,
+        /// Outer iteration.
+        j: usize,
+        /// Panel row (equals `j` for `Syrk`/`Potf2`).
+        i: usize,
+    },
+    /// Recalculate + compare checksums of a batch of tiles
+    /// ([`ops::verify_recalc`] + [`ops::verify_compare`]).
+    VerifyBatch {
+        /// Tiles under verification.
+        tiles: Vec<(usize, usize)>,
+        /// Inline check or final sweep.
+        sweep: SweepKind,
+    },
+    /// Locate + correct from the comparison results
+    /// ([`ops::verify_correct`]).
+    Correct {
+        /// Tiles under verification (same batch as the paired
+        /// [`TaskKind::VerifyBatch`]).
+        tiles: Vec<(usize, usize)>,
+        /// Inline check or final sweep.
+        sweep: SweepKind,
+    },
+    /// Record the panel-complete event checksum updates order behind.
+    MarkPanelReady,
+    /// Queue the CPU-placement host mirror of panel column `j`.
+    MirrorPanel {
+        /// Column to mirror.
+        j: usize,
+    },
+    /// Issue any still-pending panel mirror (attempt tail).
+    FlushMirror,
+    /// Synchronize everything (attempt tail).
+    Drain,
+}
+
+/// Stable identifier of a node within one plan (index into node storage;
+/// removal drops a node from the issue order but never invalidates ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a scope-span specification within one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScopeId(pub usize);
+
+/// A scope span the executor opens around the nodes that reference it.
+#[derive(Debug, Clone)]
+pub struct ScopeSpec {
+    /// Span label (must be registered in `hchol_obs::names::SCOPES`).
+    pub label: String,
+    /// Span phase.
+    pub phase: Phase,
+}
+
+/// One node: the task, its observability placement, and its outer
+/// iteration (if any).
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// What to execute.
+    pub kind: TaskKind,
+    /// Scope span this node runs under (`None` = directly under the
+    /// iteration/attempt span).
+    pub scope: Option<ScopeId>,
+    /// Outer iteration (`None` for pre/post-loop work).
+    pub iter: Option<usize>,
+}
+
+/// Virtual (non-tile) resources threaded through the dependency
+/// derivation: state the imperative ops communicate through besides device
+/// tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VirtRes {
+    /// The host staging block of the POTF2 round trip.
+    HostDiag,
+    /// The shared recalculation scratch pool (serializes verify batches).
+    Scratch,
+    /// The pending CPU-placement panel mirror slot.
+    Mirror,
+    /// The panel-ready event checksum updates wait on.
+    PanelReady,
+    /// The fault injector's ledger — present only in faulted plans, where
+    /// injection/propagation order must stay authored.
+    Ledger,
+}
+
+/// A node's declared accesses: device tiles (canonical buffer ids) plus
+/// virtual resources.
+#[derive(Debug, Clone, Default)]
+pub struct NodeAccess {
+    /// Tile reads/writes, in the same [`AccessSet`] form kernels declare.
+    pub tiles: AccessSet,
+    /// Virtual-resource reads.
+    pub virt_reads: Vec<VirtRes>,
+    /// Virtual-resource writes.
+    pub virt_writes: Vec<VirtRes>,
+}
+
+/// Canonical tile of the factorized matrix: `mat` is `BufferId(0)`.
+pub fn mat_tile(bi: usize, bj: usize) -> TileRef {
+    TileRef::new(BufferId(0), bi, bj)
+}
+
+/// Canonical tile of block row `bi`'s checksum: `cks[bi]` is
+/// `BufferId(1 + bi)`.
+pub fn chk_tile(bi: usize, bj: usize) -> TileRef {
+    TileRef::new(BufferId(1 + bi), 0, bj)
+}
+
+/// A complete factorization attempt as a task graph.
+#[derive(Debug, Clone)]
+pub struct FactorPlan {
+    /// Grid size (`n / b` block columns).
+    pub nt: usize,
+    /// Per-operation driving style.
+    pub style: DriveStyle,
+    /// Surface a POTF2 failure at the end of its iteration (baselines)
+    /// instead of immediately (schemes, where the error aborts the
+    /// attempt mid-iteration).
+    pub defer_potf2_error: bool,
+    /// Does the run inject faults? Adds the [`VirtRes::Ledger`] ordering
+    /// chain so injection and propagation stay in authored order under
+    /// reordering policies.
+    pub faulty: bool,
+    /// Plans panel mirrors for CPU checksum placement (set by
+    /// [`policy::apply_placement`]).
+    pub cpu_mirrors: bool,
+    nodes: Vec<PlanNode>,
+    order: Vec<NodeId>,
+    scopes: Vec<ScopeSpec>,
+    deps: Vec<Vec<NodeId>>,
+}
+
+impl FactorPlan {
+    /// An empty plan for grid size `nt`.
+    pub fn new(nt: usize, style: DriveStyle, defer_potf2_error: bool, faulty: bool) -> Self {
+        FactorPlan {
+            nt,
+            style,
+            defer_potf2_error,
+            faulty,
+            cpu_mirrors: false,
+            nodes: Vec::new(),
+            order: Vec::new(),
+            scopes: Vec::new(),
+            deps: Vec::new(),
+        }
+    }
+
+    /// Register a scope span; nodes referencing the returned id run under
+    /// one shared span instance.
+    pub fn scope(&mut self, label: impl Into<String>, phase: Phase) -> ScopeId {
+        self.scopes.push(ScopeSpec {
+            label: label.into(),
+            phase,
+        });
+        ScopeId(self.scopes.len() - 1)
+    }
+
+    fn alloc(&mut self, kind: TaskKind, scope: Option<ScopeId>, iter: Option<usize>) -> NodeId {
+        self.nodes.push(PlanNode { kind, scope, iter });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Append a node to the issue order.
+    pub fn push(&mut self, kind: TaskKind, scope: Option<ScopeId>, iter: Option<usize>) -> NodeId {
+        let id = self.alloc(kind, scope, iter);
+        self.order.push(id);
+        id
+    }
+
+    fn position(&self, anchor: NodeId) -> usize {
+        self.order
+            .iter()
+            .position(|&id| id == anchor)
+            .expect("anchor node not in issue order")
+    }
+
+    /// Insert a node immediately before `anchor` in the issue order.
+    pub fn insert_before(
+        &mut self,
+        anchor: NodeId,
+        kind: TaskKind,
+        scope: Option<ScopeId>,
+        iter: Option<usize>,
+    ) -> NodeId {
+        let pos = self.position(anchor);
+        let id = self.alloc(kind, scope, iter);
+        self.order.insert(pos, id);
+        id
+    }
+
+    /// Insert a node immediately after `anchor` in the issue order.
+    pub fn insert_after(
+        &mut self,
+        anchor: NodeId,
+        kind: TaskKind,
+        scope: Option<ScopeId>,
+        iter: Option<usize>,
+    ) -> NodeId {
+        let pos = self.position(anchor);
+        let id = self.alloc(kind, scope, iter);
+        self.order.insert(pos + 1, id);
+        id
+    }
+
+    /// Drop a node from the issue order (its id stays allocated).
+    pub fn remove(&mut self, id: NodeId) {
+        self.order.retain(|&n| n != id);
+    }
+
+    /// First node in issue order matching `pred`.
+    pub fn find(&self, mut pred: impl FnMut(&PlanNode) -> bool) -> Option<NodeId> {
+        self.order
+            .iter()
+            .copied()
+            .find(|&id| pred(&self.nodes[id.0]))
+    }
+
+    /// Last node in issue order matching `pred`.
+    pub fn rfind(&self, mut pred: impl FnMut(&PlanNode) -> bool) -> Option<NodeId> {
+        self.order
+            .iter()
+            .rev()
+            .copied()
+            .find(|&id| pred(&self.nodes[id.0]))
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (policies flip `propagate` flags).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut PlanNode {
+        &mut self.nodes[id.0]
+    }
+
+    /// The authored issue order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of nodes in the issue order.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The scope-span specifications.
+    pub fn scopes(&self) -> &[ScopeSpec] {
+        &self.scopes
+    }
+
+    /// Dependency edges into `id` (valid after [`Self::derive_deps`]).
+    pub fn deps(&self, id: NodeId) -> &[NodeId] {
+        &self.deps[id.0]
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.order.iter().map(|&id| self.deps[id.0].len()).sum()
+    }
+
+    /// Sever every dependency edge *out of* `id` (drop `id` from other
+    /// nodes' dependency lists). Used by `hchol-analyze`'s mutation
+    /// controls to prove the static checker notices a missing ordering —
+    /// never by the planner itself.
+    pub fn drop_edges_from(&mut self, id: NodeId) {
+        for d in &mut self.deps {
+            d.retain(|&n| n != id);
+        }
+    }
+
+    /// The declared accesses of a node, with canonical buffer ids.
+    pub fn node_access(&self, id: NodeId) -> NodeAccess {
+        let nt = self.nt;
+        let node = &self.nodes[id.0];
+        let mut a = NodeAccess::default();
+        let ledger_if = |cond: bool, a: &mut NodeAccess| {
+            if cond && self.faulty {
+                a.virt_reads.push(VirtRes::Ledger);
+                a.virt_writes.push(VirtRes::Ledger);
+            }
+        };
+        match &node.kind {
+            TaskKind::Encode => {
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
+                for (bi, bj) in ops::lower_tiles(nt) {
+                    reads.push(mat_tile(bi, bj));
+                    writes.push(chk_tile(bi, bj));
+                }
+                a.tiles = AccessSet::new(reads, writes);
+            }
+            TaskKind::FaultPoint(_) => ledger_if(true, &mut a),
+            TaskKind::Syrk { j, propagate } => {
+                let j = *j;
+                if j > 0 {
+                    let reads = (0..j)
+                        .map(|k| mat_tile(j, k))
+                        .chain([mat_tile(j, j)])
+                        .collect();
+                    a.tiles = AccessSet::new(reads, vec![mat_tile(j, j)]);
+                }
+                ledger_if(*propagate, &mut a);
+            }
+            TaskKind::GemmPanel { j, propagate } => {
+                let j = *j;
+                if j > 0 && j + 1 < nt {
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    for i in (j + 1)..nt {
+                        writes.push(mat_tile(i, j));
+                        reads.push(mat_tile(i, j));
+                        for k in 0..j {
+                            reads.push(mat_tile(i, k));
+                        }
+                    }
+                    for k in 0..j {
+                        reads.push(mat_tile(j, k));
+                    }
+                    a.tiles = AccessSet::new(reads, writes);
+                }
+                ledger_if(*propagate, &mut a);
+            }
+            TaskKind::DiagToHost { j } => {
+                let j = *j;
+                let mut reads = vec![mat_tile(j, j)];
+                if self.cpu_mirrors && j > 0 {
+                    // The transfer also issues the previous column's queued
+                    // panel mirror.
+                    reads.extend(((j - 1)..nt).map(|i| mat_tile(i, j - 1)));
+                    a.virt_reads.push(VirtRes::Mirror);
+                    a.virt_writes.push(VirtRes::Mirror);
+                }
+                a.tiles = AccessSet::new(reads, vec![]);
+                a.virt_writes.push(VirtRes::HostDiag);
+            }
+            TaskKind::Potf2 { propagate, .. } => {
+                a.virt_reads.push(VirtRes::HostDiag);
+                a.virt_writes.push(VirtRes::HostDiag);
+                ledger_if(*propagate, &mut a);
+            }
+            TaskKind::DiagToDevice { j } => {
+                a.tiles = AccessSet::new(vec![], vec![mat_tile(*j, *j)]);
+                a.virt_reads.push(VirtRes::HostDiag);
+            }
+            TaskKind::TrsmPanel { j, propagate } => {
+                let j = *j;
+                if j + 1 < nt {
+                    let mut reads = vec![mat_tile(j, j)];
+                    let mut writes = Vec::new();
+                    for i in (j + 1)..nt {
+                        reads.push(mat_tile(i, j));
+                        writes.push(mat_tile(i, j));
+                    }
+                    a.tiles = AccessSet::new(reads, writes);
+                }
+                ledger_if(*propagate, &mut a);
+            }
+            TaskKind::ChkUpdate { op, j, i } => {
+                let (j, i) = (*j, *i);
+                let (reads, writes): (Vec<TileRef>, Vec<TileRef>) = match op {
+                    UpdateOp::Syrk | UpdateOp::Gemm => {
+                        let row = if *op == UpdateOp::Syrk { j } else { i };
+                        if j == 0 {
+                            (vec![], vec![])
+                        } else {
+                            (
+                                (0..j)
+                                    .flat_map(|k| [mat_tile(j, k), chk_tile(row, k)])
+                                    .chain([chk_tile(row, j)])
+                                    .collect(),
+                                vec![chk_tile(row, j)],
+                            )
+                        }
+                    }
+                    UpdateOp::Potf2 => (vec![mat_tile(j, j), chk_tile(j, j)], vec![chk_tile(j, j)]),
+                    UpdateOp::Trsm => (vec![mat_tile(j, j), chk_tile(i, j)], vec![chk_tile(i, j)]),
+                };
+                a.tiles = AccessSet::new(reads, writes);
+                a.virt_reads.push(VirtRes::PanelReady);
+            }
+            TaskKind::VerifyBatch { tiles, .. } => {
+                let reads = tiles
+                    .iter()
+                    .flat_map(|&(bi, bj)| [mat_tile(bi, bj), chk_tile(bi, bj)])
+                    .collect();
+                a.tiles = AccessSet::new(reads, vec![]);
+                a.virt_writes.push(VirtRes::Scratch);
+            }
+            TaskKind::Correct { tiles, .. } => {
+                let both: Vec<TileRef> = tiles
+                    .iter()
+                    .flat_map(|&(bi, bj)| [mat_tile(bi, bj), chk_tile(bi, bj)])
+                    .collect();
+                a.tiles = AccessSet::new(both.clone(), both);
+                a.virt_reads.push(VirtRes::Scratch);
+                ledger_if(true, &mut a);
+            }
+            TaskKind::MarkPanelReady => a.virt_writes.push(VirtRes::PanelReady),
+            TaskKind::MirrorPanel { j } => {
+                let j = *j;
+                a.tiles = AccessSet::new((j..nt).map(|i| mat_tile(i, j)).collect(), vec![]);
+                a.virt_writes.push(VirtRes::Mirror);
+            }
+            TaskKind::FlushMirror => {
+                if self.cpu_mirrors && nt > 0 {
+                    a.tiles = AccessSet::new(vec![mat_tile(nt - 1, nt - 1)], vec![]);
+                }
+                a.virt_reads.push(VirtRes::Mirror);
+                a.virt_writes.push(VirtRes::Mirror);
+            }
+            TaskKind::Drain => {} // barrier — handled by derive_deps
+        }
+        a
+    }
+
+    /// Derive dependency edges from the declared accesses along the
+    /// authored order: RAW (read after the last writer), WAR (write after
+    /// readers since that writer), WAW (write after the last writer).
+    /// [`TaskKind::Drain`] is a barrier depending on every prior node.
+    pub fn derive_deps(&mut self) {
+        #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+        enum Key {
+            Tile(TileRef),
+            Virt(VirtRes),
+        }
+        let mut last_writer: HashMap<Key, NodeId> = HashMap::new();
+        let mut readers: HashMap<Key, Vec<NodeId>> = HashMap::new();
+        self.deps = vec![Vec::new(); self.nodes.len()];
+        let order = self.order.clone();
+        for (pos, &id) in order.iter().enumerate() {
+            if matches!(self.nodes[id.0].kind, TaskKind::Drain) {
+                self.deps[id.0] = order[..pos].to_vec();
+                continue;
+            }
+            let acc = self.node_access(id);
+            let reads: Vec<Key> = acc
+                .tiles
+                .reads
+                .iter()
+                .map(|&t| Key::Tile(t))
+                .chain(acc.virt_reads.iter().map(|&v| Key::Virt(v)))
+                .collect();
+            let writes: Vec<Key> = acc
+                .tiles
+                .writes
+                .iter()
+                .map(|&t| Key::Tile(t))
+                .chain(acc.virt_writes.iter().map(|&v| Key::Virt(v)))
+                .collect();
+            let mut set: BTreeSet<NodeId> = BTreeSet::new();
+            for k in &reads {
+                if let Some(&w) = last_writer.get(k) {
+                    set.insert(w);
+                }
+            }
+            for k in &writes {
+                if let Some(&w) = last_writer.get(k) {
+                    set.insert(w);
+                }
+                if let Some(rs) = readers.get(k) {
+                    set.extend(rs.iter().copied());
+                }
+            }
+            set.remove(&id);
+            self.deps[id.0] = set.into_iter().collect();
+            for k in &reads {
+                readers.entry(*k).or_default().push(id);
+            }
+            for k in &writes {
+                last_writer.insert(*k, id);
+                readers.insert(*k, Vec::new());
+            }
+        }
+    }
+
+    /// Compile to the simulator's [`DagSchedule`] (compact indices are
+    /// positions in the authored order).
+    pub fn to_schedule(&self) -> DagSchedule {
+        let n = self.order.len();
+        let mut compact: HashMap<NodeId, usize> = HashMap::with_capacity(n);
+        for (pos, &id) in self.order.iter().enumerate() {
+            compact.insert(id, pos);
+        }
+        let deps = self
+            .order
+            .iter()
+            .map(|&id| self.deps[id.0].iter().map(|d| compact[d]).collect())
+            .collect();
+        let meta = self
+            .order
+            .iter()
+            .map(|&id| {
+                let node = &self.nodes[id.0];
+                NodeMeta {
+                    iter: node.iter,
+                    host_blocking: self.host_blocking(&node.kind),
+                }
+            })
+            .collect();
+        DagSchedule::new(deps, meta, (0..n).collect())
+    }
+
+    fn host_blocking(&self, kind: &TaskKind) -> bool {
+        let sync_style = self.style == DriveStyle::Synchronous;
+        match kind {
+            TaskKind::Encode
+            | TaskKind::Potf2 { .. }
+            | TaskKind::VerifyBatch { .. }
+            | TaskKind::Correct { .. }
+            | TaskKind::Drain => true,
+            TaskKind::Syrk { .. }
+            | TaskKind::GemmPanel { .. }
+            | TaskKind::TrsmPanel { .. }
+            | TaskKind::DiagToHost { .. }
+            | TaskKind::DiagToDevice { .. } => sync_style,
+            _ => false,
+        }
+    }
+}
+
+/// Build the fully policied plan for one ABFT scheme: Algorithm-1 skeleton
+/// → scheme policy pass → placement rewrite → derived edges. `opts` must
+/// carry a *resolved* placement (no `Auto`).
+pub fn for_scheme(
+    kind: crate::schemes::SchemeKind,
+    nt: usize,
+    opts: &crate::options::AbftOptions,
+    faulty: bool,
+) -> FactorPlan {
+    use policy::PolicyPass;
+    let mut plan = skeleton::algorithm1(nt, DriveStyle::Overlapped, false, faulty);
+    match kind {
+        crate::schemes::SchemeKind::Enhanced => policy::EnhancedPolicy.apply(&mut plan, opts),
+        crate::schemes::SchemeKind::Online => policy::OnlinePolicy.apply(&mut plan, opts),
+        crate::schemes::SchemeKind::Offline => policy::OfflinePolicy.apply(&mut plan, opts),
+    }
+    policy::apply_placement(&mut plan, opts.placement);
+    plan.derive_deps();
+    plan
+}
+
+/// The bare MAGMA hybrid baseline as a plan (no fault tolerance).
+pub fn for_magma(nt: usize) -> FactorPlan {
+    let mut plan = skeleton::algorithm1(nt, DriveStyle::Overlapped, true, false);
+    plan.derive_deps();
+    plan
+}
+
+/// The synchronous CULA-style baseline as a plan (no fault tolerance).
+pub fn for_cula(nt: usize) -> FactorPlan {
+    let mut plan = skeleton::algorithm1(nt, DriveStyle::Synchronous, true, false);
+    plan.derive_deps();
+    plan
+}

@@ -1,0 +1,412 @@
+//! Scheme policy passes: each ABFT protocol is a rewrite of the
+//! Algorithm-1 skeleton, inserting encode / checksum-update / verify
+//! nodes at the positions that define the protocol.
+//!
+//! * [`OfflinePolicy`] — encode once up front, updates ride along, one
+//!   acceptance sweep at the very end (Huang & Abraham).
+//! * [`OnlinePolicy`] — verify each block right after the operation that
+//!   writes it, plus the final sweep (Wu & Chen).
+//! * [`EnhancedPolicy`] — verify every input right before the operation
+//!   that reads it (this paper); Optimization 3's verification interval
+//!   `K` decides *which* GEMM/TRSM input checks are inserted, so the
+//!   relaxation is visible in the plan itself.
+//!
+//! [`apply_placement`] is Optimization 2 as a rewrite: CPU checksum
+//! placement inserts the panel-mirror nodes the host-side updates need.
+//! The insertion positions reproduce the legacy imperative drivers
+//! exactly — the golden-equivalence suite pins this byte-for-byte.
+
+use super::{FactorPlan, NodeId, SweepKind, TaskKind, UpdateOp};
+use crate::ops;
+use crate::options::{AbftOptions, ChecksumPlacement};
+use hchol_faults::InjectionPoint;
+use hchol_obs::Phase;
+
+/// A rewrite of the factorization skeleton implementing one scheme.
+pub trait PolicyPass {
+    /// Insert this scheme's fault-tolerance nodes into `plan`.
+    fn apply(&self, plan: &mut FactorPlan, opts: &AbftOptions);
+}
+
+/// Encode → factor → verify-at-the-end.
+pub struct OfflinePolicy;
+
+/// Verify after write, plus the final sweep.
+pub struct OnlinePolicy;
+
+/// Verify before read (the paper's scheme).
+pub struct EnhancedPolicy;
+
+fn find_kind(plan: &FactorPlan, f: impl Fn(&TaskKind) -> bool) -> Option<NodeId> {
+    plan.find(|n| f(&n.kind))
+}
+
+fn remove_if(plan: &mut FactorPlan, f: impl Fn(&TaskKind) -> bool) {
+    if let Some(id) = find_kind(plan, f) {
+        plan.remove(id);
+    }
+}
+
+/// Flip the `propagate` flags so fault effects follow the data flow in the
+/// injector's ledger (Enhanced omits POTF2 propagation: its inputs were
+/// verified immediately before, so a surviving error is local).
+fn set_propagation(plan: &mut FactorPlan, include_potf2: bool) {
+    for id in plan.order().to_vec() {
+        match &mut plan.node_mut(id).kind {
+            TaskKind::Syrk { propagate, .. }
+            | TaskKind::GemmPanel { propagate, .. }
+            | TaskKind::TrsmPanel { propagate, .. } => *propagate = true,
+            TaskKind::Potf2 { propagate, .. } => *propagate = include_potf2,
+            _ => {}
+        }
+    }
+}
+
+/// Insert the checksum-update nodes mirroring each factorization
+/// operation, in the legacy per-scope order (operation → updates → fault
+/// poll).
+fn insert_updates(plan: &mut FactorPlan) {
+    let nt = plan.nt;
+    for j in 0..nt {
+        if let Some(s) = find_kind(
+            plan,
+            |k| matches!(k, TaskKind::Syrk { j: jj, .. } if *jj == j),
+        ) {
+            let (scope, iter) = (plan.node(s).scope, plan.node(s).iter);
+            plan.insert_after(
+                s,
+                TaskKind::ChkUpdate {
+                    op: UpdateOp::Syrk,
+                    j,
+                    i: j,
+                },
+                scope,
+                iter,
+            );
+        }
+        if let Some(g) = find_kind(
+            plan,
+            |k| matches!(k, TaskKind::GemmPanel { j: jj, .. } if *jj == j),
+        ) {
+            let (scope, iter) = (plan.node(g).scope, plan.node(g).iter);
+            let mut anchor = g;
+            for i in (j + 1)..nt {
+                anchor = plan.insert_after(
+                    anchor,
+                    TaskKind::ChkUpdate {
+                        op: UpdateOp::Gemm,
+                        j,
+                        i,
+                    },
+                    scope,
+                    iter,
+                );
+            }
+        }
+        if let Some(d) = find_kind(
+            plan,
+            |k| matches!(k, TaskKind::DiagToDevice { j: jj } if *jj == j),
+        ) {
+            let (scope, iter) = (plan.node(d).scope, plan.node(d).iter);
+            plan.insert_after(
+                d,
+                TaskKind::ChkUpdate {
+                    op: UpdateOp::Potf2,
+                    j,
+                    i: j,
+                },
+                scope,
+                iter,
+            );
+        }
+        if let Some(t) = find_kind(
+            plan,
+            |k| matches!(k, TaskKind::TrsmPanel { j: jj, .. } if *jj == j),
+        ) {
+            let (scope, iter) = (plan.node(t).scope, plan.node(t).iter);
+            let mut anchor = t;
+            for i in (j + 1)..nt {
+                anchor = plan.insert_after(
+                    anchor,
+                    TaskKind::ChkUpdate {
+                        op: UpdateOp::Trsm,
+                        j,
+                        i,
+                    },
+                    scope,
+                    iter,
+                );
+            }
+        }
+    }
+}
+
+/// Append the panel-ready mark at the end of each iteration (checksum
+/// updates dispatched to non-compute streams order behind it).
+fn insert_marks(plan: &mut FactorPlan) {
+    for j in 0..plan.nt {
+        let last = plan
+            .rfind(|n| n.iter == Some(j))
+            .expect("iteration has nodes");
+        plan.insert_after(last, TaskKind::MarkPanelReady, None, Some(j));
+    }
+}
+
+/// Insert a verify/correct pair (one fresh `"verify"` scope) immediately
+/// before `anchor`.
+fn insert_check_before(
+    plan: &mut FactorPlan,
+    anchor: NodeId,
+    tiles: Vec<(usize, usize)>,
+    iter: usize,
+) {
+    let sc = plan.scope("verify", Phase::Verify);
+    plan.insert_before(
+        anchor,
+        TaskKind::VerifyBatch {
+            tiles: tiles.clone(),
+            sweep: SweepKind::Inline,
+        },
+        Some(sc),
+        Some(iter),
+    );
+    plan.insert_before(
+        anchor,
+        TaskKind::Correct {
+            tiles,
+            sweep: SweepKind::Inline,
+        },
+        Some(sc),
+        Some(iter),
+    );
+}
+
+/// Insert a verify/correct pair immediately after `anchor`.
+fn insert_check_after(
+    plan: &mut FactorPlan,
+    anchor: NodeId,
+    tiles: Vec<(usize, usize)>,
+    iter: usize,
+) {
+    let sc = plan.scope("verify", Phase::Verify);
+    let vb = plan.insert_after(
+        anchor,
+        TaskKind::VerifyBatch {
+            tiles: tiles.clone(),
+            sweep: SweepKind::Inline,
+        },
+        Some(sc),
+        Some(iter),
+    );
+    plan.insert_after(
+        vb,
+        TaskKind::Correct {
+            tiles,
+            sweep: SweepKind::Inline,
+        },
+        Some(sc),
+        Some(iter),
+    );
+}
+
+/// Insert the attempt tail of the Offline/Online protocols before the
+/// drain barrier: flush any pending panel mirror, then sweep the full
+/// lower triangle in one `"final verify"` scope (chunked like
+/// `ops::verify_all`).
+fn insert_final_sweep(plan: &mut FactorPlan) {
+    let drain = find_kind(plan, |k| matches!(k, TaskKind::Drain)).expect("plan has drain");
+    plan.insert_before(drain, TaskKind::FlushMirror, None, None);
+    let sc = plan.scope("final verify", Phase::Verify);
+    let nt = plan.nt;
+    for chunk in ops::lower_tiles(nt).chunks(256) {
+        plan.insert_before(
+            drain,
+            TaskKind::VerifyBatch {
+                tiles: chunk.to_vec(),
+                sweep: SweepKind::Final,
+            },
+            Some(sc),
+            None,
+        );
+        plan.insert_before(
+            drain,
+            TaskKind::Correct {
+                tiles: chunk.to_vec(),
+                sweep: SweepKind::Final,
+            },
+            Some(sc),
+            None,
+        );
+    }
+}
+
+/// Insert the initial encoding at the very front of the plan.
+fn insert_encode(plan: &mut FactorPlan) {
+    let sc = plan.scope("encode", Phase::Encode);
+    let first = plan.order()[0];
+    plan.insert_before(first, TaskKind::Encode, Some(sc), None);
+}
+
+impl PolicyPass for OfflinePolicy {
+    fn apply(&self, plan: &mut FactorPlan, _opts: &AbftOptions) {
+        set_propagation(plan, true);
+        insert_updates(plan);
+        insert_marks(plan);
+        insert_final_sweep(plan);
+        insert_encode(plan);
+    }
+}
+
+impl PolicyPass for OnlinePolicy {
+    fn apply(&self, plan: &mut FactorPlan, _opts: &AbftOptions) {
+        let nt = plan.nt;
+        set_propagation(plan, true);
+        insert_updates(plan);
+        insert_marks(plan);
+        for j in 0..nt {
+            let panel: Vec<(usize, usize)> = ((j + 1)..nt).map(|i| (i, j)).collect();
+            // SYRK output (the diagonal block), before it ships to the host.
+            if j > 0 {
+                let d2h = find_kind(
+                    plan,
+                    |k| matches!(k, TaskKind::DiagToHost { j: jj } if *jj == j),
+                )
+                .expect("skeleton has diag d2h");
+                insert_check_before(plan, d2h, vec![(j, j)], j);
+            }
+            // GEMM's outputs (the panel) and POTF2's output, before TRSM
+            // reads them.
+            let trsm = find_kind(
+                plan,
+                |k| matches!(k, TaskKind::TrsmPanel { j: jj, .. } if *jj == j),
+            )
+            .expect("skeleton has trsm");
+            if j > 0 && !panel.is_empty() {
+                insert_check_before(plan, trsm, panel.clone(), j);
+            }
+            insert_check_before(plan, trsm, vec![(j, j)], j);
+            // TRSM's outputs.
+            if !panel.is_empty() {
+                let mark = plan
+                    .find(|n| matches!(n.kind, TaskKind::MarkPanelReady) && n.iter == Some(j))
+                    .expect("mark inserted above");
+                insert_check_after(plan, mark, panel, j);
+            }
+        }
+        insert_final_sweep(plan);
+        insert_encode(plan);
+    }
+}
+
+impl PolicyPass for EnhancedPolicy {
+    fn apply(&self, plan: &mut FactorPlan, opts: &AbftOptions) {
+        let nt = plan.nt;
+        // The legacy driver skips the GEMM step entirely when there is no
+        // panel or no trailing update (j = 0), and the TRSM step on the last
+        // iteration — prune those groups (including their fault polls)
+        // before anchoring insertions.
+        for j in 0..nt {
+            let has_panel = j + 1 < nt;
+            if !(has_panel && j > 0) {
+                remove_if(
+                    plan,
+                    |k| matches!(k, TaskKind::GemmPanel { j: jj, .. } if *jj == j),
+                );
+                remove_if(plan, |k| {
+                    matches!(
+                        k,
+                        TaskKind::FaultPoint(InjectionPoint::PostGemm { iter }) if *iter == j
+                    )
+                });
+            }
+            if !has_panel {
+                remove_if(
+                    plan,
+                    |k| matches!(k, TaskKind::TrsmPanel { j: jj, .. } if *jj == j),
+                );
+                remove_if(plan, |k| {
+                    matches!(
+                        k,
+                        TaskKind::FaultPoint(InjectionPoint::PostTrsm { iter }) if *iter == j
+                    )
+                });
+            }
+        }
+        set_propagation(plan, false);
+        insert_updates(plan);
+        insert_marks(plan);
+        for j in 0..nt {
+            let has_panel = j + 1 < nt;
+            // SYRK inputs A = (j,j) and C = (j,k), k < j — every iteration.
+            let syrk = find_kind(
+                plan,
+                |k| matches!(k, TaskKind::Syrk { j: jj, .. } if *jj == j),
+            )
+            .expect("skeleton has syrk");
+            let mut syrk_inputs: Vec<(usize, usize)> = vec![(j, j)];
+            syrk_inputs.extend((0..j).map(|k| (j, k)));
+            insert_check_before(plan, syrk, syrk_inputs, j);
+            // POTF2 input (the SYRK output) — every iteration.
+            let d2h = find_kind(
+                plan,
+                |k| matches!(k, TaskKind::DiagToHost { j: jj } if *jj == j),
+            )
+            .expect("skeleton has diag d2h");
+            insert_check_before(plan, d2h, vec![(j, j)], j);
+            // GEMM inputs B, C, D — on K-gated iterations.
+            if has_panel && j > 0 && opts.verifies_on(j) {
+                let gemm = find_kind(
+                    plan,
+                    |k| matches!(k, TaskKind::GemmPanel { j: jj, .. } if *jj == j),
+                )
+                .expect("gemm present when has_panel && j > 0");
+                let mut gemm_inputs: Vec<(usize, usize)> = Vec::new();
+                for i in (j + 1)..nt {
+                    gemm_inputs.push((i, j)); // B: the panel being updated
+                }
+                for k in 0..j {
+                    gemm_inputs.push((j, k)); // C: the row panel
+                    for i in (j + 1)..nt {
+                        gemm_inputs.push((i, k)); // D: the body panel
+                    }
+                }
+                insert_check_before(plan, gemm, gemm_inputs, j);
+            }
+            // TRSM inputs L = (j,j) and B = (i,j) — on K-gated iterations.
+            if has_panel && opts.verifies_on(j) {
+                let trsm = find_kind(
+                    plan,
+                    |k| matches!(k, TaskKind::TrsmPanel { j: jj, .. } if *jj == j),
+                )
+                .expect("trsm present when has_panel");
+                let mut trsm_inputs: Vec<(usize, usize)> = vec![(j, j)];
+                trsm_inputs.extend(((j + 1)..nt).map(|i| (i, j)));
+                insert_check_before(plan, trsm, trsm_inputs, j);
+            }
+        }
+        insert_encode(plan);
+    }
+}
+
+/// Optimization 2 as a rewrite: CPU checksum placement queues a host
+/// mirror of each freshly factorized panel column (the mirror itself is
+/// issued by the next iteration's diagonal transfer, or by the tail
+/// flush). A no-op for GPU/inline placement. `Auto` must be resolved by
+/// the decision model before planning.
+pub fn apply_placement(plan: &mut FactorPlan, placement: ChecksumPlacement) {
+    assert_ne!(
+        placement,
+        ChecksumPlacement::Auto,
+        "plans require a resolved checksum placement"
+    );
+    if placement != ChecksumPlacement::Cpu {
+        return;
+    }
+    plan.cpu_mirrors = true;
+    for j in 0..plan.nt {
+        let last = plan
+            .rfind(|n| n.iter == Some(j))
+            .expect("iteration has nodes");
+        plan.insert_after(last, TaskKind::MirrorPanel { j }, None, Some(j));
+    }
+}

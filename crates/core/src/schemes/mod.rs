@@ -11,10 +11,12 @@
 //! * [`SchemeKind::Enhanced`] — this paper: verify every input immediately
 //!   *before* it is read, correcting both error species before they can
 //!   propagate.
-
-mod enhanced;
-mod offline;
-mod online;
+//!
+//! Each scheme is expressed as a **policy pass** over the shared
+//! Algorithm-1 task-graph skeleton (see [`crate::plan`]); this module owns
+//! the driver loop — build the plan once, then run attempts of it through
+//! the plan executor until the factorization completes or the restart
+//! budget is spent.
 
 use crate::decision;
 use crate::ops::{self};
@@ -171,7 +173,13 @@ pub fn run_scheme(
     } else {
         None
     };
+    let faulty = !plan.is_empty();
     let mut inj = Injector::new(plan);
+    // One plan serves every attempt: the task graph of an attempt does not
+    // depend on where (or whether) faults strike, only on n, b, and the
+    // resolved options.
+    let fplan = crate::plan::for_scheme(kind, lay.nt, &resolved, faulty);
+    let cfg = crate::plan::exec::ExecConfig::for_options(&resolved);
 
     let mut verify_total = VerifyOutcome::default();
     let mut attempts = 0usize;
@@ -203,11 +211,7 @@ pub fn run_scheme(
             inj: &mut inj,
             opts: &resolved,
         };
-        let result = match kind {
-            SchemeKind::Offline => offline::attempt(&mut a),
-            SchemeKind::Online => online::attempt(&mut a),
-            SchemeKind::Enhanced => enhanced::attempt(&mut a),
-        };
+        let result = crate::plan::exec::run_attempt(&fplan, &mut a, &cfg);
         let done = match result {
             Ok((AttemptEnd::Completed, vo)) => {
                 verify_total.merge(vo);

@@ -92,6 +92,31 @@ impl VerifyOutcome {
     }
 }
 
+/// Locate a candidate single data error from the two checksum deltas of one
+/// column: a lone error at (1-based) row `r` satisfies `δ₂ = r·δ₁` exactly,
+/// so `δ₂/δ₁` names the row. Returns the **0-based** row index, or `None`
+/// when the ratio is not close enough to an in-range integer — i.e. ≥ 2
+/// errors hit the column (or propagation smeared it) and two checksums
+/// cannot correct it.
+///
+/// The tolerance is absolute: a genuine single error gives a ratio exact to
+/// a few ulps, while a multi-error column's weighted average almost never
+/// sits this close to an integer. (Scaling the tolerance with the row index
+/// would let propagated corruption masquerade as correctable.)
+pub fn locate_row(d1: f64, d2: f64, rows: usize, policy: &VerifyPolicy) -> Option<usize> {
+    let ratio = d2 / d1;
+    let row_1based = ratio.round();
+    if ratio.is_finite()
+        && (ratio - row_1based).abs() <= policy.locate_tol
+        && row_1based >= 1.0
+        && row_1based <= rows as f64
+    {
+        Some(row_1based as usize - 1)
+    } else {
+        None
+    }
+}
+
 /// Verify `data` against its maintained checksums `stored` (a
 /// `2 × cols` matrix), using freshly recalculated checksums `recalc`,
 /// correcting `data` and/or `stored` in place.
@@ -185,19 +210,7 @@ fn verify_pass(
             }
             _ => {
                 // Candidate single data error at row r: d2 = r·d1 exactly.
-                let ratio = d2 / d1;
-                let row_1based = ratio.round();
-                // The tolerance is absolute: a genuine single error gives a
-                // ratio exact to a few ulps, while a multi-error column's
-                // weighted average almost never sits this close to an
-                // integer. (Scaling the tolerance with the row index would
-                // let propagated corruption masquerade as correctable.)
-                if ratio.is_finite()
-                    && (ratio - row_1based).abs() <= policy.locate_tol
-                    && row_1based >= 1.0
-                    && row_1based <= rows as f64
-                {
-                    let r = row_1based as usize - 1;
+                if let Some(r) = locate_row(d1, d2, rows, policy) {
                     let v = data.get(r, j) - d1;
                     data.set(r, j, v);
                     out.corrected_data += 1;
@@ -336,6 +349,48 @@ mod tests {
             assert_eq!(out.corrected_data, 1, "row {row}");
             assert!(approx_eq(&data, &truth, 1e-9));
         }
+    }
+
+    /// The locate ratio at the block edges: row 1 (`δ₂ = δ₁`) and row
+    /// `rows` (`δ₂ = rows·δ₁`) must resolve, while ratios half a step
+    /// beyond either edge must not.
+    #[test]
+    fn locate_row_at_block_edges() {
+        let p = VerifyPolicy::default();
+        let rows = 32usize;
+        let d1 = 2.5e-3;
+        // First row: ratio exactly 1.
+        assert_eq!(locate_row(d1, d1, rows, &p), Some(0));
+        // Last row: ratio exactly `rows`.
+        assert_eq!(locate_row(d1, d1 * rows as f64, rows, &p), Some(rows - 1));
+        // Just past either edge — out of range even though near-integer.
+        assert_eq!(locate_row(d1, 0.0, rows, &p), None);
+        assert_eq!(locate_row(d1, d1 * (rows as f64 + 1.0), rows, &p), None);
+        // Within tolerance of an edge row still resolves.
+        assert_eq!(
+            locate_row(d1, d1 * (1.0 + p.locate_tol * 0.9), rows, &p),
+            Some(0)
+        );
+        assert_eq!(
+            locate_row(d1, d1 * (rows as f64 - p.locate_tol * 0.9), rows, &p),
+            Some(rows - 1)
+        );
+    }
+
+    /// Non-integer ratios and degenerate deltas are uncorrectable.
+    #[test]
+    fn locate_row_rejects_multi_error_signatures() {
+        let p = VerifyPolicy::default();
+        let rows = 16usize;
+        // Two errors in one column average to a fractional row.
+        assert_eq!(locate_row(1.0, 7.5, rows, &p), None);
+        // δ₁ = 0 with δ₂ ≠ 0: infinite ratio.
+        assert_eq!(locate_row(0.0, 3.0, rows, &p), None);
+        // Both zero: NaN ratio.
+        assert_eq!(locate_row(0.0, 0.0, rows, &p), None);
+        // A 1×1 block: only row 1 is valid.
+        assert_eq!(locate_row(1.0, 1.0, 1, &p), Some(0));
+        assert_eq!(locate_row(1.0, 2.0, 1, &p), None);
     }
 
     #[test]

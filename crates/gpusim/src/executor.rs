@@ -1,0 +1,286 @@
+//! Readiness-driven issue ordering for task-graph (DAG) programs.
+//!
+//! The simulator itself stays imperative: callers enqueue kernels,
+//! transfers, and syncs one at a time. What this module adds is the layer
+//! that *decides the enqueue order* for a program expressed as a dependency
+//! graph — `hchol-core`'s `FactorPlan` compiles to one [`DagSchedule`] per
+//! run. Three issue disciplines are supported:
+//!
+//! * [`IssuePolicy::InOrder`] — replay the plan's authored order exactly
+//!   (bit-for-bit identical to the legacy imperative drivers; the default);
+//! * [`IssuePolicy::Lookahead`] — issue any dependency-satisfied node whose
+//!   iteration is at most `d` ahead of the oldest unfinished iteration,
+//!   preferring asynchronous (non-host-blocking) work so device queues stay
+//!   primed across host stalls;
+//! * [`round_robin`] — interleave several independent schedules (batched
+//!   multi-matrix execution) so one plan's host-blocking steps overlap the
+//!   others' enqueued device work.
+//!
+//! Every order produced here is a topological order of the dependency
+//! edges, so data dependencies are never reordered — only independent work
+//! moves. [`DagSchedule::is_topological`] double-checks any candidate order
+//! against the edges.
+
+/// Per-node metadata the issue heuristics consult.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeMeta {
+    /// Outer iteration this node belongs to (`None` for pre/post-loop
+    /// work). Bounds the lookahead window.
+    pub iter: Option<usize>,
+    /// Does executing this node block the host (CPU kernel, stream sync,
+    /// host-visible verification)? Lookahead prefers to defer these behind
+    /// asynchronous enqueues.
+    pub host_blocking: bool,
+}
+
+/// How the executor picks the next ready node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssuePolicy {
+    /// Exactly the authored plan order.
+    InOrder,
+    /// Issue dependency-satisfied nodes up to `d` iterations beyond the
+    /// oldest unissued one (depth 0 still allows reordering *within* an
+    /// iteration).
+    Lookahead(usize),
+}
+
+/// A dependency graph plus authored order over `n` nodes.
+///
+/// `deps[i]` lists the nodes that must be issued before node `i`; `order`
+/// is the authored (legacy-equivalent) issue sequence, which must itself be
+/// topological.
+#[derive(Debug, Clone)]
+pub struct DagSchedule {
+    deps: Vec<Vec<usize>>,
+    meta: Vec<NodeMeta>,
+    order: Vec<usize>,
+}
+
+impl DagSchedule {
+    /// Build a schedule. Panics if `order` is not a permutation of
+    /// `0..deps.len()` or not topological w.r.t. `deps`.
+    pub fn new(deps: Vec<Vec<usize>>, meta: Vec<NodeMeta>, order: Vec<usize>) -> Self {
+        assert_eq!(deps.len(), meta.len(), "deps/meta length mismatch");
+        let s = DagSchedule { deps, meta, order };
+        assert!(
+            s.is_topological(&s.order),
+            "authored order violates its own dependency edges"
+        );
+        s
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True if the schedule has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// The authored order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Is `candidate` a permutation of all nodes that respects every
+    /// dependency edge?
+    pub fn is_topological(&self, candidate: &[usize]) -> bool {
+        if candidate.len() != self.deps.len() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.deps.len()];
+        for (p, &id) in candidate.iter().enumerate() {
+            if id >= self.deps.len() || pos[id] != usize::MAX {
+                return false;
+            }
+            pos[id] = p;
+        }
+        candidate
+            .iter()
+            .all(|&id| self.deps[id].iter().all(|&d| pos[d] < pos[id]))
+    }
+
+    /// Compute the issue order under `policy`.
+    ///
+    /// `InOrder` returns the authored order. `Lookahead(d)` runs list
+    /// scheduling over the ready set: at each step the eligible candidates
+    /// are the unissued nodes whose dependencies are all issued and whose
+    /// iteration is within `d` of the oldest unissued iteration; among
+    /// them, asynchronous nodes win over host-blocking ones, ties broken by
+    /// authored position (so the result degenerates to the authored order
+    /// when nothing can move).
+    pub fn issue_order(&self, policy: IssuePolicy) -> Vec<usize> {
+        let depth = match policy {
+            IssuePolicy::InOrder => return self.order.clone(),
+            IssuePolicy::Lookahead(d) => d,
+        };
+        let n = self.deps.len();
+        let mut pos = vec![0usize; n];
+        for (p, &id) in self.order.iter().enumerate() {
+            pos[id] = p;
+        }
+        let mut remaining_deps: Vec<usize> = self.deps.iter().map(Vec::len).collect();
+        let mut issued = vec![false; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, ds) in self.deps.iter().enumerate() {
+            for &d in ds {
+                dependents[d].push(id);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_deps[i] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            // The lookahead window is anchored at the oldest unissued
+            // iteration (pre/post-loop nodes are always eligible).
+            let base = (0..n)
+                .filter(|&i| !issued[i])
+                .filter_map(|i| self.meta[i].iter)
+                .min();
+            let eligible = |i: usize| match (self.meta[i].iter, base) {
+                (Some(it), Some(b)) => it <= b + depth,
+                _ => true,
+            };
+            let pick = ready
+                .iter()
+                .copied()
+                .filter(|&i| eligible(i))
+                .min_by_key(|&i| (self.meta[i].host_blocking, pos[i]))
+                .or_else(|| ready.iter().copied().min_by_key(|&i| pos[i]))
+                .expect("dependency cycle: no ready node");
+            ready.retain(|&i| i != pick);
+            issued[pick] = true;
+            out.push(pick);
+            for &s in &dependents[pick] {
+                remaining_deps[s] -= 1;
+                if remaining_deps[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        debug_assert!(self.is_topological(&out));
+        out
+    }
+}
+
+/// Interleave several schedules' issue orders round-robin: the result is a
+/// sequence of `(schedule index, node id)` pairs, one full rotation at a
+/// time, skipping exhausted schedules. Batched multi-matrix execution
+/// drives each plan's next node in this order so every plan keeps device
+/// work enqueued while the others block the host.
+pub fn round_robin(orders: &[Vec<usize>]) -> Vec<(usize, usize)> {
+    let total: usize = orders.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; orders.len()];
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        for (p, order) in orders.iter().enumerate() {
+            if cursors[p] < order.len() {
+                out.push((p, order[cursors[p]]));
+                cursors[p] += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(iter: Option<usize>, host: bool) -> NodeMeta {
+        NodeMeta {
+            iter,
+            host_blocking: host,
+        }
+    }
+
+    /// A two-iteration chain with one host-blocking node per iteration and
+    /// an independent async node in iteration 1.
+    fn sample() -> DagSchedule {
+        // 0: async it0 ; 1: host it0 (dep 0) ; 2: async it1 ; 3: host it1 (deps 1,2)
+        DagSchedule::new(
+            vec![vec![], vec![0], vec![], vec![1, 2]],
+            vec![
+                meta(Some(0), false),
+                meta(Some(0), true),
+                meta(Some(1), false),
+                meta(Some(1), true),
+            ],
+            vec![0, 1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn in_order_replays_authored_order() {
+        assert_eq!(sample().issue_order(IssuePolicy::InOrder), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lookahead_hoists_async_work_over_host_blocking() {
+        // With a window of 1 iteration, node 2 (async, it1, no deps) is
+        // issued before node 1 (host-blocking, it0).
+        let got = sample().issue_order(IssuePolicy::Lookahead(1));
+        assert_eq!(got, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn lookahead_zero_still_reorders_within_iteration() {
+        // 0: host it0; 1: async it0, independent — async first.
+        let s = DagSchedule::new(
+            vec![vec![], vec![]],
+            vec![meta(Some(0), true), meta(Some(0), false)],
+            vec![0, 1],
+        );
+        assert_eq!(s.issue_order(IssuePolicy::Lookahead(0)), vec![1, 0]);
+    }
+
+    #[test]
+    fn lookahead_window_restrains_distant_iterations() {
+        // Async node in iteration 5 cannot jump a window of 1 anchored at 0.
+        let s = DagSchedule::new(
+            vec![vec![], vec![0], vec![]],
+            vec![
+                meta(Some(0), false),
+                meta(Some(0), true),
+                meta(Some(5), false),
+            ],
+            vec![0, 1, 2],
+        );
+        assert_eq!(s.issue_order(IssuePolicy::Lookahead(1)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lookahead_orders_are_topological() {
+        let s = sample();
+        for d in 0..4 {
+            let o = s.issue_order(IssuePolicy::Lookahead(d));
+            assert!(s.is_topological(&o), "depth {d}: {o:?}");
+        }
+    }
+
+    #[test]
+    fn topology_check_rejects_violations() {
+        let s = sample();
+        assert!(!s.is_topological(&[1, 0, 2, 3])); // dep 0→1 flipped
+        assert!(!s.is_topological(&[0, 1, 2])); // not a permutation
+        assert!(!s.is_topological(&[0, 1, 2, 2])); // duplicate
+    }
+
+    #[test]
+    #[should_panic(expected = "authored order violates")]
+    fn constructor_rejects_nontopological_authored_order() {
+        DagSchedule::new(
+            vec![vec![], vec![0]],
+            vec![NodeMeta::default(); 2],
+            vec![1, 0],
+        );
+    }
+
+    #[test]
+    fn round_robin_interleaves_and_drains() {
+        let orders = vec![vec![0, 1, 2], vec![0], vec![0, 1]];
+        let got = round_robin(&orders);
+        assert_eq!(got, vec![(0, 0), (1, 0), (2, 0), (0, 1), (2, 1), (0, 2)]);
+    }
+}

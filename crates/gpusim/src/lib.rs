@@ -47,6 +47,7 @@ pub use hchol_obs as obs;
 pub mod access;
 pub mod context;
 pub mod counters;
+pub mod executor;
 pub mod memory;
 pub mod profile;
 pub mod program;
@@ -56,6 +57,7 @@ pub mod timeline;
 
 pub use access::{AccessSet, TileRef};
 pub use context::{EventId, SimContext, StreamId};
+pub use executor::{round_robin, DagSchedule, IssuePolicy, NodeMeta};
 pub use memory::{BufferId, DeviceMemory, HostBufferId, HostMemory};
 pub use profile::{CpuProfile, DeviceProfile, KernelClass, SystemProfile};
 pub use program::{DmaDir, ExecSite, ProgramTrace, TraceAction, TraceOp};

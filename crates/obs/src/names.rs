@@ -39,6 +39,12 @@ pub const METRICS: &[&str] = &[
     "verify.uncorrectable_columns",
     // Fault injection.
     "faults.injected",
+    // Plan layer (recorded only off the byte-stable in-order path:
+    // reordered attempts and batched runs).
+    "plan.nodes",
+    "plan.edges",
+    "plan.reordered",
+    "plan.batch.plans",
     // Schedule analysis (hchol-analyze).
     "analysis.ops",
     "analysis.races",

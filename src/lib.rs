@@ -42,6 +42,8 @@ pub use hchol_obs as obs;
 pub mod prelude {
     pub use hchol_core::checksum::{ChecksumPair, CHECKSUM_COUNT};
     pub use hchol_core::options::{AbftOptions, ChecksumPlacement};
+    pub use hchol_core::plan::exec::{run_batch, BatchOutcome, BatchRequest};
+    pub use hchol_core::plan::FactorPlan;
     pub use hchol_core::schemes::{run_clean, run_scheme, FactorOutcome, SchemeKind};
     pub use hchol_core::verify::{VerifyOutcome, VerifyPolicy};
     pub use hchol_faults::{FaultKind, FaultPlan, FaultSpec};

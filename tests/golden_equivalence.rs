@@ -1,0 +1,164 @@
+//! Golden-equivalence suite for the plan-driven drivers.
+//!
+//! The fixtures under `tests/fixtures/golden/` were captured from the
+//! pre-plan imperative drivers (one hand-written loop per scheme plus the
+//! MAGMA/CULA baselines). Every configuration is replayed here through the
+//! current `FactorPlan` + executor path and must reproduce the recorded
+//! behavior exactly:
+//!
+//! * the serialized [`RunReport`] must be **byte-identical** — same span
+//!   tree, same virtual timestamps, same metrics, same config block;
+//! * the factor must be **bit-identical** — checked via an FNV-1a hash of
+//!   the element bits recorded in `factors.json`.
+//!
+//! If a schedule change is intentional, regenerate the fixtures with
+//! `cargo run --release -p hchol-bench --bin golden_capture` from the repo
+//! root and review the diff.
+
+use hchol_core::cula::factor_cula;
+use hchol_core::magma::factor_magma;
+use hchol_core::options::{AbftOptions, ChecksumPlacement};
+use hchol_core::schemes::{run_scheme, SchemeKind};
+use hchol_faults::FaultPlan;
+use hchol_gpusim::profile::SystemProfile;
+use hchol_gpusim::ExecMode;
+use hchol_matrix::generate::spd_diag_dominant;
+use hchol_matrix::Matrix;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden")
+}
+
+fn hash_factor(m: &Matrix) -> u64 {
+    let (rows, cols) = m.shape();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..rows {
+        for j in 0..cols {
+            for byte in m.get(i, j).to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// Look up the recorded factor hash for `slug` in the manifest.
+fn manifest_hash(slug: &str) -> u64 {
+    let manifest =
+        std::fs::read_to_string(fixture_dir().join("factors.json")).expect("read factors.json");
+    let needle = format!("\"{slug}\":");
+    let line = manifest
+        .lines()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| panic!("{slug} missing from factors.json"));
+    let hex = line
+        .rsplit('"')
+        .nth(1)
+        .unwrap_or_else(|| panic!("malformed manifest line: {line}"));
+    u64::from_str_radix(hex, 16).expect("hex hash")
+}
+
+fn check(slug: &str, report_json: String, factor: &Matrix) {
+    let path = fixture_dir().join(format!("{slug}.report.json"));
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    assert_eq!(
+        report_json, golden,
+        "{slug}: RunReport diverged from the pre-plan driver"
+    );
+    assert_eq!(
+        hash_factor(factor),
+        manifest_hash(slug),
+        "{slug}: factor bits diverged from the pre-plan driver"
+    );
+}
+
+fn check_scheme(kind: SchemeKind, n: usize, opts: &AbftOptions, faulted: bool, tag: &str) {
+    let b = 32usize;
+    let a = spd_diag_dominant(n, 7);
+    let nt = n / b;
+    let plan = if faulted {
+        FaultPlan::paper_computing_error(nt, b).merged(FaultPlan::paper_storage_error(nt, b))
+    } else {
+        FaultPlan::none()
+    };
+    let out = run_scheme(
+        kind,
+        &SystemProfile::test_profile(),
+        ExecMode::Execute,
+        n,
+        b,
+        opts,
+        plan,
+        Some(&a),
+    )
+    .expect("scheme runs");
+    let slug = match kind {
+        SchemeKind::Offline => format!("offline_{n}_{tag}"),
+        SchemeKind::Online => format!("online_{n}_{tag}"),
+        SchemeKind::Enhanced => format!("enhanced_{n}_{tag}"),
+    };
+    let json = serde_json::to_string(&out.report()).expect("report serializes");
+    check(&slug, json, &out.factor.expect("Execute mode factor"));
+}
+
+#[test]
+fn schemes_match_pre_plan_drivers() {
+    for kind in SchemeKind::all() {
+        for n in [64usize, 192, 256] {
+            for faulted in [false, true] {
+                let tag = if faulted { "faulted" } else { "clean" };
+                check_scheme(kind, n, &AbftOptions::default(), faulted, tag);
+            }
+        }
+    }
+}
+
+#[test]
+fn option_corners_match_pre_plan_drivers() {
+    check_scheme(
+        SchemeKind::Enhanced,
+        192,
+        &AbftOptions::default().with_placement(ChecksumPlacement::Cpu),
+        false,
+        "cpu",
+    );
+    check_scheme(
+        SchemeKind::Enhanced,
+        192,
+        &AbftOptions::unoptimized(),
+        false,
+        "unopt",
+    );
+    check_scheme(
+        SchemeKind::Enhanced,
+        256,
+        &AbftOptions::default().with_interval(4),
+        false,
+        "k4",
+    );
+}
+
+#[test]
+fn baselines_match_pre_plan_drivers() {
+    let n = 192usize;
+    let b = 32usize;
+    let a = spd_diag_dominant(n, 7);
+    let p = SystemProfile::test_profile();
+
+    let magma = factor_magma(&p, ExecMode::Execute, n, b, Some(&a), false).expect("magma runs");
+    check(
+        "magma_192",
+        serde_json::to_string(&magma.report("MAGMA hybrid")).expect("serializes"),
+        &magma.factor.expect("factor"),
+    );
+
+    let cula = factor_cula(&p, ExecMode::Execute, n, b, Some(&a)).expect("cula runs");
+    check(
+        "cula_192",
+        serde_json::to_string(&cula.report("CULA dpotrf")).expect("serializes"),
+        &cula.factor.expect("factor"),
+    );
+}
