@@ -40,7 +40,16 @@ cargo run --release -q -p hchol-analyze --bin analyze > /dev/null
 step "plan checker (static ABFT contract over plan edges, all schemes)"
 cargo run --release -q -p hchol-analyze --bin plan_check > /dev/null
 
+step "fused-epilogue ABFT suite (plan rewrite, conformance, properties)"
+cargo test -q --test fused_abft
+
+step "golden equivalence (default unfused path byte-identical)"
+cargo test -q --test golden_equivalence
+
 step "kernel bench sweep (quick) -> BENCH_kernels.json"
 cargo bench -p hchol-bench --bench kernels -- --quick
+
+step "fused verification overhead sweep (quick) -> BENCH_fused.json"
+cargo run --release -q -p hchol-bench --bin fused_overhead -- --quick
 
 step "done"

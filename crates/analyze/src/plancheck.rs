@@ -196,7 +196,7 @@ pub fn check_plan(kind: SchemeKind, plan: &FactorPlan, opts: &AbftOptions) -> Pl
     // Per-position verify info.
     let mut verifies: Vec<VerifyInfo> = Vec::new();
     for (p, &id) in order.iter().enumerate() {
-        if let TaskKind::VerifyBatch { tiles, sweep } = &plan.node(id).kind {
+        if let TaskKind::VerifyBatch { tiles, sweep, .. } = &plan.node(id).kind {
             verifies.push((p, tiles.clone(), *sweep));
         }
     }
@@ -385,6 +385,82 @@ mod tests {
             chk.render_text()
         );
         // The unmutated plan stays clean — the edge was load-bearing.
+        assert!(check_plan(SchemeKind::Enhanced, &plan, &opts).is_clean());
+    }
+
+    /// Fused-epilogue plans (Enhanced + `chk_fused`): compare-only batches
+    /// replace the recalc-fed ones wherever a fused SYRK/GEMM last wrote
+    /// the tiles, and the rewritten plan still satisfies every
+    /// verify-before-read obligation through its edges.
+    #[test]
+    fn fused_enhanced_plans_are_clean() {
+        for nt in [2usize, 4, 8, 16] {
+            for k in [1usize, 3] {
+                let opts = resolved_opts().with_interval(k).with_chk_fused(true);
+                let plan = for_scheme(SchemeKind::Enhanced, nt, &opts, false);
+                let fused_batches = plan
+                    .order()
+                    .iter()
+                    .filter(|&&id| {
+                        matches!(
+                            &plan.node(id).kind,
+                            TaskKind::VerifyBatch { fused: true, .. }
+                        )
+                    })
+                    .count();
+                assert!(
+                    fused_batches > 0,
+                    "nt={nt} K={k}: the rewrite should fuse at least one batch"
+                );
+                let chk = check_plan(SchemeKind::Enhanced, &plan, &opts);
+                assert!(chk.is_clean(), "nt={nt} K={k}:\n{}", chk.render_text());
+            }
+        }
+    }
+
+    /// The fused rewrite is a no-op for the recalc-fed schemes (it is only
+    /// applied to Enhanced) and for Enhanced with the flag off.
+    #[test]
+    fn fused_flag_off_leaves_plans_unfused() {
+        let opts = resolved_opts();
+        let plan = for_scheme(SchemeKind::Enhanced, 8, &opts, false);
+        assert!(plan.order().iter().all(|&id| !matches!(
+            &plan.node(id).kind,
+            TaskKind::VerifyBatch { fused: true, .. }
+                | TaskKind::Syrk { fused: true, .. }
+                | TaskKind::GemmPanel { fused: true, .. }
+        )));
+    }
+
+    /// Mutation control for the fused path: sever the out-edges of a fused
+    /// compare-only batch guarding the TRSM panel inputs. No recalculation
+    /// kernel backs those tiles up, so the checker must flag the TRSM read
+    /// as unverified *before execution*.
+    #[test]
+    fn dropped_fused_verify_edge_is_flagged() {
+        let opts = resolved_opts().with_chk_fused(true);
+        let plan = for_scheme(SchemeKind::Enhanced, 8, &opts, false);
+        // A fused batch over off-diagonal tiles = a TRSM-input panel check
+        // (the diagonal-only fused batches guard the host POTF2 round trip,
+        // which the read rule does not cover).
+        let victim = plan
+            .find(|n| {
+                matches!(
+                    &n.kind,
+                    TaskKind::VerifyBatch { tiles, sweep: SweepKind::Inline, fused: true }
+                        if tiles.iter().any(|&(bi, bj)| bi != bj)
+                )
+            })
+            .expect("a fused panel verify exists");
+        let mut mutated = plan.clone();
+        mutated.drop_edges_from(victim);
+        let chk = check_plan(SchemeKind::Enhanced, &mutated, &opts);
+        assert!(
+            chk.violations.iter().any(|v| v.kind() == "unverified_read"),
+            "expected an unverified read, got:\n{}",
+            chk.render_text()
+        );
+        // The unmutated fused plan stays clean — the edge was load-bearing.
         assert!(check_plan(SchemeKind::Enhanced, &plan, &opts).is_clean());
     }
 

@@ -533,6 +533,13 @@ impl<'a> Sweep<'a> {
             st.last_write_cat = Some(op.category);
             st.readers.clear();
             st.verified.clear();
+            // A fused-epilogue kernel recalculates the checksums of every
+            // tile it writes inside the same launch: the write carries its
+            // own verify mark (the compare-only batch that consumes the
+            // deposit declares no matrix reads, so this is the only mark).
+            if op.fused_verify {
+                upsert(&mut st.verified, me);
+            }
         }
 
         // Publish the op's clock to its lane(s).

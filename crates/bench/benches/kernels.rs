@@ -4,13 +4,15 @@
 //!
 //! Besides the small-size criterion groups, the main sweep times the blocked
 //! level-3 engine against the naive seed kernels at n ∈ {256, 512, 1024,
-//! 2048} and writes the GFLOP/s of every kernel to `BENCH_kernels.json`
-//! (machine-readable; consumed by CI and EXPERIMENTS.md). Pass `--quick` to
-//! stop the sweep at n = 1024 and shorten per-point timing budgets.
+//! 2048}, then sweeps the threaded engine with and without the fused
+//! checksum epilogue at n ∈ {2048, 4096} × 1/2/4 threads, and writes the
+//! GFLOP/s of every kernel to `BENCH_kernels.json` (machine-readable;
+//! consumed by CI and EXPERIMENTS.md). Pass `--quick` to stop the sweeps at
+//! n = 1024 and shorten per-point timing budgets.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use hchol_blas::flops;
-use hchol_blas::par::par_gemm;
+use hchol_blas::par::{par_gemm, par_gemm_fused_with_threads, par_gemm_with_threads};
 use hchol_blas::{gemm, naive_gemm, naive_syrk, potf2, syrk, trsm};
 use hchol_matrix::generate::{spd_diag_dominant, uniform};
 use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
@@ -118,11 +120,23 @@ struct Entry {
 }
 
 #[derive(serde::Serialize)]
+struct FusedEntry {
+    n: usize,
+    threads: usize,
+    unfused_gflops: f64,
+    fused_gflops: f64,
+    /// Throughput the fused epilogue costs, percent of the unfused rate.
+    epilogue_cost_pct: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     /// Host threads the parallel kernels could use (1 ⇒ par == sequential).
     threads: usize,
     quick: bool,
     results: Vec<Entry>,
+    /// Fused vs. unfused epilogue throughput across sizes and team sizes.
+    fused: Vec<FusedEntry>,
     /// gemm_blocked GFLOP/s ÷ gemm_naive GFLOP/s at n = 1024
     /// (the ≥5× single-thread acceptance figure).
     speedup_gemm_n1024: f64,
@@ -231,8 +245,77 @@ fn sweep(quick: bool) -> Report {
         threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
         quick,
         results,
+        fused: fused_sweep(quick, budget),
         speedup_gemm_n1024: speedup,
     }
+}
+
+/// Fused vs. unfused epilogue throughput of the threaded level-3 engine,
+/// past the single-thread ceiling: n ∈ {2048, 4096} × 1/2/4 threads (quick:
+/// n ∈ {512, 1024} × 1/2). The fused variant deposits both column checksums
+/// of `C` in the micro-kernel epilogue; its GFLOP/s are computed on the
+/// *product* flops only, so `epilogue_cost_pct` is the true throughput
+/// price of the in-kernel deposits.
+fn fused_sweep(quick: bool, budget: f64) -> Vec<FusedEntry> {
+    let (sizes, teams): (&[usize], &[usize]) = if quick {
+        (&[512, 1024], &[1, 2])
+    } else {
+        (&[2048, 4096], &[1, 2, 4])
+    };
+    // Best-of-N rather than mean-of-budget: at these sizes one call can
+    // outlast the whole budget, and a single timing on a shared host is
+    // noise-dominated. The minimum is the standard robust estimator here.
+    let reps = if quick { 2 } else { 3 };
+    let time_best = |f: &mut dyn FnMut(), budget: f64| {
+        (0..reps)
+            .map(|_| time_call(&mut *f, budget))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut out = Vec::new();
+    for &n in sizes {
+        let a = uniform(n, n, -1.0, 1.0, 21);
+        let b = uniform(n, n, -1.0, 1.0, 22);
+        let mut c = Matrix::zeros(n, n);
+        let mut chk = Matrix::zeros(2, n);
+        let fl = flops::gemm(n, n, n) as f64;
+        for &t in teams {
+            let s = time_best(
+                &mut || par_gemm_with_threads(Trans::No, Trans::Yes, -1.0, &a, &b, 1.0, &mut c, t),
+                budget,
+            );
+            let unfused_gflops = fl / s / 1e9;
+            let s = time_best(
+                &mut || {
+                    par_gemm_fused_with_threads(
+                        Trans::No,
+                        Trans::Yes,
+                        -1.0,
+                        &a,
+                        &b,
+                        1.0,
+                        &mut c,
+                        &mut chk,
+                        t,
+                    )
+                },
+                budget,
+            );
+            let fused_gflops = fl / s / 1e9;
+            let cost = (unfused_gflops - fused_gflops) / unfused_gflops * 100.0;
+            println!(
+                "  gemm n={n:<5} threads={t}: unfused {unfused_gflops:>7.2} GF/s, \
+                 fused {fused_gflops:>7.2} GF/s (epilogue cost {cost:>5.2}%)"
+            );
+            out.push(FusedEntry {
+                n,
+                threads: t,
+                unfused_gflops,
+                fused_gflops,
+                epilogue_cost_pct: cost,
+            });
+        }
+    }
+    out
 }
 
 fn main() {

@@ -59,6 +59,14 @@ pub fn verify_compare(c: usize) -> u64 {
     4 * c as u64
 }
 
+/// FLOPs of the *fused* checksum epilogue over an `r×c` output block: the
+/// same arithmetic as [`recalc_block`] (two weighted column sums), but
+/// performed on register/cache-resident tiles inside the host SYRK/GEMM
+/// kernel instead of as a separate memory-bound pass.
+pub fn fused_epilogue(r: usize, c: usize) -> u64 {
+    recalc_block(r, c)
+}
+
 /// GFLOP/s helper: `flops / seconds / 1e9`.
 pub fn gflops(flops: u64, seconds: f64) -> f64 {
     if seconds <= 0.0 {

@@ -142,6 +142,38 @@ fn gemm_views_small(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut) {
 /// The three-level macro-loop around the packed micro-kernel.
 /// Computes `C += alpha · A·B` (beta is the front ends' job).
 pub(crate) fn gemm_blocked(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut) {
+    gemm_blocked_fused(alpha, a, b, c, None);
+}
+
+/// Per-call checksum accumulator for the fused epilogue: partial `v₁`
+/// (ones-weighted) and `v₂` (row-index-weighted) column sums of the C
+/// elements this call stores. In the threaded engine each thread owns one,
+/// reduced after the macro-tile join.
+pub(crate) struct ChkAcc<'a> {
+    /// Global row of `c_block`'s row 0 in the output matrix (sets the
+    /// `v₂` weights: global row `i` weighs `i + 1`).
+    pub row0: usize,
+    /// Global column of `c_block`'s column 0 (offsets into `v1`/`v2`).
+    pub col0: usize,
+    /// Unweighted column sums, one slot per output column.
+    pub v1: &'a mut [f64],
+    /// Row-weighted column sums, one slot per output column.
+    pub v2: &'a mut [f64],
+}
+
+/// [`gemm_blocked`] with an optional fused checksum epilogue.
+///
+/// When `epi` is set, the final `pc` slab reads every just-stored C element
+/// back (still cache-hot from the masked store) and accumulates the two
+/// weighted column sums of the *finished* `C` — covering `beta·C` and all
+/// earlier k slabs, because each slab accumulates into every element.
+pub(crate) fn gemm_blocked_fused(
+    alpha: f64,
+    a: &MatRef<'_>,
+    b: &MatRef<'_>,
+    c: &MatMut,
+    mut epi: Option<(&mut [f64], &mut [f64])>,
+) {
     let (m, k, n) = (a.rows, a.cols, b.cols);
     let mut packed_a = vec![0.0; MC.div_ceil(MR) * MR * KC];
     let mut packed_b = vec![0.0; KC * NC.div_ceil(NR) * NR];
@@ -150,12 +182,31 @@ pub(crate) fn gemm_blocked(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMu
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
+            let last_slab = pc + kc == k;
             pack_b(&b.sub(pc, jc, kc, nc), &mut packed_b);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
                 pack_a(&a.sub(ic, pc, mc, kc), &mut packed_a);
                 let c_block = c.sub(ic, jc, mc, nc);
-                run_tiles(alpha, kc, mc, nc, &packed_a, &packed_b, &c_block);
+                let mut acc = match &mut epi {
+                    Some((v1, v2)) if last_slab => Some(ChkAcc {
+                        row0: ic,
+                        col0: jc,
+                        v1,
+                        v2,
+                    }),
+                    _ => None,
+                };
+                run_tiles(
+                    alpha,
+                    kc,
+                    mc,
+                    nc,
+                    &packed_a,
+                    &packed_b,
+                    &c_block,
+                    acc.as_mut(),
+                );
             }
         }
     }
@@ -164,6 +215,11 @@ pub(crate) fn gemm_blocked(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMu
 /// Inner two loops: every `MR×NR` micro-tile of one `mc×nc` C block.
 /// Exposed to `par.rs`, whose threads share `packed_b` and run disjoint
 /// row-stripes.
+///
+/// With `epi` set, each micro-tile's store is followed by a read-back of the
+/// freshly written elements into the caller's checksum accumulator (columns
+/// accumulate in ascending global-row order within this call).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_tiles(
     alpha: f64,
     kc: usize,
@@ -172,6 +228,7 @@ pub(crate) fn run_tiles(
     packed_a: &[f64],
     packed_b: &[f64],
     c_block: &MatMut,
+    mut epi: Option<&mut ChkAcc<'_>>,
 ) {
     for jp in 0..nc.div_ceil(NR) {
         let j0 = jp * NR;
@@ -192,12 +249,92 @@ pub(crate) fn run_tiles(
                     unsafe { c_block.add(i0 + i, j0 + j, alpha * v) };
                 }
             }
+            if let Some(e) = epi.as_mut() {
+                for j in 0..nr {
+                    let gc = e.col0 + j0 + j;
+                    let (mut s1, mut s2) = (0.0, 0.0);
+                    for i in 0..mr {
+                        // SAFETY: same bounds as the store above; this call
+                        // is the sole accessor of its stripe.
+                        let v = unsafe { c_block.get(i0 + i, j0 + j) };
+                        s1 += v;
+                        s2 += (e.row0 + i0 + i + 1) as f64 * v;
+                    }
+                    e.v1[gc] += s1;
+                    e.v2[gc] += s2;
+                }
+            }
         }
     }
 }
 
+/// Plain second-pass checksum of a finished block: ascending-row column
+/// sums into a `2 × cols` matrix (row 0: ones weights, row 1: `i + 1`
+/// weights). The fallback epilogue for products the blocked engine skips.
+pub(crate) fn encode_cols(c: &Matrix, chk: &mut Matrix) {
+    debug_assert_eq!(chk.shape(), (2, c.cols()));
+    for j in 0..c.cols() {
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for (i, &v) in c.col(j).iter().enumerate() {
+            s1 += v;
+            s2 += (i + 1) as f64 * v;
+        }
+        chk.set(0, j, s1);
+        chk.set(1, j, s2);
+    }
+}
+
+/// `C := alpha·op(A)·op(B) + beta·C`, simultaneously producing the two
+/// weighted column checksums of the *resulting* `C` in `chk` (a `2 × n`
+/// matrix: row 0 unweighted sums, row 1 sums weighted by row index + 1).
+///
+/// On the blocked path the checksums come from the fused micro-kernel
+/// epilogue — a cache-hot read-back per stored micro-tile instead of a
+/// separate pass over `C`. Products below the blocking threshold (and the
+/// degenerate `alpha == 0` / `k == 0` cases) compute the product normally
+/// and take one plain column sweep. Checksum summation order differs from
+/// [`crate::level1::dot`]-based re-encoding, so results agree with a
+/// separate recalculation only to normal rounding (relative `~1e-12`), not
+/// bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_fused(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    chk: &mut Matrix,
+) {
+    let (m, ka) = trans_a.apply(a.shape());
+    let (kb, n) = trans_b.apply(b.shape());
+    assert_eq!(ka, kb, "gemm_fused inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_fused output shape mismatch");
+    assert_eq!(chk.shape(), (2, n), "gemm_fused checksum shape mismatch");
+    let k = ka;
+
+    apply_beta(beta, c.as_mut_slice());
+    if alpha != 0.0 && k != 0 && use_blocked(m, n, k) {
+        let av = MatRef::new(a, trans_a);
+        let bv = MatRef::new(b, trans_b);
+        let cv = MatMut::new(c);
+        let (mut v1, mut v2) = (vec![0.0; n], vec![0.0; n]);
+        gemm_blocked_fused(alpha, &av, &bv, &cv, Some((&mut v1, &mut v2)));
+        for j in 0..n {
+            chk.set(0, j, v1[j]);
+            chk.set(1, j, v2[j]);
+        }
+    } else {
+        if alpha != 0.0 && k != 0 {
+            naive::naive_gemm_accum(trans_a, trans_b, alpha, a, b, c);
+        }
+        encode_cols(c, chk);
+    }
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::reference::ref_gemm;
     use hchol_matrix::generate::uniform;
@@ -291,5 +428,97 @@ mod tests {
         let b = Matrix::zeros(4, 2);
         let mut c = Matrix::zeros(2, 2);
         gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    /// Reference checksums by definition: ascending-row weighted sums.
+    pub(crate) fn ref_checksums(c: &Matrix) -> Matrix {
+        let mut chk = Matrix::zeros(2, c.cols());
+        for j in 0..c.cols() {
+            let (mut s1, mut s2) = (0.0, 0.0);
+            for (i, &v) in c.col(j).iter().enumerate() {
+                s1 += v;
+                s2 += (i + 1) as f64 * v;
+            }
+            chk.set(0, j, s1);
+            chk.set(1, j, s2);
+        }
+        chk
+    }
+
+    /// Documented epsilon of the fused epilogue: summation order differs
+    /// from a separate re-encoding pass, so agreement is to rounding —
+    /// relative to the column's absolute mass, not bitwise.
+    pub(crate) fn assert_chk_close(got: &Matrix, c: &Matrix, label: &str) {
+        let want = ref_checksums(c);
+        let m = c.rows() as f64;
+        for j in 0..c.cols() {
+            let scale: f64 = c.col(j).iter().map(|v| v.abs()).sum::<f64>() * m + 1.0;
+            for r in 0..2 {
+                let d = (got.get(r, j) - want.get(r, j)).abs();
+                assert!(d <= 1e-12 * scale, "{label}: chk[{r},{j}] off by {d:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_blocked_matches_plain_gemm_and_checksums() {
+        // Big enough for the blocked engine, odd enough for edge tiles in
+        // both directions, k crossing KC so the epilogue fires only on the
+        // final slab.
+        let (m, n, k) = (MC + MR + 3, NR * 12 + 5, KC + 7);
+        assert!(use_blocked(m, n, k));
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a_shape = ta.apply((m, k));
+            let b_shape = tb.apply((k, n));
+            let a = uniform(a_shape.0, a_shape.1, -1.0, 1.0, 21);
+            let b = uniform(b_shape.0, b_shape.1, -1.0, 1.0, 22);
+            let mut c = uniform(m, n, -1.0, 1.0, 23);
+            let mut c_ref = c.clone();
+            let mut chk = Matrix::zeros(2, n);
+            gemm_fused(ta, tb, -0.7, &a, &b, 0.4, &mut c, &mut chk);
+            gemm(ta, tb, -0.7, &a, &b, 0.4, &mut c_ref);
+            // The product itself is bitwise-identical to the unfused engine:
+            // the epilogue only reads.
+            assert!(approx_eq(&c, &c_ref, 0.0), "ta={ta:?} tb={tb:?}");
+            assert_chk_close(&chk, &c, "blocked");
+        }
+    }
+
+    #[test]
+    fn fused_small_path_takes_second_pass() {
+        let (m, n, k) = (13, 9, 7);
+        assert!(!use_blocked(m, n, k));
+        let a = uniform(m, k, -1.0, 1.0, 24);
+        let b = uniform(k, n, -1.0, 1.0, 25);
+        let mut c = uniform(m, n, -1.0, 1.0, 26);
+        let mut c_ref = c.clone();
+        let mut chk = Matrix::zeros(2, n);
+        gemm_fused(Trans::No, Trans::No, 1.1, &a, &b, -0.2, &mut c, &mut chk);
+        gemm(Trans::No, Trans::No, 1.1, &a, &b, -0.2, &mut c_ref);
+        assert!(approx_eq(&c, &c_ref, 0.0));
+        assert_chk_close(&chk, &c, "small");
+    }
+
+    #[test]
+    fn fused_degenerate_checksums_cover_beta_c() {
+        // alpha == 0 and k == 0 leave beta·C; the checksums must describe it.
+        let mut c = uniform(6, 4, -1.0, 1.0, 27);
+        let a = Matrix::zeros(6, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut chk = Matrix::zeros(2, 4);
+        gemm_fused(Trans::No, Trans::No, 1.0, &a, &b, 0.5, &mut c, &mut chk);
+        assert_chk_close(&chk, &c, "k=0");
+
+        let a = uniform(6, 5, -1.0, 1.0, 28);
+        let b = uniform(5, 4, -1.0, 1.0, 29);
+        let c0 = c.clone();
+        gemm_fused(Trans::No, Trans::No, 0.0, &a, &b, 1.0, &mut c, &mut chk);
+        assert!(approx_eq(&c, &c0, 0.0));
+        assert_chk_close(&chk, &c, "alpha=0");
     }
 }

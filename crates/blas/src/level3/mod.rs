@@ -21,12 +21,12 @@ mod pack;
 mod syrk;
 mod trsm;
 
-pub use gemm::{gemm, gemm_into, BLOCK_THRESHOLD, KC, MC, NC};
+pub use gemm::{gemm, gemm_fused, gemm_into, BLOCK_THRESHOLD, KC, MC, NC};
 pub use naive::{naive_gemm, naive_syrk};
-pub use syrk::syrk;
+pub use syrk::{syrk, syrk_fused};
 pub use trsm::trsm;
 
 #[cfg(feature = "parallel")]
-pub(crate) use gemm::{apply_beta, run_tiles, use_blocked};
+pub(crate) use gemm::{apply_beta, run_tiles, use_blocked, ChkAcc};
 #[cfg(feature = "parallel")]
 pub(crate) use pack::{pack_a, pack_b, MatMut, MatRef};

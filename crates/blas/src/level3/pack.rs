@@ -135,6 +135,19 @@ impl MatMut {
         unsafe { *self.ptr.add(i + j * self.ld) += v };
     }
 
+    /// Read element `(i, j)` — the fused-epilogue read-back of a value this
+    /// same call just stored.
+    ///
+    /// # Safety
+    /// `i < rows && j < cols`, and no other thread writes the element while
+    /// it is read.
+    #[inline(always)]
+    pub unsafe fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        // SAFETY: caller upholds the bounds/exclusivity contract above.
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
     /// Column `j` as a mutable slice (columns are contiguous).
     ///
     /// # Safety

@@ -40,5 +40,5 @@ pub mod potrf;
 pub mod reference;
 
 pub use level2::{gemv, ger, trsv};
-pub use level3::{gemm, naive_gemm, naive_syrk, syrk, trsm};
+pub use level3::{gemm, gemm_fused, naive_gemm, naive_syrk, syrk, syrk_fused, trsm};
 pub use potrf::{potf2, potrf_blocked, potrf_tiled};

@@ -16,7 +16,8 @@
 use crate::level2::trsv;
 use crate::level3::microkernel::{MR, NR};
 use crate::level3::{
-    apply_beta, gemm, pack_a, pack_b, run_tiles, use_blocked, MatMut, MatRef, KC, MC, NC,
+    apply_beta, gemm, gemm_fused, pack_a, pack_b, run_tiles, use_blocked, ChkAcc, MatMut, MatRef,
+    KC, MC, NC,
 };
 use hchol_matrix::{Diag, Matrix, Trans, Uplo};
 
@@ -60,6 +61,99 @@ pub fn par_gemm(
     par_gemm_blocked(alpha, &av, &bv, &cv, threads);
 }
 
+/// [`par_gemm`] with an explicit team size instead of the host's core
+/// count — the knob the kernel benchmarks sweep. `threads` is clamped to
+/// the number of `MC` row stripes; `0` or `1` runs the sequential engine.
+#[allow(clippy::too_many_arguments)]
+pub fn par_gemm_with_threads(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    threads: usize,
+) {
+    let (m, ka) = trans_a.apply(a.shape());
+    let (kb, n) = trans_b.apply(b.shape());
+    assert_eq!(ka, kb, "par_gemm inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "par_gemm output shape mismatch");
+    let k = ka;
+
+    let threads = threads.min(m.div_ceil(MC));
+    if threads <= 1 || !use_blocked(m, n, k) || alpha == 0.0 || k == 0 {
+        gemm(trans_a, trans_b, alpha, a, b, beta, c);
+        return;
+    }
+
+    apply_beta(beta, c.as_mut_slice());
+    let av = MatRef::new(a, trans_a);
+    let bv = MatRef::new(b, trans_b);
+    let cv = MatMut::new(c);
+    par_gemm_blocked(alpha, &av, &bv, &cv, threads);
+}
+
+/// Parallel [`crate::level3::gemm_fused`]: the product plus the two weighted
+/// column checksums of the finished `C`, with per-thread epilogue
+/// accumulators reduced after the macro-tile join.
+#[allow(clippy::too_many_arguments)]
+pub fn par_gemm_fused(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    chk: &mut Matrix,
+) {
+    par_gemm_fused_with_threads(trans_a, trans_b, alpha, a, b, beta, c, chk, max_threads());
+}
+
+/// [`par_gemm_fused`] with an explicit team size (see
+/// [`par_gemm_with_threads`] for the clamping rules).
+#[allow(clippy::too_many_arguments)]
+pub fn par_gemm_fused_with_threads(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    chk: &mut Matrix,
+    threads: usize,
+) {
+    let (m, ka) = trans_a.apply(a.shape());
+    let (kb, n) = trans_b.apply(b.shape());
+    assert_eq!(ka, kb, "par_gemm_fused inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "par_gemm_fused output shape mismatch");
+    assert_eq!(
+        chk.shape(),
+        (2, n),
+        "par_gemm_fused checksum shape mismatch"
+    );
+    let k = ka;
+
+    let threads = threads.min(m.div_ceil(MC));
+    if threads <= 1 || !use_blocked(m, n, k) || alpha == 0.0 || k == 0 {
+        gemm_fused(trans_a, trans_b, alpha, a, b, beta, c, chk);
+        return;
+    }
+
+    apply_beta(beta, c.as_mut_slice());
+    let av = MatRef::new(a, trans_a);
+    let bv = MatRef::new(b, trans_b);
+    let cv = MatMut::new(c);
+    let (mut v1, mut v2) = (vec![0.0; n], vec![0.0; n]);
+    par_gemm_blocked_fused(alpha, &av, &bv, &cv, threads, &mut v1, &mut v2);
+    for j in 0..n {
+        chk.set(0, j, v1[j]);
+        chk.set(1, j, v2[j]);
+    }
+}
+
 /// Threaded macro-loop: identical blocking to the sequential engine, with
 /// the `ic` stripe loop of each `(jc, pc)` block split across `threads`.
 fn par_gemm_blocked(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut, threads: usize) {
@@ -85,12 +179,88 @@ fn par_gemm_blocked(alpha: f64, a: &MatRef<'_>, b: &MatRef<'_>, c: &MatMut, thre
                             let ic = si * MC;
                             let mc = MC.min(m - ic);
                             pack_a(&a.sub(ic, pc, mc, kc), &mut packed_a);
-                            run_tiles(alpha, kc, mc, nc, &packed_a, pb, &c.sub(ic, jc, mc, nc));
+                            run_tiles(
+                                alpha,
+                                kc,
+                                mc,
+                                nc,
+                                &packed_a,
+                                pb,
+                                &c.sub(ic, jc, mc, nc),
+                                None,
+                            );
                             si += threads;
                         }
                     });
                 }
             });
+        }
+    }
+}
+
+/// [`par_gemm_blocked`] with the fused checksum epilogue: each thread owns a
+/// private `v1`/`v2` pair that its stripes' final-slab read-backs accumulate
+/// into, and the pairs are reduced (in thread order) into the caller's
+/// vectors once every macro tile has joined.
+fn par_gemm_blocked_fused(
+    alpha: f64,
+    a: &MatRef<'_>,
+    b: &MatRef<'_>,
+    c: &MatMut,
+    threads: usize,
+    v1: &mut [f64],
+    v2: &mut [f64],
+) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let stripes = m.div_ceil(MC);
+    let mut packed_b = vec![0.0; KC * NC.div_ceil(NR) * NR];
+    let mut tacc: Vec<(Vec<f64>, Vec<f64>)> =
+        (0..threads).map(|_| (vec![0.0; n], vec![0.0; n])).collect();
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let last_slab = pc + kc == k;
+            pack_b(&b.sub(pc, jc, kc, nc), &mut packed_b);
+            let pb: &[f64] = &packed_b;
+            std::thread::scope(|s| {
+                for (t, (tv1, tv2)) in tacc.iter_mut().enumerate() {
+                    let (a, c) = (*a, *c);
+                    s.spawn(move || {
+                        let mut packed_a = vec![0.0; MC.div_ceil(MR) * MR * KC];
+                        let mut si = t;
+                        while si < stripes {
+                            let ic = si * MC;
+                            let mc = MC.min(m - ic);
+                            pack_a(&a.sub(ic, pc, mc, kc), &mut packed_a);
+                            let mut acc = last_slab.then(|| ChkAcc {
+                                row0: ic,
+                                col0: jc,
+                                v1: &mut tv1[..],
+                                v2: &mut tv2[..],
+                            });
+                            run_tiles(
+                                alpha,
+                                kc,
+                                mc,
+                                nc,
+                                &packed_a,
+                                pb,
+                                &c.sub(ic, jc, mc, nc),
+                                acc.as_mut(),
+                            );
+                            si += threads;
+                        }
+                    });
+                }
+            });
+        }
+    }
+    for (tv1, tv2) in &tacc {
+        for j in 0..n {
+            v1[j] += tv1[j];
+            v2[j] += tv2[j];
         }
     }
 }
@@ -200,6 +370,80 @@ mod tests {
         );
         par_trsm_left(Uplo::Lower, Trans::No, Diag::NonUnit, 2.0, &l, &mut b2);
         assert!(approx_eq(&b1, &b2, 1e-12));
+    }
+
+    #[test]
+    fn par_gemm_fused_matches_sequential_across_thread_counts() {
+        // Checksum accumulation is per-thread and reduced at the join; every
+        // team size must agree with the sequential fused engine to rounding.
+        let (m, n, k) = (2 * MC + 9, 60, KC + 5);
+        let a = uniform(m, k, -1.0, 1.0, 31);
+        let b = uniform(k, n, -1.0, 1.0, 32);
+        let c0 = uniform(m, n, -1.0, 1.0, 33);
+        let mut c_ref = c0.clone();
+        let mut chk_ref = Matrix::zeros(2, n);
+        gemm_fused(
+            Trans::No,
+            Trans::No,
+            0.9,
+            &a,
+            &b,
+            -0.2,
+            &mut c_ref,
+            &mut chk_ref,
+        );
+        for threads in [1, 2, 3, 4] {
+            let mut c = c0.clone();
+            let mut chk = Matrix::zeros(2, n);
+            par_gemm_fused_with_threads(
+                Trans::No,
+                Trans::No,
+                0.9,
+                &a,
+                &b,
+                -0.2,
+                &mut c,
+                &mut chk,
+                threads,
+            );
+            assert!(approx_eq(&c, &c_ref, 0.0), "threads={threads}");
+            assert!(approx_eq(&chk, &chk_ref, 1e-10), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_gemm_fused_transposes_match_reference() {
+        for (ta, tb) in [
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (m, n, k) = (MC + 11, 47, KC + 3);
+            let a_shape = ta.apply((m, k));
+            let b_shape = tb.apply((k, n));
+            let a = uniform(a_shape.0, a_shape.1, -1.0, 1.0, 34);
+            let b = uniform(b_shape.0, b_shape.1, -1.0, 1.0, 35);
+            let mut c = uniform(m, n, -1.0, 1.0, 36);
+            let mut c_ref = c.clone();
+            let mut chk = Matrix::zeros(2, n);
+            let mut chk_ref = Matrix::zeros(2, n);
+            par_gemm_fused_with_threads(ta, tb, 1.2, &a, &b, 0.3, &mut c, &mut chk, 3);
+            gemm_fused(ta, tb, 1.2, &a, &b, 0.3, &mut c_ref, &mut chk_ref);
+            assert!(approx_eq(&c, &c_ref, 0.0), "ta={ta:?} tb={tb:?}");
+            assert!(approx_eq(&chk, &chk_ref, 1e-10), "ta={ta:?} tb={tb:?}");
+        }
+    }
+
+    #[test]
+    fn par_gemm_with_threads_matches_sequential() {
+        let (m, n, k) = (2 * MC + 1, 52, KC + 9);
+        let a = uniform(m, k, -1.0, 1.0, 37);
+        let b = uniform(k, n, -1.0, 1.0, 38);
+        let mut c1 = uniform(m, n, -1.0, 1.0, 39);
+        let mut c2 = c1.clone();
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c1);
+        par_gemm_with_threads(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c2, 4);
+        assert!(approx_eq(&c1, &c2, 1e-12));
     }
 
     #[test]

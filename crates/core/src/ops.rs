@@ -11,7 +11,7 @@ use crate::checksum;
 use crate::chkops;
 use crate::options::{AbftOptions, ChecksumPlacement};
 use crate::verify::{verify_and_correct, VerifyOutcome};
-use hchol_blas::{flops, gemm, potf2, trsm};
+use hchol_blas::{flops, gemm, gemm_fused, potf2, trsm};
 use hchol_faults::{Dirtiness, InjectionPoint, Injector};
 use hchol_gpusim::context::KernelDesc;
 use hchol_gpusim::counters::WorkCategory;
@@ -39,6 +39,10 @@ pub struct CholLayout {
     pub cks: Vec<BufferId>,
     /// Recalculation scratch tiles (`2 × B` each), grown on demand.
     pub scratch: Vec<BufferId>,
+    /// Per-block-row checksum *deposit* buffers (`2 × n`, tiled `2 × B`,
+    /// mirroring [`CholLayout::cks`]) written by the fused SYRK/GEMM
+    /// epilogues; allocated on first fused launch, empty otherwise.
+    pub dpt: Vec<BufferId>,
     /// Host staging block for the POTF2 round trip.
     pub host_diag: HostBufferId,
     /// Main compute stream (SYRK/GEMM/TRSM).
@@ -165,6 +169,7 @@ fn setup_impl(
         mat,
         cks,
         scratch: Vec::new(),
+        dpt: Vec::new(),
         host_diag,
         s_comp,
         s_tran,
@@ -193,6 +198,26 @@ fn ensure_scratch(ctx: &mut SimContext, lay: &mut CholLayout, count: usize) {
         };
         lay.scratch.push(id);
     }
+}
+
+/// Allocate the fused-epilogue deposit buffers (one `2 × n` row per block
+/// row, like the maintained checksums) on first use.
+fn ensure_dpt(ctx: &mut SimContext, lay: &mut CholLayout) {
+    if !lay.dpt.is_empty() {
+        return;
+    }
+    let execute = ctx.mode.executes();
+    lay.dpt = (0..lay.nt)
+        .map(|_| {
+            if execute {
+                ctx.dev_mem
+                    .alloc_zeros(checksum::CHECKSUM_COUNT, lay.n, lay.b)
+            } else {
+                ctx.dev_mem.alloc_zeros(0, 0, lay.b)
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .expect("nonzero block size");
 }
 
 // ---------------------------------------------------------------------------
@@ -269,6 +294,60 @@ pub fn syrk_diag(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
     );
 }
 
+/// [`syrk_diag`] with the fused checksum epilogue: the same kernel also
+/// deposits fresh column checksums of the updated diagonal tile into
+/// `lay.dpt[j]`, charged as extra epilogue flops on the *same* launch (no
+/// second kernel startup). A fused `VerifyBatch` then compares the deposit
+/// against the maintained checksums without any recalculation kernel.
+pub fn syrk_diag_fused(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
+    if j == 0 {
+        return;
+    }
+    ensure_dpt(ctx, lay);
+    let f = lay.charge(flops::gemm(lay.b, lay.b, j * lay.b));
+    let epi = lay.charge(flops::fused_epilogue(lay.b, lay.b));
+    let (mat, dpt_j) = (lay.mat, lay.dpt[j]);
+    let access = AccessSet::new(
+        (0..j)
+            .map(|k| TileRef::new(mat, j, k))
+            .chain([TileRef::new(mat, j, j)])
+            .collect(),
+        vec![TileRef::new(mat, j, j), TileRef::new(dpt_j, 0, j)],
+    );
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("SYRK+CHK j={j}"),
+            KernelClass::Syrk,
+            f,
+            WorkCategory::Factorization,
+        )
+        .with_access(access)
+        .with_epilogue(epi),
+        move |mem| {
+            let (dpt, m) = mem.buf_pair_mut(dpt_j, mat);
+            for k in 0..j {
+                let (diag, src) = m.tile_pair((j, j), (j, k));
+                if k + 1 == j {
+                    // Final slab: the epilogue checksums the finished tile.
+                    gemm_fused(
+                        Trans::No,
+                        Trans::Yes,
+                        -1.0,
+                        src,
+                        src,
+                        1.0,
+                        diag,
+                        dpt.tile_mut(0, j),
+                    );
+                } else {
+                    gemm(Trans::No, Trans::Yes, -1.0, src, src, 1.0, diag);
+                }
+            }
+        },
+    );
+}
+
 /// GEMM: `A[j+1:N, j] -= A[j+1:N, 0:j-1] · A[j, 0:j-1]ᵀ` on the compute
 /// stream (one big kernel, as MAGMA issues it).
 pub fn gemm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
@@ -306,6 +385,68 @@ pub fn gemm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
                     let ljk = m.tile(j, k).clone();
                     let (tij, lik) = m.tile_pair((i, j), (i, k));
                     gemm(Trans::No, Trans::Yes, -1.0, lik, &ljk, 1.0, tij);
+                }
+            }
+        },
+    );
+}
+
+/// [`gemm_panel`] with the fused checksum epilogue: deposits fresh column
+/// checksums of every updated panel tile `(i, j)` into `lay.dpt[i]` from
+/// the same launch, charged as epilogue flops with no extra kernel startup.
+pub fn gemm_panel_fused(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
+    let rows_below = lay.nt.saturating_sub(j + 1);
+    if j == 0 || rows_below == 0 {
+        return;
+    }
+    ensure_dpt(ctx, lay);
+    let f = lay.charge(flops::gemm(rows_below * lay.b, lay.b, j * lay.b));
+    let epi = lay.charge(rows_below as u64 * flops::fused_epilogue(lay.b, lay.b));
+    let mat = lay.mat;
+    let dpt: Vec<BufferId> = lay.dpt.clone();
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for (i, &di) in dpt.iter().enumerate().skip(j + 1) {
+        writes.push(TileRef::new(mat, i, j));
+        writes.push(TileRef::new(di, 0, j));
+        reads.push(TileRef::new(mat, i, j));
+        for k in 0..j {
+            reads.push(TileRef::new(mat, i, k));
+        }
+    }
+    for k in 0..j {
+        reads.push(TileRef::new(mat, j, k));
+    }
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("GEMM+CHK j={j}"),
+            KernelClass::Blas3,
+            f,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(reads, writes))
+        .with_epilogue(epi),
+        move |mem| {
+            for (i, &di) in dpt.iter().enumerate().skip(j + 1) {
+                let (d, m) = mem.buf_pair_mut(di, mat);
+                for k in 0..j {
+                    let ljk = m.tile(j, k).clone();
+                    let (tij, lik) = m.tile_pair((i, j), (i, k));
+                    if k + 1 == j {
+                        gemm_fused(
+                            Trans::No,
+                            Trans::Yes,
+                            -1.0,
+                            lik,
+                            &ljk,
+                            1.0,
+                            tij,
+                            d.tile_mut(0, j),
+                        );
+                    } else {
+                        gemm(Trans::No, Trans::Yes, -1.0, lik, &ljk, 1.0, tij);
+                    }
                 }
             }
         },
@@ -684,8 +825,11 @@ pub fn verify_recalc(
     let data_ready_comp = ctx.record_event(lay.s_comp);
     let data_ready_tran = ctx.record_event(lay.s_tran);
     if opts.concurrent_recalc {
-        for idx in 0..tiles.len().min(lay.recalc_streams.len()) {
-            let st = lay.recalc_streams[idx];
+        // The launch loop below round-robins kernels as `idx % streams`, so
+        // exactly the first `min(tiles, streams)` streams are used; iterate
+        // that used prefix explicitly so the wait set can never diverge
+        // from the launch set.
+        for &st in lay.recalc_streams.iter().take(tiles.len()) {
             ctx.stream_wait_event(st, data_ready_comp);
             ctx.stream_wait_event(st, data_ready_tran);
         }
@@ -714,8 +858,8 @@ pub fn verify_recalc(
         );
     }
     if opts.concurrent_recalc {
-        for idx in 0..tiles.len().min(lay.recalc_streams.len()) {
-            let s = lay.recalc_streams[idx];
+        // Same used-streams prefix as the wait loop above.
+        for &s in lay.recalc_streams.iter().take(tiles.len()) {
             ctx.sync_stream(s);
         }
     } else {
@@ -777,6 +921,61 @@ pub fn verify_compare(
     ctx.sync_stream(lay.s_comp);
 }
 
+/// Compare-only verification for tiles whose producing SYRK/GEMM kernel
+/// deposited fresh checksums in its fused epilogue ([`syrk_diag_fused`] /
+/// [`gemm_panel_fused`]): no recalculation kernels, no scratch — the CMP
+/// reads the maintained checksums and the deposits directly. Replaces
+/// [`verify_recalc`] + [`verify_compare`] for a fused `VerifyBatch`.
+///
+/// The compare deliberately declares **no matrix-tile reads**: for the
+/// conformance analysis it is the producer's `fused_verify` write that
+/// marks the tile verified, and the compare must not re-mark it.
+pub fn verify_compare_fused(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    tiles: &[(usize, usize)],
+    opts: &AbftOptions,
+) {
+    let _ = opts;
+    if tiles.is_empty() {
+        return;
+    }
+    ensure_dpt(ctx, lay);
+    // Updates to the maintained checksums must have landed before we
+    // compare against them (same rule as the recalc path).
+    if lay.placement == ChecksumPlacement::Cpu {
+        ctx.sync_cpu_workers();
+        // CPU-resident stored checksums ride host→device for the compare.
+        let bytes = 8 * 2 * (lay.b as u64) * tiles.len() as u64;
+        ctx.bulk_transfer(bytes, lay.s_verif, true, |_, _| {});
+        ctx.sync_stream(lay.s_verif);
+    } else {
+        ctx.sync_stream(lay.s_chk);
+    }
+    let f = lay.charge(flops::verify_compare(lay.b) * tiles.len() as u64);
+    let cmp_reads = tiles
+        .iter()
+        .flat_map(|&(bi, bj)| {
+            [
+                TileRef::new(lay.cks[bi], 0, bj),
+                TileRef::new(lay.dpt[bi], 0, bj),
+            ]
+        })
+        .collect();
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("CMP-F x{}", tiles.len()),
+            KernelClass::Light,
+            f,
+            WorkCategory::Verify,
+        )
+        .with_access(AccessSet::new(cmp_reads, vec![])),
+        |_| {},
+    );
+    ctx.sync_stream(lay.s_comp);
+}
+
 /// Stages 3–4 of verification: locate and correct, per tile, from the
 /// comparison results. Maps onto a `Correct` plan node.
 ///
@@ -793,19 +992,48 @@ pub fn verify_correct(
     tiles: &[(usize, usize)],
     opts: &AbftOptions,
 ) -> VerifyOutcome {
+    verify_correct_impl(ctx, lay, inj, tiles, opts, false)
+}
+
+/// [`verify_correct`] for a fused batch: the freshly recalculated checksums
+/// live in the epilogue deposit tile `dpt[bi](0, bj)` rather than in the
+/// per-batch scratch tiles.
+pub fn verify_correct_fused(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    inj: &mut Injector,
+    tiles: &[(usize, usize)],
+    opts: &AbftOptions,
+) -> VerifyOutcome {
+    verify_correct_impl(ctx, lay, inj, tiles, opts, true)
+}
+
+fn verify_correct_impl(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    inj: &mut Injector,
+    tiles: &[(usize, usize)],
+    opts: &AbftOptions,
+    fused: bool,
+) -> VerifyOutcome {
     let mut out = VerifyOutcome::default();
     if tiles.is_empty() {
         return out;
     }
     for (idx, &(bi, bj)) in tiles.iter().enumerate() {
         if ctx.mode.executes() {
-            let (m, cks, scr) = ctx
-                .dev_mem
-                .buf_trio_mut(lay.mat, lay.cks[bi], lay.scratch[idx]);
+            // Fresh checksums: epilogue deposit for a fused batch, the
+            // recalculation scratch tile otherwise.
+            let (src_buf, src_tile) = if fused {
+                (lay.dpt[bi], (0, bj))
+            } else {
+                (lay.scratch[idx], (0, 0))
+            };
+            let (m, cks, src) = ctx.dev_mem.buf_trio_mut(lay.mat, lay.cks[bi], src_buf);
             let o = verify_and_correct(
                 m.tile_mut(bi, bj),
                 cks.tile_mut(0, bj),
-                scr.tile(0, 0),
+                src.tile(src_tile.0, src_tile.1),
                 &opts.policy,
             );
             if std::env::var_os("HCHOL_VERIFY_TRACE").is_some() && !o.is_clean() {
@@ -837,6 +1065,10 @@ pub fn verify_correct(
     let m = &mut ctx.obs.metrics;
     m.inc("verify.batches");
     m.add_count("verify.tiles", tiles.len() as u64);
+    if fused {
+        m.inc("verify.fused.batches");
+        m.add_count("verify.fused.tiles", tiles.len() as u64);
+    }
     if !out.is_clean() {
         m.add_count("verify.detections", out.tiles_flagged as u64);
         m.add_count("verify.corrected_data", out.corrected_data as u64);

@@ -185,8 +185,16 @@ fn step(
     match &plan.node(id).kind {
         TaskKind::Encode => ops::encode_all(ctx, lay, opts),
         TaskKind::FaultPoint(p) => ops::poll_faults(ctx, lay, inj, *p),
-        TaskKind::Syrk { j, propagate } => {
-            ops::syrk_diag(ctx, lay, *j);
+        TaskKind::Syrk {
+            j,
+            propagate,
+            fused,
+        } => {
+            if *fused {
+                ops::syrk_diag_fused(ctx, lay, *j);
+            } else {
+                ops::syrk_diag(ctx, lay, *j);
+            }
             if sync_style {
                 ctx.sync_device();
             }
@@ -204,8 +212,16 @@ fn step(
                 ops::diag_to_host(ctx, lay, *j);
             }
         }
-        TaskKind::GemmPanel { j, propagate } => {
-            ops::gemm_panel(ctx, lay, *j);
+        TaskKind::GemmPanel {
+            j,
+            propagate,
+            fused,
+        } => {
+            if *fused {
+                ops::gemm_panel_fused(ctx, lay, *j);
+            } else {
+                ops::gemm_panel(ctx, lay, *j);
+            }
             if sync_style {
                 ctx.sync_device();
             }
@@ -252,12 +268,26 @@ fn step(
             UpdateOp::Potf2 => ops::update_chk_potf2(ctx, lay, *j),
             UpdateOp::Trsm => ops::update_chk_trsm(ctx, lay, *j, *i),
         },
-        TaskKind::VerifyBatch { tiles, .. } => {
-            ops::verify_recalc(ctx, lay, tiles, opts);
-            ops::verify_compare(ctx, lay, tiles, opts);
+        TaskKind::VerifyBatch { tiles, fused, .. } => {
+            if *fused {
+                // Compare-only: the producing kernel already deposited
+                // fresh checksums in its epilogue.
+                ops::verify_compare_fused(ctx, lay, tiles, opts);
+            } else {
+                ops::verify_recalc(ctx, lay, tiles, opts);
+                ops::verify_compare(ctx, lay, tiles, opts);
+            }
         }
-        TaskKind::Correct { tiles, sweep } => {
-            let o = ops::verify_correct(ctx, lay, inj, tiles, opts);
+        TaskKind::Correct {
+            tiles,
+            sweep,
+            fused,
+        } => {
+            let o = if *fused {
+                ops::verify_correct_fused(ctx, lay, inj, tiles, opts)
+            } else {
+                ops::verify_correct(ctx, lay, inj, tiles, opts)
+            };
             match sweep {
                 SweepKind::Inline => {
                     let ok = o.fully_recovered();

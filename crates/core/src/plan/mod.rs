@@ -82,6 +82,9 @@ pub enum TaskKind {
         j: usize,
         /// Mirror the operation in the injector's propagation ledger.
         propagate: bool,
+        /// Fused checksum epilogue: deposit fresh checksums of the written
+        /// diagonal tile ([`dpt_tile`]) in the same kernel launch.
+        fused: bool,
     },
     /// Panel GEMM of iteration `j`.
     GemmPanel {
@@ -89,6 +92,9 @@ pub enum TaskKind {
         j: usize,
         /// Mirror the operation in the injector's propagation ledger.
         propagate: bool,
+        /// Fused checksum epilogue: deposit fresh checksums of every
+        /// written panel tile ([`dpt_tile`]) in the same kernel launch.
+        fused: bool,
     },
     /// Diagonal block device→host transfer.
     DiagToHost {
@@ -130,6 +136,10 @@ pub enum TaskKind {
         tiles: Vec<(usize, usize)>,
         /// Inline check or final sweep.
         sweep: SweepKind,
+        /// Compare-only batch: fresh checksums were already deposited by
+        /// the fused producer kernels ([`ops::verify_compare_fused`]), so
+        /// no recalculation kernels are issued.
+        fused: bool,
     },
     /// Locate + correct from the comparison results
     /// ([`ops::verify_correct`]).
@@ -139,6 +149,9 @@ pub enum TaskKind {
         tiles: Vec<(usize, usize)>,
         /// Inline check or final sweep.
         sweep: SweepKind,
+        /// Correct against the fused deposit tiles instead of the
+        /// recalculation scratch pool.
+        fused: bool,
     },
     /// Record the panel-complete event checksum updates order behind.
     MarkPanelReady,
@@ -223,6 +236,13 @@ pub fn mat_tile(bi: usize, bj: usize) -> TileRef {
 /// `BufferId(1 + bi)`.
 pub fn chk_tile(bi: usize, bj: usize) -> TileRef {
     TileRef::new(BufferId(1 + bi), 0, bj)
+}
+
+/// Canonical tile of block row `bi`'s fused checksum deposit (written by
+/// fused SYRK/GEMM epilogues, read by fused verify/correct nodes):
+/// `dpt[bi]` is `BufferId(1 + nt + bi)`, after the `nt` checksum buffers.
+pub fn dpt_tile(nt: usize, bi: usize, bj: usize) -> TileRef {
+    TileRef::new(BufferId(1 + nt + bi), 0, bj)
 }
 
 /// A complete factorization attempt as a task graph.
@@ -416,24 +436,39 @@ impl FactorPlan {
                 a.tiles = AccessSet::new(reads, writes);
             }
             TaskKind::FaultPoint(_) => ledger_if(true, &mut a),
-            TaskKind::Syrk { j, propagate } => {
+            TaskKind::Syrk {
+                j,
+                propagate,
+                fused,
+            } => {
                 let j = *j;
                 if j > 0 {
                     let reads = (0..j)
                         .map(|k| mat_tile(j, k))
                         .chain([mat_tile(j, j)])
                         .collect();
-                    a.tiles = AccessSet::new(reads, vec![mat_tile(j, j)]);
+                    let mut writes = vec![mat_tile(j, j)];
+                    if *fused {
+                        writes.push(dpt_tile(nt, j, j));
+                    }
+                    a.tiles = AccessSet::new(reads, writes);
                 }
                 ledger_if(*propagate, &mut a);
             }
-            TaskKind::GemmPanel { j, propagate } => {
+            TaskKind::GemmPanel {
+                j,
+                propagate,
+                fused,
+            } => {
                 let j = *j;
                 if j > 0 && j + 1 < nt {
                     let mut reads = Vec::new();
                     let mut writes = Vec::new();
                     for i in (j + 1)..nt {
                         writes.push(mat_tile(i, j));
+                        if *fused {
+                            writes.push(dpt_tile(nt, i, j));
+                        }
                         reads.push(mat_tile(i, j));
                         for k in 0..j {
                             reads.push(mat_tile(i, k));
@@ -504,21 +539,37 @@ impl FactorPlan {
                 a.tiles = AccessSet::new(reads, writes);
                 a.virt_reads.push(VirtRes::PanelReady);
             }
-            TaskKind::VerifyBatch { tiles, .. } => {
-                let reads = tiles
-                    .iter()
-                    .flat_map(|&(bi, bj)| [mat_tile(bi, bj), chk_tile(bi, bj)])
-                    .collect();
-                a.tiles = AccessSet::new(reads, vec![]);
-                a.virt_writes.push(VirtRes::Scratch);
+            TaskKind::VerifyBatch { tiles, fused, .. } => {
+                if *fused {
+                    // Compare-only: the fresh sums already sit in the
+                    // deposit tiles; the batch reads no matrix data and
+                    // does not touch the recalculation scratch pool.
+                    let reads = tiles
+                        .iter()
+                        .flat_map(|&(bi, bj)| [chk_tile(bi, bj), dpt_tile(nt, bi, bj)])
+                        .collect();
+                    a.tiles = AccessSet::new(reads, vec![]);
+                } else {
+                    let reads = tiles
+                        .iter()
+                        .flat_map(|&(bi, bj)| [mat_tile(bi, bj), chk_tile(bi, bj)])
+                        .collect();
+                    a.tiles = AccessSet::new(reads, vec![]);
+                    a.virt_writes.push(VirtRes::Scratch);
+                }
             }
-            TaskKind::Correct { tiles, .. } => {
+            TaskKind::Correct { tiles, fused, .. } => {
                 let both: Vec<TileRef> = tiles
                     .iter()
                     .flat_map(|&(bi, bj)| [mat_tile(bi, bj), chk_tile(bi, bj)])
                     .collect();
-                a.tiles = AccessSet::new(both.clone(), both);
-                a.virt_reads.push(VirtRes::Scratch);
+                let mut reads = both.clone();
+                if *fused {
+                    reads.extend(tiles.iter().map(|&(bi, bj)| dpt_tile(nt, bi, bj)));
+                } else {
+                    a.virt_reads.push(VirtRes::Scratch);
+                }
+                a.tiles = AccessSet::new(reads, both);
                 ledger_if(true, &mut a);
             }
             TaskKind::MarkPanelReady => a.virt_writes.push(VirtRes::PanelReady),
@@ -659,6 +710,9 @@ pub fn for_scheme(
         crate::schemes::SchemeKind::Enhanced => policy::EnhancedPolicy.apply(&mut plan, opts),
         crate::schemes::SchemeKind::Online => policy::OnlinePolicy.apply(&mut plan, opts),
         crate::schemes::SchemeKind::Offline => policy::OfflinePolicy.apply(&mut plan, opts),
+    }
+    if opts.chk_fused && kind == crate::schemes::SchemeKind::Enhanced {
+        policy::apply_chk_fused(&mut plan);
     }
     policy::apply_placement(&mut plan, opts.placement);
     plan.derive_deps();

@@ -166,6 +166,7 @@ fn insert_check_before(
         TaskKind::VerifyBatch {
             tiles: tiles.clone(),
             sweep: SweepKind::Inline,
+            fused: false,
         },
         Some(sc),
         Some(iter),
@@ -175,6 +176,7 @@ fn insert_check_before(
         TaskKind::Correct {
             tiles,
             sweep: SweepKind::Inline,
+            fused: false,
         },
         Some(sc),
         Some(iter),
@@ -194,6 +196,7 @@ fn insert_check_after(
         TaskKind::VerifyBatch {
             tiles: tiles.clone(),
             sweep: SweepKind::Inline,
+            fused: false,
         },
         Some(sc),
         Some(iter),
@@ -203,6 +206,7 @@ fn insert_check_after(
         TaskKind::Correct {
             tiles,
             sweep: SweepKind::Inline,
+            fused: false,
         },
         Some(sc),
         Some(iter),
@@ -224,6 +228,7 @@ fn insert_final_sweep(plan: &mut FactorPlan) {
             TaskKind::VerifyBatch {
                 tiles: chunk.to_vec(),
                 sweep: SweepKind::Final,
+                fused: false,
             },
             Some(sc),
             None,
@@ -233,6 +238,7 @@ fn insert_final_sweep(plan: &mut FactorPlan) {
             TaskKind::Correct {
                 tiles: chunk.to_vec(),
                 sweep: SweepKind::Final,
+                fused: false,
             },
             Some(sc),
             None,
@@ -408,5 +414,133 @@ pub fn apply_placement(plan: &mut FactorPlan, placement: ChecksumPlacement) {
             .rfind(|n| n.iter == Some(j))
             .expect("iteration has nodes");
         plan.insert_after(last, TaskKind::MirrorPanel { j }, None, Some(j));
+    }
+}
+
+/// The fused-epilogue rewrite (Enhanced scheme only, gated by
+/// `AbftOptions::chk_fused`): mark each SYRK/GEMM kernel fused — it
+/// deposits fresh checksums of the tiles it writes in its own epilogue —
+/// and turn every inline verify batch whose tiles were *last written by a
+/// fused kernel* into a compare-only batch reading those deposits. Tiles
+/// whose last writer is not fused (TRSM outputs, the returned POTF2 block,
+/// pristine input) keep their plain recalculate-then-compare batches; a
+/// mixed batch is split into a plain part and a fused part.
+///
+/// Coverage is decided by walking the authored order with a per-tile
+/// "last writer was fused" map — the same last-writer notion the static
+/// checker uses, so a rewritten plan keeps every verify-before-read
+/// obligation intact (the fused deposit edge replaces the recalculation
+/// read edge).
+pub fn apply_chk_fused(plan: &mut FactorPlan) {
+    let nt = plan.nt;
+    // Pass 1: mark the producers. SYRK/GEMM at j = 0 are no-ops (no
+    // trailing update) and never run a fused epilogue.
+    for id in plan.order().to_vec() {
+        match &mut plan.node_mut(id).kind {
+            TaskKind::Syrk { j, fused, .. } if *j > 0 => *fused = true,
+            TaskKind::GemmPanel { j, fused, .. } if *j > 0 => *fused = true,
+            _ => {}
+        }
+    }
+    // Pass 2: walk the order tracking which tiles' last writer deposited
+    // fused checksums, and rewrite the verify pairs accordingly.
+    let mut covered: std::collections::HashMap<(usize, usize), bool> =
+        std::collections::HashMap::new();
+    for id in plan.order().to_vec() {
+        let node = plan.node(id);
+        let (iter, scope_phase) = (node.iter, Phase::Verify);
+        match node.kind.clone() {
+            TaskKind::Syrk { j, fused, .. } if j > 0 => {
+                covered.insert((j, j), fused);
+            }
+            TaskKind::GemmPanel { j, fused, .. } if j > 0 && j + 1 < nt => {
+                for i in (j + 1)..nt {
+                    covered.insert((i, j), fused);
+                }
+            }
+            TaskKind::TrsmPanel { j, .. } => {
+                for i in (j + 1)..nt {
+                    covered.insert((i, j), false);
+                }
+            }
+            TaskKind::DiagToDevice { j } => {
+                covered.insert((j, j), false);
+            }
+            TaskKind::Correct { tiles, .. } => {
+                // A correction may rewrite the tile; deposits are stale
+                // afterwards.
+                for t in tiles {
+                    covered.insert(t, false);
+                }
+            }
+            TaskKind::VerifyBatch {
+                tiles,
+                sweep: SweepKind::Inline,
+                fused: false,
+            } => {
+                let (fused_part, plain_part): (Vec<_>, Vec<_>) = tiles
+                    .iter()
+                    .copied()
+                    .partition(|t| covered.get(t).copied().unwrap_or(false));
+                if fused_part.is_empty() {
+                    continue;
+                }
+                let pos = plan
+                    .order()
+                    .iter()
+                    .position(|&x| x == id)
+                    .expect("batch is in the order");
+                let correct = plan.order()[pos + 1];
+                debug_assert!(
+                    matches!(&plan.node(correct).kind,
+                        TaskKind::Correct { tiles: ct, .. } if *ct == tiles),
+                    "verify/correct pairs are adjacent"
+                );
+                if plain_part.is_empty() {
+                    // Whole batch covered: flip the pair in place.
+                    for nid in [id, correct] {
+                        match &mut plan.node_mut(nid).kind {
+                            TaskKind::VerifyBatch { fused, .. }
+                            | TaskKind::Correct { fused, .. } => *fused = true,
+                            _ => unreachable!("pair nodes are verify/correct"),
+                        }
+                    }
+                } else {
+                    // Mixed batch: shrink the plain pair to the uncovered
+                    // tiles and append a fused pair for the rest.
+                    for nid in [id, correct] {
+                        match &mut plan.node_mut(nid).kind {
+                            TaskKind::VerifyBatch { tiles, .. }
+                            | TaskKind::Correct { tiles, .. } => {
+                                *tiles = plain_part.clone();
+                            }
+                            _ => unreachable!("pair nodes are verify/correct"),
+                        }
+                    }
+                    let sc = plan.scope("verify", scope_phase);
+                    let vb = plan.insert_after(
+                        correct,
+                        TaskKind::VerifyBatch {
+                            tiles: fused_part.clone(),
+                            sweep: SweepKind::Inline,
+                            fused: true,
+                        },
+                        Some(sc),
+                        iter,
+                    );
+                    plan.insert_after(
+                        vb,
+                        TaskKind::Correct {
+                            tiles: fused_part,
+                            sweep: SweepKind::Inline,
+                            fused: true,
+                        },
+                        Some(sc),
+                        iter,
+                    );
+                }
+            }
+            _ => {}
+        }
     }
 }

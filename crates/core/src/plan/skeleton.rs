@@ -39,6 +39,7 @@ pub fn algorithm1(
             TaskKind::Syrk {
                 j,
                 propagate: false,
+                fused: false,
             },
             Some(syrk),
             Some(j),
@@ -58,6 +59,7 @@ pub fn algorithm1(
                 TaskKind::GemmPanel {
                     j,
                     propagate: false,
+                    fused: false,
                 },
                 Some(gemm),
                 Some(j),

@@ -122,6 +122,11 @@ impl FactorOutcome {
         r.config_kv("placement", format!("{:?}", self.opts.placement));
         r.config_kv("verify_interval", self.opts.verify_interval);
         r.config_kv("concurrent_recalc", self.opts.concurrent_recalc);
+        // Recorded only when on: default-path reports stay byte-identical
+        // to the golden fixtures.
+        if self.opts.chk_fused {
+            r.config_kv("chk_fused", true);
+        }
         r.config_kv("max_restarts", self.opts.max_restarts);
         r.config_kv("attempts", self.attempts);
         r.config_kv("failed", self.failed);
@@ -154,6 +159,9 @@ pub fn run_scheme(
     }
     if !opts.trace_schedule {
         ctx.disable_trace();
+    }
+    if opts.chk_fused || opts.report_recalc_secs {
+        ctx.enable_recalc_metric();
     }
     let run_span = ctx
         .obs

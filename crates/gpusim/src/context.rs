@@ -38,14 +38,16 @@ fn op_phase(class: KernelClass, category: WorkCategory) -> Phase {
     match category {
         WorkCategory::ChecksumEncode => Phase::Encode,
         WorkCategory::ChecksumUpdate => Phase::ChecksumUpdate,
-        WorkCategory::ChecksumRecalc | WorkCategory::Verify => Phase::Verify,
         WorkCategory::Transfer => Phase::Transfer,
+        WorkCategory::ChecksumRecalc | WorkCategory::FusedRecalc | WorkCategory::Verify => {
+            Phase::Verify
+        }
         WorkCategory::Factorization => match class {
             KernelClass::Syrk => Phase::Syrk,
             KernelClass::Trsm => Phase::Trsm,
             KernelClass::Potf2 => Phase::Potf2,
             KernelClass::Blas3 => Phase::Gemm,
-            KernelClass::Blas2 | KernelClass::Light => Phase::Other,
+            KernelClass::Blas2 | KernelClass::Light | KernelClass::FusedEpilogue => Phase::Other,
         },
     }
 }
@@ -72,6 +74,11 @@ pub struct KernelDesc {
     /// Declared tile accesses, carried into the recorded program for the
     /// happens-before analysis in `hchol-analyze`.
     pub access: AccessSet,
+    /// FLOPs of a checksum epilogue fused into this kernel (0 = none).
+    /// Charged at the [`KernelClass::FusedEpilogue`] rate with **no** second
+    /// kernel startup, booked under [`WorkCategory::FusedRecalc`], and marks
+    /// the recorded op as fused-verify for the protocol analyzers.
+    pub epilogue_flops: u64,
 }
 
 impl KernelDesc {
@@ -88,6 +95,7 @@ impl KernelDesc {
             flops,
             category,
             access: AccessSet::none(),
+            epilogue_flops: 0,
         }
     }
 
@@ -95,6 +103,13 @@ impl KernelDesc {
     /// kernel visible to the schedule analysis).
     pub fn with_access(mut self, access: AccessSet) -> Self {
         self.access = access;
+        self
+    }
+
+    /// Builder: fuse a checksum-recalculation epilogue of `flops` into this
+    /// kernel (see [`KernelDesc::epilogue_flops`]).
+    pub fn with_epilogue(mut self, flops: u64) -> Self {
+        self.epilogue_flops = flops;
         self
     }
 }
@@ -150,6 +165,10 @@ pub struct SimContext {
     /// Drivers open/close scope spans here; the context itself records op
     /// spans and per-kernel metrics on every launch/task/transfer.
     pub obs: Obs,
+    /// Emit `verify.recalc_secs` for ChecksumRecalc kernels. Opt-in
+    /// (fused-vs-separate comparisons) so default-path run reports stay
+    /// byte-identical to the golden fixtures.
+    recalc_metric: bool,
 }
 
 impl SimContext {
@@ -176,7 +195,15 @@ impl SimContext {
             timeline: Timeline::recording(),
             counters: WorkCounters::default(),
             obs: Obs::new(),
+            recalc_metric: false,
         }
+    }
+
+    /// Start accumulating `verify.recalc_secs` (time on separate
+    /// checksum-recalculation kernels), for reports that put the recalc
+    /// pipeline side by side with `verify.fused.epilogue_secs`.
+    pub fn enable_recalc_metric(&mut self) {
+        self.recalc_metric = true;
     }
 
     /// Stop recording the timeline (keeps memory flat on big sweeps). Also
@@ -233,18 +260,29 @@ impl SimContext {
         // between syncs): anything finished before the host clock can no
         // longer influence placement.
         self.sched.prune(self.host_clock);
-        let duration = self.profile.gpu.kernel_time(desc.class, desc.flops);
+        let mut duration = self.profile.gpu.kernel_time(desc.class, desc.flops);
+        if desc.epilogue_flops > 0 {
+            // The fused epilogue extends the same launch: extra flops at the
+            // fused-epilogue rate, but no second launch or startup cost —
+            // that saving (plus the skipped memory pass, reflected in the
+            // class's throughput) is the whole fusion dividend.
+            duration += SimTime::secs(
+                desc.epilogue_flops as f64
+                    / (self.profile.gpu.gflops(KernelClass::FusedEpilogue) * 1e9),
+            );
+        }
         let resource = self.profile.gpu.resource_fraction(desc.class);
         let earliest = self.host_clock.max(self.streams[stream.0]);
         let (start, end) = self.sched.place(earliest, duration, resource);
         self.streams[stream.0] = end;
         self.record_work(&desc, "gpu", start, end, (start - earliest).as_secs());
-        self.trace.push_op(
+        self.trace.push_op_fused(
             &desc.label,
             ExecSite::Stream(stream.0),
             None,
             desc.category,
             desc.access,
+            desc.epilogue_flops > 0,
         );
         self.timeline.push(TraceEntry {
             lane: Lane::GpuStream(stream.0),
@@ -252,10 +290,14 @@ impl SimContext {
             class: Some(desc.class),
             start,
             end,
-            flops: desc.flops,
+            flops: desc.flops + desc.epilogue_flops,
             bytes: 0,
         });
         self.counters.add_flops(desc.category, desc.flops);
+        if desc.epilogue_flops > 0 {
+            self.counters
+                .add_flops(WorkCategory::FusedRecalc, desc.epilogue_flops);
+        }
         if self.mode.executes() {
             body(&mut self.dev_mem);
         }
@@ -271,12 +313,31 @@ impl SimContext {
         queue_delay: f64,
     ) {
         let dur = (end - start).as_secs();
+        let epi_secs = if desc.epilogue_flops > 0 {
+            desc.epilogue_flops as f64 / (self.profile.gpu.gflops(KernelClass::FusedEpilogue) * 1e9)
+        } else {
+            0.0
+        };
         let m = &mut self.obs.metrics;
         m.inc(&format!("kernels.class.{:?}", desc.class));
         m.add_f64(&format!("busy_secs.class.{:?}", desc.class), dur);
         m.add_f64(&format!("busy_secs.engine.{engine}"), dur);
         m.add_count(&format!("flops.cat.{:?}", desc.category), desc.flops);
         m.observe(&format!("kernel_secs.class.{:?}", desc.class), dur);
+        // Time spent on the *separate* recalculation path, so reports can
+        // put it side by side with `verify.fused.epilogue_secs`.
+        if self.recalc_metric && desc.category == WorkCategory::ChecksumRecalc {
+            m.add_f64("verify.recalc_secs", dur);
+        }
+        if desc.epilogue_flops > 0 {
+            m.inc("verify.fused.kernels");
+            m.add_count("verify.fused.flops", desc.epilogue_flops);
+            m.add_count(
+                &format!("flops.cat.{:?}", WorkCategory::FusedRecalc),
+                desc.epilogue_flops,
+            );
+            m.add_f64("verify.fused.epilogue_secs", epi_secs);
+        }
         if queue_delay > 0.0 {
             m.add_f64("sched.queue_delay_secs", queue_delay);
         }
@@ -455,6 +516,7 @@ impl SimContext {
     where
         F: FnOnce(&mut HostMemory),
     {
+        debug_assert_eq!(desc.epilogue_flops, 0, "fused epilogues are GPU-only");
         let duration = self.profile.cpu.task_time(desc.class, desc.flops);
         let start = self.host_clock;
         let end = start + duration;
@@ -490,6 +552,7 @@ impl SimContext {
     where
         F: FnOnce(&mut DeviceMemory, &mut HostMemory),
     {
+        debug_assert_eq!(desc.epilogue_flops, 0, "fused epilogues are GPU-only");
         // Pick the lane that frees up first.
         let (w, _) = self
             .cpu_workers
@@ -805,6 +868,49 @@ mod tests {
         assert_eq!(c.obs.metrics.count("pcie.bytes.d2h"), 256);
         assert_eq!(c.obs.metrics.count("transfers.h2d"), 1);
         assert!(c.obs.metrics.sum("busy_secs.engine.dma_h2d") > 0.0);
+    }
+
+    #[test]
+    fn fused_epilogue_extends_kernel_without_second_startup() {
+        use crate::access::{AccessSet, TileRef};
+        use crate::memory::BufferId;
+        let mut c = ctx(ExecMode::TimingOnly);
+        let s = c.default_stream();
+        let access = AccessSet::new(vec![], vec![TileRef::new(BufferId(0), 0, 0)]);
+        c.launch(
+            s,
+            KernelDesc::new(
+                "SYRK+chk",
+                KernelClass::Syrk,
+                2_000_000_000,
+                WorkCategory::Factorization,
+            )
+            .with_access(access)
+            .with_epilogue(1_000_000_000),
+            |_| {},
+        );
+        c.sync_device();
+        // 1 GF/s test profile: 2 s kernel + 1 s epilogue, one kernel startup.
+        let plain = c
+            .profile()
+            .gpu
+            .kernel_time(KernelClass::Syrk, 2_000_000_000)
+            .as_secs();
+        assert!((c.now().as_secs() - (plain + 1.0)).abs() < 1e-6);
+        // Flops split across categories; epilogue booked as fused recalc.
+        assert_eq!(c.counters.flops(WorkCategory::Factorization), 2_000_000_000);
+        assert_eq!(c.counters.flops(WorkCategory::FusedRecalc), 1_000_000_000);
+        assert_eq!(c.counters.overhead_flops(), 1_000_000_000);
+        // Fused metrics recorded.
+        assert_eq!(c.obs.metrics.count("verify.fused.kernels"), 1);
+        assert_eq!(c.obs.metrics.count("verify.fused.flops"), 1_000_000_000);
+        assert!(c.obs.metrics.sum("verify.fused.epilogue_secs") > 0.9);
+        // The recorded op carries the fused-verify marker.
+        let fused = c.trace.actions().iter().any(|a| {
+            matches!(a, crate::program::TraceAction::Op(op)
+                if op.label == "SYRK+chk" && op.fused_verify)
+        });
+        assert!(fused, "trace op should be marked fused-verify");
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum WorkCategory {
     ChecksumUpdate,
     /// Checksum recalculation for verification.
     ChecksumRecalc,
+    /// Checksum recalculation fused into a level-3 kernel's epilogue
+    /// (same arithmetic as [`WorkCategory::ChecksumRecalc`], charged at the
+    /// host kernel's rate instead of as a separate memory-bound pass).
+    FusedRecalc,
     /// Comparison/location/correction work.
     Verify,
     /// Host↔device data movement (bytes, not flops).
@@ -74,11 +78,12 @@ impl WorkCounters {
     /// A one-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "factor {:.3e} | encode {:.3e} | update {:.3e} | recalc {:.3e} | verify {:.3e} flops; transfer {:.3e} bytes",
+            "factor {:.3e} | encode {:.3e} | update {:.3e} | recalc {:.3e} | fused {:.3e} | verify {:.3e} flops; transfer {:.3e} bytes",
             self.flops(WorkCategory::Factorization) as f64,
             self.flops(WorkCategory::ChecksumEncode) as f64,
             self.flops(WorkCategory::ChecksumUpdate) as f64,
             self.flops(WorkCategory::ChecksumRecalc) as f64,
+            self.flops(WorkCategory::FusedRecalc) as f64,
             self.flops(WorkCategory::Verify) as f64,
             self.bytes(WorkCategory::Transfer) as f64,
         )

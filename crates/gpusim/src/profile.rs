@@ -30,6 +30,12 @@ pub enum KernelClass {
     Potf2,
     /// Elementwise/bookkeeping work (checksum compare, small corrections).
     Light,
+    /// Checksum arithmetic fused into a level-3 kernel's epilogue: the two
+    /// weighted column sums accumulate while the output tile is still in
+    /// registers/cache, so this work streams at BLAS-3 rate instead of the
+    /// DRAM-bound BLAS-2 rate of a separate recalc kernel — and pays no
+    /// launch or startup cost of its own.
+    FusedEpilogue,
 }
 
 /// GPU cost model.
@@ -76,15 +82,18 @@ impl DeviceProfile {
             KernelClass::Blas2 => self.blas2_gflops,
             KernelClass::Potf2 => self.light_gflops, // GPUs are bad at POTF2
             KernelClass::Light => self.light_gflops,
+            // Register/cache-resident accumulation inside a level-3 kernel.
+            KernelClass::FusedEpilogue => self.blas3_gflops,
         }
     }
 
     /// Fraction of device resources one kernel of this class occupies.
     pub fn resource_fraction(&self, class: KernelClass) -> f64 {
         match class {
-            KernelClass::Blas3 | KernelClass::Syrk | KernelClass::Trsm => {
-                self.blas3_resource_fraction
-            }
+            KernelClass::Blas3
+            | KernelClass::Syrk
+            | KernelClass::Trsm
+            | KernelClass::FusedEpilogue => self.blas3_resource_fraction,
             KernelClass::Blas2 => self.blas2_resource_fraction,
             KernelClass::Potf2 => 1.0,
             KernelClass::Light => self.blas2_resource_fraction,
@@ -129,7 +138,10 @@ impl CpuProfile {
         let gf = match class {
             KernelClass::Potf2 => self.potf2_gflops,
             KernelClass::Blas2 | KernelClass::Light => self.blas2_gflops,
-            KernelClass::Blas3 | KernelClass::Syrk | KernelClass::Trsm => self.blas3_gflops,
+            KernelClass::Blas3
+            | KernelClass::Syrk
+            | KernelClass::Trsm
+            | KernelClass::FusedEpilogue => self.blas3_gflops,
         };
         SimTime::secs(flops as f64 / (gf * 1e9))
     }
@@ -283,6 +295,23 @@ mod tests {
         assert!((t1.as_secs() - 1.0).abs() < 1e-3);
         assert!((t2.as_secs() - 2.0).abs() < 1e-3);
         assert!(t2 > t1);
+    }
+
+    #[test]
+    fn fused_epilogue_streams_at_blas3_rate() {
+        for p in [
+            SystemProfile::tardis().gpu,
+            SystemProfile::bulldozer64().gpu,
+        ] {
+            assert_eq!(p.gflops(KernelClass::FusedEpilogue), p.blas3_gflops);
+            // Far faster than the separate memory-bound recalc GEMVs — the
+            // whole point of fusing.
+            assert!(p.gflops(KernelClass::FusedEpilogue) > 5.0 * p.blas2_gflops);
+            assert_eq!(
+                p.resource_fraction(KernelClass::FusedEpilogue),
+                p.blas3_resource_fraction
+            );
+        }
     }
 
     #[test]

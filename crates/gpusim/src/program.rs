@@ -56,6 +56,11 @@ pub struct TraceOp {
     pub category: WorkCategory,
     /// Declared tile accesses.
     pub access: AccessSet,
+    /// True for kernels with a fused checksum epilogue: the kernel
+    /// recalculates the checksums of the tiles it writes in the same
+    /// launch, so its writes count as verification input without a
+    /// separate recalc kernel reading them back.
+    pub fused_verify: bool,
 }
 
 /// One ordering-relevant driver action, in issue order.
@@ -144,6 +149,20 @@ impl ProgramTrace {
         category: WorkCategory,
         access: AccessSet,
     ) {
+        self.push_op_fused(label, site, dma, category, access, false);
+    }
+
+    /// [`ProgramTrace::push_op`] with an explicit fused-verify marker (set
+    /// by kernels carrying a fused checksum epilogue).
+    pub fn push_op_fused(
+        &mut self,
+        label: &str,
+        site: ExecSite,
+        dma: Option<DmaDir>,
+        category: WorkCategory,
+        access: AccessSet,
+        fused_verify: bool,
+    ) {
         if self.enabled && !access.is_empty() {
             self.actions.push(TraceAction::Op(TraceOp {
                 label: label.to_string(),
@@ -151,6 +170,7 @@ impl ProgramTrace {
                 dma,
                 category,
                 access,
+                fused_verify,
             }));
         }
     }

@@ -137,6 +137,7 @@ impl Timeline {
                     Some(KernelClass::Blas2) => 'c',
                     Some(KernelClass::Potf2) => 'P',
                     Some(KernelClass::Light) => '.',
+                    Some(KernelClass::FusedEpilogue) => 'F',
                     None => '=',
                 };
                 for slot in row.iter_mut().take(b.min(width)).skip(a.min(width)) {

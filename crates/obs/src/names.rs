@@ -37,6 +37,13 @@ pub const METRICS: &[&str] = &[
     "verify.corrected_data",
     "verify.repaired_checksums",
     "verify.uncorrectable_columns",
+    // Fused-epilogue verification (in-kernel checksum deposits): kernel /
+    // flop / epilogue-time counters from the simulator, batch/tile counts
+    // from the correct stage.
+    "verify.fused.*",
+    // Time on the separate recalculation kernels (the unfused pipeline),
+    // reported side by side with `verify.fused.epilogue_secs`.
+    "verify.recalc_secs",
     // Fault injection.
     "faults.injected",
     // Plan layer (recorded only off the byte-stable in-order path:
@@ -133,6 +140,8 @@ mod tests {
         assert!(metric_registered("busy_secs.engine.gpu"));
         assert!(metric_registered("kernels.class.Blas3"));
         assert!(metric_registered("verify.batches"));
+        assert!(metric_registered("verify.fused.kernels"));
+        assert!(metric_registered("verify.fused.epilogue_secs"));
         assert!(!metric_registered("busy_secs.engine"));
         assert!(!metric_registered("kernels.klass.Blas3"));
     }
