@@ -25,8 +25,9 @@ cargo test --workspace -q
 step "tests: hchol-blas without default features (no 'parallel')"
 cargo test -q -p hchol-blas --no-default-features
 
-step "rustdoc (deny warnings, no deps)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+step "rustdoc (deny warnings + broken intra-doc links, no deps)"
+RUSTDOCFLAGS="-D warnings -D rustdoc::broken-intra-doc-links" \
+    cargo doc --no-deps --workspace
 
 step "doctests"
 cargo test --doc --workspace -q
@@ -46,10 +47,16 @@ cargo test -q --test fused_abft
 step "golden equivalence (default unfused path byte-identical)"
 cargo test -q --test golden_equivalence
 
+step "feedback balancer suite (migration, adaptive K, contract re-proof)"
+cargo test -q --test balance
+
 step "kernel bench sweep (quick) -> BENCH_kernels.json"
 cargo bench -p hchol-bench --bench kernels -- --quick
 
 step "fused verification overhead sweep (quick) -> BENCH_fused.json"
 cargo run --release -q -p hchol-bench --bin fused_overhead -- --quick
+
+step "static vs adaptive placement sweep (quick) -> BENCH_balance.json"
+cargo run --release -q -p hchol-bench --bin balance_sweep -- --quick
 
 step "done"

@@ -796,6 +796,67 @@ pub fn flush_mirror(ctx: &mut SimContext, lay: &mut CholLayout) {
     ctx.bulk_transfer_with_access(bytes, lay.s_tran, false, access, |_, _| {});
 }
 
+/// Mid-run checksum migration for a placement switch decided by the
+/// runtime balancer ([`crate::plan::balance::BalanceController`]): ship
+/// the checksum state — and, toward the CPU, the already-factorized panel
+/// columns the host-side updates read — across PCIe, then flip the
+/// layout's placement so every subsequent dispatch (`dispatch_update`,
+/// panel mirroring, verification syncs) routes to the new side. `next_j`
+/// is the first not-yet-executed iteration. The caller synchronizes the
+/// context first: the migration is a rebalance barrier, not an overlapped
+/// transfer.
+pub fn migrate_checksums(
+    ctx: &mut SimContext,
+    lay: &mut CholLayout,
+    to: ChecksumPlacement,
+    next_j: usize,
+) {
+    if lay.placement == to {
+        return;
+    }
+    let chk_bytes = 8 * 2 * (lay.n as u64) * (lay.nt as u64);
+    let chk_tiles: Vec<TileRef> = (0..lay.nt)
+        .flat_map(|bj| (bj..lay.nt).map(move |bi| (bi, bj)))
+        .map(|(bi, bj)| TileRef::new(lay.cks[bi], 0, bj))
+        .collect();
+    match to {
+        ChecksumPlacement::Cpu => {
+            // Host-side updating reads the factorized panels; columns that
+            // already left the panel stage have no pending mirror, so they
+            // travel with the checksum rows in one bulk shipment.
+            let done = next_j.min(lay.nt);
+            let done_tiles: u64 = (0..done).map(|k| (lay.nt - k) as u64).sum();
+            let bytes = chk_bytes + 8 * done_tiles * (lay.b * lay.b) as u64;
+            let mat = lay.mat;
+            let mut reads = chk_tiles;
+            reads.extend((0..done).flat_map(|k| (k..lay.nt).map(move |i| TileRef::new(mat, i, k))));
+            ctx.bulk_transfer_with_access(
+                bytes,
+                lay.s_tran,
+                false,
+                AccessSet::new(reads, vec![]),
+                |_, _| {},
+            );
+        }
+        ChecksumPlacement::Gpu => {
+            // Host checksums return to the device; any queued panel mirror
+            // is moot once updating runs GPU-side again.
+            lay.pending_mirror = None;
+            ctx.bulk_transfer_with_access(
+                chk_bytes,
+                lay.s_tran,
+                true,
+                AccessSet::new(vec![], chk_tiles),
+                |_, _| {},
+            );
+        }
+        // The balancer never targets Inline/Auto.
+        _ => unreachable!("migration targets a concrete CPU/GPU placement"),
+    }
+    ctx.sync_stream(lay.s_tran);
+    lay.placement = to;
+}
+
 /// Stage 1 of verification: recalculate fresh checksums of `tiles` into
 /// the scratch buffers.
 ///

@@ -18,6 +18,87 @@ pub enum ChecksumPlacement {
     Auto,
 }
 
+/// Configuration of the runtime feedback load balancer
+/// ([`crate::plan::balance::BalanceController`]) — the dynamic counterpart
+/// of [`crate::decision`]'s one-shot analytic placement choice.
+///
+/// The controller wakes at every `update_interval`-th iteration boundary,
+/// reads the per-engine busy-time window from the simulator, and may (a)
+/// migrate checksum updating between CPU and GPU and (b) move the verify
+/// interval `K` within `[k_min, k_max]` from the observed fault rate. See
+/// DESIGN.md §11 for the feedback law and its stability guard.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct BalanceOptions {
+    /// Controller period in outer iterations (clamped to ≥ 1): the split is
+    /// re-examined at iteration boundaries `j % update_interval == 0`.
+    pub update_interval: usize,
+    /// Lower bound of the adaptive verify interval (faults observed in a
+    /// window drop `K` here).
+    pub k_min: usize,
+    /// Upper bound of the adaptive verify interval (`K` creeps up one step
+    /// per fault-free window, never past this).
+    pub k_max: usize,
+    /// Hysteresis band for the placement flip: the utilization imbalance
+    /// must exceed this fraction of the window before the controller
+    /// migrates, so a borderline system does not oscillate.
+    pub hysteresis: f64,
+    /// After a placement switch, skip this many controller windows before
+    /// allowing another switch (the second half of the stability guard).
+    pub cooldown_windows: usize,
+    /// Record a clone of the rewritten plan at every rewrite (tests feed
+    /// them to `hchol-analyze`'s static checker to re-prove the ABFT
+    /// contract after each mid-run rewrite). Off by default — clones are
+    /// memory-heavy at paper scale.
+    pub record_plans: bool,
+}
+
+impl Default for BalanceOptions {
+    fn default() -> Self {
+        BalanceOptions {
+            update_interval: 4,
+            k_min: 1,
+            k_max: 8,
+            hysteresis: 0.25,
+            cooldown_windows: 1,
+            record_plans: false,
+        }
+    }
+}
+
+impl BalanceOptions {
+    /// Builder: set the controller period in iterations.
+    pub fn with_update_interval(mut self, iters: usize) -> Self {
+        self.update_interval = iters.max(1);
+        self
+    }
+
+    /// Builder: set the adaptive-`K` bounds (order-normalized, `≥ 1`).
+    pub fn with_k_bounds(mut self, k_min: usize, k_max: usize) -> Self {
+        self.k_min = k_min.max(1);
+        self.k_max = k_max.max(self.k_min);
+        self
+    }
+
+    /// Builder: set the hysteresis band (negative clamps to 0, which
+    /// disables the guard — useful only as a mutation control in tests).
+    pub fn with_hysteresis(mut self, band: f64) -> Self {
+        self.hysteresis = band.max(0.0);
+        self
+    }
+
+    /// Builder: set the post-switch cooldown in controller windows.
+    pub fn with_cooldown(mut self, windows: usize) -> Self {
+        self.cooldown_windows = windows;
+        self
+    }
+
+    /// Builder: record rewritten-plan snapshots for contract re-proof.
+    pub fn with_record_plans(mut self, on: bool) -> Self {
+        self.record_plans = on;
+        self
+    }
+}
+
 /// Configuration for the ABFT schemes.
 #[derive(Debug, Clone)]
 pub struct AbftOptions {
@@ -62,6 +143,12 @@ pub struct AbftOptions {
     /// the extra metric would break byte-identity with the golden
     /// fixtures. Implied by `chk_fused`.
     pub report_recalc_secs: bool,
+    /// Runtime feedback load balancing with adaptive verification
+    /// (`None` = static placement and fixed `K`, the byte-stable default).
+    /// Balanced runs execute in-order (`lookahead` must stay 0) and do not
+    /// compose with `chk_fused` (the fused rewrite and the mid-run `K`
+    /// rewrite would fight over the same verify batches).
+    pub balance: Option<BalanceOptions>,
 }
 
 impl Default for AbftOptions {
@@ -77,6 +164,7 @@ impl Default for AbftOptions {
             trace_schedule: true,
             chk_fused: false,
             report_recalc_secs: false,
+            balance: None,
         }
     }
 }
@@ -123,6 +211,12 @@ impl AbftOptions {
         self
     }
 
+    /// Builder: enable the runtime feedback load balancer.
+    pub fn with_balance(mut self, b: BalanceOptions) -> Self {
+        self.balance = Some(b);
+        self
+    }
+
     /// Builder: all optimizations off (the paper's unoptimized baseline).
     pub fn unoptimized() -> Self {
         AbftOptions {
@@ -149,6 +243,21 @@ mod tests {
         assert!(!o.record_timeline);
         // Fused epilogues stay opt-in until golden equivalence is re-pinned.
         assert!(!o.chk_fused);
+        // Balancing is opt-in: default-path reports stay byte-identical.
+        assert!(o.balance.is_none());
+    }
+
+    #[test]
+    fn balance_builders_normalize_bounds() {
+        let b = BalanceOptions::default()
+            .with_update_interval(0)
+            .with_k_bounds(6, 2)
+            .with_hysteresis(-1.0);
+        assert_eq!(b.update_interval, 1);
+        assert_eq!((b.k_min, b.k_max), (6, 6));
+        assert_eq!(b.hysteresis, 0.0);
+        let o = AbftOptions::default().with_balance(b.clone());
+        assert_eq!(o.balance, Some(b));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!   plan's host-blocking POTF2/verify stalls are reclaimed by the other
 //!   plans' enqueued device work.
 
+use super::balance::BalanceController;
 use super::{DriveStyle, FactorPlan, NodeId, ScopeId, SweepKind, TaskKind, UpdateOp};
 use crate::decision;
 use crate::ops;
@@ -363,6 +364,105 @@ pub(crate) fn run_attempt(
             Ok(StepOut::Restart) => return Ok((AttemptEnd::Restart, st.vo)),
             Err(e) => return Err(e),
         }
+    }
+    if cfg.record_scopes {
+        if let Some(sp) = st.scope_span.take() {
+            close_span(a.ctx, sp);
+        }
+        if let Some(sp) = st.iter_span.take() {
+            close_span(a.ctx, sp);
+        }
+    }
+    if let Some(e) = st.pending_err.take() {
+        return Err(e);
+    }
+    let end = if st.restart_at_end {
+        AttemptEnd::Restart
+    } else {
+        AttemptEnd::Completed
+    };
+    Ok((end, st.vo))
+}
+
+/// Wake the feedback controller at iteration boundary `j`: difference the
+/// engine counters, run the feedback law, publish the `balance.*` metrics,
+/// and — when the decision changed the split — migrate the checksum state
+/// and rewrite the not-yet-executed tail of the plan.
+fn rebalance(
+    plan: &mut FactorPlan,
+    a: &mut AttemptCtx<'_>,
+    ctrl: &mut BalanceController,
+    j: usize,
+) {
+    let util = a.ctx.engine_utilization();
+    let faults = a.inj.applied().len();
+    let k_before = ctrl.k();
+    let d = ctrl.observe(j, &util, faults);
+    let m = &mut a.ctx.obs.metrics;
+    m.inc("balance.updates");
+    m.set_gauge("balance.k", d.k as f64);
+    m.set_gauge("balance.gpu_util", d.gpu_util);
+    m.set_gauge("balance.cpu_util", d.cpu_util);
+    m.set_gauge("balance.dma_util", d.dma_util);
+    m.set_gauge("balance.queue_frac", d.queue_frac);
+    if d.switched {
+        m.inc("balance.switches");
+        // Rebalance barrier: order the migration behind everything in
+        // flight before flipping the runtime routing.
+        a.ctx.sync_all();
+        ops::migrate_checksums(a.ctx, a.lay, d.placement, j);
+    }
+    if d.switched || d.k != k_before {
+        let t = a.ctx.now().as_secs();
+        a.ctx.obs.event(
+            t,
+            "balance.rebalance",
+            format!("iter {j}: placement {:?}, K {}", d.placement, d.k),
+        );
+        ctrl.rewrite(plan, j);
+    }
+}
+
+/// Run one attempt of a *balanced* plan: in-order execution with the
+/// feedback controller ([`BalanceController`]) woken once per
+/// `update_interval`-th iteration boundary, possibly rewriting the
+/// not-yet-executed tail of `plan` in place. The cursor walks the issue
+/// order by position; rewrites only touch nodes of the current and later
+/// iterations, so executed positions never shift.
+pub(crate) fn run_attempt_balanced(
+    plan: &mut FactorPlan,
+    a: &mut AttemptCtx<'_>,
+    cfg: &ExecConfig,
+    ctrl: &mut BalanceController,
+) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
+    assert_eq!(
+        cfg.policy,
+        IssuePolicy::InOrder,
+        "balanced runs execute in-order"
+    );
+    let mut st = ExecState::new();
+    let mut pos = 0usize;
+    let mut woken: Option<usize> = None;
+    {
+        let util = a.ctx.engine_utilization();
+        ctrl.prime(&util, a.inj.applied().len());
+    }
+    while pos < plan.len() {
+        if let Some(j) = plan.node(plan.order()[pos]).iter {
+            if ctrl.due(j) && woken != Some(j) {
+                woken = Some(j);
+                rebalance(plan, a, ctrl, j);
+            }
+        }
+        // Re-read the position: a rewrite may have inserted a check right
+        // here (in front of the old node), and that check runs first.
+        let id = plan.order()[pos];
+        match step(plan, a, cfg, &mut st, id) {
+            Ok(StepOut::Continue) => {}
+            Ok(StepOut::Restart) => return Ok((AttemptEnd::Restart, st.vo)),
+            Err(e) => return Err(e),
+        }
+        pos += 1;
     }
     if cfg.record_scopes {
         if let Some(sp) = st.scope_span.take() {

@@ -23,6 +23,7 @@
 //! `hchol-analyze`'s static checker walks the same edges to prove each
 //! scheme's ABFT contract *before* execution.
 
+pub mod balance;
 pub mod exec;
 pub mod policy;
 pub mod skeleton;

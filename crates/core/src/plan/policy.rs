@@ -152,9 +152,45 @@ fn insert_marks(plan: &mut FactorPlan) {
     }
 }
 
+/// The tiles the Enhanced scheme verifies before iteration `j`'s SYRK:
+/// the diagonal block and its factorized row panel.
+pub fn syrk_input_tiles(j: usize) -> Vec<(usize, usize)> {
+    let mut tiles = vec![(j, j)];
+    tiles.extend((0..j).map(|k| (j, k)));
+    tiles
+}
+
+/// The tiles the Enhanced scheme verifies before iteration `j`'s panel
+/// GEMM: the panel being updated (B), the factorized row panel (C), and
+/// the factorized body panel (D). These are the checks Optimization 3
+/// gates on `j % K == 0` — and the ones the runtime balancer inserts or
+/// removes when it moves `K`.
+pub fn gemm_input_tiles(nt: usize, j: usize) -> Vec<(usize, usize)> {
+    let mut tiles: Vec<(usize, usize)> = Vec::new();
+    for i in (j + 1)..nt {
+        tiles.push((i, j)); // B: the panel being updated
+    }
+    for k in 0..j {
+        tiles.push((j, k)); // C: the row panel
+        for i in (j + 1)..nt {
+            tiles.push((i, k)); // D: the body panel
+        }
+    }
+    tiles
+}
+
+/// The tiles the Enhanced scheme verifies before iteration `j`'s panel
+/// TRSM: the factorized diagonal and the panel column (K-gated, like the
+/// GEMM inputs).
+pub fn trsm_input_tiles(nt: usize, j: usize) -> Vec<(usize, usize)> {
+    let mut tiles = vec![(j, j)];
+    tiles.extend(((j + 1)..nt).map(|i| (i, j)));
+    tiles
+}
+
 /// Insert a verify/correct pair (one fresh `"verify"` scope) immediately
 /// before `anchor`.
-fn insert_check_before(
+pub(crate) fn insert_check_before(
     plan: &mut FactorPlan,
     anchor: NodeId,
     tiles: Vec<(usize, usize)>,
@@ -349,9 +385,7 @@ impl PolicyPass for EnhancedPolicy {
                 |k| matches!(k, TaskKind::Syrk { j: jj, .. } if *jj == j),
             )
             .expect("skeleton has syrk");
-            let mut syrk_inputs: Vec<(usize, usize)> = vec![(j, j)];
-            syrk_inputs.extend((0..j).map(|k| (j, k)));
-            insert_check_before(plan, syrk, syrk_inputs, j);
+            insert_check_before(plan, syrk, syrk_input_tiles(j), j);
             // POTF2 input (the SYRK output) — every iteration.
             let d2h = find_kind(
                 plan,
@@ -366,17 +400,7 @@ impl PolicyPass for EnhancedPolicy {
                     |k| matches!(k, TaskKind::GemmPanel { j: jj, .. } if *jj == j),
                 )
                 .expect("gemm present when has_panel && j > 0");
-                let mut gemm_inputs: Vec<(usize, usize)> = Vec::new();
-                for i in (j + 1)..nt {
-                    gemm_inputs.push((i, j)); // B: the panel being updated
-                }
-                for k in 0..j {
-                    gemm_inputs.push((j, k)); // C: the row panel
-                    for i in (j + 1)..nt {
-                        gemm_inputs.push((i, k)); // D: the body panel
-                    }
-                }
-                insert_check_before(plan, gemm, gemm_inputs, j);
+                insert_check_before(plan, gemm, gemm_input_tiles(nt, j), j);
             }
             // TRSM inputs L = (j,j) and B = (i,j) — on K-gated iterations.
             if has_panel && opts.verifies_on(j) {
@@ -385,9 +409,7 @@ impl PolicyPass for EnhancedPolicy {
                     |k| matches!(k, TaskKind::TrsmPanel { j: jj, .. } if *jj == j),
                 )
                 .expect("trsm present when has_panel");
-                let mut trsm_inputs: Vec<(usize, usize)> = vec![(j, j)];
-                trsm_inputs.extend(((j + 1)..nt).map(|i| (i, j)));
-                insert_check_before(plan, trsm, trsm_inputs, j);
+                insert_check_before(plan, trsm, trsm_input_tiles(nt, j), j);
             }
         }
         insert_encode(plan);
@@ -399,6 +421,25 @@ impl PolicyPass for EnhancedPolicy {
 /// issued by the next iteration's diagonal transfer, or by the tail
 /// flush). A no-op for GPU/inline placement. `Auto` must be resolved by
 /// the decision model before planning.
+///
+/// # Examples
+///
+/// CPU placement adds one [`TaskKind::MirrorPanel`] per iteration:
+///
+/// ```
+/// use hchol_core::options::ChecksumPlacement;
+/// use hchol_core::plan::{policy, skeleton, DriveStyle, TaskKind};
+///
+/// let mut plan = skeleton::algorithm1(4, DriveStyle::Overlapped, false, false);
+/// policy::apply_placement(&mut plan, ChecksumPlacement::Cpu);
+/// assert!(plan.cpu_mirrors);
+/// let mirrors = plan
+///     .order()
+///     .iter()
+///     .filter(|&&id| matches!(plan.node(id).kind, TaskKind::MirrorPanel { .. }))
+///     .count();
+/// assert_eq!(mirrors, 4);
+/// ```
 pub fn apply_placement(plan: &mut FactorPlan, placement: ChecksumPlacement) {
     assert_ne!(
         placement,
@@ -431,6 +472,26 @@ pub fn apply_placement(plan: &mut FactorPlan, placement: ChecksumPlacement) {
 /// checker uses, so a rewritten plan keeps every verify-before-read
 /// obligation intact (the fused deposit edge replaces the recalculation
 /// read edge).
+///
+/// # Examples
+///
+/// Building an Enhanced plan with `chk_fused` runs this rewrite; the
+/// result carries compare-only verify batches:
+///
+/// ```
+/// use hchol_core::options::{AbftOptions, ChecksumPlacement};
+/// use hchol_core::plan::{for_scheme, TaskKind};
+/// use hchol_core::schemes::SchemeKind;
+///
+/// let opts = AbftOptions::default()
+///     .with_placement(ChecksumPlacement::Gpu)
+///     .with_chk_fused(true);
+/// let plan = for_scheme(SchemeKind::Enhanced, 4, &opts, false);
+/// assert!(plan.order().iter().any(|&id| matches!(
+///     plan.node(id).kind,
+///     TaskKind::VerifyBatch { fused: true, .. }
+/// )));
+/// ```
 pub fn apply_chk_fused(plan: &mut FactorPlan) {
     let nt = plan.nt;
     // Pass 1: mark the producers. SYRK/GEMM at j = 0 are no-ops (no

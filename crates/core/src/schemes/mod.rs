@@ -96,6 +96,9 @@ pub struct FactorOutcome {
     pub factor: Option<Matrix>,
     /// True if the final attempt still ended with uncorrectable corruption.
     pub failed: bool,
+    /// Decision/rewrite log of the runtime feedback balancer (`Some` iff
+    /// `opts.balance` was set).
+    pub balance_log: Option<crate::plan::balance::BalanceLog>,
     /// The simulation context (timeline, counters, observability state)
     /// for inspection.
     pub ctx: SimContext,
@@ -126,6 +129,10 @@ impl FactorOutcome {
         // to the golden fixtures.
         if self.opts.chk_fused {
             r.config_kv("chk_fused", true);
+        }
+        if let Some(b) = &self.opts.balance {
+            r.config_kv("balance_update_interval", b.update_interval);
+            r.config_kv("balance_k_bounds", format!("{}..={}", b.k_min, b.k_max));
         }
         r.config_kv("max_restarts", self.opts.max_restarts);
         r.config_kv("attempts", self.attempts);
@@ -183,10 +190,23 @@ pub fn run_scheme(
     };
     let faulty = !plan.is_empty();
     let mut inj = Injector::new(plan);
-    // One plan serves every attempt: the task graph of an attempt does not
-    // depend on where (or whether) faults strike, only on n, b, and the
-    // resolved options.
-    let fplan = crate::plan::for_scheme(kind, lay.nt, &resolved, faulty);
+    // The feedback balancer persists across attempts: placement migrations
+    // and the adaptive K carry over into a restarted run.
+    let mut ctrl = resolved
+        .balance
+        .as_ref()
+        .map(|_| crate::plan::balance::BalanceController::new(kind, &resolved));
+    // One plan serves every attempt of a static run: the task graph does
+    // not depend on where (or whether) faults strike, only on n, b, and
+    // the resolved options. Balanced runs rewrite it mid-attempt and
+    // rebuild it from the controller's current state on restart.
+    let mut fplan = {
+        let mut popts = resolved.clone();
+        if let Some(c) = &ctrl {
+            popts.verify_interval = c.k();
+        }
+        crate::plan::for_scheme(kind, lay.nt, &popts, faulty)
+    };
     let cfg = crate::plan::exec::ExecConfig::for_options(&resolved);
 
     let mut verify_total = VerifyOutcome::default();
@@ -212,6 +232,15 @@ pub fn run_scheme(
                 ops::reload(&mut ctx, &lay, pristine.as_ref());
                 inj.reset_dirty();
             });
+            if let Some(c) = &ctrl {
+                // Restart from the controller's current split: the restarted
+                // attempt begins where the feedback converged, not where the
+                // static model started.
+                let mut popts = resolved.clone();
+                popts.placement = c.placement();
+                popts.verify_interval = c.k();
+                fplan = crate::plan::for_scheme(kind, lay.nt, &popts, faulty);
+            }
         }
         let mut a = AttemptCtx {
             ctx: &mut ctx,
@@ -219,7 +248,11 @@ pub fn run_scheme(
             inj: &mut inj,
             opts: &resolved,
         };
-        let result = crate::plan::exec::run_attempt(&fplan, &mut a, &cfg);
+        let result = if let Some(c) = ctrl.as_mut() {
+            crate::plan::exec::run_attempt_balanced(&mut fplan, &mut a, &cfg, c)
+        } else {
+            crate::plan::exec::run_attempt(&fplan, &mut a, &cfg)
+        };
         let done = match result {
             Ok((AttemptEnd::Completed, vo)) => {
                 verify_total.merge(vo);
@@ -267,6 +300,7 @@ pub fn run_scheme(
         verify: verify_total,
         factor,
         failed,
+        balance_log: ctrl.map(|c| c.into_log()),
         ctx,
     })
 }

@@ -114,6 +114,70 @@ impl KernelDesc {
     }
 }
 
+/// A point-in-time snapshot of the per-engine busy-time accumulators,
+/// taken with [`SimContext::engine_utilization`] at an iteration boundary.
+///
+/// Two snapshots bracket a window of execution; [`Self::window_since`]
+/// turns them into normalized utilizations a feedback controller can act
+/// on without knowing absolute times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineUtilization {
+    /// Host virtual time of the snapshot, seconds.
+    pub at_secs: f64,
+    /// Cumulative GPU compute-engine busy time (`busy_secs.engine.gpu`).
+    pub gpu_busy_secs: f64,
+    /// Cumulative host-thread busy time (`busy_secs.engine.host`).
+    pub host_busy_secs: f64,
+    /// Cumulative busy time summed over all CPU worker lanes
+    /// (`busy_secs.engine.cpu_workers`).
+    pub cpu_worker_busy_secs: f64,
+    /// Cumulative DMA-lane busy time, both directions.
+    pub dma_busy_secs: f64,
+    /// Cumulative time kernels waited for device resources
+    /// (`sched.queue_delay_secs`).
+    pub queue_delay_secs: f64,
+    /// Number of CPU worker lanes (normalizes the worker busy sum).
+    pub cpu_worker_lanes: usize,
+}
+
+/// Normalized utilization of one execution window (see
+/// [`EngineUtilization::window_since`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineWindow {
+    /// Wall-clock (virtual) length of the window, seconds.
+    pub wall_secs: f64,
+    /// GPU busy fraction of the window, in `[0, 1]` (clamped).
+    pub gpu_util: f64,
+    /// Per-lane CPU-worker busy fraction of the window, in `[0, 1]`.
+    pub cpu_util: f64,
+    /// DMA-lane busy fraction of the window (both directions summed), in
+    /// `[0, 1]` — the host↔device link-pressure signal.
+    pub dma_util: f64,
+    /// Queue-delay accumulated in the window as a fraction of the window.
+    pub queue_frac: f64,
+}
+
+impl EngineUtilization {
+    /// The utilization of the window from `earlier` to `self`. Returns
+    /// `None` for an empty (or backwards) window, where fractions are
+    /// undefined.
+    pub fn window_since(&self, earlier: &EngineUtilization) -> Option<EngineWindow> {
+        let wall = self.at_secs - earlier.at_secs;
+        if wall <= 0.0 {
+            return None;
+        }
+        let lanes = self.cpu_worker_lanes.max(1) as f64;
+        let frac = |x: f64| (x / wall).clamp(0.0, 1.0);
+        Some(EngineWindow {
+            wall_secs: wall,
+            gpu_util: frac(self.gpu_busy_secs - earlier.gpu_busy_secs),
+            cpu_util: frac((self.cpu_worker_busy_secs - earlier.cpu_worker_busy_secs) / lanes),
+            dma_util: frac(self.dma_busy_secs - earlier.dma_busy_secs),
+            queue_frac: frac(self.queue_delay_secs - earlier.queue_delay_secs),
+        })
+    }
+}
+
 /// The simulated machine plus the program clock driving it.
 ///
 /// ```
@@ -224,6 +288,25 @@ impl SimContext {
     /// The system profile in use.
     pub fn profile(&self) -> &SystemProfile {
         &self.profile
+    }
+
+    /// Snapshot the per-engine busy-time accumulators (and the scheduler's
+    /// queue-delay sum) at this instant of virtual time. Drivers take one
+    /// snapshot per iteration boundary and difference consecutive snapshots
+    /// ([`EngineUtilization::window_since`]) to see where the last window's
+    /// work actually ran — the feedback signal `hchol-core`'s runtime load
+    /// balancer steers on.
+    pub fn engine_utilization(&self) -> EngineUtilization {
+        let m = &self.obs.metrics;
+        EngineUtilization {
+            at_secs: self.host_clock.as_secs(),
+            gpu_busy_secs: m.sum("busy_secs.engine.gpu"),
+            host_busy_secs: m.sum("busy_secs.engine.host"),
+            cpu_worker_busy_secs: m.sum("busy_secs.engine.cpu_workers"),
+            dma_busy_secs: m.sum("busy_secs.engine.dma_h2d") + m.sum("busy_secs.engine.dma_d2h"),
+            queue_delay_secs: m.sum("sched.queue_delay_secs"),
+            cpu_worker_lanes: self.cpu_workers.len(),
+        }
     }
 
     /// Current host-thread virtual time.

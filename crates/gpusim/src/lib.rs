@@ -56,7 +56,7 @@ pub mod time;
 pub mod timeline;
 
 pub use access::{AccessSet, TileRef};
-pub use context::{EventId, SimContext, StreamId};
+pub use context::{EngineUtilization, EngineWindow, EventId, SimContext, StreamId};
 pub use executor::{round_robin, DagSchedule, IssuePolicy, NodeMeta};
 pub use memory::{BufferId, DeviceMemory, HostBufferId, HostMemory};
 pub use profile::{CpuProfile, DeviceProfile, KernelClass, SystemProfile};

@@ -250,6 +250,26 @@ impl SystemProfile {
         }
     }
 
+    /// Tardis with a degraded host↔device link (the card trained at
+    /// PCIe x4 after a re-seat — a real and notoriously silent failure
+    /// mode) — a profile the analytic placement model of Optimization 2
+    /// gets *wrong*. The model's CPU-side cost
+    /// `max((N_Cho + N_Rec)/P_GPU, N_Upd/P_CPU + D_upd/R)` assumes the
+    /// `D_upd` mirror traffic overlaps perfectly with factorization, so no
+    /// matter how slow `R` gets the `max` stays pinned to the GPU term and
+    /// the model keeps picking the CPU; in the simulated run the mirror
+    /// shipments share the one DMA engine with the latency-critical
+    /// diagonal-block round trips and stretch the critical path. The
+    /// balance benchmarks use it as the case only the runtime feedback
+    /// balancer recovers.
+    pub fn tardis_skewed() -> Self {
+        let mut p = Self::tardis();
+        p.name = "Tardis-Skewed".into();
+        p.pcie_gbs = 0.9; // link trained at x4, contended
+        p.pcie_latency = 60e-6;
+        p
+    }
+
     /// A deliberately tiny, fast-to-simulate profile for unit tests:
     /// round numbers, 1 GFLOP/s everywhere, 1 GB/s transfers, no latency.
     pub fn test_profile() -> Self {
@@ -358,6 +378,20 @@ mod tests {
         };
         let secs = b.gpu.kernel_time(KernelClass::Blas3, flops).as_secs();
         assert!((7.0..11.0).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn skewed_tardis_differs_only_in_the_link() {
+        let t = SystemProfile::tardis();
+        let s = SystemProfile::tardis_skewed();
+        assert!(s.pcie_gbs < t.pcie_gbs / 4.0);
+        assert!(s.pcie_latency > t.pcie_latency);
+        // Compute rates are untouched — that is the point: the placement
+        // model's `max` hides the transfer term behind the GPU term, so a
+        // slower link never changes its answer (see `tardis_skewed` docs).
+        assert_eq!(s.cpu.blas2_gflops, t.cpu.blas2_gflops);
+        assert_eq!(s.cpu.worker_lanes, t.cpu.worker_lanes);
+        assert_eq!(s.gpu.blas3_gflops, t.gpu.blas3_gflops);
     }
 
     #[test]

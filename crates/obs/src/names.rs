@@ -46,6 +46,16 @@ pub const METRICS: &[&str] = &[
     "verify.recalc_secs",
     // Fault injection.
     "faults.injected",
+    // Feedback load balancer (plan::balance): controller invocations,
+    // applied placement switches, current adaptive verify interval, and the
+    // per-window utilization signals the feedback law read (gauges).
+    "balance.updates",
+    "balance.switches",
+    "balance.k",
+    "balance.gpu_util",
+    "balance.cpu_util",
+    "balance.dma_util",
+    "balance.queue_frac",
     // Plan layer (recorded only off the byte-stable in-order path:
     // reordered attempts and batched runs).
     "plan.nodes",
@@ -66,6 +76,7 @@ pub const EVENTS: &[&str] = &[
     "fault.uncorrectable",
     "run.restart",
     "run.failstop",
+    "balance.rebalance",
 ];
 
 /// Registered scope-span label patterns (opened via `scope!` or
@@ -142,6 +153,9 @@ mod tests {
         assert!(metric_registered("verify.batches"));
         assert!(metric_registered("verify.fused.kernels"));
         assert!(metric_registered("verify.fused.epilogue_secs"));
+        assert!(metric_registered("balance.updates"));
+        assert!(metric_registered("balance.k"));
+        assert!(!metric_registered("balance.kk"));
         assert!(!metric_registered("busy_secs.engine"));
         assert!(!metric_registered("kernels.klass.Blas3"));
     }
@@ -158,6 +172,7 @@ mod tests {
     #[test]
     fn events_and_scopes() {
         assert!(event_registered("fault.corrected"));
+        assert!(event_registered("balance.rebalance"));
         assert!(!event_registered("fault.correted"));
         assert!(scope_registered("final verify"));
         assert!(scope_registered("iter *"));

@@ -148,6 +148,69 @@ fn k_gated_and_serial_recalc_variants_are_race_free() {
     }
 }
 
+/// Balanced runs rewrite the plan mid-flight — placement migrations splice
+/// mirror nodes in and out and ship the checksum block across the link
+/// between iterations. The recorded schedule of a run that actually
+/// migrated must still be race-free, and with `k_max == 1` (no adaptive
+/// relaxation) it keeps the *strict* conformance check.
+#[test]
+fn balanced_run_with_migration_is_race_free_and_conformant() {
+    use hchol_core::options::BalanceOptions;
+    let out = run_clean(
+        SchemeKind::Enhanced,
+        &SystemProfile::tardis_skewed(),
+        ExecMode::TimingOnly,
+        2048,
+        128,
+        &AbftOptions::default().with_balance(
+            BalanceOptions::default()
+                .with_update_interval(2)
+                .with_k_bounds(1, 1),
+        ),
+        None,
+    )
+    .expect("balanced run");
+    assert!(
+        out.balance_log.as_ref().unwrap().switches() >= 1,
+        "the skewed profile must force a migration"
+    );
+    let analysis = analyze_outcome(&out);
+    assert_eq!(
+        analysis.protocol,
+        Some(Protocol::Enhanced),
+        "k_max == 1 keeps the strict conformance check"
+    );
+    assert!(analysis.is_clean(), "{}", analysis.render_text());
+}
+
+/// With `k_max > 1` the controller may relax the verify interval mid-run,
+/// so `analyze_outcome` downgrades to race-only analysis (mirroring the
+/// static `K > 1` rule) — which must still be clean.
+#[test]
+fn adaptive_k_run_downgrades_to_race_analysis() {
+    use hchol_core::options::BalanceOptions;
+    let out = run_clean(
+        SchemeKind::Enhanced,
+        &SystemProfile::tardis_skewed(),
+        ExecMode::TimingOnly,
+        2048,
+        128,
+        &AbftOptions::default().with_balance(
+            BalanceOptions::default()
+                .with_update_interval(2)
+                .with_k_bounds(1, 4),
+        ),
+        None,
+    )
+    .expect("balanced run");
+    let analysis = analyze_outcome(&out);
+    assert_eq!(
+        analysis.protocol, None,
+        "adaptive K must drop the strict protocol check"
+    );
+    assert!(analysis.is_clean(), "{}", analysis.render_text());
+}
+
 /// The right-looking outer-product baseline keeps its trace on; its schedule
 /// must be race-free. (The check lives here because `hchol-analyze` depends
 /// on `hchol-core`.)
