@@ -50,6 +50,9 @@ cargo test -q --test golden_equivalence
 step "feedback balancer suite (migration, adaptive K, contract re-proof)"
 cargo test -q --test balance
 
+step "multi-device sharding suite (bit-identity, device loss, conformance)"
+cargo test -q --test shard
+
 step "kernel bench sweep (quick) -> BENCH_kernels.json"
 cargo bench -p hchol-bench --bench kernels -- --quick
 
@@ -58,5 +61,11 @@ cargo run --release -q -p hchol-bench --bin fused_overhead -- --quick
 
 step "static vs adaptive placement sweep (quick) -> BENCH_balance.json"
 cargo run --release -q -p hchol-bench --bin balance_sweep -- --quick
+
+step "multi-device scaling sweep (quick) -> BENCH_shard.json"
+cargo run --release -q -p hchol-bench --bin shard_sweep -- --quick
+
+step "benchmark artifacts conform to the report envelope schema"
+cargo run --release -q -p hchol-analyze --bin check_artifacts
 
 step "done"

@@ -1,0 +1,101 @@
+//! Benchmark-artifact envelope checker: `cargo run -p hchol-analyze --bin
+//! check_artifacts [dir]`.
+//!
+//! Every `BENCH_*.json` the bench suite writes (and every report
+//! `RunReport::to_json` emits) is wrapped in the versioned envelope from
+//! [`hchol_obs::envelope`]: `{schema_version, kind, name, body}`. Plot
+//! scripts and cross-PR diff tooling key on that header, so CI runs this
+//! over the repo root after the sweeps to fail fast when a writer drifts
+//! — a bare report, a missing field, or a bumped schema all exit nonzero
+//! with the offending file named.
+//!
+//! The directory argument defaults to the workspace root.
+
+use hchol_obs::SCHEMA_VERSION;
+use serde::Value;
+use std::process::ExitCode;
+
+/// Why an artifact fails validation, with the offending detail inline.
+fn validate(v: &Value) -> Result<(String, String), String> {
+    let Some(obj) = v.as_object() else {
+        return Err("top level is not a JSON object".into());
+    };
+    let field = |name: &str| {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing `{name}` field"))
+    };
+    match field("schema_version")? {
+        Value::U64(n) if *n == SCHEMA_VERSION as u64 => {}
+        other => {
+            return Err(format!(
+                "schema_version {other:?} != supported {SCHEMA_VERSION}"
+            ))
+        }
+    }
+    let kind = match field("kind")? {
+        Value::Str(s) if !s.is_empty() => s.clone(),
+        other => return Err(format!("kind must be a non-empty string, got {other:?}")),
+    };
+    let name = match field("name")? {
+        Value::Str(s) if !s.is_empty() => s.clone(),
+        other => return Err(format!("name must be a non-empty string, got {other:?}")),
+    };
+    field("body")?;
+    Ok((kind, name))
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read_dir {dir}: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("check_artifacts: no BENCH_*.json under {dir}");
+        return ExitCode::FAILURE;
+    }
+    let mut bad = 0usize;
+    for p in &paths {
+        let file = p.file_name().unwrap().to_string_lossy().into_owned();
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("check_artifacts: {file}: unreadable: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        match serde_json::value_from_str(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|v| validate(&v))
+        {
+            Ok((kind, name)) => {
+                println!("check_artifacts: {file}: ok (v{SCHEMA_VERSION} {kind}/{name})")
+            }
+            Err(why) => {
+                eprintln!("check_artifacts: {file}: INVALID: {why}");
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        println!(
+            "check_artifacts: {} artifact(s) conform to envelope v{SCHEMA_VERSION}",
+            paths.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("check_artifacts: {bad} invalid artifact(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -29,11 +29,17 @@ fn main() -> ExitCode {
     for &n in &sizes {
         let b = (n / 4).max(16);
         for kind in SchemeKind::all() {
-            for k in [1usize, 4] {
-                let opts = AbftOptions::default().with_interval(k);
+            // K sweeps the verification interval on one device; D sweeps
+            // the 2D block-cyclic grid (sharding pins K = 1 — see
+            // DESIGN.md §12).
+            for (k, d) in [(1usize, 1usize), (4, 1), (1, 2), (1, 4)] {
+                let mut opts = AbftOptions::default().with_interval(k);
+                if d > 1 {
+                    opts = opts.with_shard(hchol_core::options::ShardOptions::new(d));
+                }
                 let chk = check_scheme_plan(kind, &profile, n, b, &opts);
                 println!(
-                    "plan_check: {} n={n} b={b} K={k}: {} nodes, {} edges, {}",
+                    "plan_check: {} n={n} b={b} K={k} D={d}: {} nodes, {} edges, {}",
                     kind.name(),
                     chk.nodes,
                     chk.edges,

@@ -26,9 +26,17 @@
 //!   last write.
 //! * **Offline** — no mid-run obligations; every written tile must be
 //!   covered by the final sweep after its last write.
+//! * **Sharded plans (all schemes)** — every consumer of remotely-owned
+//!   panel data (a `GemmShard`/`TrsmShard`/cross-row checksum update whose
+//!   access declares a [`VirtRes::ShardRecv`]) must have an ancestor
+//!   [`TaskKind::DeviceRecv`] for that `(iteration, payload, device)`, and
+//!   that receive must itself descend from the owner's matching
+//!   [`TaskKind::DeviceSend`]. A consumer ordered only by stream luck — a
+//!   send without a receive on its path — is a cross-device RAW race on
+//!   every schedule the executor is allowed to pick.
 
 use hchol_core::options::AbftOptions;
-use hchol_core::plan::{FactorPlan, NodeId, SweepKind, TaskKind};
+use hchol_core::plan::{FactorPlan, NodeId, ShardXfer, SweepKind, TaskKind, VirtRes};
 use hchol_core::schemes::SchemeKind;
 use hchol_gpusim::BufferId;
 use std::collections::HashMap;
@@ -62,6 +70,20 @@ pub enum PlanViolation {
         /// How many encodes the plan carries.
         count: usize,
     },
+    /// A cross-device consumer is not ordered behind a matching
+    /// send→receive chain (sharded plans only).
+    MissingTransferEdge {
+        /// The consuming node (debug-rendered task).
+        consumer: String,
+        /// Position of the consumer in the authored order.
+        pos: usize,
+        /// The iteration whose panel data crosses devices.
+        iter: usize,
+        /// What the broadcast carries (`RowPanel` / `Diag`).
+        what: ShardXfer,
+        /// The consuming device.
+        dev: usize,
+    },
 }
 
 impl PlanViolation {
@@ -72,6 +94,7 @@ impl PlanViolation {
             PlanViolation::MissingFinalVerify { .. } => "missing_final_verify",
             PlanViolation::MissingEncode => "missing_encode",
             PlanViolation::DuplicateEncode { .. } => "duplicate_encode",
+            PlanViolation::MissingTransferEdge { .. } => "missing_transfer_edge",
         }
     }
 }
@@ -95,6 +118,17 @@ impl fmt::Display for PlanViolation {
             PlanViolation::DuplicateEncode { count } => {
                 write!(f, "{count} encode nodes (expected exactly one)")
             }
+            PlanViolation::MissingTransferEdge {
+                consumer,
+                pos,
+                iter,
+                what,
+                dev,
+            } => write!(
+                f,
+                "`{consumer}` at order position {pos} consumes the iteration-{iter} \
+                 {what:?} on device {dev} without an ancestor DeviceSend→DeviceRecv chain"
+            ),
         }
     }
 }
@@ -171,7 +205,11 @@ impl Ancestors {
 fn is_factorization(kind: &TaskKind) -> bool {
     matches!(
         kind,
-        TaskKind::Syrk { .. } | TaskKind::GemmPanel { .. } | TaskKind::TrsmPanel { .. }
+        TaskKind::Syrk { .. }
+            | TaskKind::GemmPanel { .. }
+            | TaskKind::TrsmPanel { .. }
+            | TaskKind::GemmShard { .. }
+            | TaskKind::TrsmShard { .. }
     )
 }
 
@@ -198,6 +236,22 @@ pub fn check_plan(kind: SchemeKind, plan: &FactorPlan, opts: &AbftOptions) -> Pl
     for (p, &id) in order.iter().enumerate() {
         if let TaskKind::VerifyBatch { tiles, sweep, .. } = &plan.node(id).kind {
             verifies.push((p, tiles.clone(), *sweep));
+        }
+    }
+
+    // Broadcast endpoints of a sharded plan: one send per (iteration,
+    // payload), one receive per (iteration, payload, consuming device).
+    let mut sends: HashMap<(usize, ShardXfer), usize> = HashMap::new();
+    let mut recvs: HashMap<(usize, ShardXfer, usize), usize> = HashMap::new();
+    for (p, &id) in order.iter().enumerate() {
+        match plan.node(id).kind {
+            TaskKind::DeviceSend { j, what, .. } => {
+                sends.insert((j, what), p);
+            }
+            TaskKind::DeviceRecv { j, what, to } => {
+                recvs.insert((j, what, to), p);
+            }
+            _ => {}
         }
     }
 
@@ -253,6 +307,26 @@ pub fn check_plan(kind: SchemeKind, plan: &FactorPlan, opts: &AbftOptions) -> Pl
             }
         }
 
+        // Cross-device obligation: a declared remote-panel consumption must
+        // sit behind its receive, which must sit behind the owner's send.
+        for vr in &accesses.virt_reads {
+            let &VirtRes::ShardRecv(j, what, dev) = vr else {
+                continue;
+            };
+            let ordered = recvs.get(&(j, what, dev)).is_some_and(|&rp| {
+                anc.reaches(rp, p) && sends.get(&(j, what)).is_some_and(|&sp| anc.reaches(sp, rp))
+            });
+            if !ordered {
+                violations.push(PlanViolation::MissingTransferEdge {
+                    consumer: format!("{:?}", node.kind),
+                    pos: p,
+                    iter: j,
+                    what,
+                    dev,
+                });
+            }
+        }
+
         if is_data_writer(&node.kind) {
             for t in &accesses.tiles.writes {
                 if t.buf == mat {
@@ -299,6 +373,7 @@ pub fn check_plan(kind: SchemeKind, plan: &FactorPlan, opts: &AbftOptions) -> Pl
         PlanViolation::MissingFinalVerify { tile, .. } => (1, 0, *tile),
         PlanViolation::MissingEncode => (2, 0, (0, 0)),
         PlanViolation::DuplicateEncode { .. } => (3, 0, (0, 0)),
+        PlanViolation::MissingTransferEdge { pos, iter, dev, .. } => (4, *pos, (*iter, *dev)),
     });
     PlanCheck {
         scheme: kind,
@@ -318,8 +393,14 @@ pub fn check_scheme_plan(
     b: usize,
     opts: &AbftOptions,
 ) -> PlanCheck {
-    let placement =
-        hchol_core::decision::choose(opts.placement, profile, n, b, opts.verify_interval);
+    // Sharded runs pin checksum updating to the owning GPU exactly as
+    // `run_scheme` does; otherwise the analytic model decides.
+    let sharded = opts.shard.as_ref().is_some_and(|s| s.devices > 1);
+    let placement = if sharded {
+        hchol_core::options::ChecksumPlacement::Gpu
+    } else {
+        hchol_core::decision::choose(opts.placement, profile, n, b, opts.verify_interval)
+    };
     let mut resolved = opts.clone();
     resolved.placement = placement;
     let plan = hchol_core::plan::for_scheme(kind, n / b, &resolved, false);
@@ -462,6 +543,73 @@ mod tests {
         );
         // The unmutated fused plan stays clean — the edge was load-bearing.
         assert!(check_plan(SchemeKind::Enhanced, &plan, &opts).is_clean());
+    }
+
+    /// Sharded plans (2D block-cyclic split, broadcast nodes, per-owner
+    /// verify pairs, parity refreshes) satisfy the same per-scheme ABFT
+    /// contract as the single-device plans, plus the cross-device
+    /// send→receive ordering rule, purely through their dependency edges.
+    #[test]
+    fn sharded_plans_are_clean_for_all_schemes() {
+        for kind in SchemeKind::all() {
+            for nt in [4usize, 8, 13] {
+                for d in [2usize, 4] {
+                    let opts =
+                        resolved_opts().with_shard(hchol_core::options::ShardOptions::new(d));
+                    let plan = for_scheme(kind, nt, &opts, false);
+                    assert!(
+                        plan.order()
+                            .iter()
+                            .any(|&id| matches!(plan.node(id).kind, TaskKind::GemmShard { .. })),
+                        "{} nt={nt} D={d}: plan was not sharded",
+                        kind.name()
+                    );
+                    let chk = check_plan(kind, &plan, &opts);
+                    assert!(
+                        chk.is_clean(),
+                        "{} nt={nt} D={d}:\n{}",
+                        kind.name(),
+                        chk.render_text()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mutation control for the sharded rule: sever the out-edges of one
+    /// row-panel `DeviceRecv` — its device's GEMM shard (and the cross-row
+    /// checksum updates behind it) lose their ordering on the broadcast,
+    /// which is exactly a cross-device RAW race under a reordering
+    /// executor. The checker must flag the missing transfer edge.
+    #[test]
+    fn dropped_transfer_edge_is_flagged() {
+        use hchol_core::plan::ShardXfer;
+        let opts = resolved_opts().with_shard(hchol_core::options::ShardOptions::new(2));
+        let plan = for_scheme(SchemeKind::Offline, 8, &opts, false);
+        let victim = plan
+            .find(|n| {
+                matches!(
+                    n.kind,
+                    TaskKind::DeviceRecv {
+                        what: ShardXfer::RowPanel,
+                        ..
+                    } if n.iter >= Some(2)
+                )
+            })
+            .expect("a row-panel recv exists");
+        let mut mutated = plan.clone();
+        mutated.drop_edges_from(victim);
+        let chk = check_plan(SchemeKind::Offline, &mutated, &opts);
+        assert!(
+            chk.violations
+                .iter()
+                .any(|v| v.kind() == "missing_transfer_edge"),
+            "expected a missing transfer edge, got:\n{}",
+            chk.render_text()
+        );
+        // The unmutated sharded plan stays clean — the edge was
+        // load-bearing.
+        assert!(check_plan(SchemeKind::Offline, &plan, &opts).is_clean());
     }
 
     /// Mutation control: removing the encode breaks every scheme's

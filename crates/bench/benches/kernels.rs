@@ -337,7 +337,8 @@ fn main() {
         "\ngemm blocked/naive speedup at n=1024: {:.2}x",
         report.speedup_gemm_n1024
     );
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let env = hchol_obs::envelope("bench", "kernels", serde::Serialize::to_value(&report));
+    let json = serde_json::to_string_pretty(&env).expect("serialize report");
     // Anchor to the workspace root: cargo runs benches from the package dir.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, json).expect("write BENCH_kernels.json");

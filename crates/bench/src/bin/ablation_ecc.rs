@@ -91,7 +91,10 @@ fn main() {
             })
             .collect();
         let reached = surviving.len();
-        let plan = FaultPlan { faults: surviving };
+        let plan = FaultPlan {
+            faults: surviving,
+            ..FaultPlan::default()
+        };
         let opts = AbftOptions {
             // "ABFT off" = never verify (K beyond the iteration count) and
             // never restart: errors sail through, exactly like an

@@ -137,7 +137,8 @@ fn main() {
         balance,
         results,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let env = hchol_obs::envelope("bench", "balance", serde::Serialize::to_value(&report));
+    let json = serde_json::to_string_pretty(&env).expect("serialize report");
     // Anchor to the workspace root: cargo runs binaries from their cwd.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_balance.json");
     std::fs::write(path, json).expect("write BENCH_balance.json");

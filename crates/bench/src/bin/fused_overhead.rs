@@ -109,7 +109,8 @@ fn main() {
         quick,
         results,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let env = hchol_obs::envelope("bench", "fused", serde::Serialize::to_value(&report));
+    let json = serde_json::to_string_pretty(&env).expect("serialize report");
     // Anchor to the workspace root: cargo runs binaries from their cwd.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fused.json");
     std::fs::write(path, json).expect("write BENCH_fused.json");

@@ -558,6 +558,259 @@ pub fn trsm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
     );
 }
 
+/// Device-local slice of the panel GEMM (sharded plans): update only the
+/// panel rows homed on the executing device. Per-tile numerics are
+/// identical to [`gemm_panel`]'s, so the union of every device's shard
+/// reproduces the single-device panel bit-for-bit.
+///
+/// The caller (the plan executor) steers `lay.s_comp` to the executing
+/// device's compute stream and orders the launch behind the row-panel
+/// broadcast receive when the device is not the panel owner.
+pub fn gemm_shard(ctx: &mut SimContext, lay: &CholLayout, j: usize, dev: usize, rows: &[usize]) {
+    if j == 0 || rows.is_empty() {
+        return;
+    }
+    let f = lay.charge(flops::gemm(rows.len() * lay.b, lay.b, j * lay.b));
+    let mat = lay.mat;
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for &i in rows {
+        writes.push(TileRef::new(mat, i, j));
+        reads.push(TileRef::new(mat, i, j));
+        for k in 0..j {
+            reads.push(TileRef::new(mat, i, k));
+        }
+    }
+    for k in 0..j {
+        reads.push(TileRef::new(mat, j, k));
+    }
+    let rows = rows.to_vec();
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("GEMM j={j} d={dev}"),
+            KernelClass::Blas3,
+            f,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(reads, writes)),
+        move |mem| {
+            let m = mem.buf_mut(mat);
+            for &i in &rows {
+                for k in 0..j {
+                    let ljk = m.tile(j, k).clone();
+                    let (tij, lik) = m.tile_pair((i, j), (i, k));
+                    gemm(Trans::No, Trans::Yes, -1.0, lik, &ljk, 1.0, tij);
+                }
+            }
+        },
+    );
+}
+
+/// Device-local slice of the panel TRSM (sharded plans); see
+/// [`gemm_shard`] for the steering contract.
+pub fn trsm_shard(ctx: &mut SimContext, lay: &CholLayout, j: usize, dev: usize, rows: &[usize]) {
+    if rows.is_empty() {
+        return;
+    }
+    let f = lay.charge(flops::trsm(lay.b, rows.len() * lay.b));
+    let mat = lay.mat;
+    let mut reads = vec![TileRef::new(mat, j, j)];
+    let mut writes = Vec::new();
+    for &i in rows {
+        reads.push(TileRef::new(mat, i, j));
+        writes.push(TileRef::new(mat, i, j));
+    }
+    let rows = rows.to_vec();
+    ctx.launch(
+        lay.s_comp,
+        KernelDesc::new(
+            format!("TRSM j={j} d={dev}"),
+            KernelClass::Trsm,
+            f,
+            WorkCategory::Factorization,
+        )
+        .with_access(AccessSet::new(reads, writes)),
+        move |mem| {
+            let m = mem.buf_mut(mat);
+            for &i in &rows {
+                let (tij, ljj) = m.tile_pair((i, j), (j, j));
+                trsm(
+                    Side::Right,
+                    Uplo::Lower,
+                    Trans::Yes,
+                    Diag::NonUnit,
+                    1.0,
+                    ljj,
+                    tij,
+                );
+            }
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shard parity (device-loss protection)
+// ---------------------------------------------------------------------------
+
+/// XOR two equally-shaped tiles' IEEE-754 bit patterns into `acc`.
+fn xor_tile_into(acc: &mut Matrix, src: &Matrix, rows: usize, cols: usize) {
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = acc.get(r, c).to_bits() ^ src.get(r, c).to_bits();
+            acc.set(r, c, f64::from_bits(x));
+        }
+    }
+}
+
+/// Refresh one XOR-parity group of column `j`: parity tile `g` of the
+/// column's parity buffers becomes the bitwise XOR of the member tiles
+/// `(i, j)` (matrix and checksum) for `i ∈ rows`. Launched on `stream` —
+/// the parity home device's checksum stream; the caller orders the launch
+/// behind the member devices' link transfers. Bitwise XOR is exact, so a
+/// later reconstruction restores the member bit-for-bit.
+#[allow(clippy::too_many_arguments)] // parity-group coordinates are the signature
+pub fn shard_parity_xor(
+    ctx: &mut SimContext,
+    lay: &CholLayout,
+    par_mat: BufferId,
+    par_chk: BufferId,
+    stream: StreamId,
+    j: usize,
+    g: usize,
+    rows: &[usize],
+) {
+    if rows.is_empty() {
+        return;
+    }
+    // One pass over every member element, mat + chk.
+    let f = lay.charge(rows.len() as u64 * ((lay.b * lay.b) as u64 + 2 * lay.b as u64));
+    let (mat, b) = (lay.mat, lay.b);
+    let cks: Vec<BufferId> = rows.iter().map(|&i| lay.cks[i]).collect();
+    let mut reads = Vec::new();
+    for &i in rows {
+        reads.push(TileRef::new(mat, i, j));
+        reads.push(TileRef::new(lay.cks[i], 0, j));
+    }
+    let writes = vec![TileRef::new(par_mat, g, 0), TileRef::new(par_chk, 0, g)];
+    let rows = rows.to_vec();
+    ctx.launch(
+        stream,
+        KernelDesc::new(
+            format!("PAR j={j} g={g}"),
+            KernelClass::Light,
+            f,
+            WorkCategory::ChecksumUpdate,
+        )
+        .with_access(AccessSet::new(reads, writes)),
+        move |mem| {
+            // Zero, then fold each member in. Ragged edge tiles XOR into
+            // the top-left region of the full-size parity tile.
+            for (which, pg) in [(par_mat, (g, 0)), (par_chk, (0, g))] {
+                let p = mem.buf_mut(which).tile_mut(pg.0, pg.1);
+                let (pr, pc) = p.shape();
+                for r in 0..pr {
+                    for c in 0..pc {
+                        p.set(r, c, 0.0);
+                    }
+                }
+            }
+            for (idx, &i) in rows.iter().enumerate() {
+                {
+                    let (p, m) = mem.buf_pair_mut(par_mat, mat);
+                    let t = m.tile(i, j);
+                    let (tr, tc) = t.shape();
+                    xor_tile_into(p.tile_mut(g, 0), t, tr.min(b), tc.min(b));
+                }
+                {
+                    let (p, ck) = mem.buf_pair_mut(par_chk, cks[idx]);
+                    let t = ck.tile(0, j);
+                    let (tr, tc) = t.shape();
+                    xor_tile_into(p.tile_mut(0, g), t, tr, tc.min(b));
+                }
+            }
+        },
+    );
+}
+
+/// Reconstruct the lost member `lost_row` of one parity group of column
+/// `j` from the parity tile and the surviving members (bitwise-exact
+/// XOR). Launched on `stream` — a surviving device's checksum stream;
+/// the caller orders it behind the link transfers that gathered the
+/// survivors and counts the reconstructed tiles.
+#[allow(clippy::too_many_arguments)] // parity-group coordinates are the signature
+pub fn shard_reconstruct(
+    ctx: &mut SimContext,
+    lay: &CholLayout,
+    par_mat: BufferId,
+    par_chk: BufferId,
+    stream: StreamId,
+    j: usize,
+    g: usize,
+    lost_row: usize,
+    survivors: &[usize],
+) {
+    let f = lay.charge((1 + survivors.len() as u64) * ((lay.b * lay.b) as u64 + 2 * lay.b as u64));
+    let (mat, b) = (lay.mat, lay.b);
+    let lost_cks = lay.cks[lost_row];
+    let cks: Vec<BufferId> = survivors.iter().map(|&i| lay.cks[i]).collect();
+    let mut reads = vec![TileRef::new(par_mat, g, 0), TileRef::new(par_chk, 0, g)];
+    for &i in survivors {
+        reads.push(TileRef::new(mat, i, j));
+        reads.push(TileRef::new(lay.cks[i], 0, j));
+    }
+    let writes = vec![TileRef::new(mat, lost_row, j), TileRef::new(lost_cks, 0, j)];
+    let survivors = survivors.to_vec();
+    ctx.launch(
+        stream,
+        KernelDesc::new(
+            format!("REBUILD ({lost_row},{j})"),
+            KernelClass::Light,
+            f,
+            WorkCategory::ChecksumUpdate,
+        )
+        .with_access(AccessSet::new(reads, writes)),
+        move |mem| {
+            // lost = parity ⊕ (⊕ survivors), element-wise on the bits.
+            {
+                let (m, p) = mem.buf_pair_mut(mat, par_mat);
+                let t = m.tile_mut(lost_row, j);
+                let (tr, tc) = t.shape();
+                let (tr, tc) = (tr.min(b), tc.min(b));
+                let par = p.tile(g, 0);
+                for r in 0..tr {
+                    for c in 0..tc {
+                        t.set(r, c, par.get(r, c));
+                    }
+                }
+                for &i in &survivors {
+                    let (lost, src) = m.tile_pair((lost_row, j), (i, j));
+                    let (sr, sc) = src.shape();
+                    xor_tile_into(lost, src, sr.min(tr), sc.min(tc));
+                }
+            }
+            {
+                let (ck, p) = mem.buf_pair_mut(lost_cks, par_chk);
+                let t = ck.tile_mut(0, j);
+                let (tr, tc) = t.shape();
+                let tc = tc.min(b);
+                let par = p.tile(0, g);
+                for r in 0..tr {
+                    for c in 0..tc {
+                        t.set(r, c, par.get(r, c));
+                    }
+                }
+            }
+            for &ck in &cks {
+                let (lost, src) = mem.buf_pair_mut(lost_cks, ck);
+                let t = src.tile(0, j);
+                let (tr, tc) = t.shape();
+                xor_tile_into(lost.tile_mut(0, j), t, tr, tc.min(b));
+            }
+        },
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Checksum operations
 // ---------------------------------------------------------------------------

@@ -99,6 +99,49 @@ impl BalanceOptions {
     }
 }
 
+/// Configuration of multi-device sharding ([`crate::plan::shard`]): the
+/// factorization's tiles are distributed row-cyclically over `devices`
+/// simulated GPUs, with explicit peer-link broadcast nodes for the panel
+/// and diagonal traffic and XOR parity for checksum-based device-loss
+/// recovery. See DESIGN.md §12.
+///
+/// Known non-compositions (refused with an error by the scheme runners):
+/// sharding does not compose with the runtime feedback balancer
+/// (`balance`) — the controller's placement migration and plan rewrite
+/// are single-device — nor with `chk_fused` (the fused epilogue deposits
+/// checksums on the producing device, but a tile's checksum row lives on
+/// the tile-row owner). Sharding with `devices > 1` also pins checksum
+/// updating to the GPU: `ChecksumPlacement::Auto` resolves to `Gpu`, and
+/// an explicit `Cpu`/`Inline` request is refused.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ShardOptions {
+    /// Number of devices `D` (clamped to ≥ 1). `D = 1` is a complete
+    /// no-op: plan, schedule, and report stay byte-identical to the
+    /// unsharded run.
+    pub devices: usize,
+    /// Test-only mutation control: drop the receive-side event sync of
+    /// cross-device broadcasts, so consumers on other devices no longer
+    /// wait for the peer-link transfer. Proves the schedule analyzer's
+    /// cross-device RAW detection fires; never set outside tests.
+    pub drop_recv_sync: bool,
+}
+
+impl ShardOptions {
+    /// Sharding over `devices` GPUs.
+    pub fn new(devices: usize) -> Self {
+        ShardOptions {
+            devices: devices.max(1),
+            drop_recv_sync: false,
+        }
+    }
+
+    /// Builder (tests only): drop receive-side broadcast ordering.
+    pub fn with_drop_recv_sync(mut self, on: bool) -> Self {
+        self.drop_recv_sync = on;
+        self
+    }
+}
+
 /// Configuration for the ABFT schemes.
 #[derive(Debug, Clone)]
 pub struct AbftOptions {
@@ -149,6 +192,9 @@ pub struct AbftOptions {
     /// compose with `chk_fused` (the fused rewrite and the mid-run `K`
     /// rewrite would fight over the same verify batches).
     pub balance: Option<BalanceOptions>,
+    /// Multi-device sharding (`None` = single device, the byte-stable
+    /// default). See [`ShardOptions`] for what it composes with.
+    pub shard: Option<ShardOptions>,
 }
 
 impl Default for AbftOptions {
@@ -165,6 +211,7 @@ impl Default for AbftOptions {
             chk_fused: false,
             report_recalc_secs: false,
             balance: None,
+            shard: None,
         }
     }
 }
@@ -217,6 +264,12 @@ impl AbftOptions {
         self
     }
 
+    /// Builder: enable multi-device sharding.
+    pub fn with_shard(mut self, s: ShardOptions) -> Self {
+        self.shard = Some(s);
+        self
+    }
+
     /// Builder: all optimizations off (the paper's unoptimized baseline).
     pub fn unoptimized() -> Self {
         AbftOptions {
@@ -245,6 +298,19 @@ mod tests {
         assert!(!o.chk_fused);
         // Balancing is opt-in: default-path reports stay byte-identical.
         assert!(o.balance.is_none());
+        // So is sharding.
+        assert!(o.shard.is_none());
+    }
+
+    #[test]
+    fn shard_builder_clamps_devices() {
+        let s = ShardOptions::new(0);
+        assert_eq!(s.devices, 1);
+        assert!(!s.drop_recv_sync);
+        let o = AbftOptions::default().with_shard(ShardOptions::new(4));
+        assert_eq!(o.shard.as_ref().unwrap().devices, 4);
+        let s = ShardOptions::new(2).with_drop_recv_sync(true);
+        assert!(s.drop_recv_sync);
     }
 
     #[test]

@@ -23,13 +23,14 @@
 //!   plans' enqueued device work.
 
 use super::balance::BalanceController;
+use super::shard_rt::ShardRuntime;
 use super::{DriveStyle, FactorPlan, NodeId, ScopeId, SweepKind, TaskKind, UpdateOp};
 use crate::decision;
 use crate::ops;
 use crate::options::AbftOptions;
 use crate::schemes::{AttemptCtx, AttemptEnd, SchemeKind};
 use crate::verify::VerifyOutcome;
-use hchol_faults::Injector;
+use hchol_faults::{InjectionPoint, Injector};
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, IssuePolicy, SimContext, SimTime};
 use hchol_matrix::MatrixError;
@@ -173,6 +174,7 @@ fn step(
     a: &mut AttemptCtx<'_>,
     cfg: &ExecConfig,
     st: &mut ExecState,
+    rt: &mut Option<ShardRuntime>,
     id: NodeId,
 ) -> Result<StepOut, MatrixError> {
     transition(plan, a, cfg, st, id)?;
@@ -183,9 +185,27 @@ fn step(
         inj,
         opts,
     } = a;
+    // Sharded plans: point the layout's stream fields at the acting
+    // shard's stream set before the node runs.
+    if let Some(r) = rt.as_mut() {
+        let tgt = r.target_shard(plan, id);
+        r.steer(lay, tgt);
+    }
     match &plan.node(id).kind {
-        TaskKind::Encode => ops::encode_all(ctx, lay, opts),
-        TaskKind::FaultPoint(p) => ops::poll_faults(ctx, lay, inj, *p),
+        TaskKind::Encode => {
+            ops::encode_all(ctx, lay, opts);
+            if let Some(r) = rt.as_mut() {
+                r.init_parity(ctx, lay);
+            }
+        }
+        TaskKind::FaultPoint(p) => {
+            if let (Some(r), InjectionPoint::IterStart { iter }) = (rt.as_mut(), p) {
+                if let Some(loss) = inj.take_device_loss(*iter) {
+                    r.recover_device_loss(ctx, lay, inj, opts, loss);
+                }
+            }
+            ops::poll_faults(ctx, lay, inj, *p)
+        }
         TaskKind::Syrk {
             j,
             propagate,
@@ -315,7 +335,48 @@ fn step(
                 }
             }
         }
-        TaskKind::MarkPanelReady => ops::mark_panel_ready(ctx, lay),
+        TaskKind::DeviceSend { j, what, from } => {
+            let r = rt.as_mut().expect("DeviceSend in an unsharded run");
+            r.broadcast(ctx, lay, *j, *what, *from);
+        }
+        TaskKind::DeviceRecv { j, what, to } => {
+            let r = rt.as_mut().expect("DeviceRecv in an unsharded run");
+            r.recv(ctx, *j, *what, *to);
+        }
+        TaskKind::GemmShard { j, dev, propagate } => {
+            let spec = plan.shard.expect("GemmShard in an unsharded plan");
+            let rows = spec.panel_rows(plan.nt, *j, *dev);
+            ops::gemm_shard(ctx, lay, *j, *dev, &rows);
+            if *propagate {
+                ops::propagate_gemm(inj, lay.nt, *j);
+            }
+        }
+        TaskKind::TrsmShard { j, dev, propagate } => {
+            let spec = plan.shard.expect("TrsmShard in an unsharded plan");
+            if *dev == spec.owner(*j) {
+                // The owner's compute stream must wait for the diagonal's
+                // return on its own transfer stream; remote shards were
+                // already ordered by their DeviceRecv.
+                let diag_back = ctx.record_event(lay.s_tran);
+                ctx.stream_wait_event(lay.s_comp, diag_back);
+            }
+            let rows = spec.panel_rows(plan.nt, *j, *dev);
+            ops::trsm_shard(ctx, lay, *j, *dev, &rows);
+            if *propagate {
+                ops::propagate_trsm(inj, lay.nt, *j);
+            }
+        }
+        TaskKind::ShardParity { j } => {
+            let r = rt.as_mut().expect("ShardParity in an unsharded run");
+            r.refresh_column_parity(ctx, lay, *j);
+        }
+        TaskKind::MarkPanelReady => {
+            if let Some(r) = rt.as_mut() {
+                r.mark_panels_ready(ctx, lay);
+            } else {
+                ops::mark_panel_ready(ctx, lay);
+            }
+        }
         TaskKind::MirrorPanel { j } => ops::cpu_mirror_panel(ctx, lay, *j),
         TaskKind::FlushMirror => ops::flush_mirror(ctx, lay),
         TaskKind::Drain => {
@@ -342,6 +403,24 @@ pub(crate) fn run_attempt(
     a: &mut AttemptCtx<'_>,
     cfg: &ExecConfig,
 ) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
+    let mut rt = plan
+        .shard
+        .map(|spec| ShardRuntime::new(a.ctx, a.lay, spec, a.opts));
+    let out = run_attempt_inner(plan, a, cfg, &mut rt);
+    // Leave the layout pointing at shard 0's streams (the originals), so
+    // post-attempt work — extraction, restart reload — stays well-formed.
+    if let Some(r) = rt.as_mut() {
+        r.steer(a.lay, 0);
+    }
+    out
+}
+
+fn run_attempt_inner(
+    plan: &FactorPlan,
+    a: &mut AttemptCtx<'_>,
+    cfg: &ExecConfig,
+    rt: &mut Option<ShardRuntime>,
+) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
     let positions: Vec<usize> = if cfg.policy == IssuePolicy::InOrder {
         (0..plan.len()).collect()
     } else {
@@ -359,7 +438,7 @@ pub(crate) fn run_attempt(
     let mut st = ExecState::new();
     let order = plan.order();
     for &pos in &positions {
-        match step(plan, a, cfg, &mut st, order[pos]) {
+        match step(plan, a, cfg, &mut st, rt, order[pos]) {
             Ok(StepOut::Continue) => {}
             Ok(StepOut::Restart) => return Ok((AttemptEnd::Restart, st.vo)),
             Err(e) => return Err(e),
@@ -440,6 +519,11 @@ pub(crate) fn run_attempt_balanced(
         IssuePolicy::InOrder,
         "balanced runs execute in-order"
     );
+    assert!(
+        plan.shard.is_none(),
+        "the balance controller does not compose with sharding"
+    );
+    let mut rt = None;
     let mut st = ExecState::new();
     let mut pos = 0usize;
     let mut woken: Option<usize> = None;
@@ -457,7 +541,7 @@ pub(crate) fn run_attempt_balanced(
         // Re-read the position: a rewrite may have inserted a check right
         // here (in front of the old node), and that check runs first.
         let id = plan.order()[pos];
-        match step(plan, a, cfg, &mut st, id) {
+        match step(plan, a, cfg, &mut st, &mut rt, id) {
             Ok(StepOut::Continue) => {}
             Ok(StepOut::Restart) => return Ok((AttemptEnd::Restart, st.vo)),
             Err(e) => return Err(e),
@@ -538,6 +622,10 @@ pub fn run_batch(
         resolved.placement = placement;
         let lay = ops::setup_batch(&mut ctx, r.n, r.b, true, placement, None)?;
         let plan = super::for_scheme(r.kind, lay.nt, &resolved, false);
+        assert!(
+            plan.shard.is_none(),
+            "batched runs do not compose with sharding"
+        );
         ctx.obs.metrics.add_count("plan.nodes", plan.len() as u64);
         ctx.obs
             .metrics
@@ -556,6 +644,7 @@ pub fn run_batch(
     let mut injs: Vec<Injector> = (0..plans.len()).map(|_| Injector::inert()).collect();
     let mut states: Vec<ExecState> = (0..plans.len()).map(|_| ExecState::new()).collect();
     let mut halted = vec![false; plans.len()];
+    let mut no_shard = None;
     for (p, pos) in hchol_gpusim::round_robin(&orders) {
         if halted[p] {
             continue;
@@ -568,7 +657,7 @@ pub fn run_batch(
             inj: &mut injs[p],
             opts: resolved,
         };
-        match step(plan, &mut a, &cfg, &mut states[p], id)? {
+        match step(plan, &mut a, &cfg, &mut states[p], &mut no_shard, id)? {
             StepOut::Continue => {}
             // Clean batched runs don't restart; an uncorrectable outcome
             // (only possible with real corruption) just halts that plan.

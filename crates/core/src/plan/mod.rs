@@ -26,6 +26,8 @@
 pub mod balance;
 pub mod exec;
 pub mod policy;
+pub mod shard;
+mod shard_rt;
 pub mod skeleton;
 
 use crate::ops;
@@ -68,6 +70,19 @@ pub enum DriveStyle {
     /// CULA-style: every step drains the device before the next
     /// (synchronous `cudaMemcpy`-era driving), POTF2 before the GEMM.
     Synchronous,
+}
+
+/// What a cross-device broadcast ([`TaskKind::DeviceSend`] /
+/// [`TaskKind::DeviceRecv`]) carries in a sharded plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardXfer {
+    /// Row panel of iteration `j`: tiles `(j, 0..j)`, finalized by earlier
+    /// iterations on the row owner and read by every other device's GEMM
+    /// shard and cross-row checksum updates.
+    RowPanel,
+    /// The factorized diagonal block `(j, j)`, read by every other
+    /// device's TRSM shard and cross-row TRSM checksum updates.
+    Diag,
 }
 
 /// One schedulable unit of a factorization attempt.
@@ -154,6 +169,57 @@ pub enum TaskKind {
         /// recalculation scratch pool.
         fused: bool,
     },
+    /// Broadcast `what` of iteration `j` from its owner device `from` to
+    /// every other device over the peer links (sharded plans only).
+    DeviceSend {
+        /// Outer iteration.
+        j: usize,
+        /// Payload.
+        what: ShardXfer,
+        /// Sending (owner) device.
+        from: usize,
+    },
+    /// Order device `to`'s future work behind the matching
+    /// [`TaskKind::DeviceSend`] broadcast (sharded plans only). A consumer
+    /// on a non-owner device without an ancestor `DeviceRecv` is a
+    /// cross-device RAW race.
+    DeviceRecv {
+        /// Outer iteration.
+        j: usize,
+        /// Payload.
+        what: ShardXfer,
+        /// Receiving device.
+        to: usize,
+    },
+    /// Device `dev`'s slice of the panel GEMM of iteration `j`: the rows
+    /// `i ∈ (j, nt)` with `owner(i) = dev` (sharded plans only).
+    GemmShard {
+        /// Outer iteration.
+        j: usize,
+        /// Executing device.
+        dev: usize,
+        /// Mirror the whole panel's operation in the injector's ledger
+        /// (set on the last shard of the iteration only).
+        propagate: bool,
+    },
+    /// Device `dev`'s slice of the panel TRSM of iteration `j` (sharded
+    /// plans only).
+    TrsmShard {
+        /// Outer iteration.
+        j: usize,
+        /// Executing device.
+        dev: usize,
+        /// Mirror the whole panel's operation in the injector's ledger
+        /// (set on the last shard of the iteration only).
+        propagate: bool,
+    },
+    /// Refresh the XOR parity of column `j` (matrix and checksum tiles)
+    /// after its finalizing iteration, so a later device loss can
+    /// reconstruct the column's lost shard exactly (sharded plans only).
+    ShardParity {
+        /// Finalized column.
+        j: usize,
+    },
     /// Record the panel-complete event checksum updates order behind.
     MarkPanelReady,
     /// Queue the CPU-placement host mirror of panel column `j`.
@@ -214,6 +280,18 @@ pub enum VirtRes {
     /// The fault injector's ledger — present only in faulted plans, where
     /// injection/propagation order must stay authored.
     Ledger,
+    /// The in-flight broadcast payload of `(iteration, what)`: written by
+    /// [`TaskKind::DeviceSend`], read by every matching
+    /// [`TaskKind::DeviceRecv`].
+    ShardMsg(usize, ShardXfer),
+    /// The receive token of `(iteration, what, device)`: written by the
+    /// device's [`TaskKind::DeviceRecv`], read by that device's consumers
+    /// of the broadcast payload — the plan edge the cross-device RAW rule
+    /// checks, and the one the mutation control severs.
+    ShardRecv(usize, ShardXfer, usize),
+    /// Column `.0`'s XOR parity state (serializes parity refreshes of one
+    /// column and orders them for the analyzers).
+    Parity(usize),
 }
 
 /// A node's declared accesses: device tiles (canonical buffer ids) plus
@@ -246,6 +324,28 @@ pub fn dpt_tile(nt: usize, bi: usize, bj: usize) -> TileRef {
     TileRef::new(BufferId(1 + nt + bi), 0, bj)
 }
 
+/// The shard grid of a sharded plan: `devices` GPUs with tile rows
+/// distributed row-cyclically (`owner(i) = i mod devices` — a `D×1`
+/// block-cyclic grid, which keeps every checksum row co-resident with its
+/// tile row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of devices `D`.
+    pub devices: usize,
+}
+
+impl ShardSpec {
+    /// Home device of tile row `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        i % self.devices
+    }
+
+    /// The rows of panel column `j` (rows `j+1..nt`) homed on `dev`.
+    pub fn panel_rows(&self, nt: usize, j: usize, dev: usize) -> Vec<usize> {
+        ((j + 1)..nt).filter(|&i| self.owner(i) == dev).collect()
+    }
+}
+
 /// A complete factorization attempt as a task graph.
 #[derive(Debug, Clone)]
 pub struct FactorPlan {
@@ -264,6 +364,9 @@ pub struct FactorPlan {
     /// Plans panel mirrors for CPU checksum placement (set by
     /// [`policy::apply_placement`]).
     pub cpu_mirrors: bool,
+    /// The shard grid, when the plan was rewritten by
+    /// [`shard::apply_shard`] (`None` = single device).
+    pub shard: Option<ShardSpec>,
     nodes: Vec<PlanNode>,
     order: Vec<NodeId>,
     scopes: Vec<ScopeSpec>,
@@ -279,6 +382,7 @@ impl FactorPlan {
             defer_potf2_error,
             faulty,
             cpu_mirrors: false,
+            shard: None,
             nodes: Vec::new(),
             order: Vec::new(),
             scopes: Vec::new(),
@@ -539,6 +643,19 @@ impl FactorPlan {
                 };
                 a.tiles = AccessSet::new(reads, writes);
                 a.virt_reads.push(VirtRes::PanelReady);
+                // Cross-row updates on a sharded plan read the broadcast
+                // row panel / diagonal of a column another device owns.
+                if let Some(s) = self.shard.filter(|s| s.devices > 1 && j > 0) {
+                    match op {
+                        UpdateOp::Gemm if s.owner(i) != s.owner(j) => a
+                            .virt_reads
+                            .push(VirtRes::ShardRecv(j, ShardXfer::RowPanel, s.owner(i))),
+                        UpdateOp::Trsm if s.owner(i) != s.owner(j) => a
+                            .virt_reads
+                            .push(VirtRes::ShardRecv(j, ShardXfer::Diag, s.owner(i))),
+                        _ => {}
+                    }
+                }
             }
             TaskKind::VerifyBatch { tiles, fused, .. } => {
                 if *fused {
@@ -572,6 +689,71 @@ impl FactorPlan {
                 }
                 a.tiles = AccessSet::new(reads, both);
                 ledger_if(true, &mut a);
+            }
+            TaskKind::DeviceSend { j, what, .. } => {
+                let j = *j;
+                let reads = match what {
+                    ShardXfer::RowPanel => (0..j).map(|k| mat_tile(j, k)).collect(),
+                    ShardXfer::Diag => vec![mat_tile(j, j)],
+                };
+                a.tiles = AccessSet::new(reads, vec![]);
+                a.virt_writes.push(VirtRes::ShardMsg(j, *what));
+            }
+            TaskKind::DeviceRecv { j, what, to } => {
+                a.virt_reads.push(VirtRes::ShardMsg(*j, *what));
+                a.virt_writes.push(VirtRes::ShardRecv(*j, *what, *to));
+            }
+            TaskKind::GemmShard { j, dev, propagate } => {
+                let j = *j;
+                let s = self.shard.expect("GemmShard only in sharded plans");
+                let rows = s.panel_rows(self.nt, j, *dev);
+                if j > 0 && !rows.is_empty() {
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    for &i in &rows {
+                        writes.push(mat_tile(i, j));
+                        reads.push(mat_tile(i, j));
+                        for k in 0..j {
+                            reads.push(mat_tile(i, k));
+                        }
+                    }
+                    for k in 0..j {
+                        reads.push(mat_tile(j, k));
+                    }
+                    a.tiles = AccessSet::new(reads, writes);
+                    if *dev != s.owner(j) {
+                        a.virt_reads
+                            .push(VirtRes::ShardRecv(j, ShardXfer::RowPanel, *dev));
+                    }
+                }
+                ledger_if(*propagate, &mut a);
+            }
+            TaskKind::TrsmShard { j, dev, propagate } => {
+                let j = *j;
+                let s = self.shard.expect("TrsmShard only in sharded plans");
+                let rows = s.panel_rows(self.nt, j, *dev);
+                if !rows.is_empty() {
+                    let mut reads = vec![mat_tile(j, j)];
+                    let mut writes = Vec::new();
+                    for &i in &rows {
+                        reads.push(mat_tile(i, j));
+                        writes.push(mat_tile(i, j));
+                    }
+                    a.tiles = AccessSet::new(reads, writes);
+                    if *dev != s.owner(j) {
+                        a.virt_reads
+                            .push(VirtRes::ShardRecv(j, ShardXfer::Diag, *dev));
+                    }
+                }
+                ledger_if(*propagate, &mut a);
+            }
+            TaskKind::ShardParity { j } => {
+                let j = *j;
+                let reads = (j..nt)
+                    .flat_map(|i| [mat_tile(i, j), chk_tile(i, j)])
+                    .collect();
+                a.tiles = AccessSet::new(reads, vec![]);
+                a.virt_writes.push(VirtRes::Parity(j));
             }
             TaskKind::MarkPanelReady => a.virt_writes.push(VirtRes::PanelReady),
             TaskKind::MirrorPanel { j } => {
@@ -716,6 +898,11 @@ pub fn for_scheme(
         policy::apply_chk_fused(&mut plan);
     }
     policy::apply_placement(&mut plan, opts.placement);
+    if let Some(s) = &opts.shard {
+        if s.devices > 1 {
+            shard::apply_shard(&mut plan, s.devices);
+        }
+    }
     plan.derive_deps();
     plan
 }

@@ -1,0 +1,376 @@
+//! The 2D block-cyclic partitioner: rewrites a policied [`FactorPlan`]
+//! for `D` simulated GPUs (see DESIGN.md §12).
+//!
+//! The grid is `D×1` row-cyclic — tile row `i` (and its checksum row
+//! `cks[i]`) lives on device `i mod D` — so every operation that stays
+//! within one tile row is device-local. What crosses devices each
+//! iteration `j` is exactly the panel traffic of the algorithm:
+//!
+//! * the **row panel** `(j, 0..j)`, produced by earlier iterations on
+//!   `owner(j)` and read by every other device's GEMM shard (and by the
+//!   cross-row GEMM checksum updates), and
+//! * the **factorized diagonal** `(j, j)`, read by every other device's
+//!   TRSM shard (and the cross-row TRSM checksum updates).
+//!
+//! Both become explicit broadcast nodes: one [`TaskKind::DeviceSend`] on
+//! the owner plus one [`TaskKind::DeviceRecv`] per consuming device,
+//! connected at the plan level through the [`super::VirtRes::ShardMsg`] /
+//! [`super::VirtRes::ShardRecv`] virtual resources (so the static checker can
+//! prove every remote consumer sits behind its receive) and at run time
+//! through recorded stream events on the modeled peer links.
+//!
+//! The panel-wide [`TaskKind::GemmPanel`] / [`TaskKind::TrsmPanel`] nodes
+//! are split into per-device [`TaskKind::GemmShard`] /
+//! [`TaskKind::TrsmShard`] slices (per-tile numerics are independent, so
+//! the factor stays bit-identical to the single-device run), verify
+//! batches are split per owner device, and each iteration ends with a
+//! [`TaskKind::ShardParity`] refresh of the column it finalized — the
+//! state device-loss recovery reconstructs from.
+
+use super::{FactorPlan, ShardSpec, ShardXfer, TaskKind};
+
+/// Rewrite `plan` for `devices` GPUs. Must run after the scheme policy
+/// and placement passes and before [`FactorPlan::derive_deps`]. Callers
+/// gate on `devices > 1` — a one-device grid is represented as an
+/// unsharded plan (`plan.shard = None`) so the byte-stable single-device
+/// path is untouched.
+pub fn apply_shard(plan: &mut FactorPlan, devices: usize) {
+    assert!(devices > 1, "apply_shard requires a multi-device grid");
+    assert!(
+        !plan.cpu_mirrors,
+        "sharding pins checksum updating to the GPU"
+    );
+    let spec = ShardSpec { devices };
+    plan.shard = Some(spec);
+    let nt = plan.nt;
+
+    for j in 0..nt {
+        let owner = spec.owner(j);
+
+        // Row-panel broadcast: right after the iteration's entry fault
+        // poll, before anything that reads row j on another device.
+        if j > 0 {
+            let consumers: Vec<usize> = (0..devices)
+                .filter(|&d| d != owner && !spec.panel_rows(nt, j, d).is_empty())
+                .collect();
+            if !consumers.is_empty() {
+                let first = plan
+                    .find(|n| n.iter == Some(j))
+                    .expect("iteration has nodes");
+                let send = plan.insert_before(
+                    first,
+                    TaskKind::DeviceSend {
+                        j,
+                        what: ShardXfer::RowPanel,
+                        from: owner,
+                    },
+                    None,
+                    Some(j),
+                );
+                let mut anchor = send;
+                for d in consumers {
+                    anchor = plan.insert_after(
+                        anchor,
+                        TaskKind::DeviceRecv {
+                            j,
+                            what: ShardXfer::RowPanel,
+                            to: d,
+                        },
+                        None,
+                        Some(j),
+                    );
+                }
+            }
+        }
+
+        // Split the panel GEMM into per-device shards at its position.
+        if let Some(g) =
+            plan.find(|n| matches!(n.kind, TaskKind::GemmPanel { j: jj, .. } if jj == j))
+        {
+            let TaskKind::GemmPanel {
+                propagate, fused, ..
+            } = plan.node(g).kind
+            else {
+                unreachable!("matched GemmPanel above")
+            };
+            assert!(!fused, "sharding does not compose with chk_fused");
+            let (scope, iter) = (plan.node(g).scope, plan.node(g).iter);
+            let with_rows: Vec<usize> = (0..devices)
+                .filter(|&d| j > 0 && !spec.panel_rows(nt, j, d).is_empty())
+                .collect();
+            let mut anchor = g;
+            for (pos, &d) in with_rows.iter().enumerate() {
+                anchor = plan.insert_after(
+                    anchor,
+                    TaskKind::GemmShard {
+                        j,
+                        dev: d,
+                        // Whole-panel ledger propagation runs once, after
+                        // every shard's numerics have executed.
+                        propagate: propagate && pos + 1 == with_rows.len(),
+                    },
+                    scope,
+                    iter,
+                );
+            }
+            plan.remove(g);
+        }
+
+        // Diagonal broadcast + per-device TRSM shards.
+        if let Some(t) =
+            plan.find(|n| matches!(n.kind, TaskKind::TrsmPanel { j: jj, .. } if jj == j))
+        {
+            let TaskKind::TrsmPanel { propagate, .. } = plan.node(t).kind else {
+                unreachable!("matched TrsmPanel above")
+            };
+            let (scope, iter) = (plan.node(t).scope, plan.node(t).iter);
+            let with_rows: Vec<usize> = (0..devices)
+                .filter(|&d| !spec.panel_rows(nt, j, d).is_empty())
+                .collect();
+            if with_rows.iter().any(|&d| d != owner) {
+                let send = plan.insert_before(
+                    t,
+                    TaskKind::DeviceSend {
+                        j,
+                        what: ShardXfer::Diag,
+                        from: owner,
+                    },
+                    scope,
+                    iter,
+                );
+                let mut anchor = send;
+                for &d in with_rows.iter().filter(|&&d| d != owner) {
+                    anchor = plan.insert_after(
+                        anchor,
+                        TaskKind::DeviceRecv {
+                            j,
+                            what: ShardXfer::Diag,
+                            to: d,
+                        },
+                        scope,
+                        iter,
+                    );
+                }
+            }
+            let mut anchor = t;
+            for (pos, &d) in with_rows.iter().enumerate() {
+                anchor = plan.insert_after(
+                    anchor,
+                    TaskKind::TrsmShard {
+                        j,
+                        dev: d,
+                        propagate: propagate && pos + 1 == with_rows.len(),
+                    },
+                    scope,
+                    iter,
+                );
+            }
+            plan.remove(t);
+        }
+    }
+
+    split_verify_pairs(plan, spec);
+
+    // Parity refresh of each finalized column, as the iteration's last
+    // node (after the TRSM checksum updates and any post-panel checks).
+    for j in 0..nt {
+        let last = plan
+            .rfind(|n| n.iter == Some(j))
+            .expect("iteration has nodes");
+        plan.insert_after(last, TaskKind::ShardParity { j }, None, Some(j));
+    }
+}
+
+/// Split every verify/correct pair whose tiles span several owner devices
+/// into one pair per device. Required for correctness, not just overlap:
+/// the recalculation stage records its data-ready events on the executing
+/// device's streams only, so a mixed-owner batch would race with writes
+/// still in flight on the other devices.
+fn split_verify_pairs(plan: &mut FactorPlan, spec: ShardSpec) {
+    for id in plan.order().to_vec() {
+        let TaskKind::VerifyBatch {
+            tiles,
+            sweep,
+            fused,
+        } = plan.node(id).kind.clone()
+        else {
+            continue;
+        };
+        assert!(!fused, "sharding does not compose with chk_fused");
+        // Group by owner, in order of first appearance (deterministic).
+        let mut groups: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        for &(bi, bj) in &tiles {
+            let d = spec.owner(bi);
+            match groups.iter_mut().find(|(gd, _)| *gd == d) {
+                Some((_, g)) => g.push((bi, bj)),
+                None => groups.push((d, vec![(bi, bj)])),
+            }
+        }
+        if groups.len() < 2 {
+            continue;
+        }
+        let pos = plan
+            .order()
+            .iter()
+            .position(|&x| x == id)
+            .expect("batch is in the order");
+        let correct = plan.order()[pos + 1];
+        assert!(
+            matches!(&plan.node(correct).kind,
+                TaskKind::Correct { tiles: ct, .. } if *ct == tiles),
+            "verify/correct pairs are adjacent"
+        );
+        let (scope, iter) = (plan.node(id).scope, plan.node(id).iter);
+        // First group shrinks the pair in place; the rest append fresh
+        // pairs right behind it, under the same scope span.
+        let first = groups[0].1.clone();
+        for nid in [id, correct] {
+            match &mut plan.node_mut(nid).kind {
+                TaskKind::VerifyBatch { tiles, .. } | TaskKind::Correct { tiles, .. } => {
+                    *tiles = first.clone();
+                }
+                _ => unreachable!("pair nodes are verify/correct"),
+            }
+        }
+        let mut anchor = correct;
+        for (_, g) in groups.into_iter().skip(1) {
+            let vb = plan.insert_after(
+                anchor,
+                TaskKind::VerifyBatch {
+                    tiles: g.clone(),
+                    sweep,
+                    fused: false,
+                },
+                scope,
+                iter,
+            );
+            anchor = plan.insert_after(
+                vb,
+                TaskKind::Correct {
+                    tiles: g,
+                    sweep,
+                    fused: false,
+                },
+                scope,
+                iter,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{AbftOptions, ChecksumPlacement};
+    use crate::plan::for_scheme;
+    use crate::schemes::SchemeKind;
+
+    fn sharded(kind: SchemeKind, nt: usize, d: usize) -> FactorPlan {
+        let opts = AbftOptions::default()
+            .with_placement(ChecksumPlacement::Gpu)
+            .with_shard(crate::options::ShardOptions::new(d));
+        for_scheme(kind, nt, &opts, false)
+    }
+
+    #[test]
+    fn panel_ops_become_per_device_shards() {
+        let plan = sharded(SchemeKind::Enhanced, 6, 2);
+        assert_eq!(plan.shard, Some(ShardSpec { devices: 2 }));
+        assert!(plan.order().iter().all(|&id| !matches!(
+            plan.node(id).kind,
+            TaskKind::GemmPanel { .. } | TaskKind::TrsmPanel { .. }
+        )));
+        // Iteration 1 updates rows 2..6 = both devices.
+        let gemm_devs: Vec<usize> = plan
+            .order()
+            .iter()
+            .filter_map(|&id| match plan.node(id).kind {
+                TaskKind::GemmShard { j: 1, dev, .. } => Some(dev),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gemm_devs, vec![0, 1]);
+    }
+
+    #[test]
+    fn broadcasts_pair_sends_with_recvs() {
+        let plan = sharded(SchemeKind::Online, 6, 3);
+        for j in 1..5 {
+            let spec = plan.shard.unwrap();
+            let send = plan
+                .find(|n| {
+                    matches!(n.kind,
+                        TaskKind::DeviceSend { j: jj, what: ShardXfer::RowPanel, .. } if jj == j)
+                })
+                .expect("row-panel send");
+            assert!(matches!(
+                plan.node(send).kind,
+                TaskKind::DeviceSend { from, .. } if from == spec.owner(j)
+            ));
+            let recvs = plan
+                .order()
+                .iter()
+                .filter(|&&id| {
+                    matches!(plan.node(id).kind,
+                        TaskKind::DeviceRecv { j: jj, what: ShardXfer::RowPanel, .. } if jj == j)
+                })
+                .count();
+            assert!(recvs >= 1, "j={j} has no row-panel recvs");
+        }
+    }
+
+    #[test]
+    fn verify_batches_are_single_owner() {
+        for kind in [
+            SchemeKind::Enhanced,
+            SchemeKind::Online,
+            SchemeKind::Offline,
+        ] {
+            let plan = sharded(kind, 8, 4);
+            let spec = plan.shard.unwrap();
+            for &id in plan.order() {
+                if let TaskKind::VerifyBatch { tiles, .. } = &plan.node(id).kind {
+                    let owners: std::collections::BTreeSet<usize> =
+                        tiles.iter().map(|&(bi, _)| spec.owner(bi)).collect();
+                    assert!(owners.len() <= 1, "{kind:?}: mixed-owner batch {tiles:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_iteration_ends_with_parity() {
+        let plan = sharded(SchemeKind::Offline, 5, 2);
+        for j in 0..5 {
+            let last = plan.rfind(|n| n.iter == Some(j)).unwrap();
+            assert!(
+                matches!(plan.node(last).kind, TaskKind::ShardParity { j: jj } if jj == j),
+                "iteration {j} does not end with its parity refresh"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_consumers_depend_on_their_recv() {
+        let plan = sharded(SchemeKind::Enhanced, 6, 2);
+        let spec = plan.shard.unwrap();
+        for &id in plan.order() {
+            if let TaskKind::GemmShard { j, dev, .. } = plan.node(id).kind {
+                if dev == spec.owner(j) {
+                    continue;
+                }
+                let recv = plan
+                    .find(|n| {
+                        matches!(n.kind,
+                            TaskKind::DeviceRecv { j: jj, what: ShardXfer::RowPanel, to }
+                                if jj == j && to == dev)
+                    })
+                    .expect("remote gemm shard has a recv");
+                assert!(
+                    plan.deps(id).contains(&recv),
+                    "GemmShard j={j} dev={dev} lacks a dependency on its DeviceRecv"
+                );
+            }
+        }
+    }
+}

@@ -134,6 +134,14 @@ impl FactorOutcome {
             r.config_kv("balance_update_interval", b.update_interval);
             r.config_kv("balance_k_bounds", format!("{}..={}", b.k_min, b.k_max));
         }
+        if let Some(s) = &self.opts.shard {
+            if s.devices > 1 {
+                r.config_kv("shard_devices", s.devices);
+                if s.drop_recv_sync {
+                    r.config_kv("shard_drop_recv_sync", true);
+                }
+            }
+        }
         r.config_kv("max_restarts", self.opts.max_restarts);
         r.config_kv("attempts", self.attempts);
         r.config_kv("failed", self.failed);
@@ -160,6 +168,42 @@ pub fn run_scheme(
     plan: FaultPlan,
     input: Option<&Matrix>,
 ) -> Result<FactorOutcome, MatrixError> {
+    // Sharding composes with neither the runtime balance controller (its
+    // feedback law and migration path assume one device) nor the fused
+    // checksum epilogues (a fused kernel cannot deposit into another
+    // device's checksum row); both refusals are documented in DESIGN.md
+    // §12. Sharding also pins checksum work to the GPUs: `Auto` resolves
+    // to `Gpu`, while an explicit host-side placement is refused.
+    let sharded = opts.shard.as_ref().is_some_and(|s| s.devices > 1);
+    if sharded {
+        if opts.balance.is_some() {
+            return Err(MatrixError::UnsupportedConfig(
+                "sharding does not compose with the runtime balance controller",
+            ));
+        }
+        if opts.chk_fused {
+            return Err(MatrixError::UnsupportedConfig(
+                "sharding does not compose with fused checksum epilogues (chk_fused)",
+            ));
+        }
+        use crate::options::ChecksumPlacement;
+        if matches!(
+            opts.placement,
+            ChecksumPlacement::Cpu | ChecksumPlacement::Inline
+        ) {
+            return Err(MatrixError::UnsupportedConfig(
+                "sharded runs keep checksum updates on the owning GPU (placement must be Gpu or Auto)",
+            ));
+        }
+    }
+    let devices = opts.shard.as_ref().map_or(1, |s| s.devices);
+    let provisioned;
+    let profile = if devices > profile.devices {
+        provisioned = profile.clone().with_devices(devices);
+        &provisioned
+    } else {
+        profile
+    };
     let mut ctx = SimContext::new(profile.clone(), mode);
     if !opts.record_timeline {
         ctx.disable_timeline();
@@ -174,7 +218,11 @@ pub fn run_scheme(
         .obs
         .spans
         .open(format!("{} n={n} b={b}", kind.name()), Phase::Run, 0.0);
-    let placement = decision::choose(opts.placement, profile, n, b, opts.verify_interval);
+    let placement = if sharded {
+        crate::options::ChecksumPlacement::Gpu
+    } else {
+        decision::choose(opts.placement, profile, n, b, opts.verify_interval)
+    };
     let mut resolved = opts.clone();
     resolved.placement = placement;
     let mut lay = scope!(

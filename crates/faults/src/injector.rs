@@ -1,7 +1,7 @@
 //! The injector: applies a [`FaultPlan`] to simulated device memory and
 //! keeps the ground-truth ledger of corrupted tiles.
 
-use crate::spec::{FaultKind, FaultPlan, FaultSpec, InjectionPoint};
+use crate::spec::{DeviceLoss, FaultKind, FaultPlan, FaultSpec, InjectionPoint};
 use hchol_matrix::{bits, TileMatrix};
 use std::collections::HashMap;
 
@@ -41,6 +41,7 @@ pub struct AppliedFault {
 #[derive(Debug, Default)]
 pub struct Injector {
     pending: HashMap<InjectionPoint, Vec<FaultSpec>>,
+    pending_losses: HashMap<usize, DeviceLoss>,
     applied: Vec<AppliedFault>,
     dirty: HashMap<(usize, usize), Dirtiness>,
 }
@@ -52,8 +53,14 @@ impl Injector {
         for f in plan.faults {
             pending.entry(f.point).or_default().push(f);
         }
+        let pending_losses = plan
+            .device_losses
+            .into_iter()
+            .map(|l| (l.at_iter, l))
+            .collect();
         Injector {
             pending,
+            pending_losses,
             applied: Vec::new(),
             dirty: HashMap::new(),
         }
@@ -171,6 +178,14 @@ impl Injector {
     /// Number of faults not yet fired.
     pub fn pending_count(&self) -> usize {
         self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Take the device loss scheduled for the start of iteration `iter`,
+    /// if any (fires at most once; the executor's recovery pass consumes
+    /// it). Element faults and the dirty ledger are unaffected — a lost
+    /// shard is reconstructed exactly, so it never taints tiles.
+    pub fn take_device_loss(&mut self, iter: usize) -> Option<DeviceLoss> {
+        self.pending_losses.remove(&iter)
     }
 }
 
@@ -299,6 +314,17 @@ mod tests {
         assert_eq!(inj.dirty_count(), 0);
         // Already-fired faults do not re-fire after a restart.
         assert_eq!(inj.pending_count(), 0);
+    }
+
+    #[test]
+    fn device_loss_fires_once_at_its_iteration() {
+        let mut inj = Injector::new(FaultPlan::device_loss(1, 2));
+        assert!(inj.take_device_loss(0).is_none());
+        assert!(inj.take_device_loss(1).is_none());
+        let l = inj.take_device_loss(2).expect("loss fires at iter 2");
+        assert_eq!((l.device, l.at_iter), (1, 2));
+        assert!(inj.take_device_loss(2).is_none(), "must not re-fire");
+        assert_eq!(inj.dirty_count(), 0, "a device loss taints no tiles");
     }
 
     #[test]

@@ -108,11 +108,27 @@ pub struct FaultSpec {
     pub kind: FaultKind,
 }
 
+/// Loss of one whole simulated device in a sharded run: at the top of
+/// outer iteration `at_iter`, every tile homed on logical shard `device`
+/// (matrix and checksum rows alike) vanishes. The executor reconstructs
+/// the shard from the surviving devices' XOR parity and remaps the
+/// logical shard onto a surviving physical device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceLoss {
+    /// Logical shard (home device index) that fails.
+    pub device: usize,
+    /// Outer iteration at whose start the loss strikes.
+    pub at_iter: usize,
+}
+
 /// An experiment's full fault schedule.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// All planned faults (order irrelevant; matching is by point).
     pub faults: Vec<FaultSpec>,
+    /// Whole-device losses (sharded runs only; at most one per run is
+    /// recoverable — see DESIGN.md §12).
+    pub device_losses: Vec<DeviceLoss>,
 }
 
 impl FaultPlan {
@@ -123,7 +139,18 @@ impl FaultPlan {
 
     /// Plan with a single fault.
     pub fn single(spec: FaultSpec) -> Self {
-        FaultPlan { faults: vec![spec] }
+        FaultPlan {
+            faults: vec![spec],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Plan with a single whole-device loss and no element faults.
+    pub fn device_loss(device: usize, at_iter: usize) -> Self {
+        FaultPlan {
+            device_losses: vec![DeviceLoss { device, at_iter }],
+            ..FaultPlan::default()
+        }
     }
 
     /// The paper's Table VII/VIII "Computation Error" scenario: one
@@ -169,19 +196,21 @@ impl FaultPlan {
         })
     }
 
-    /// Number of planned faults.
+    /// Number of planned faults (element faults only; device losses are
+    /// counted separately).
     pub fn len(&self) -> usize {
         self.faults.len()
     }
 
-    /// True if no faults are planned.
+    /// True if no faults and no device losses are planned.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.device_losses.is_empty()
     }
 
     /// Merge two plans.
     pub fn merged(mut self, other: FaultPlan) -> Self {
         self.faults.extend(other.faults);
+        self.device_losses.extend(other.device_losses);
         self
     }
 }
@@ -234,6 +263,25 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!(!m.is_empty());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn device_loss_plans() {
+        let p = FaultPlan::device_loss(1, 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(
+            p.device_losses,
+            vec![DeviceLoss {
+                device: 1,
+                at_iter: 3
+            }]
+        );
+        let j = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&j).unwrap();
+        assert_eq!(p, back);
+        let m = FaultPlan::none().merged(p.clone());
+        assert_eq!(m.device_losses.len(), 1);
     }
 
     #[test]

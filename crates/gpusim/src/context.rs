@@ -56,6 +56,33 @@ fn op_phase(class: KernelClass, category: WorkCategory) -> Phase {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamId(pub usize);
 
+/// Per-GPU simulator state: each device has its own kernel scheduler
+/// (concurrency caps do not span devices), its own pair of host-DMA
+/// lanes, its own peer-link ports (one outbound, one inbound — a send
+/// occupies the sender's out port and the receiver's in port), and a
+/// memory-accounting counter for the shard it hosts.
+struct DeviceState {
+    sched: KernelScheduler,
+    h2d_lane: SimTime,
+    d2h_lane: SimTime,
+    link_out: SimTime,
+    link_in: SimTime,
+    mem_used: u64,
+}
+
+impl DeviceState {
+    fn new(max_concurrent_kernels: usize) -> Self {
+        DeviceState {
+            sched: KernelScheduler::new(max_concurrent_kernels),
+            h2d_lane: SimTime::ZERO,
+            d2h_lane: SimTime::ZERO,
+            link_out: SimTime::ZERO,
+            link_in: SimTime::ZERO,
+            mem_used: 0,
+        }
+    }
+}
+
 /// Handle to a recorded event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub usize);
@@ -208,12 +235,12 @@ pub struct SimContext {
     pub host_mem: HostMemory,
     host_clock: SimTime,
     streams: Vec<SimTime>,
-    h2d_lane: SimTime,
-    d2h_lane: SimTime,
+    /// Home device of each stream (parallel to `streams`).
+    stream_dev: Vec<usize>,
     cpu_workers: Vec<SimTime>,
     next_cpu_worker: usize,
     events: Vec<SimTime>,
-    sched: KernelScheduler,
+    devices: Vec<DeviceState>,
     /// The recorded program: ordering actions + declared accesses, replayed
     /// by `hchol-analyze` for race and protocol-conformance checking.
     pub trace: ProgramTrace,
@@ -242,6 +269,7 @@ impl SimContext {
     pub fn new(profile: SystemProfile, mode: ExecMode) -> Self {
         let workers = profile.cpu.worker_lanes.max(1);
         let maxk = profile.gpu.max_concurrent_kernels;
+        let ndev = profile.devices.max(1);
         SimContext {
             mode,
             profile,
@@ -249,12 +277,11 @@ impl SimContext {
             host_mem: HostMemory::default(),
             host_clock: SimTime::ZERO,
             streams: vec![SimTime::ZERO],
-            h2d_lane: SimTime::ZERO,
-            d2h_lane: SimTime::ZERO,
+            stream_dev: vec![0],
             cpu_workers: vec![SimTime::ZERO; workers],
             next_cpu_worker: 0,
             events: Vec::new(),
-            sched: KernelScheduler::new(maxk),
+            devices: (0..ndev).map(|_| DeviceState::new(maxk)).collect(),
             trace: ProgramTrace::recording(),
             timeline: Timeline::recording(),
             counters: WorkCounters::default(),
@@ -314,10 +341,38 @@ impl SimContext {
         self.host_clock
     }
 
-    /// Create an additional stream.
+    /// Create an additional stream on device 0.
     pub fn create_stream(&mut self) -> StreamId {
+        self.create_stream_on(0)
+    }
+
+    /// Create an additional stream homed on `dev`.
+    pub fn create_stream_on(&mut self, dev: usize) -> StreamId {
+        assert!(dev < self.devices.len(), "no such device: {dev}");
         self.streams.push(SimTime::ZERO);
+        self.stream_dev.push(dev);
         StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of simulated GPUs.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Home device of `stream`.
+    pub fn stream_device(&self, stream: StreamId) -> usize {
+        self.stream_dev[stream.0]
+    }
+
+    /// Charge `bytes` of device memory to `dev`'s accounting pool (shard
+    /// setup books each device's slice of the matrix and checksums here).
+    pub fn charge_device_mem(&mut self, dev: usize, bytes: u64) {
+        self.devices[dev].mem_used += bytes;
+    }
+
+    /// Bytes currently charged to `dev`'s memory pool.
+    pub fn device_mem_used(&self, dev: usize) -> u64 {
+        self.devices[dev].mem_used
     }
 
     /// The default stream.
@@ -336,13 +391,14 @@ impl SimContext {
     where
         F: FnOnce(&mut DeviceMemory),
     {
+        let dev = self.stream_dev[stream.0];
         // Host pays the launch cost.
         self.host_clock += SimTime::secs(self.profile.gpu.launch_overhead);
         // Keep the scheduler's working set bounded on launch-heavy phases
         // (per-block checksum recalculation issues thousands of kernels
         // between syncs): anything finished before the host clock can no
         // longer influence placement.
-        self.sched.prune(self.host_clock);
+        self.devices[dev].sched.prune(self.host_clock);
         let mut duration = self.profile.gpu.kernel_time(desc.class, desc.flops);
         if desc.epilogue_flops > 0 {
             // The fused epilogue extends the same launch: extra flops at the
@@ -356,9 +412,15 @@ impl SimContext {
         }
         let resource = self.profile.gpu.resource_fraction(desc.class);
         let earliest = self.host_clock.max(self.streams[stream.0]);
-        let (start, end) = self.sched.place(earliest, duration, resource);
+        let (start, end) = self.devices[dev].sched.place(earliest, duration, resource);
         self.streams[stream.0] = end;
         self.record_work(&desc, "gpu", start, end, (start - earliest).as_secs());
+        if self.devices.len() > 1 {
+            self.obs.metrics.add_f64(
+                &format!("shard.dev.{dev}.busy_secs"),
+                (end - start).as_secs(),
+            );
+        }
         self.trace.push_op_fused(
             &desc.label,
             ExecSite::Stream(stream.0),
@@ -543,14 +605,19 @@ impl SimContext {
     }
 
     fn schedule_transfer(&mut self, bytes: u64, stream: StreamId, h2d: bool) -> (SimTime, SimTime) {
-        let lane_end = if h2d { self.h2d_lane } else { self.d2h_lane };
+        let dev = self.stream_dev[stream.0];
+        let lane_end = if h2d {
+            self.devices[dev].h2d_lane
+        } else {
+            self.devices[dev].d2h_lane
+        };
         let start = self.host_clock.max(self.streams[stream.0]).max(lane_end);
         let end = start + self.profile.transfer_time(bytes);
         self.streams[stream.0] = end;
         if h2d {
-            self.h2d_lane = end;
+            self.devices[dev].h2d_lane = end;
         } else {
-            self.d2h_lane = end;
+            self.devices[dev].d2h_lane = end;
         }
         self.counters.add_bytes(WorkCategory::Transfer, bytes);
         let (dir, engine) = if h2d {
@@ -590,6 +657,56 @@ impl SimContext {
             flops: 0,
             bytes,
         });
+    }
+
+    /// A device→device peer-link transfer of `bytes`, enqueued on
+    /// `src_stream` (so it is ordered behind the producer's kernels on the
+    /// sending device) and bound for `dst_dev`. The send occupies the
+    /// source device's outbound link port and the destination's inbound
+    /// port; both ports and the source stream advance to the finish time.
+    /// The receiving device orders its consumers behind the transfer via
+    /// the usual event dance ([`SimContext::record_event`] on `src_stream`
+    /// after the send, [`SimContext::stream_wait_event`] on the receiving
+    /// streams). The closure performs any real data movement (a no-op in
+    /// our single-address-space data plane unless staging is modeled) and
+    /// runs only in Execute mode.
+    pub fn device_transfer<F>(
+        &mut self,
+        bytes: u64,
+        src_stream: StreamId,
+        dst_dev: usize,
+        access: AccessSet,
+        body: F,
+    ) where
+        F: FnOnce(&mut DeviceMemory),
+    {
+        let src_dev = self.stream_dev[src_stream.0];
+        let start = self
+            .host_clock
+            .max(self.streams[src_stream.0])
+            .max(self.devices[src_dev].link_out)
+            .max(self.devices[dst_dev].link_in);
+        let end = start + self.profile.link_time(bytes);
+        self.streams[src_stream.0] = end;
+        self.devices[src_dev].link_out = end;
+        self.devices[dst_dev].link_in = end;
+        self.counters.add_bytes(WorkCategory::Transfer, bytes);
+        let m = &mut self.obs.metrics;
+        m.add_count("shard.link.bytes", bytes);
+        m.inc("shard.link.transfers");
+        m.add_f64("shard.link.busy_secs", (end - start).as_secs());
+        m.add_count(&format!("shard.dev.{src_dev}.link_bytes"), bytes);
+        self.trace.push_op(
+            "dev2dev",
+            ExecSite::Stream(src_stream.0),
+            None,
+            WorkCategory::Transfer,
+            access,
+        );
+        self.push_transfer_trace(Lane::DevLink(src_dev), "dev2dev", start, end, bytes);
+        if self.mode.executes() {
+            body(&mut self.dev_mem);
+        }
     }
 
     /// Run a task synchronously on the host main thread (blocks the driver —
@@ -702,21 +819,30 @@ impl SimContext {
     /// has completed.
     pub fn sync_stream(&mut self, stream: StreamId) {
         self.host_clock = self.host_clock.max(self.streams[stream.0]);
-        self.sched.prune(self.host_clock);
+        let dev = self.stream_dev[stream.0];
+        self.devices[dev].sched.prune(self.host_clock);
         self.trace
             .push_action(TraceAction::SyncStream { stream: stream.0 });
     }
 
-    /// Block the host until the whole device (all streams + DMA lanes) is
-    /// idle.
+    /// Block the host until every device (all streams + DMA lanes + peer
+    /// links) is idle.
     pub fn sync_device(&mut self) {
         let mut t = self.host_clock;
         for &s in &self.streams {
             t = t.max(s);
         }
-        t = t.max(self.h2d_lane).max(self.d2h_lane);
+        for d in &self.devices {
+            t = t
+                .max(d.h2d_lane)
+                .max(d.d2h_lane)
+                .max(d.link_out)
+                .max(d.link_in);
+        }
         self.host_clock = t;
-        self.sched.prune(self.host_clock);
+        for d in &mut self.devices {
+            d.sched.prune(t);
+        }
         self.trace.push_action(TraceAction::SyncDevice);
     }
 
@@ -994,6 +1120,67 @@ mod tests {
                 if op.label == "SYRK+chk" && op.fused_verify)
         });
         assert!(fused, "trace op should be marked fused-verify");
+    }
+
+    #[test]
+    fn per_device_schedulers_let_blas3_overlap_across_devices() {
+        let mut c = SimContext::new(
+            SystemProfile::test_profile().with_devices(2),
+            ExecMode::TimingOnly,
+        );
+        let s0 = c.default_stream();
+        let s1 = c.create_stream_on(1);
+        // BLAS-3 owns a whole device, but the two kernels sit on different
+        // devices, so they run concurrently — unlike the single-device case
+        // (`blas3_kernels_never_overlap`).
+        c.launch(s0, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        c.launch(s1, desc(1_000_000_000, KernelClass::Blas3), |_| {});
+        c.sync_device();
+        assert!(c.now().as_secs() < 1.5, "got {}", c.now().as_secs());
+        assert_eq!(c.device_count(), 2);
+        assert_eq!(c.stream_device(s1), 1);
+        // Per-device busy accounting was emitted (multi-device only).
+        assert!(c.obs.metrics.sum("shard.dev.0.busy_secs") > 0.9);
+        assert!(c.obs.metrics.sum("shard.dev.1.busy_secs") > 0.9);
+    }
+
+    #[test]
+    fn device_transfer_occupies_link_ports_and_orders_consumers() {
+        let mut c = SimContext::new(
+            SystemProfile::test_profile().with_devices(2),
+            ExecMode::TimingOnly,
+        );
+        let s0 = c.default_stream();
+        let s1 = c.create_stream_on(1);
+        // 1 GB over a 1 GB/s link = 1 s, enqueued behind a 1 s kernel.
+        c.launch(s0, desc(1_000_000_000, KernelClass::Blas2), |_| {});
+        c.device_transfer(1_000_000_000, s0, 1, AccessSet::none(), |_| {});
+        let sent = c.record_event(s0);
+        c.stream_wait_event(s1, sent);
+        c.launch(s1, desc(1_000_000_000, KernelClass::Blas2), |_| {});
+        c.sync_device();
+        // kernel (1 s) + link (1 s) + consumer kernel (1 s), serialized.
+        assert!(c.now().as_secs() >= 3.0, "got {}", c.now().as_secs());
+        assert_eq!(c.obs.metrics.count("shard.link.bytes"), 1_000_000_000);
+        assert_eq!(c.obs.metrics.count("shard.link.transfers"), 1);
+        assert_eq!(c.obs.metrics.count("shard.dev.0.link_bytes"), 1_000_000_000);
+        // The link send landed on the sender's link lane in the timeline.
+        assert!(c
+            .timeline
+            .entries()
+            .iter()
+            .any(|e| e.lane == Lane::DevLink(0)));
+    }
+
+    #[test]
+    fn device_mem_accounting() {
+        let mut c = SimContext::new(
+            SystemProfile::test_profile().with_devices(2),
+            ExecMode::TimingOnly,
+        );
+        c.charge_device_mem(1, 4096);
+        assert_eq!(c.device_mem_used(1), 4096);
+        assert_eq!(c.device_mem_used(0), 0);
     }
 
     #[test]

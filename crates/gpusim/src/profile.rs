@@ -147,12 +147,17 @@ impl CpuProfile {
     }
 }
 
-/// A whole machine: host CPU(s) + GPU + interconnect.
+/// A whole machine: host CPU(s) + one or more GPUs + interconnect.
+///
+/// Every GPU is an identical copy of `gpu` (homogeneous sharding); the
+/// devices talk to each other over a peer link that is distinct from the
+/// host PCIe link, so cross-device shard traffic does not contend with
+/// the latency-critical diagonal-block round trips.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SystemProfile {
     /// System name ("Tardis", "Bulldozer64").
     pub name: String,
-    /// The GPU.
+    /// The GPU (replicated `devices` times).
     pub gpu: DeviceProfile,
     /// The host CPUs.
     pub cpu: CpuProfile,
@@ -163,12 +168,29 @@ pub struct SystemProfile {
     /// MAGMA's default block size for this GPU generation
     /// (256 on Fermi, 512 on Kepler).
     pub default_block: usize,
+    /// Number of identical GPUs in the node (1 in both paper machines).
+    pub devices: usize,
+    /// Device↔device peer-link bandwidth, GB/s, per direction.
+    pub link_gbs: f64,
+    /// Per-message latency of the peer link, seconds.
+    pub link_latency: f64,
 }
 
 impl SystemProfile {
     /// Duration of a host↔device transfer of `bytes`.
     pub fn transfer_time(&self, bytes: u64) -> SimTime {
         SimTime::secs(self.pcie_latency + bytes as f64 / (self.pcie_gbs * 1e9))
+    }
+
+    /// Duration of a device↔device peer-link transfer of `bytes`.
+    pub fn link_time(&self, bytes: u64) -> SimTime {
+        SimTime::secs(self.link_latency + bytes as f64 / (self.link_gbs * 1e9))
+    }
+
+    /// Builder: the same machine with `d` identical GPUs (≥ 1).
+    pub fn with_devices(mut self, d: usize) -> Self {
+        self.devices = d.max(1);
+        self
     }
 
     /// The paper's Tardis node: 2× 16-core 2.1 GHz AMD Opteron 6272,
@@ -210,6 +232,11 @@ impl SystemProfile {
             pcie_gbs: 5.8, // PCIe 2.0 x16 sustained
             pcie_latency: 12e-6,
             default_block: 256,
+            devices: 1,
+            // PCIe 2.0 peer-to-peer through the switch: a little better
+            // than the host link (no system-memory bounce).
+            link_gbs: 6.0,
+            link_latency: 8e-6,
         }
     }
 
@@ -247,6 +274,11 @@ impl SystemProfile {
             pcie_gbs: 9.5, // PCIe 3.0 x16 sustained
             pcie_latency: 10e-6,
             default_block: 512,
+            devices: 1,
+            // PCIe 3.0 peer-to-peer: GPUDirect P2P sustains close to the
+            // host-link rate with lower per-message latency.
+            link_gbs: 10.0,
+            link_latency: 6e-6,
         }
     }
 
@@ -298,6 +330,9 @@ impl SystemProfile {
             pcie_gbs: 1.0,
             pcie_latency: 0.0,
             default_block: 4,
+            devices: 1,
+            link_gbs: 1.0,
+            link_latency: 0.0,
         }
     }
 }
@@ -401,6 +436,32 @@ mod tests {
         assert!((t.as_secs() - 1.0).abs() < 1e-9);
         let t0 = p.transfer_time(0);
         assert_eq!(t0.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn presets_default_to_one_device() {
+        for p in [
+            SystemProfile::tardis(),
+            SystemProfile::bulldozer64(),
+            SystemProfile::tardis_skewed(),
+            SystemProfile::test_profile(),
+        ] {
+            assert_eq!(p.devices, 1);
+            assert!(p.link_gbs > 0.0);
+        }
+        let p = SystemProfile::tardis().with_devices(4);
+        assert_eq!(p.devices, 4);
+        // with_devices clamps to at least one device.
+        assert_eq!(SystemProfile::tardis().with_devices(0).devices, 1);
+    }
+
+    #[test]
+    fn link_time_includes_latency() {
+        let p = SystemProfile::test_profile();
+        // 1 GB at 1 GB/s, zero latency.
+        assert!((p.link_time(1_000_000_000).as_secs() - 1.0).abs() < 1e-9);
+        let t = SystemProfile::tardis();
+        assert!(t.link_time(0).as_secs() >= t.link_latency);
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum Lane {
     HostMain,
     /// An offloaded CPU worker lane (Optimization 2's CPU checksum updates).
     CpuWorker(usize),
+    /// The outbound peer-link port of one device (sharded multi-GPU runs).
+    DevLink(usize),
 }
 
 impl std::fmt::Display for Lane {
@@ -31,6 +33,7 @@ impl std::fmt::Display for Lane {
             Lane::CopyD2H => write!(f, "copy/d2h"),
             Lane::HostMain => write!(f, "cpu/main"),
             Lane::CpuWorker(w) => write!(f, "cpu/worker{w}"),
+            Lane::DevLink(d) => write!(f, "link/dev{d}"),
         }
     }
 }

@@ -45,6 +45,9 @@ pub enum MatrixError {
     },
     /// A tile grid was asked for with a block size of zero.
     ZeroBlockSize,
+    /// The requested option combination is not supported (e.g. sharding
+    /// composed with the runtime balance controller).
+    UnsupportedConfig(&'static str),
 }
 
 impl fmt::Display for MatrixError {
@@ -73,6 +76,9 @@ impl fmt::Display for MatrixError {
                 "matrix is not positive definite: pivot {pivot} is {value:e}"
             ),
             MatrixError::ZeroBlockSize => write!(f, "block size must be nonzero"),
+            MatrixError::UnsupportedConfig(why) => {
+                write!(f, "unsupported configuration: {why}")
+            }
         }
     }
 }

@@ -56,6 +56,20 @@ pub const METRICS: &[&str] = &[
     "balance.cpu_util",
     "balance.dma_util",
     "balance.queue_frac",
+    // Multi-device sharding (plan::shard): per-device compute busy time
+    // and outbound link traffic, aggregate peer-link counters, the shard
+    // grid size, per-device memory-pool gauges, the number of end-of-column
+    // XOR parity refreshes, and the cost of the device-loss recovery pass.
+    "shard.dev.*.busy_secs",
+    "shard.dev.*.link_bytes",
+    "shard.dev.*.mem_bytes",
+    "shard.link.bytes",
+    "shard.link.transfers",
+    "shard.link.busy_secs",
+    "shard.devices",
+    "shard.parity_refreshes",
+    "shard.recovery_secs",
+    "shard.recovered_tiles",
     // Plan layer (recorded only off the byte-stable in-order path:
     // reordered attempts and batched runs).
     "plan.nodes",
@@ -77,6 +91,8 @@ pub const EVENTS: &[&str] = &[
     "run.restart",
     "run.failstop",
     "balance.rebalance",
+    "device.lost",
+    "device.recovered",
 ];
 
 /// Registered scope-span label patterns (opened via `scope!` or
@@ -167,6 +183,19 @@ mod tests {
         assert!(metric_registered("flops.cat.*"));
         // A wildcard in the name does not unify with a literal segment.
         assert!(!metric_registered("verify.*"));
+    }
+
+    #[test]
+    fn shard_names_registered() {
+        assert!(metric_registered("shard.dev.*.busy_secs"));
+        assert!(metric_registered("shard.dev.3.link_bytes"));
+        assert!(metric_registered("shard.link.bytes"));
+        assert!(metric_registered("shard.devices"));
+        assert!(metric_registered("shard.parity_refreshes"));
+        assert!(metric_registered("shard.recovery_secs"));
+        assert!(!metric_registered("shard.dev.busy_secs"));
+        assert!(event_registered("device.lost"));
+        assert!(event_registered("device.recovered"));
     }
 
     #[test]

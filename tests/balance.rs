@@ -129,6 +129,7 @@ fn adaptive_k_stays_in_bounds_under_faults() {
             fault_at(5, 7, 5, FaultKind::storage()),
             fault_at(9, 11, 9, FaultKind::computing()),
         ],
+        ..FaultPlan::default()
     };
     let out = run_scheme(
         SchemeKind::Enhanced,
