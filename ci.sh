@@ -41,6 +41,36 @@ cargo run --release -q -p hchol-analyze --bin analyze > /dev/null
 step "plan checker (static ABFT contract over plan edges, all schemes)"
 cargo run --release -q -p hchol-analyze --bin plan_check > /dev/null
 
+step "static fault-coverage sweep (every site proven) -> COVERAGE_static.json"
+cargo run --release -q -p hchol-analyze --bin coverage_check > /dev/null
+
+step "liveness sweep (deadlock-freedom + receive-completeness, all schemes)"
+cargo run --release -q -p hchol-analyze --bin liveness_check > /dev/null
+
+# Mutation controls: each deliberately broken plan MUST be caught (the
+# mutated run exits nonzero). A passing mutated run means the checker
+# went blind, so CI fails on success here.
+step "coverage mutation control: stripped verify batch must be caught"
+if cargo run --release -q -p hchol-analyze --bin coverage_check -- --mutate=strip-verify > /dev/null 2>&1; then
+    echo "mutation control strip-verify NOT caught" >&2; exit 1
+fi
+
+step "coverage mutation control: severed ring-recv edge must be caught"
+if cargo run --release -q -p hchol-analyze --bin coverage_check -- --mutate=sever-recv > /dev/null 2>&1; then
+    echo "mutation control sever-recv NOT caught" >&2; exit 1
+fi
+
+step "coverage mutation control: dropped parity refresh must be caught"
+if cargo run --release -q -p hchol-analyze --bin coverage_check -- --mutate=drop-parity > /dev/null 2>&1; then
+    echo "mutation control drop-parity NOT caught" >&2; exit 1
+fi
+
+step "static vs dynamic cross-validation (coverage verdicts vs injection)"
+cargo test -q --test coverage_static
+
+step "configuration-space closure (clean plans or typed refusal)"
+cargo test -q --test config_space
+
 step "fused-epilogue ABFT suite (plan rewrite, conformance, properties)"
 cargo test -q --test fused_abft
 
@@ -65,7 +95,7 @@ cargo run --release -q -p hchol-bench --bin balance_sweep -- --quick
 step "multi-device scaling sweep (quick) -> BENCH_shard.json"
 cargo run --release -q -p hchol-bench --bin shard_sweep -- --quick
 
-step "benchmark artifacts conform to the report envelope schema"
+step "artifacts (BENCH_*, COVERAGE_*) conform to the report envelope schema"
 cargo run --release -q -p hchol-analyze --bin check_artifacts
 
 step "done"

@@ -1,8 +1,9 @@
 //! Benchmark-artifact envelope checker: `cargo run -p hchol-analyze --bin
 //! check_artifacts [dir]`.
 //!
-//! Every `BENCH_*.json` the bench suite writes (and every report
-//! `RunReport::to_json` emits) is wrapped in the versioned envelope from
+//! Every `BENCH_*.json` the bench suite writes, every `COVERAGE_*.json`
+//! the static coverage sweep writes, and every report
+//! `RunReport::to_json` emits is wrapped in the versioned envelope from
 //! [`hchol_obs::envelope`]: `{schema_version, kind, name, body}`. Plot
 //! scripts and cross-PR diff tooling key on that header, so CI runs this
 //! over the repo root after the sweeps to fail fast when a writer drifts
@@ -54,14 +55,14 @@ fn main() -> ExitCode {
         .unwrap_or_else(|e| panic!("read_dir {dir}: {e}"))
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| {
-            p.file_name()
-                .and_then(|f| f.to_str())
-                .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+            p.file_name().and_then(|f| f.to_str()).is_some_and(|f| {
+                (f.starts_with("BENCH_") || f.starts_with("COVERAGE_")) && f.ends_with(".json")
+            })
         })
         .collect();
     paths.sort();
     if paths.is_empty() {
-        eprintln!("check_artifacts: no BENCH_*.json under {dir}");
+        eprintln!("check_artifacts: no BENCH_*.json or COVERAGE_*.json under {dir}");
         return ExitCode::FAILURE;
     }
     let mut bad = 0usize;

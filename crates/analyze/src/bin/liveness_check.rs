@@ -1,0 +1,56 @@
+//! Static liveness gate: `cargo run -p hchol-analyze --bin
+//! liveness_check`.
+//!
+//! Sweeps every scheme × shard grid `D ∈ {1, 2, 4}` × issue policy
+//! (in-order and lookahead-2), unions each plan's dependency edges with
+//! the executor's induced orderings, and proves deadlock-freedom and
+//! receive-completeness ([`hchol_analyze::liveness`]). Prints the
+//! window-fallback counts the lookahead diagnostics report and exits
+//! nonzero on any finding so CI can gate on it.
+
+use hchol_analyze::check_liveness;
+use hchol_core::options::AbftOptions;
+use hchol_core::plan::for_scheme;
+use hchol_core::schemes::SchemeKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut findings = 0usize;
+    for &nt in &[6usize, 8] {
+        for kind in SchemeKind::all() {
+            for d in [1usize, 2, 4] {
+                for la in [0usize, 2] {
+                    let mut opts = AbftOptions::default()
+                        .with_placement(hchol_core::options::ChecksumPlacement::Gpu);
+                    opts.lookahead = la;
+                    if d > 1 {
+                        opts = opts.with_shard(hchol_core::options::ShardOptions::new(d));
+                    }
+                    let plan = for_scheme(kind, nt, &opts, false);
+                    let rep = check_liveness(kind, &plan, &opts);
+                    println!(
+                        "liveness_check: {} nt={nt} D={d} lookahead={la}: {} nodes, \
+                         {} plan edges + {} induced, {} window fallback(s), {} finding(s)",
+                        kind.name(),
+                        rep.nodes,
+                        rep.plan_edges,
+                        rep.induced_edges,
+                        rep.window_fallbacks,
+                        rep.findings.len()
+                    );
+                    if !rep.is_live() {
+                        eprintln!("{}", rep.render_text());
+                        findings += rep.findings.len();
+                    }
+                }
+            }
+        }
+    }
+    if findings == 0 {
+        println!("liveness_check: every plan is deadlock-free and receive-complete");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("liveness_check: {findings} finding(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,11 +1,12 @@
 //! Static plan checker runner: `cargo run -p hchol-analyze --bin
 //! plan_check`.
 //!
-//! Builds the [`hchol_core::plan::FactorPlan`] for every scheme over a
-//! sweep of sizes and verify intervals, checks each plan's dependency
-//! edges against the scheme's ABFT contract (see
-//! [`hchol_analyze::plancheck`]), and exits nonzero on any violation so CI
-//! can gate on it. This runs *before* any simulation — a broken policy
+//! Builds the [`hchol_core::plan::FactorPlan`] for every scheme over the
+//! full configuration cross — sizes × verify interval `K ∈ {1, 4}` ×
+//! fused checksum epilogues × placement × shard grid `D ∈ {1, 2, 4}` —
+//! checks each plan's dependency edges against the scheme's ABFT
+//! contract (see [`hchol_analyze::plancheck`]), and exits nonzero on any
+//! violation so CI can gate on it. This runs *before* any simulation — a broken policy
 //! pass is caught without executing a single node.
 //!
 //! Usage: `plan_check [n ...]` — sizes default to 64 128 256 512.
@@ -29,29 +30,52 @@ fn main() -> ExitCode {
     for &n in &sizes {
         let b = (n / 4).max(16);
         for kind in SchemeKind::all() {
-            // K sweeps the verification interval on one device; D sweeps
-            // the 2D block-cyclic grid (sharding pins K = 1 — see
-            // DESIGN.md §12).
-            for (k, d) in [(1usize, 1usize), (4, 1), (1, 2), (1, 4)] {
-                let mut opts = AbftOptions::default().with_interval(k);
-                if d > 1 {
-                    opts = opts.with_shard(hchol_core::options::ShardOptions::new(d));
-                }
-                let chk = check_scheme_plan(kind, &profile, n, b, &opts);
-                println!(
-                    "plan_check: {} n={n} b={b} K={k} D={d}: {} nodes, {} edges, {}",
-                    kind.name(),
-                    chk.nodes,
-                    chk.edges,
-                    if chk.is_clean() {
-                        "clean".to_string()
-                    } else {
-                        format!("{} violation(s)", chk.violations.len())
+            // The full configuration cross: K sweeps the verification
+            // interval, the fused flag swaps in compare-only epilogues
+            // (Enhanced only), placement moves checksum updates between
+            // devices, and D sweeps the block-cyclic shard grid.
+            // Combinations the composition matrix refuses (DESIGN.md
+            // §12) are skipped — `validate_options` is the same gate
+            // `run_scheme` applies.
+            for k in [1usize, 4] {
+                for fused in [false, true] {
+                    if fused && kind != SchemeKind::Enhanced {
+                        continue; // the fused rewrite only applies to Enhanced
                     }
-                );
-                if !chk.is_clean() {
-                    eprintln!("{}", chk.render_text());
-                    violations += chk.violations.len();
+                    for placement in [
+                        hchol_core::options::ChecksumPlacement::Auto,
+                        hchol_core::options::ChecksumPlacement::Cpu,
+                    ] {
+                        for d in [1usize, 2, 4] {
+                            let mut opts = AbftOptions::default()
+                                .with_interval(k)
+                                .with_chk_fused(fused)
+                                .with_placement(placement);
+                            if d > 1 {
+                                opts = opts.with_shard(hchol_core::options::ShardOptions::new(d));
+                            }
+                            if hchol_core::validate_options(&opts).is_err() {
+                                continue;
+                            }
+                            let chk = check_scheme_plan(kind, &profile, n, b, &opts);
+                            println!(
+                                "plan_check: {} n={n} b={b} K={k} fused={fused} \
+                                 {placement:?} D={d}: {} nodes, {} edges, {}",
+                                kind.name(),
+                                chk.nodes,
+                                chk.edges,
+                                if chk.is_clean() {
+                                    "clean".to_string()
+                                } else {
+                                    format!("{} violation(s)", chk.violations.len())
+                                }
+                            );
+                            if !chk.is_clean() {
+                                eprintln!("{}", chk.render_text());
+                                violations += chk.violations.len();
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -20,20 +20,40 @@
 //!   A clean plan check covers every schedule the plan executor may
 //!   legally choose (in-order, lookahead, batched), where the
 //!   [`schedule`] sweep covers the one schedule that actually ran.
+//! * [`coverage`] — a **fault-coverage model checker** over the same plan
+//!   IR: enumerate every injectable fault site (injection point × tile ×
+//!   species, plus device-loss sites on sharded plans) and statically
+//!   prove each one a rung of the coverage lattice — corrected in place,
+//!   detected + restarted, parity-reconstructed, or uncovered — plus a
+//!   peak-resource bound (`cargo run -p hchol-analyze --bin
+//!   coverage_check`).
+//! * [`liveness`] — **deadlock-freedom and receive-completeness** for the
+//!   executor's induced orderings: plan edges unioned with the
+//!   host-blocking/lookahead edges the executor superimposes stay
+//!   acyclic, and every cross-device broadcast is sent, received, and
+//!   consumed behind its recv→send chain (`cargo run -p hchol-analyze
+//!   --bin liveness_check`).
 //!
 //! Findings are exported through the versioned `hchol-obs` report envelope
 //! ([`report`]), so analyzer output is consumed like any other run
-//! artifact. See `DESIGN.md` §8.
+//! artifact. See `DESIGN.md` §8 and §13.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod lint;
+pub mod liveness;
 pub mod plancheck;
 pub mod report;
 pub mod schedule;
 
+pub use coverage::{
+    check_coverage, check_scheme_coverage, Coverage, CoverageReport, CoverageSummary, LossVerdict,
+    ResourceBound, SiteVerdict,
+};
 pub use lint::{lint_workspace, Lint};
+pub use liveness::{check_liveness, detect_cycle, LivenessFinding, LivenessReport};
 pub use plancheck::{check_plan, check_scheme_plan, PlanCheck, PlanViolation};
 pub use report::AnalysisReport;
 pub use schedule::{

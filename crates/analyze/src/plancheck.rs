@@ -169,14 +169,17 @@ impl PlanCheck {
 }
 
 /// Ancestor bitsets over positions in the authored order: `anc[p]` has bit
-/// `q` set iff position `q` reaches `p` through dependency edges.
-struct Ancestors {
+/// `q` set iff position `q` reaches `p` through dependency edges. Shared
+/// with the coverage and liveness checkers ([`crate::coverage`],
+/// [`crate::liveness`]), which prove their obligations over the same
+/// reachability relation.
+pub(crate) struct Ancestors {
     words: usize,
     bits: Vec<u64>,
 }
 
 impl Ancestors {
-    fn compute(plan: &FactorPlan, pos_of: &HashMap<NodeId, usize>) -> Self {
+    pub(crate) fn compute(plan: &FactorPlan, pos_of: &HashMap<NodeId, usize>) -> Self {
         let n = plan.len();
         let words = n.div_ceil(64);
         let mut bits = vec![0u64; n * words];
@@ -195,14 +198,16 @@ impl Ancestors {
         Ancestors { words, bits }
     }
 
-    fn reaches(&self, from: usize, to: usize) -> bool {
+    /// Does position `from` reach position `to` through dependency edges
+    /// (strict: a position does not reach itself)?
+    pub(crate) fn reaches(&self, from: usize, to: usize) -> bool {
         self.bits[to * self.words + from / 64] & (1 << (from % 64)) != 0
     }
 }
 
 /// Is this node a factorization writer/reader of matrix data (as opposed
 /// to checksum maintenance, verification, or bookkeeping)?
-fn is_factorization(kind: &TaskKind) -> bool {
+pub(crate) fn is_factorization(kind: &TaskKind) -> bool {
     matches!(
         kind,
         TaskKind::Syrk { .. }

@@ -259,13 +259,17 @@ pub fn analyze_with_protocol(trace: &ProgramTrace, protocol: Protocol) -> Schedu
 /// conformance-checks when the contract applies to the recorded schedule —
 /// a clean single attempt with verification interval `K = 1` (restarted
 /// attempts re-encode and re-write, and `K > 1` deliberately relaxes the
-/// Enhanced read rule). A balanced run whose adaptive-`K` upper bound
-/// exceeds 1 may relax the interval mid-run, so it gets the same
-/// race-only treatment; with `k_max == 1` the balancer can only migrate
-/// placement and full conformance still applies.
+/// Enhanced read rule). A balanced run is downgraded to race-only
+/// analysis only when it **actually relaxed** the interval: either the
+/// controller's floor keeps `K > 1` from the start (`k_min > 1`), or the
+/// recorded decision log shows a window where `K` was raised above 1.
+/// A balanced run that merely *could* have raised `K` (`k_max > 1`) but
+/// never did executed a fully `K = 1`-conformant schedule, and full
+/// conformance checking still applies.
 pub fn analyze_outcome(out: &FactorOutcome) -> ScheduleAnalysis {
-    let adaptive_k = out.opts.balance.as_ref().is_some_and(|b| b.k_max > 1);
-    let strict = out.attempts == 1 && !out.failed && out.opts.verify_interval == 1 && !adaptive_k;
+    let relaxed_k = out.opts.balance.as_ref().is_some_and(|b| b.k_min > 1)
+        || out.balance_log.as_ref().is_some_and(|log| log.max_k() > 1);
+    let strict = out.attempts == 1 && !out.failed && out.opts.verify_interval == 1 && !relaxed_k;
     if strict {
         analyze_with_protocol(&out.ctx.trace, Protocol::for_scheme(out.scheme))
     } else {

@@ -52,5 +52,5 @@ pub mod verify;
 
 pub use hchol_obs as obs;
 pub use options::{AbftOptions, ChecksumPlacement};
-pub use schemes::{run_clean, run_scheme, FactorOutcome, SchemeKind};
+pub use schemes::{run_clean, run_scheme, validate_options, FactorOutcome, SchemeKind};
 pub use verify::{VerifyOutcome, VerifyPolicy};

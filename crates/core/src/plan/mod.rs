@@ -833,6 +833,21 @@ impl FactorPlan {
         }
     }
 
+    /// Every fault-poll node in issue order, with its authored-order
+    /// position: the control-flow points at which the injector can strike,
+    /// and therefore the rows of the static coverage checker's site
+    /// enumeration (site = point × target tile × fault species).
+    pub fn fault_points(&self) -> Vec<(usize, InjectionPoint)> {
+        self.order
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &id)| match self.nodes[id.0].kind {
+                TaskKind::FaultPoint(pt) => Some((p, pt)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Compile to the simulator's [`DagSchedule`] (compact indices are
     /// positions in the authored order).
     pub fn to_schedule(&self) -> DagSchedule {

@@ -149,31 +149,25 @@ impl FactorOutcome {
     }
 }
 
-/// Run `kind` on the given system at size `n`, block `b`, with the fault
-/// plan `plan`. `input` must be `Some` in Execute mode.
+/// Check an [`AbftOptions`] combination against the workspace's
+/// composition rules, *before* anything is built or run. Every invalid
+/// combination is refused here with a typed
+/// [`MatrixError::UnsupportedConfig`]; a combination this function accepts
+/// must produce a plan that passes the static checkers — the property the
+/// config-space proptest pins. Called by [`run_scheme`] and by the static
+/// analysis sweeps so drivers and checkers agree on the legal space.
 ///
-/// Recovery: on uncorrectable corruption (or a fault-induced loss of
-/// positive definiteness — fail-stop in the paper's terms) the pristine
-/// input is re-uploaded and the factorization redone, up to
-/// `opts.max_restarts` times. A `NotPositiveDefinite` on a run with **no**
-/// injected faults is a genuine input error and is returned as `Err`.
-#[allow(clippy::too_many_arguments)] // LAPACK-style driver signature
-pub fn run_scheme(
-    kind: SchemeKind,
-    profile: &SystemProfile,
-    mode: ExecMode,
-    n: usize,
-    b: usize,
-    opts: &AbftOptions,
-    plan: FaultPlan,
-    input: Option<&Matrix>,
-) -> Result<FactorOutcome, MatrixError> {
-    // Sharding composes with neither the runtime balance controller (its
-    // feedback law and migration path assume one device) nor the fused
-    // checksum epilogues (a fused kernel cannot deposit into another
-    // device's checksum row); both refusals are documented in DESIGN.md
-    // §12. Sharding also pins checksum work to the GPUs: `Auto` resolves
-    // to `Gpu`, while an explicit host-side placement is refused.
+/// The rules (documented in DESIGN.md §12 and §13):
+///
+/// * Sharding composes with neither the runtime balance controller (its
+///   feedback law and migration path assume one device) nor the fused
+///   checksum epilogues (a fused kernel cannot deposit into another
+///   device's checksum row), and pins checksum work to the GPUs (`Auto`
+///   resolves to `Gpu`; an explicit host-side placement is refused).
+/// * The balance controller rewrites the plan mid-run, which requires
+///   in-order issue (`lookahead == 0`) and excludes `chk_fused` (both
+///   rewrites would fight over the same verify batches).
+pub fn validate_options(opts: &AbftOptions) -> Result<(), MatrixError> {
     let sharded = opts.shard.as_ref().is_some_and(|s| s.devices > 1);
     if sharded {
         if opts.balance.is_some() {
@@ -196,6 +190,42 @@ pub fn run_scheme(
             ));
         }
     }
+    if opts.balance.is_some() {
+        if opts.chk_fused {
+            return Err(MatrixError::UnsupportedConfig(
+                "the runtime balance controller does not compose with fused checksum epilogues (chk_fused)",
+            ));
+        }
+        if opts.lookahead > 0 {
+            return Err(MatrixError::UnsupportedConfig(
+                "balanced runs execute in-order (lookahead must be 0)",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run `kind` on the given system at size `n`, block `b`, with the fault
+/// plan `plan`. `input` must be `Some` in Execute mode.
+///
+/// Recovery: on uncorrectable corruption (or a fault-induced loss of
+/// positive definiteness — fail-stop in the paper's terms) the pristine
+/// input is re-uploaded and the factorization redone, up to
+/// `opts.max_restarts` times. A `NotPositiveDefinite` on a run with **no**
+/// injected faults is a genuine input error and is returned as `Err`.
+#[allow(clippy::too_many_arguments)] // LAPACK-style driver signature
+pub fn run_scheme(
+    kind: SchemeKind,
+    profile: &SystemProfile,
+    mode: ExecMode,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+    plan: FaultPlan,
+    input: Option<&Matrix>,
+) -> Result<FactorOutcome, MatrixError> {
+    validate_options(opts)?;
+    let sharded = opts.shard.as_ref().is_some_and(|s| s.devices > 1);
     let devices = opts.shard.as_ref().map_or(1, |s| s.devices);
     let provisioned;
     let profile = if devices > profile.devices {

@@ -35,4 +35,6 @@ pub mod spec;
 
 pub use campaign::{run_campaign, CampaignStats, TrialOutcome};
 pub use injector::{AppliedFault, Dirtiness, Injector};
-pub use spec::{DeviceLoss, FaultKind, FaultPlan, FaultSpec, FaultTarget, InjectionPoint};
+pub use spec::{
+    DeviceLoss, FaultClass, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultTarget, InjectionPoint,
+};

@@ -97,6 +97,75 @@ impl InjectionPoint {
     }
 }
 
+/// The species of a fault site, without its parameters — the static
+/// coverage checker enumerates sites per class and proves one detection
+/// path for both (a single-element corruption is the same proof obligation
+/// whether the wrong value came from a miscalculation or a bit flip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A [`FaultKind::Computing`] miscalculation.
+    Computing,
+    /// A [`FaultKind::Storage`] bit upset.
+    Storage,
+}
+
+impl FaultClass {
+    /// Both classes, in registry order.
+    pub fn all() -> [FaultClass; 2] {
+        [FaultClass::Computing, FaultClass::Storage]
+    }
+
+    /// The canonical concrete fault of this class.
+    pub fn canonical_kind(&self) -> FaultKind {
+        match self {
+            FaultClass::Computing => FaultKind::computing(),
+            FaultClass::Storage => FaultKind::storage(),
+        }
+    }
+}
+
+/// One statically enumerable fault site: a control-flow point × a target
+/// tile × an error species. The coverage checker (`hchol-analyze`)
+/// enumerates every live site of a plan and proves a detection-plus-
+/// correction path for each; [`FaultSite::to_spec`] lowers a site to a
+/// concrete injectable [`FaultSpec`] so static verdicts can be
+/// cross-validated against actual injection runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSite {
+    /// When the fault strikes.
+    pub point: InjectionPoint,
+    /// Block row of the corrupted tile.
+    pub bi: usize,
+    /// Block column of the corrupted tile.
+    pub bj: usize,
+    /// The error species.
+    pub class: FaultClass,
+}
+
+impl FaultSite {
+    /// The corrupted tile `(block row, block column)`.
+    pub fn tile(&self) -> (usize, usize) {
+        (self.bi, self.bj)
+    }
+
+    /// Lower to a concrete [`FaultSpec`], picking a deterministic in-tile
+    /// element from the site coordinates (`block` is the tile edge). Every
+    /// site maps to a distinct, reproducible fault.
+    pub fn to_spec(&self, block: usize) -> FaultSpec {
+        let (bi, bj) = (self.bi, self.bj);
+        FaultSpec {
+            point: self.point,
+            target: FaultTarget {
+                bi,
+                bj,
+                row: (bi * 3 + bj + 1) % block,
+                col: (bi + bj * 5 + 2) % block,
+            },
+            kind: self.class.canonical_kind(),
+        }
+    }
+}
+
 /// One planned fault.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
@@ -282,6 +351,34 @@ mod tests {
         assert_eq!(p, back);
         let m = FaultPlan::none().merged(p.clone());
         assert_eq!(m.device_losses.len(), 1);
+    }
+
+    #[test]
+    fn fault_sites_lower_to_deterministic_specs() {
+        let site = FaultSite {
+            point: InjectionPoint::PostGemm { iter: 2 },
+            bi: 4,
+            bj: 2,
+            class: FaultClass::Storage,
+        };
+        let s1 = site.to_spec(16);
+        let s2 = site.to_spec(16);
+        assert_eq!(s1, s2);
+        assert_eq!((s1.target.bi, s1.target.bj), (4, 2));
+        assert!(s1.target.row < 16 && s1.target.col < 16);
+        assert!(matches!(s1.kind, FaultKind::Storage { .. }));
+        assert!(matches!(
+            FaultSite {
+                class: FaultClass::Computing,
+                ..site
+            }
+            .to_spec(16)
+            .kind,
+            FaultKind::Computing { .. }
+        ));
+        // Distinct sites pick distinct elements.
+        let other = FaultSite { bi: 5, ..site }.to_spec(16);
+        assert_ne!(s1.target, other.target);
     }
 
     #[test]

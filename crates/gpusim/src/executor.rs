@@ -112,10 +112,44 @@ impl DagSchedule {
     /// authored position (so the result degenerates to the authored order
     /// when nothing can move).
     pub fn issue_order(&self, policy: IssuePolicy) -> Vec<usize> {
-        let depth = match policy {
-            IssuePolicy::InOrder => return self.order.clone(),
-            IssuePolicy::Lookahead(d) => d,
+        if policy == IssuePolicy::InOrder {
+            return self.order.clone();
+        }
+        self.issue_diagnostics(policy).order
+    }
+
+    /// Compute the issue order under `policy` together with the runtime
+    /// orderings the order *induces* beyond the plan's dependency edges —
+    /// the input the static liveness checker (`hchol-analyze`) consumes.
+    ///
+    /// * `induced_edges` — host-serialization edges `(a, b)`: node `a` is
+    ///   host-blocking and node `b` is issued immediately after it, so on
+    ///   the real machine `b` cannot start before `a` completes even when
+    ///   no plan edge orders them.
+    /// * `window_fallbacks` — nodes issued through the outside-window
+    ///   escape hatch (every ready node sat beyond the lookahead window),
+    ///   i.e. places where the window bound was not what unblocked
+    ///   progress.
+    pub fn issue_diagnostics(&self, policy: IssuePolicy) -> IssueDiagnostics {
+        let (order, window_fallbacks) = match policy {
+            IssuePolicy::InOrder => (self.order.clone(), Vec::new()),
+            IssuePolicy::Lookahead(d) => self.lookahead_order(d),
         };
+        let induced_edges = order
+            .windows(2)
+            .filter(|w| self.meta[w[0]].host_blocking)
+            .map(|w| (w[0], w[1]))
+            .collect();
+        IssueDiagnostics {
+            order,
+            window_fallbacks,
+            induced_edges,
+        }
+    }
+
+    /// List scheduling under a lookahead window; returns the order plus
+    /// the nodes issued through the outside-window fallback.
+    fn lookahead_order(&self, depth: usize) -> (Vec<usize>, Vec<usize>) {
         let n = self.deps.len();
         let mut pos = vec![0usize; n];
         for (p, &id) in self.order.iter().enumerate() {
@@ -131,6 +165,7 @@ impl DagSchedule {
         }
         let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_deps[i] == 0).collect();
         let mut out = Vec::with_capacity(n);
+        let mut fallbacks = Vec::new();
         while out.len() < n {
             // The lookahead window is anchored at the oldest unissued
             // iteration (pre/post-loop nodes are always eligible).
@@ -147,7 +182,13 @@ impl DagSchedule {
                 .copied()
                 .filter(|&i| eligible(i))
                 .min_by_key(|&i| (self.meta[i].host_blocking, pos[i]))
-                .or_else(|| ready.iter().copied().min_by_key(|&i| pos[i]))
+                .or_else(|| {
+                    let p = ready.iter().copied().min_by_key(|&i| pos[i]);
+                    if let Some(p) = p {
+                        fallbacks.push(p);
+                    }
+                    p
+                })
                 .expect("dependency cycle: no ready node");
             ready.retain(|&i| i != pick);
             issued[pick] = true;
@@ -160,8 +201,22 @@ impl DagSchedule {
             }
         }
         debug_assert!(self.is_topological(&out));
-        out
+        (out, fallbacks)
     }
+}
+
+/// Byproducts of computing an issue order: the order itself plus the
+/// runtime-induced orderings the static liveness checker models (see
+/// [`DagSchedule::issue_diagnostics`]).
+#[derive(Debug, Clone)]
+pub struct IssueDiagnostics {
+    /// The computed issue order (a topological order of the plan edges).
+    pub order: Vec<usize>,
+    /// Nodes issued via the outside-window fallback path.
+    pub window_fallbacks: Vec<usize>,
+    /// Host-serialization edges `(blocking node, next issued node)` the
+    /// order induces beyond the plan's dependency edges.
+    pub induced_edges: Vec<(usize, usize)>,
 }
 
 /// Interleave several schedules' issue orders round-robin: the result is a
@@ -275,6 +330,33 @@ mod tests {
             vec![NodeMeta::default(); 2],
             vec![1, 0],
         );
+    }
+
+    #[test]
+    fn diagnostics_export_induced_edges_and_fallbacks() {
+        let s = sample();
+        // In-order: host-blocking node 1 serializes node 2 behind it.
+        let d = s.issue_diagnostics(IssuePolicy::InOrder);
+        assert_eq!(d.order, vec![0, 1, 2, 3]);
+        assert!(d.window_fallbacks.is_empty());
+        assert_eq!(d.induced_edges, vec![(1, 2)]);
+        // Lookahead(1): same picks as issue_order, edges follow the
+        // reordered sequence [0, 2, 1, 3].
+        let d = s.issue_diagnostics(IssuePolicy::Lookahead(1));
+        assert_eq!(d.order, s.issue_order(IssuePolicy::Lookahead(1)));
+        assert_eq!(d.induced_edges, vec![(1, 3)]);
+        assert!(d.window_fallbacks.is_empty());
+        // The window anchors at iteration 0 (unissued, blocked behind the
+        // iteration-5 node), so the only ready node sits outside the window
+        // and must be issued through the fallback.
+        let far = DagSchedule::new(
+            vec![vec![], vec![0]],
+            vec![meta(Some(5), false), meta(Some(0), false)],
+            vec![0, 1],
+        );
+        let d = far.issue_diagnostics(IssuePolicy::Lookahead(0));
+        assert_eq!(d.order, vec![0, 1]);
+        assert_eq!(d.window_fallbacks, vec![0]);
     }
 
     #[test]

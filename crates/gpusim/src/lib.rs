@@ -57,7 +57,7 @@ pub mod timeline;
 
 pub use access::{AccessSet, TileRef};
 pub use context::{EngineUtilization, EngineWindow, EventId, SimContext, StreamId};
-pub use executor::{round_robin, DagSchedule, IssuePolicy, NodeMeta};
+pub use executor::{round_robin, DagSchedule, IssueDiagnostics, IssuePolicy, NodeMeta};
 pub use memory::{BufferId, DeviceMemory, HostBufferId, HostMemory};
 pub use profile::{CpuProfile, DeviceProfile, KernelClass, SystemProfile};
 pub use program::{DmaDir, ExecSite, ProgramTrace, TraceAction, TraceOp};

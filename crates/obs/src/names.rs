@@ -80,6 +80,11 @@ pub const METRICS: &[&str] = &[
     "analysis.ops",
     "analysis.races",
     "analysis.violations",
+    // Static fault-coverage & liveness model checking (hchol-analyze).
+    "coverage.sites",
+    "coverage.covered",
+    "coverage.uncovered",
+    "liveness.findings",
 ];
 
 /// Registered event-kind patterns for [`crate::Obs::event`].

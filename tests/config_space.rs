@@ -1,0 +1,154 @@
+//! Property-based closure of the configuration space: every syntactically
+//! expressible [`AbftOptions`] either passes the composition matrix
+//! ([`hchol_core::validate_options`], DESIGN.md §12) and then builds a
+//! plan that is **contract-clean, fully fault-covered, and live** for
+//! every scheme — or is refused with a typed
+//! [`MatrixError::UnsupportedConfig`]. There is no third outcome: no
+//! panic, no silently degraded plan, no uncovered site.
+
+use hchol_analyze::{check_coverage, check_liveness, check_plan};
+use hchol_core::options::{AbftOptions, BalanceOptions, ChecksumPlacement, ShardOptions};
+use hchol_core::plan::for_scheme;
+use hchol_core::schemes::SchemeKind;
+use hchol_core::validate_options;
+use hchol_matrix::MatrixError;
+use proptest::prelude::*;
+
+/// Build an arbitrary options value from raw proptest scalars. Placement
+/// is pinned away from `Auto` because plan construction needs a resolved
+/// placement (the drivers resolve `Auto` against a system profile first).
+#[allow(clippy::too_many_arguments)]
+fn build_opts(
+    placement: u8,
+    k: usize,
+    fused: bool,
+    restarts: usize,
+    lookahead: usize,
+    balanced: bool,
+    k_bounds: (usize, usize),
+    devices: usize,
+) -> AbftOptions {
+    let mut o = AbftOptions::default()
+        .with_interval(k)
+        .with_chk_fused(fused)
+        .with_placement(match placement % 3 {
+            0 => ChecksumPlacement::Gpu,
+            1 => ChecksumPlacement::Cpu,
+            _ => ChecksumPlacement::Inline,
+        });
+    o.max_restarts = restarts;
+    o.lookahead = lookahead;
+    if balanced {
+        o = o.with_balance(BalanceOptions::default().with_k_bounds(k_bounds.0, k_bounds.1));
+    }
+    if devices > 1 {
+        o = o.with_shard(ShardOptions::new(devices));
+    }
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Accepted configurations prove the whole static tower; refused ones
+    /// carry a typed reason. Nothing panics either way.
+    #[test]
+    fn every_config_is_clean_or_typed_refused(
+        placement in 0u8..3,
+        k in 1usize..5,
+        fused in any::<bool>(),
+        restarts in 0usize..3,
+        lookahead in 0usize..3,
+        balanced in any::<bool>(),
+        k_lo in 1usize..3,
+        k_hi in 1usize..5,
+        devices in 1usize..5,
+        nt in 3usize..7,
+    ) {
+        let opts = build_opts(
+            placement, k, fused, restarts, lookahead,
+            balanced, (k_lo, k_hi), devices,
+        );
+        match validate_options(&opts) {
+            Ok(()) => {
+                for kind in SchemeKind::all() {
+                    // The fused rewrite only applies to Enhanced; other
+                    // schemes ignore the flag, which is also part of the
+                    // "no third outcome" contract: the plan still checks.
+                    let plan = for_scheme(kind, nt, &opts, false);
+                    let chk = check_plan(kind, &plan, &opts);
+                    prop_assert!(
+                        chk.is_clean(),
+                        "{} nt={nt} {opts:?}:\n{}", kind.name(), chk.render_text()
+                    );
+                    let cov = check_coverage(kind, &plan, &opts);
+                    prop_assert!(cov.total_sites() > 0);
+                    // With restarts forbidden the restart rung vanishes;
+                    // only then may sites be uncovered.
+                    if opts.max_restarts >= 1 {
+                        prop_assert!(
+                            cov.is_covered(),
+                            "{} nt={nt} {opts:?}:\n{}", kind.name(), cov.render_text()
+                        );
+                    }
+                    let live = check_liveness(kind, &plan, &opts);
+                    prop_assert!(
+                        live.is_live(),
+                        "{} nt={nt} {opts:?}:\n{}", kind.name(), live.render_text()
+                    );
+                }
+            }
+            Err(MatrixError::UnsupportedConfig(reason)) => {
+                prop_assert!(!reason.is_empty());
+            }
+            Err(other) => {
+                prop_assert!(false, "refusal must be typed UnsupportedConfig, got {other:?}");
+            }
+        }
+    }
+}
+
+/// The composition matrix is the same gate `run_scheme` applies: a
+/// `validate_options` refusal and a `run_scheme` refusal agree, reason
+/// for reason.
+#[test]
+fn run_scheme_refusals_match_validate_options() {
+    use hchol_gpusim::profile::SystemProfile;
+    use hchol_gpusim::ExecMode;
+    let refused = [
+        AbftOptions::default()
+            .with_shard(ShardOptions::new(2))
+            .with_balance(BalanceOptions::default()),
+        AbftOptions::default()
+            .with_shard(ShardOptions::new(2))
+            .with_chk_fused(true),
+        AbftOptions::default()
+            .with_shard(ShardOptions::new(2))
+            .with_placement(ChecksumPlacement::Cpu),
+        AbftOptions::default()
+            .with_balance(BalanceOptions::default())
+            .with_chk_fused(true),
+        {
+            let mut o = AbftOptions::default().with_balance(BalanceOptions::default());
+            o.lookahead = 2;
+            o
+        },
+    ];
+    for opts in refused {
+        let expect = validate_options(&opts).expect_err("matrix refuses");
+        let got = match hchol_core::run_scheme(
+            SchemeKind::Enhanced,
+            &SystemProfile::test_profile(),
+            ExecMode::TimingOnly,
+            96,
+            16,
+            &opts,
+            hchol_faults::FaultPlan::none(),
+            None,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("run_scheme must refuse {opts:?}"),
+        };
+        assert_eq!(format!("{expect:?}"), format!("{got:?}"));
+    }
+}

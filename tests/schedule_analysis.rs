@@ -183,8 +183,9 @@ fn balanced_run_with_migration_is_race_free_and_conformant() {
     assert!(analysis.is_clean(), "{}", analysis.render_text());
 }
 
-/// With `k_max > 1` the controller may relax the verify interval mid-run,
-/// so `analyze_outcome` downgrades to race-only analysis (mirroring the
+/// A run whose decision log shows the controller actually raised `K`
+/// above 1 relaxed the Enhanced read rule mid-flight, so
+/// `analyze_outcome` downgrades to race-only analysis (mirroring the
 /// static `K > 1` rule) — which must still be clean.
 #[test]
 fn adaptive_k_run_downgrades_to_race_analysis() {
@@ -203,10 +204,75 @@ fn adaptive_k_run_downgrades_to_race_analysis() {
         None,
     )
     .expect("balanced run");
+    assert!(
+        out.balance_log.as_ref().unwrap().max_k() > 1,
+        "a fault-free run must have relaxed K at some wake-up"
+    );
     let analysis = analyze_outcome(&out);
     assert_eq!(
         analysis.protocol, None,
-        "adaptive K must drop the strict protocol check"
+        "a run that relaxed K must drop the strict protocol check"
+    );
+    assert!(analysis.is_clean(), "{}", analysis.render_text());
+}
+
+/// Pin the downgrade rule: a balanced run that *could* have relaxed `K`
+/// (`k_max > 1`) but never woke up (update interval beyond the iteration
+/// count → empty decision log) executed a fully `K = 1` schedule, and
+/// keeps the strict conformance check — the blanket `k_max > 1`
+/// downgrade was a false negative.
+#[test]
+fn balanced_run_that_never_relaxed_keeps_conformance() {
+    use hchol_core::options::BalanceOptions;
+    let out = run_clean(
+        SchemeKind::Enhanced,
+        &SystemProfile::tardis_skewed(),
+        ExecMode::TimingOnly,
+        2048,
+        128,
+        &AbftOptions::default().with_balance(
+            BalanceOptions::default()
+                .with_update_interval(64) // > nt = 16: never due
+                .with_k_bounds(1, 4),
+        ),
+        None,
+    )
+    .expect("balanced run");
+    let log = out.balance_log.as_ref().unwrap();
+    assert_eq!(log.max_k(), 1, "no wake-up may have relaxed K");
+    let analysis = analyze_outcome(&out);
+    assert_eq!(
+        analysis.protocol,
+        Some(Protocol::Enhanced),
+        "an un-relaxed balanced run keeps the strict conformance check"
+    );
+    assert!(analysis.is_clean(), "{}", analysis.render_text());
+}
+
+/// Pin the other half: a `k_min > 1` floor relaxes the interval from the
+/// first iteration even with an empty decision log, so the downgrade to
+/// race-only analysis applies.
+#[test]
+fn k_floor_balanced_run_downgrades() {
+    use hchol_core::options::BalanceOptions;
+    let out = run_clean(
+        SchemeKind::Enhanced,
+        &SystemProfile::tardis_skewed(),
+        ExecMode::TimingOnly,
+        2048,
+        128,
+        &AbftOptions::default().with_balance(
+            BalanceOptions::default()
+                .with_update_interval(64)
+                .with_k_bounds(4, 4),
+        ),
+        None,
+    )
+    .expect("balanced run");
+    let analysis = analyze_outcome(&out);
+    assert_eq!(
+        analysis.protocol, None,
+        "a K floor above 1 must drop the strict protocol check"
     );
     assert!(analysis.is_clean(), "{}", analysis.render_text());
 }
