@@ -68,6 +68,10 @@ fi
 step "static vs dynamic cross-validation (coverage verdicts vs injection)"
 cargo test -q --test coverage_static
 
+step "reduced-precision suite (f32 fault matrix + adaptive-tolerance closure)"
+cargo test -q --test fault_matrix
+cargo test -q --test precision_properties
+
 step "configuration-space closure (clean plans or typed refusal)"
 cargo test -q --test config_space
 
@@ -94,6 +98,9 @@ cargo run --release -q -p hchol-bench --bin balance_sweep -- --quick
 
 step "multi-device scaling sweep (quick) -> BENCH_shard.json"
 cargo run --release -q -p hchol-bench --bin shard_sweep -- --quick
+
+step "precision sweep, fixed vs adaptive tolerance (quick) -> BENCH_precision.json"
+cargo run --release -q -p hchol-bench --bin precision_sweep -- --quick
 
 step "artifacts (BENCH_*, COVERAGE_*) conform to the report envelope schema"
 cargo run --release -q -p hchol-analyze --bin check_artifacts

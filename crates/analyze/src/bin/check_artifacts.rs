@@ -43,8 +43,52 @@ fn validate(v: &Value) -> Result<(String, String), String> {
         Value::Str(s) if !s.is_empty() => s.clone(),
         other => return Err(format!("name must be a non-empty string, got {other:?}")),
     };
-    field("body")?;
+    let body = field("body")?;
+    if name == "precision" {
+        validate_precision_body(body)?;
+    }
     Ok((kind, name))
+}
+
+/// Shape check for the `precision_sweep` artifact: downstream tooling
+/// pivots its rows on `(dtype, tolerance)`, so a row missing either axis —
+/// or an empty sweep — must fail here rather than produce an empty plot.
+fn validate_precision_body(body: &Value) -> Result<(), String> {
+    let obj = body.as_object().ok_or("precision body is not an object")?;
+    let results = obj
+        .iter()
+        .find(|(k, _)| k == "results")
+        .and_then(|(_, v)| v.as_array())
+        .ok_or("precision body missing `results` array")?;
+    if results.is_empty() {
+        return Err("precision `results` is empty".into());
+    }
+    for (i, row) in results.iter().enumerate() {
+        let row = row
+            .as_object()
+            .ok_or_else(|| format!("precision results[{i}] is not an object"))?;
+        let str_field = |name: &str, allowed: &[&str]| {
+            let v = row
+                .iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("precision results[{i}] missing `{name}`"))?;
+            if !allowed.contains(&v) {
+                return Err(format!(
+                    "precision results[{i}].{name} = {v:?} not in {allowed:?}"
+                ));
+            }
+            Ok(())
+        };
+        str_field("dtype", &["f32", "f64"])?;
+        str_field("tolerance", &["fixed", "adaptive"])?;
+        for counter in ["clean_false_positives", "fault_runs", "fault_runs_correct"] {
+            if !row.iter().any(|(k, _)| k == counter) {
+                return Err(format!("precision results[{i}] missing `{counter}`"));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

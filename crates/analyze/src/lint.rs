@@ -18,6 +18,11 @@
 //!   outside `crates/gpusim` (everything is supposed to run on the virtual
 //!   clock). Deliberate uses are waived with a `lint:allow(wall-clock)`
 //!   comment on the same or the preceding line.
+//! * **`tolerance-literal`** — bare epsilon literals (`1e-7`, `1e-9`,
+//!   `1e-12`) are forbidden in `crates/core/src` outside the central
+//!   `tolerance` module: every detection-threshold constant must be named
+//!   there so the fixed and adaptive models share one source of truth.
+//!   Deliberate uses are waived with `lint:allow(tolerance-literal)`.
 //!
 //! Scanning stops at the first `#[cfg(test)]` line of a file: test modules
 //! may use free-form labels and scratch names by design. `shims/` (vendored
@@ -119,6 +124,9 @@ pub fn lint_file(file: &str, content: &str) -> Vec<Lint> {
     if !file.contains("crates/gpusim/") {
         rule_wall_clock(file, &scan, &mut out);
     }
+    if file.contains("crates/core/src/") && !file.ends_with("tolerance.rs") {
+        rule_tolerance_literal(file, &scan, &mut out);
+    }
     out
 }
 
@@ -142,6 +150,8 @@ struct Scan {
     safety_lines: HashSet<usize>,
     /// Lines whose comments contain `lint:allow(wall-clock)`.
     allow_wall_clock: HashSet<usize>,
+    /// Lines whose comments contain `lint:allow(tolerance-literal)`.
+    allow_tolerance: HashSet<usize>,
 }
 
 impl Scan {
@@ -150,6 +160,7 @@ impl Scan {
             tokens: Vec::new(),
             safety_lines: HashSet::new(),
             allow_wall_clock: HashSet::new(),
+            allow_tolerance: HashSet::new(),
         };
         let b = src.as_bytes();
         let mut i = 0;
@@ -285,6 +296,9 @@ impl Scan {
         if text.contains("lint:allow(wall-clock)") {
             self.allow_wall_clock.insert(line);
         }
+        if text.contains("lint:allow(tolerance-literal)") {
+            self.allow_tolerance.insert(line);
+        }
     }
 
     fn word_at(&self, i: usize) -> Option<&str> {
@@ -360,6 +374,53 @@ fn rule_wall_clock(file: &str, scan: &Scan, out: &mut Vec<Lint>) {
                 message: format!(
                     "`{w}` outside gpusim: all timing must use the virtual clock \
                      (waive deliberate uses with `// lint:allow(wall-clock)`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Exponents whose negative powers of ten are epsilon-class detection
+/// thresholds. `1e-7` / `1e-9` / `1e-12` (and any mantissa, e.g. `2.5e-9`)
+/// must come from `hchol_core::tolerance` instead of being spelled inline.
+const EPSILON_EXPONENTS: &[u32] = &[7, 9, 12];
+
+fn rule_tolerance_literal(file: &str, scan: &Scan, out: &mut Vec<Lint>) {
+    for (i, tok) in scan.tokens.iter().enumerate() {
+        // A float's exponent part lexes as Word("1e") Punct('-') Word("9"):
+        // the mantissa token ends in `e`/`E` with only digits (or a digit
+        // run after a `.`) before it.
+        let Some(mant) = scan.word_at(i) else {
+            continue;
+        };
+        let Some(head) = mant.strip_suffix(['e', 'E']) else {
+            continue;
+        };
+        if head.is_empty() || !head.bytes().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if !scan.punct_at(i + 1, '-') {
+            continue;
+        }
+        let Some(exp) = scan.word_at(i + 2) else {
+            continue;
+        };
+        let Ok(exp) = exp.parse::<u32>() else {
+            continue;
+        };
+        if !EPSILON_EXPONENTS.contains(&exp) {
+            continue;
+        }
+        let line = tok.line;
+        let waived = (line.saturating_sub(1)..=line).any(|l| scan.allow_tolerance.contains(&l));
+        if !waived {
+            out.push(Lint {
+                file: file.to_string(),
+                line,
+                rule: "tolerance-literal",
+                message: format!(
+                    "bare epsilon literal `{mant}-{exp}`: name it in hchol_core::tolerance \
+                     (waive deliberate uses with `// lint:allow(tolerance-literal)`)"
                 ),
             });
         }
@@ -565,6 +626,32 @@ mod tests {
         assert!(lint_file("crates/x/src/a.rs", ev).is_empty());
         let open = "fn f(o: &mut Obs) { o.spans.open(format!(\"iter {j}\"), p, t); }\n";
         assert!(lint_file("crates/x/src/a.rs", open).is_empty());
+    }
+
+    #[test]
+    fn epsilon_literals_flagged_in_core_only() {
+        let src = "fn f() -> f64 { 1e-9 }\n";
+        let lints = lint_file("crates/core/src/a.rs", src);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].rule, "tolerance-literal");
+        // Other crates, the tolerance module itself, and non-epsilon
+        // exponents are all out of scope.
+        assert!(lint_file("crates/blas/src/a.rs", src).is_empty());
+        assert!(lint_file("crates/core/src/tolerance.rs", src).is_empty());
+        assert!(lint_file("crates/core/src/a.rs", "fn f() -> f64 { 1e-3 }\n").is_empty());
+        // Mantissa variants are caught; waivers work.
+        assert_eq!(
+            lint_file("crates/core/src/a.rs", "fn f() -> f64 { 2.5e-12 }\n").len(),
+            1
+        );
+        let waived = "// lint:allow(tolerance-literal)\nfn f() -> f64 { 1e-7 }\n";
+        assert!(lint_file("crates/core/src/a.rs", waived).is_empty());
+        // Identifiers ending in `e` minus a number are not literals.
+        assert!(lint_file(
+            "crates/core/src/a.rs",
+            "fn f(rate: f64) -> f64 { rate - 9.0 }\n"
+        )
+        .is_empty());
     }
 
     #[test]

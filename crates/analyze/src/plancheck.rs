@@ -533,7 +533,7 @@ mod tests {
             .find(|n| {
                 matches!(
                     &n.kind,
-                    TaskKind::VerifyBatch { tiles, sweep: SweepKind::Inline, fused: true }
+                    TaskKind::VerifyBatch { tiles, sweep: SweepKind::Inline, fused: true, .. }
                         if tiles.iter().any(|&(bi, bj)| bi != bj)
                 )
             })

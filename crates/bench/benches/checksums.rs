@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hchol_core::checksum::{encode, encode_into};
 use hchol_core::chkops::{update_potf2, update_product, update_trsm};
-use hchol_core::verify::{verify_and_correct, VerifyPolicy};
+use hchol_core::verify::{verify_and_correct, TileTolerance, VerifyPolicy};
 use hchol_matrix::generate::{known_factor, uniform};
 use hchol_matrix::Matrix;
 use std::hint::black_box;
@@ -58,7 +58,7 @@ fn bench_updates(c: &mut Criterion) {
 fn bench_verify(c: &mut Criterion) {
     let mut g = c.benchmark_group("verify");
     g.sample_size(30);
-    let policy = VerifyPolicy::default();
+    let policy = TileTolerance::Fixed(VerifyPolicy::default());
     for &b in &[64usize, 128, 256] {
         let data0 = uniform(b, b, -1.0, 1.0, 4);
         let chk0 = encode(&data0);

@@ -1,0 +1,49 @@
+//! Safe precision dispatch for the f64-only blocked engine.
+//!
+//! The packed SIMD engine (`pack.rs`, `microkernel.rs`, the recursive TRSM)
+//! is written against `f64` storage. The public kernels are generic over
+//! [`Scalar`]; when instantiated at `S = f64` they route onto the fast engine
+//! by *downcasting* the matrix references via `core::any::Any` — a safe,
+//! zero-copy identity conversion that the sealed `Scalar` trait guarantees
+//! can only succeed when `S` really is `f64`. Other precisions (f32) fall
+//! back to the scalar reference loops, as documented in DESIGN.md §14.
+
+use core::any::Any;
+use hchol_matrix::{Matrix, Scalar};
+
+/// `&Matrix<S>` as `&Matrix<f64>` when `S = f64`.
+#[inline]
+pub(crate) fn as_f64<S: Scalar>(m: &Matrix<S>) -> Option<&Matrix<f64>> {
+    (m as &dyn Any).downcast_ref::<Matrix<f64>>()
+}
+
+/// `&mut Matrix<S>` as `&mut Matrix<f64>` when `S = f64`.
+#[inline]
+pub(crate) fn as_f64_mut<S: Scalar>(m: &mut Matrix<S>) -> Option<&mut Matrix<f64>> {
+    (m as &mut dyn Any).downcast_mut::<Matrix<f64>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downcast_succeeds_only_for_f64() {
+        let mut a = Matrix::<f64>::zeros(2, 2);
+        assert!(as_f64(&a).is_some());
+        assert!(as_f64_mut(&mut a).is_some());
+        let mut b = Matrix::<f32>::zeros(2, 2);
+        assert!(as_f64(&b).is_none());
+        assert!(as_f64_mut(&mut b).is_none());
+    }
+
+    #[test]
+    fn downcast_is_identity() {
+        let mut a = Matrix::<f64>::zeros(2, 2);
+        a.set(1, 0, 3.5);
+        let v = as_f64(&a).unwrap();
+        assert_eq!(v.get(1, 0), 3.5);
+        as_f64_mut(&mut a).unwrap().set(0, 1, -1.0);
+        assert_eq!(a.get(0, 1), -1.0);
+    }
+}

@@ -1,24 +1,31 @@
-//! BLAS level-1: vector-vector kernels.
+//! BLAS level-1: vector-vector kernels, generic over the element precision.
+//!
+//! Unlike the matrix-level APIs (which take `f64` scale factors and convert
+//! at the edge), these take their scalars in `S`: they sit inside the inner
+//! loops, so an f32 instantiation must do genuinely single-precision work.
+
+use hchol_matrix::Scalar;
 
 /// `y := alpha * x + y`. Panics if lengths differ.
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    if alpha == 0.0 {
+    if alpha == S::ZERO {
         return;
     }
     for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+        *yi += alpha * *xi;
     }
 }
 
-/// Dot product `xᵀ·y`. Panics if lengths differ.
+/// Dot product `xᵀ·y`, accumulated in the working precision. Panics if
+/// lengths differ.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
     // Four-way unrolled accumulation: faster and (by splitting the
     // dependency chain) slightly more accurate than a single accumulator.
-    let mut acc = [0.0f64; 4];
+    let mut acc = [S::ZERO; 4];
     let chunks = x.len() / 4;
     for c in 0..chunks {
         let b = c * 4;
@@ -27,7 +34,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
         acc[2] += x[b + 2] * y[b + 2];
         acc[3] += x[b + 3] * y[b + 3];
     }
-    let mut tail = 0.0;
+    let mut tail = S::ZERO;
     for i in chunks * 4..x.len() {
         tail += x[i] * y[i];
     }
@@ -36,7 +43,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 
 /// `x := alpha * x`.
 #[inline]
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
     for xi in x {
         *xi *= alpha;
     }
@@ -44,10 +51,10 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 
 /// Index of the element with the largest absolute value (first on ties).
 /// Returns `None` for an empty slice.
-pub fn iamax(x: &[f64]) -> Option<usize> {
+pub fn iamax<S: Scalar>(x: &[S]) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &v) in x.iter().enumerate() {
-        let a = v.abs();
+        let a = v.abs().to_f64();
         match best {
             Some((_, b)) if a <= b => {}
             _ => best = Some((i, a)),
@@ -56,14 +63,14 @@ pub fn iamax(x: &[f64]) -> Option<usize> {
     best.map(|(i, _)| i)
 }
 
-/// Euclidean norm with overflow-safe scaling.
-pub fn nrm2(x: &[f64]) -> f64 {
+/// Euclidean norm with overflow-safe scaling (computed in `f64`).
+pub fn nrm2<S: Scalar>(x: &[S]) -> f64 {
     hchol_matrix::norms::vec_norm2(x)
 }
 
-/// Sum of absolute values.
-pub fn asum(x: &[f64]) -> f64 {
-    x.iter().map(|v| v.abs()).sum()
+/// Sum of absolute values (accumulated in `f64`).
+pub fn asum<S: Scalar>(x: &[S]) -> f64 {
+    x.iter().map(|v| v.abs().to_f64()).sum()
 }
 
 #[cfg(test)]
@@ -92,7 +99,7 @@ mod tests {
         let y: Vec<f64> = (0..13).map(|i| (i * 2) as f64).collect();
         let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert_eq!(dot(&x, &y), naive);
-        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
     }
 
     #[test]
@@ -106,12 +113,25 @@ mod tests {
     fn iamax_finds_peak() {
         assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
         assert_eq!(iamax(&[2.0, -2.0]), Some(0)); // first on tie
-        assert_eq!(iamax(&[]), None);
+        assert_eq!(iamax::<f64>(&[]), None);
     }
 
     #[test]
     fn asum_and_nrm2() {
         assert_eq!(asum(&[1.0, -2.0, 3.0]), 6.0);
         assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn f32_kernels_run_in_single_precision() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [0.5f32, 0.5, 0.5];
+        axpy(2.0f32, &x, &mut y);
+        assert_eq!(y, [2.5f32, 4.5, 6.5]);
+        assert_eq!(dot(&x, &x), 14.0f32);
+        assert_eq!(iamax(&x), Some(2));
+        // f32 round-off is observable: (1 + eps32/2) collapses to 1.
+        let tiny = [1.0f32 + f32::EPSILON / 2.0];
+        assert_eq!(tiny[0], 1.0f32);
     }
 }

@@ -6,54 +6,57 @@
 //! GPU" and motivates Optimization 1 (running many of them concurrently).
 
 use crate::level1::{axpy, dot};
-use hchol_matrix::{Diag, Matrix, Trans, Uplo};
+use hchol_matrix::{Diag, Matrix, Scalar, Trans, Uplo};
 
 /// `y := alpha * op(A) * x + beta * y`.
 ///
 /// Shapes: `op(A)` is `m × n`, `x` has length `n`, `y` has length `m`.
-pub fn gemv(trans: Trans, alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv<S: Scalar>(trans: Trans, alpha: f64, a: &Matrix<S>, x: &[S], beta: f64, y: &mut [S]) {
     let (m, n) = trans.apply(a.shape());
     assert_eq!(x.len(), n, "gemv x length mismatch");
     assert_eq!(y.len(), m, "gemv y length mismatch");
     if beta != 1.0 {
+        let be = S::from_f64(beta);
         for yi in y.iter_mut() {
-            *yi *= beta;
+            *yi *= be;
         }
     }
     if alpha == 0.0 {
         return;
     }
+    let al = S::from_f64(alpha);
     match trans {
         // y += alpha * A * x: accumulate columns (axpy form, unit stride).
         Trans::No => {
             for (j, &xj) in x.iter().enumerate() {
-                axpy(alpha * xj, a.col(j), y);
+                axpy(al * xj, a.col(j), y);
             }
         }
         // y += alpha * Aᵀ * x: dot of each column with x (unit stride).
         Trans::Yes => {
             for (j, yj) in y.iter_mut().enumerate() {
-                *yj += alpha * dot(a.col(j), x);
+                *yj += al * dot(a.col(j), x);
             }
         }
     }
 }
 
 /// Rank-1 update `A := alpha * x * yᵀ + A`.
-pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+pub fn ger<S: Scalar>(alpha: f64, x: &[S], y: &[S], a: &mut Matrix<S>) {
     assert_eq!(x.len(), a.rows(), "ger x length mismatch");
     assert_eq!(y.len(), a.cols(), "ger y length mismatch");
     if alpha == 0.0 {
         return;
     }
+    let al = S::from_f64(alpha);
     for (j, &yj) in y.iter().enumerate() {
-        axpy(alpha * yj, x, a.col_mut(j));
+        axpy(al * yj, x, a.col_mut(j));
     }
 }
 
 /// Solve the triangular system `op(A) · x = b` in place (`x` holds `b` on
 /// entry and the solution on exit).
-pub fn trsv(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, x: &mut [f64]) {
+pub fn trsv<S: Scalar>(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix<S>, x: &mut [S]) {
     let n = a.rows();
     assert!(a.is_square(), "trsv requires square A");
     assert_eq!(x.len(), n, "trsv x length mismatch");
@@ -61,7 +64,7 @@ pub fn trsv(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, x: &mut [f64]) {
         // Forward substitution with L.
         (Uplo::Lower, Trans::No) => {
             for j in 0..n {
-                if x[j] != 0.0 {
+                if x[j] != S::ZERO {
                     if diag == Diag::NonUnit {
                         x[j] /= a.get(j, j);
                     }
@@ -87,7 +90,7 @@ pub fn trsv(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, x: &mut [f64]) {
         // Back substitution with U.
         (Uplo::Upper, Trans::No) => {
             for j in (0..n).rev() {
-                if x[j] != 0.0 {
+                if x[j] != S::ZERO {
                     if diag == Diag::NonUnit {
                         x[j] /= a.get(j, j);
                     }
@@ -105,7 +108,7 @@ pub fn trsv(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, x: &mut [f64]) {
                 let col = a.col(j);
                 let mut s = x[j];
                 for (i, xi) in x.iter().enumerate().take(j) {
-                    s -= col[i] * xi;
+                    s -= col[i] * *xi;
                 }
                 x[j] = if diag == Diag::NonUnit { s / col[j] } else { s };
             }
@@ -115,19 +118,21 @@ pub fn trsv(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, x: &mut [f64]) {
 
 /// Symmetric matrix-vector product `y := alpha·A·x + beta·y` referencing only
 /// the given triangle of `A`.
-pub fn symv(uplo: Uplo, alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn symv<S: Scalar>(uplo: Uplo, alpha: f64, a: &Matrix<S>, x: &[S], beta: f64, y: &mut [S]) {
     let n = a.rows();
     assert!(a.is_square(), "symv requires square A");
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), n);
     if beta != 1.0 {
+        let be = S::from_f64(beta);
         for yi in y.iter_mut() {
-            *yi *= beta;
+            *yi *= be;
         }
     }
     if alpha == 0.0 {
         return;
     }
+    let alpha = S::from_f64(alpha);
     match uplo {
         Uplo::Lower => {
             for j in 0..n {

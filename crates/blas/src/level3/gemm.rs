@@ -19,7 +19,8 @@
 use super::microkernel::{micro_kernel, MR, NR};
 use super::naive;
 use super::pack::{pack_a, pack_b, MatMut, MatRef};
-use hchol_matrix::{Matrix, Trans};
+use crate::cast::{as_f64, as_f64_mut};
+use hchol_matrix::{Matrix, Scalar, Trans};
 
 /// Rows per packed A slab (fits `MC×KC` doubles comfortably in L2).
 pub const MC: usize = 128;
@@ -35,15 +36,16 @@ pub const BLOCK_THRESHOLD: usize = 64 * 64 * 64;
 /// `C := beta·C` with BLAS semantics: `beta == 0` overwrites (clearing NaN
 /// and Inf), `beta == 1` is a no-op. Shared by the sequential and parallel
 /// front ends.
-pub(crate) fn apply_beta(beta: f64, c: &mut [f64]) {
+pub(crate) fn apply_beta<S: Scalar>(beta: f64, c: &mut [S]) {
     if beta == 1.0 {
         return;
     }
     if beta == 0.0 {
-        c.fill(0.0);
+        c.fill(S::ZERO);
     } else {
+        let be = S::from_f64(beta);
         for x in c {
-            *x *= beta;
+            *x *= be;
         }
     }
 }
@@ -62,14 +64,14 @@ pub(crate) fn use_blocked(m: usize, n: usize, k: usize) -> bool {
 /// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
 /// Panics on shape mismatch; `A`, `B` and `C` must be distinct matrices
 /// (guaranteed by Rust's borrow rules).
-pub fn gemm(
+pub fn gemm<S: Scalar>(
     trans_a: Trans,
     trans_b: Trans,
     alpha: f64,
-    a: &Matrix,
-    b: &Matrix,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
     beta: f64,
-    c: &mut Matrix,
+    c: &mut Matrix<S>,
 ) {
     let (m, ka) = trans_a.apply(a.shape());
     let (kb, n) = trans_b.apply(b.shape());
@@ -82,18 +84,28 @@ pub fn gemm(
         return;
     }
 
+    // The packed SIMD engine is f64-only; other precisions (f32) take the
+    // scalar reference loops below regardless of size.
     if use_blocked(m, n, k) {
-        let av = MatRef::new(a, trans_a);
-        let bv = MatRef::new(b, trans_b);
-        let cv = MatMut::new(c);
-        gemm_blocked(alpha, &av, &bv, &cv);
-    } else {
-        naive::naive_gemm_accum(trans_a, trans_b, alpha, a, b, c);
+        if let (Some(a64), Some(b64)) = (as_f64(a), as_f64(b)) {
+            let c64 = as_f64_mut(c).expect("a, b, c share one element type");
+            let av = MatRef::new(a64, trans_a);
+            let bv = MatRef::new(b64, trans_b);
+            let cv = MatMut::new(c64);
+            gemm_blocked(alpha, &av, &bv, &cv);
+            return;
+        }
     }
+    naive::naive_gemm_accum(trans_a, trans_b, alpha, a, b, c);
 }
 
 /// Convenience: allocate and return `op(A) * op(B)`.
-pub fn gemm_into(trans_a: Trans, trans_b: Trans, a: &Matrix, b: &Matrix) -> Matrix {
+pub fn gemm_into<S: Scalar>(
+    trans_a: Trans,
+    trans_b: Trans,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+) -> Matrix<S> {
     let (m, _) = trans_a.apply(a.shape());
     let (_, n) = trans_b.apply(b.shape());
     let mut c = Matrix::zeros(m, n);
@@ -271,13 +283,13 @@ pub(crate) fn run_tiles(
 /// Plain second-pass checksum of a finished block: ascending-row column
 /// sums into a `2 × cols` matrix (row 0: ones weights, row 1: `i + 1`
 /// weights). The fallback epilogue for products the blocked engine skips.
-pub(crate) fn encode_cols(c: &Matrix, chk: &mut Matrix) {
+pub(crate) fn encode_cols<S: Scalar>(c: &Matrix<S>, chk: &mut Matrix<S>) {
     debug_assert_eq!(chk.shape(), (2, c.cols()));
     for j in 0..c.cols() {
-        let (mut s1, mut s2) = (0.0, 0.0);
+        let (mut s1, mut s2) = (S::ZERO, S::ZERO);
         for (i, &v) in c.col(j).iter().enumerate() {
             s1 += v;
-            s2 += (i + 1) as f64 * v;
+            s2 += S::from_usize(i + 1) * v;
         }
         chk.set(0, j, s1);
         chk.set(1, j, s2);
@@ -297,15 +309,15 @@ pub(crate) fn encode_cols(c: &Matrix, chk: &mut Matrix) {
 /// separate recalculation only to normal rounding (relative `~1e-12`), not
 /// bitwise.
 #[allow(clippy::too_many_arguments)]
-pub fn gemm_fused(
+pub fn gemm_fused<S: Scalar>(
     trans_a: Trans,
     trans_b: Trans,
     alpha: f64,
-    a: &Matrix,
-    b: &Matrix,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
     beta: f64,
-    c: &mut Matrix,
-    chk: &mut Matrix,
+    c: &mut Matrix<S>,
+    chk: &mut Matrix<S>,
 ) {
     let (m, ka) = trans_a.apply(a.shape());
     let (kb, n) = trans_b.apply(b.shape());
@@ -316,21 +328,27 @@ pub fn gemm_fused(
 
     apply_beta(beta, c.as_mut_slice());
     if alpha != 0.0 && k != 0 && use_blocked(m, n, k) {
-        let av = MatRef::new(a, trans_a);
-        let bv = MatRef::new(b, trans_b);
-        let cv = MatMut::new(c);
-        let (mut v1, mut v2) = (vec![0.0; n], vec![0.0; n]);
-        gemm_blocked_fused(alpha, &av, &bv, &cv, Some((&mut v1, &mut v2)));
-        for j in 0..n {
-            chk.set(0, j, v1[j]);
-            chk.set(1, j, v2[j]);
+        // f64 takes the fused blocked engine; other precisions fall through
+        // to the scalar product + second-pass sweep.
+        if let (Some(a64), Some(b64)) = (as_f64(a), as_f64(b)) {
+            let c64 = as_f64_mut(c).expect("a, b, c share one element type");
+            let chk64 = as_f64_mut(chk).expect("chk shares the element type");
+            let av = MatRef::new(a64, trans_a);
+            let bv = MatRef::new(b64, trans_b);
+            let cv = MatMut::new(c64);
+            let (mut v1, mut v2) = (vec![0.0; n], vec![0.0; n]);
+            gemm_blocked_fused(alpha, &av, &bv, &cv, Some((&mut v1, &mut v2)));
+            for j in 0..n {
+                chk64.set(0, j, v1[j]);
+                chk64.set(1, j, v2[j]);
+            }
+            return;
         }
-    } else {
-        if alpha != 0.0 && k != 0 {
-            naive::naive_gemm_accum(trans_a, trans_b, alpha, a, b, c);
-        }
-        encode_cols(c, chk);
     }
+    if alpha != 0.0 && k != 0 {
+        naive::naive_gemm_accum(trans_a, trans_b, alpha, a, b, c);
+    }
+    encode_cols(c, chk);
 }
 
 #[cfg(test)]
@@ -424,7 +442,7 @@ pub(crate) mod tests {
     #[test]
     #[should_panic]
     fn inner_dim_mismatch_panics() {
-        let a = Matrix::zeros(2, 3);
+        let a = Matrix::<f64>::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         let mut c = Matrix::zeros(2, 2);
         gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);

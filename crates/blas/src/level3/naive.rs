@@ -6,20 +6,20 @@
 //! down a stored column (unit stride in column-major storage).
 
 use crate::level1::{axpy, dot};
-use hchol_matrix::{Matrix, Trans, Uplo};
+use hchol_matrix::{Matrix, Scalar, Trans, Uplo};
 
 /// Naive `C := alpha * op(A) * op(B) + beta * C` (axpy/dot column loops).
 ///
 /// Same contract as [`crate::gemm`]; exposed so benchmarks can measure the
 /// blocked engine against the original kernel.
-pub fn naive_gemm(
+pub fn naive_gemm<S: Scalar>(
     trans_a: Trans,
     trans_b: Trans,
     alpha: f64,
-    a: &Matrix,
-    b: &Matrix,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
     beta: f64,
-    c: &mut Matrix,
+    c: &mut Matrix<S>,
 ) {
     let (m, ka) = trans_a.apply(a.shape());
     let (kb, n) = trans_b.apply(b.shape());
@@ -36,16 +36,17 @@ pub fn naive_gemm(
 
 /// The accumulation half of [`naive_gemm`] (`C += alpha * op(A) * op(B)`),
 /// assuming shapes already validated and beta already applied.
-pub(crate) fn naive_gemm_accum(
+pub(crate) fn naive_gemm_accum<S: Scalar>(
     trans_a: Trans,
     trans_b: Trans,
     alpha: f64,
-    a: &Matrix,
-    b: &Matrix,
-    c: &mut Matrix,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    c: &mut Matrix<S>,
 ) {
     let (m, k) = trans_a.apply(a.shape());
     let n = c.cols();
+    let al = S::from_f64(alpha);
     match (trans_a, trans_b) {
         // C[:,j] += alpha * Σ_l A[:,l] * B[l,j] — pure axpy form.
         (Trans::No, Trans::No) => {
@@ -53,7 +54,7 @@ pub(crate) fn naive_gemm_accum(
                 let bcol = b.col(j);
                 let ccol = c.col_mut(j);
                 for (l, &blj) in bcol.iter().enumerate() {
-                    axpy(alpha * blj, a.col(l), ccol);
+                    axpy(al * blj, a.col(l), ccol);
                 }
             }
         }
@@ -62,7 +63,7 @@ pub(crate) fn naive_gemm_accum(
             for j in 0..n {
                 let ccol = c.col_mut(j);
                 for l in 0..k {
-                    axpy(alpha * b.get(j, l), a.col(l), ccol);
+                    axpy(al * b.get(j, l), a.col(l), ccol);
                 }
             }
         }
@@ -72,7 +73,7 @@ pub(crate) fn naive_gemm_accum(
                 let bcol = b.col(j);
                 for i in 0..m {
                     let s = dot(a.col(i), bcol);
-                    let v = c.get(i, j) + alpha * s;
+                    let v = c.get(i, j) + al * s;
                     c.set(i, j, v);
                 }
             }
@@ -82,11 +83,11 @@ pub(crate) fn naive_gemm_accum(
             for j in 0..n {
                 for i in 0..m {
                     let acol = a.col(i);
-                    let mut s = 0.0;
+                    let mut s = S::ZERO;
                     for (l, &ali) in acol.iter().enumerate() {
                         s += ali * b.get(j, l);
                     }
-                    let v = c.get(i, j) + alpha * s;
+                    let v = c.get(i, j) + al * s;
                     c.set(i, j, v);
                 }
             }
@@ -98,7 +99,14 @@ pub(crate) fn naive_gemm_accum(
 ///
 /// Same contract as [`crate::syrk`]; the blocked engine's small-size
 /// fallback and the benchmark baseline.
-pub fn naive_syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+pub fn naive_syrk<S: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: &Matrix<S>,
+    beta: f64,
+    c: &mut Matrix<S>,
+) {
     let (n, k) = trans.apply(a.shape());
     assert!(c.is_square(), "syrk C must be square");
     assert_eq!(c.rows(), n, "syrk C dimension mismatch");
@@ -111,26 +119,33 @@ pub fn naive_syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c
 }
 
 /// The accumulation half of [`naive_syrk`], beta already applied.
-pub(crate) fn naive_syrk_accum(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, c: &mut Matrix) {
+pub(crate) fn naive_syrk_accum<S: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: &Matrix<S>,
+    c: &mut Matrix<S>,
+) {
     let (n, k) = trans.apply(a.shape());
+    let al = S::from_f64(alpha);
     match trans {
         // C[i,j] += alpha * Σ_l A[i,l]·A[j,l]: axpy down each column segment.
         Trans::No => {
             for j in 0..n {
                 for l in 0..k {
                     let ajl = a.get(j, l);
-                    if ajl == 0.0 {
+                    if ajl == S::ZERO {
                         continue;
                     }
                     let acol = a.col(l);
                     match uplo {
                         Uplo::Lower => {
                             let ccol = &mut c.col_mut(j)[j..];
-                            axpy(alpha * ajl, &acol[j..], ccol);
+                            axpy(al * ajl, &acol[j..], ccol);
                         }
                         Uplo::Upper => {
                             let ccol = &mut c.col_mut(j)[..=j];
-                            axpy(alpha * ajl, &acol[..=j], ccol);
+                            axpy(al * ajl, &acol[..=j], ccol);
                         }
                     }
                 }
@@ -146,7 +161,7 @@ pub(crate) fn naive_syrk_accum(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix,
                 let acj = a.col(j);
                 for i in lo..hi {
                     let s = dot(a.col(i), acj);
-                    let v = c.get(i, j) + alpha * s;
+                    let v = c.get(i, j) + al * s;
                     c.set(i, j, v);
                 }
             }

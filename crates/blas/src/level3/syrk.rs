@@ -10,7 +10,8 @@
 use super::gemm::{encode_cols, gemm_views, use_blocked};
 use super::naive::naive_syrk_accum;
 use super::pack::{MatMut, MatRef};
-use hchol_matrix::{Matrix, Trans, Uplo};
+use crate::cast::{as_f64, as_f64_mut};
+use hchol_matrix::{Matrix, Scalar, Trans, Uplo};
 
 /// Block size of the triangular decomposition (C blocks are `TB × TB`).
 /// Wide blocks amortize the engine's packing across many columns of `C`;
@@ -21,21 +22,22 @@ const TB: usize = 256;
 /// `C := beta·C` restricted to the `uplo` triangle, with BLAS semantics
 /// (`beta == 0` overwrites NaN/Inf). Shared between the naive and blocked
 /// SYRK front ends.
-pub(crate) fn apply_beta_triangle(uplo: Uplo, beta: f64, c: &mut Matrix) {
+pub(crate) fn apply_beta_triangle<S: Scalar>(uplo: Uplo, beta: f64, c: &mut Matrix<S>) {
     if beta == 1.0 {
         return;
     }
     let n = c.rows();
+    let be = S::from_f64(beta);
     for j in 0..n {
         let seg = match uplo {
             Uplo::Lower => &mut c.col_mut(j)[j..],
             Uplo::Upper => &mut c.col_mut(j)[..=j],
         };
         if beta == 0.0 {
-            seg.fill(0.0);
+            seg.fill(S::ZERO);
         } else {
             for x in seg {
-                *x *= beta;
+                *x *= be;
             }
         }
     }
@@ -47,7 +49,14 @@ pub(crate) fn apply_beta_triangle(uplo: Uplo, beta: f64, c: &mut Matrix) {
 /// With `trans = No`, `op(A) = A` (`n × k`); with `trans = Yes`,
 /// `op(A) = Aᵀ` (so `A` is stored `k × n`). This is the diagonal-block
 /// update of MAGMA's Cholesky iteration: `A[j,j] -= A[j,0:j-1] · A[j,0:j-1]ᵀ`.
-pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+pub fn syrk<S: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: &Matrix<S>,
+    beta: f64,
+    c: &mut Matrix<S>,
+) {
     let (n, k) = trans.apply(a.shape());
     assert!(c.is_square(), "syrk C must be square");
     assert_eq!(c.rows(), n, "syrk C dimension mismatch");
@@ -57,11 +66,16 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut
         return;
     }
 
+    // Blocked decomposition rides the f64-only packed engine; f32 keeps the
+    // seed loops at any size.
     if use_blocked(n, n, k) {
-        syrk_blocked(uplo, trans, alpha, a, c);
-    } else {
-        naive_syrk_accum(uplo, trans, alpha, a, c);
+        if let Some(a64) = as_f64(a) {
+            let c64 = as_f64_mut(c).expect("a and c share one element type");
+            syrk_blocked(uplo, trans, alpha, a64, c64);
+            return;
+        }
     }
+    naive_syrk_accum(uplo, trans, alpha, a, c);
 }
 
 /// [`syrk`] plus the two weighted column checksums of the finished `C` in
@@ -75,14 +89,14 @@ pub fn syrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut
 /// read-back would be incomplete by construction. The sweep touches a tile
 /// that just finished updating — cache-hot, and still one kernel from the
 /// caller's point of view.
-pub fn syrk_fused(
+pub fn syrk_fused<S: Scalar>(
     uplo: Uplo,
     trans: Trans,
     alpha: f64,
-    a: &Matrix,
+    a: &Matrix<S>,
     beta: f64,
-    c: &mut Matrix,
-    chk: &mut Matrix,
+    c: &mut Matrix<S>,
+    chk: &mut Matrix<S>,
 ) {
     assert_eq!(
         chk.shape(),

@@ -9,9 +9,10 @@
 //! the flops of a large solve run at GEMM speed. Small solves keep the seed
 //! per-column substitution directly.
 
+use crate::cast::{as_f64, as_f64_mut};
 use crate::level1::axpy;
 use crate::level2::trsv;
-use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
+use hchol_matrix::{Diag, Matrix, Scalar, Side, Trans, Uplo};
 
 use super::gemm::gemm_views;
 use super::pack::{MatMut, MatRef};
@@ -25,14 +26,14 @@ const TRSM_BASE: usize = 32;
 /// `A` is triangular per `uplo`/`diag`; only that triangle is referenced.
 /// The panel solve of MAGMA's Cholesky — `A[j+1:N, j] := A[j+1:N, j] ·
 /// (L[j,j]ᵀ)⁻¹` — is `trsm(Right, Lower, Trans::Yes, NonUnit, 1.0, L, panel)`.
-pub fn trsm(
+pub fn trsm<S: Scalar>(
     side: Side,
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
     alpha: f64,
-    a: &Matrix,
-    b: &mut Matrix,
+    a: &Matrix<S>,
+    b: &mut Matrix<S>,
 ) {
     assert!(a.is_square(), "trsm A must be square");
     let (m, n) = b.shape();
@@ -41,14 +42,15 @@ pub fn trsm(
         Side::Right => assert_eq!(a.rows(), n, "trsm Right dimension mismatch"),
     }
     if alpha != 1.0 {
-        b.scale(alpha);
+        b.scale(S::from_f64(alpha));
     }
     if m == 0 || n == 0 {
         return;
     }
 
-    if a.rows() <= TRSM_BASE {
-        // Small triangle: straight substitution on the original storage.
+    // The recursive GEMM-accelerated path rides the f64-only engine; small
+    // triangles — and every f32 solve — use straight substitution.
+    if a.rows() <= TRSM_BASE || as_f64(a).is_none() {
         match side {
             Side::Left => {
                 for j in 0..n {
@@ -59,6 +61,8 @@ pub fn trsm(
         }
         return;
     }
+    let a = as_f64(a).expect("checked above");
+    let b = as_f64_mut(b).expect("a and b share one element type");
 
     // op(A) is lower triangular either stored lower and used as-is, or
     // stored upper and used transposed.
@@ -191,7 +195,7 @@ fn right_base(eff_lower: bool, diag: Diag, t: &Matrix, b: &MatMut) {
 }
 
 /// Column-oriented substitution for `X · op(A) = B` on whole small matrices.
-fn right_solve(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, b: &mut Matrix) {
+fn right_solve<S: Scalar>(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix<S>, b: &mut Matrix<S>) {
     let n = b.cols();
     // Effective upper/lower structure of op(A):
     //   (Lower, No)  -> lower: X[:,j] depends on X[:,k], k > j  (backward)
@@ -220,7 +224,7 @@ fn right_solve(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, b: &mut Matrix)
                 Trans::No => a.get(k, j),
                 Trans::Yes => a.get(j, k),
             };
-            if coef != 0.0 {
+            if coef != S::ZERO {
                 let (src, dst) = b.col_pair_mut(k, j);
                 axpy(-coef, src, dst);
             }
@@ -228,7 +232,7 @@ fn right_solve(uplo: Uplo, trans: Trans, diag: Diag, a: &Matrix, b: &mut Matrix)
         if diag == Diag::NonUnit {
             let d = a.get(j, j);
             let col = b.col_mut(j);
-            let inv = 1.0 / d;
+            let inv = S::ONE / d;
             for x in col {
                 *x *= inv;
             }

@@ -30,6 +30,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+mod cast;
 pub mod flops;
 pub mod level1;
 pub mod level2;

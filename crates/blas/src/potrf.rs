@@ -2,7 +2,7 @@
 //! storage, and tiled (the CPU reference for the hybrid driver).
 
 use crate::level3::{gemm, syrk, trsm};
-use hchol_matrix::{Diag, Matrix, MatrixError, Side, TileMatrix, Trans, Uplo};
+use hchol_matrix::{Diag, Matrix, MatrixError, Scalar, Side, TileMatrix, Trans, Uplo};
 
 /// Unblocked lower Cholesky `A = L·Lᵀ` in place (the `POTF2` MAGMA runs on
 /// the CPU for each diagonal block).
@@ -11,7 +11,7 @@ use hchol_matrix::{Diag, Matrix, MatrixError, Side, TileMatrix, Trans, Uplo};
 /// triangle is left untouched. `pivot_offset` is added to the reported pivot
 /// index on failure so callers factoring a sub-block can report global
 /// indices.
-pub fn potf2(a: &mut Matrix, pivot_offset: usize) -> Result<(), MatrixError> {
+pub fn potf2<S: Scalar>(a: &mut Matrix<S>, pivot_offset: usize) -> Result<(), MatrixError> {
     if !a.is_square() {
         return Err(MatrixError::NotSquare { shape: a.shape() });
     }
@@ -23,10 +23,10 @@ pub fn potf2(a: &mut Matrix, pivot_offset: usize) -> Result<(), MatrixError> {
             let ljk = a.get(j, k);
             d -= ljk * ljk;
         }
-        if d <= 0.0 || !d.is_finite() {
+        if d <= S::ZERO || !d.is_finite() {
             return Err(MatrixError::NotPositiveDefinite {
                 pivot: pivot_offset + j,
-                value: d,
+                value: d.to_f64(),
             });
         }
         let ljj = d.sqrt();
@@ -47,7 +47,7 @@ pub fn potf2(a: &mut Matrix, pivot_offset: usize) -> Result<(), MatrixError> {
 ///
 /// Identical math to the hybrid driver but entirely on the host; used as the
 /// trusted oracle in tests and by examples that don't need the simulator.
-pub fn potrf_blocked(a: &mut Matrix, block: usize) -> Result<(), MatrixError> {
+pub fn potrf_blocked<S: Scalar>(a: &mut Matrix<S>, block: usize) -> Result<(), MatrixError> {
     if !a.is_square() {
         return Err(MatrixError::NotSquare { shape: a.shape() });
     }
@@ -66,7 +66,7 @@ pub fn potrf_blocked(a: &mut Matrix, block: usize) -> Result<(), MatrixError> {
 /// for each block column `j`: SYRK the diagonal block against the factored
 /// panel to its left, GEMM the sub-panel, POTF2 the diagonal block, TRSM the
 /// sub-panel. Only tiles on or below the diagonal are meaningful.
-pub fn potrf_tiled(a: &mut TileMatrix) -> Result<(), MatrixError> {
+pub fn potrf_tiled<S: Scalar>(a: &mut TileMatrix<S>) -> Result<(), MatrixError> {
     if a.rows() != a.cols() {
         return Err(MatrixError::NotSquare {
             shape: (a.rows(), a.cols()),
@@ -110,7 +110,7 @@ pub fn potrf_tiled(a: &mut TileMatrix) -> Result<(), MatrixError> {
 
 /// Reconstruct `L·Lᵀ` from the lower triangle of a factored matrix — the
 /// standard residual check for Cholesky.
-pub fn reconstruct_lower(l: &Matrix) -> Matrix {
+pub fn reconstruct_lower<S: Scalar>(l: &Matrix<S>) -> Matrix<S> {
     let n = l.rows();
     let mut ll = l.clone();
     hchol_matrix::triangular::force_lower(&mut ll);
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn potf2_rejects_rectangular() {
-        let mut a = Matrix::zeros(2, 3);
+        let mut a = Matrix::<f64>::zeros(2, 3);
         assert!(matches!(
             potf2(&mut a, 0),
             Err(MatrixError::NotSquare { .. })

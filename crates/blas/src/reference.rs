@@ -1,10 +1,10 @@
 //! Naive reference implementations used only to validate the optimized
 //! kernels (triple loops, no blocking, no tricks).
 
-use hchol_matrix::{Matrix, Trans};
+use hchol_matrix::{Matrix, Scalar, Trans};
 
 /// Element of `op(A)`.
-fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
+fn op_get<S: Scalar>(a: &Matrix<S>, trans: Trans, i: usize, j: usize) -> S {
     match trans {
         Trans::No => a.get(i, j),
         Trans::Yes => a.get(j, i),
@@ -12,47 +12,56 @@ fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
 }
 
 /// Reference GEMM: `C := alpha * op(A) * op(B) + beta * C`.
-pub fn ref_gemm(
+pub fn ref_gemm<S: Scalar>(
     trans_a: Trans,
     trans_b: Trans,
     alpha: f64,
-    a: &Matrix,
-    b: &Matrix,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
     beta: f64,
-    c: &mut Matrix,
+    c: &mut Matrix<S>,
 ) {
     let (m, k) = trans_a.apply(a.shape());
     let (k2, n) = trans_b.apply(b.shape());
     assert_eq!(k, k2);
     assert_eq!(c.shape(), (m, n));
+    let (al, be) = (S::from_f64(alpha), S::from_f64(beta));
     for j in 0..n {
         for i in 0..m {
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for l in 0..k {
                 s += op_get(a, trans_a, i, l) * op_get(b, trans_b, l, j);
             }
-            let v = alpha * s + beta * c.get(i, j);
+            let v = al * s + be * c.get(i, j);
             c.set(i, j, v);
         }
     }
 }
 
 /// Reference matrix-vector product `y := alpha * op(A) * x + beta * y`.
-pub fn ref_gemv(trans: Trans, alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn ref_gemv<S: Scalar>(
+    trans: Trans,
+    alpha: f64,
+    a: &Matrix<S>,
+    x: &[S],
+    beta: f64,
+    y: &mut [S],
+) {
     let (m, n) = trans.apply(a.shape());
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), m);
+    let (al, be) = (S::from_f64(alpha), S::from_f64(beta));
     for (i, yi) in y.iter_mut().enumerate() {
-        let mut s = 0.0;
+        let mut s = S::ZERO;
         for (j, xj) in x.iter().enumerate() {
-            s += op_get(a, trans, i, j) * xj;
+            s += op_get(a, trans, i, j) * *xj;
         }
-        *yi = alpha * s + beta * *yi;
+        *yi = al * s + be * *yi;
     }
 }
 
 /// Reference full (not triangle-restricted) `A·Aᵀ` or `Aᵀ·A`.
-pub fn ref_aat(a: &Matrix, trans: Trans) -> Matrix {
+pub fn ref_aat<S: Scalar>(a: &Matrix<S>, trans: Trans) -> Matrix<S> {
     let (n, _) = trans.apply(a.shape());
     let mut c = Matrix::zeros(n, n);
     match trans {
@@ -64,13 +73,13 @@ pub fn ref_aat(a: &Matrix, trans: Trans) -> Matrix {
 
 /// Reference unblocked Cholesky (outer-product form, to cross-check the
 /// inner-product `potf2`). Returns the lower factor as a new matrix.
-pub fn ref_cholesky(a: &Matrix) -> Option<Matrix> {
+pub fn ref_cholesky<S: Scalar>(a: &Matrix<S>) -> Option<Matrix<S>> {
     assert!(a.is_square());
     let n = a.rows();
     let mut w = a.clone();
     for j in 0..n {
         let d = w.get(j, j);
-        if d <= 0.0 || !d.is_finite() {
+        if d <= S::ZERO || !d.is_finite() {
             return None;
         }
         let ljj = d.sqrt();

@@ -10,11 +10,11 @@ use hchol_matrix::{approx_eq, Diag, Matrix, Side, Trans, Uplo};
 fn level1_on_empty_slices() {
     let mut y: Vec<f64> = vec![];
     axpy(2.0, &[], &mut y);
-    assert_eq!(dot(&[], &[]), 0.0);
+    assert_eq!(dot::<f64>(&[], &[]), 0.0);
     scal(3.0, &mut y);
-    assert_eq!(iamax(&[]), None);
-    assert_eq!(nrm2(&[]), 0.0);
-    assert_eq!(asum(&[]), 0.0);
+    assert_eq!(iamax::<f64>(&[]), None);
+    assert_eq!(nrm2::<f64>(&[]), 0.0);
+    assert_eq!(asum::<f64>(&[]), 0.0);
 }
 
 #[test]
@@ -32,7 +32,7 @@ fn gemv_with_zero_dimensions() {
 
 #[test]
 fn ger_with_empty_vectors() {
-    let mut a = Matrix::zeros(0, 0);
+    let mut a = Matrix::<f64>::zeros(0, 0);
     ger(1.0, &[], &[], &mut a);
     let mut a = Matrix::filled(2, 0, 0.0);
     ger(1.0, &[1.0, 2.0], &[], &mut a);
@@ -75,7 +75,7 @@ fn one_by_one_everything() {
 fn single_column_rhs_trsm_equals_trsv() {
     let l =
         Matrix::from_col_major(3, 3, vec![2.0, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0]).unwrap();
-    let rhs = vec![2.0, -1.0, 5.0];
+    let rhs: Vec<f64> = vec![2.0, -1.0, 5.0];
     let mut via_trsv = rhs.clone();
     trsv(Uplo::Lower, Trans::No, Diag::NonUnit, &l, &mut via_trsv);
     let mut via_trsm = Matrix::from_col_major(3, 1, rhs).unwrap();
@@ -88,7 +88,7 @@ fn single_column_rhs_trsm_equals_trsv() {
         &l,
         &mut via_trsm,
     );
-    for (i, v) in via_trsv.iter().enumerate() {
+    for (i, &v) in via_trsv.iter().enumerate() {
         assert!((via_trsm.get(i, 0) - v).abs() < 1e-14);
     }
 }

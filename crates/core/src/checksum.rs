@@ -13,7 +13,7 @@
 //! `δ₁`) one error per block column.
 
 use hchol_blas::gemm;
-use hchol_matrix::{Matrix, Trans};
+use hchol_matrix::{Matrix, Scalar, Trans};
 
 /// Number of weighted checksums per block (two: detect + locate).
 pub const CHECKSUM_COUNT: usize = 2;
@@ -48,7 +48,7 @@ pub fn weight(c: usize, i: usize) -> f64 {
 /// assert_eq!(chk.get(0, 0), 3.0);
 /// assert_eq!(chk.get(1, 0), 5.0);
 /// ```
-pub fn encode(block: &Matrix) -> Matrix {
+pub fn encode<S: Scalar>(block: &Matrix<S>) -> Matrix<S> {
     let mut chk = Matrix::zeros(CHECKSUM_COUNT, block.cols());
     encode_into(block, &mut chk);
     chk
@@ -61,20 +61,50 @@ pub fn encode(block: &Matrix) -> Matrix {
 /// level-3 dispatch as every other kernel (a 2-row product takes the
 /// unit-stride dot path) instead of a bespoke scalar loop. Each column's
 /// sums still accumulate in ascending row order, so results match the
-/// definition to normal rounding.
-pub fn encode_into(block: &Matrix, chk: &mut Matrix) {
+/// definition to normal rounding. Generic over the working precision: at
+/// f32 both products and sums round to single precision (the honest model
+/// of an f32 GPU kernel); see [`encode_into_wide`] for the
+/// f64-accumulated alternative.
+pub fn encode_into<S: Scalar>(block: &Matrix<S>, chk: &mut Matrix<S>) {
     assert_eq!(
         chk.shape(),
         (CHECKSUM_COUNT, block.cols()),
         "checksum shape"
     );
     let rows = block.rows();
-    let mut w = Matrix::zeros(rows, CHECKSUM_COUNT);
+    let mut w = Matrix::<S>::zeros(rows, CHECKSUM_COUNT);
     for i in 0..rows {
-        w.set(i, 0, 1.0);
-        w.set(i, 1, (i + 1) as f64);
+        w.set(i, 0, S::ONE);
+        w.set(i, 1, S::from_usize(i + 1));
     }
     gemm(Trans::Yes, Trans::No, 1.0, &w, block, 0.0, chk);
+}
+
+/// [`encode_into`] with f64 accumulation: products and sums run in double
+/// precision and only the final checksum entries round back to `S`.
+///
+/// At `S = f64` this matches [`encode_into`] up to the GEMM's unrolling
+/// order; at f32 it halves the drift the verifier must tolerate (the sums
+/// carry one rounding each instead of one per element), at the cost of
+/// not modeling a natively single-precision checksum kernel. Opt-in —
+/// callers that want the paper-faithful behavior use [`encode_into`].
+pub fn encode_into_wide<S: Scalar>(block: &Matrix<S>, chk: &mut Matrix<S>) {
+    assert_eq!(
+        chk.shape(),
+        (CHECKSUM_COUNT, block.cols()),
+        "checksum shape"
+    );
+    for j in 0..block.cols() {
+        let mut c1 = 0.0f64;
+        let mut c2 = 0.0f64;
+        for i in 0..block.rows() {
+            let x = block.get(i, j).to_f64();
+            c1 += x;
+            c2 += (i + 1) as f64 * x;
+        }
+        chk.set(0, j, S::from_f64(c1));
+        chk.set(1, j, S::from_f64(c2));
+    }
 }
 
 /// A pair of checksum rows for one block column, as scalars — convenient
@@ -88,11 +118,12 @@ pub struct ChecksumPair {
 }
 
 impl ChecksumPair {
-    /// Read column `j`'s pair from a `2 × cols` checksum matrix.
-    pub fn from_column(chk: &Matrix, j: usize) -> Self {
+    /// Read column `j`'s pair from a `2 × cols` checksum matrix (widened
+    /// to `f64` — exact for both supported precisions).
+    pub fn from_column<S: Scalar>(chk: &Matrix<S>, j: usize) -> Self {
         ChecksumPair {
-            c1: chk.get(0, j),
-            c2: chk.get(1, j),
+            c1: chk.get(0, j).to_f64(),
+            c2: chk.get(1, j).to_f64(),
         }
     }
 }
@@ -174,5 +205,39 @@ mod tests {
         let mut chk = Matrix::zeros(2, 4);
         encode_into(&a, &mut chk);
         assert_eq!(chk, encode(&a));
+    }
+
+    #[test]
+    fn f32_encode_matches_definition_in_single_precision() {
+        let a: Matrix<f32> = uniform(6, 4, -1.0, 1.0, 7).cast();
+        let chk = encode(&a);
+        for j in 0..4 {
+            let mut c1 = 0.0f32;
+            let mut c2 = 0.0f32;
+            for i in 0..6 {
+                c1 += a.get(i, j);
+                c2 += (i + 1) as f32 * a.get(i, j);
+            }
+            assert!((chk.get(0, j) - c1).abs() <= 8.0 * f32::EPSILON);
+            assert!((chk.get(1, j) - c2).abs() <= 64.0 * f32::EPSILON);
+        }
+        let p = ChecksumPair::from_column(&chk, 2);
+        assert_eq!(p.c1, chk.get(0, 2) as f64);
+    }
+
+    #[test]
+    fn wide_encode_accumulates_in_f64() {
+        // A sum that cancels catastrophically at f32: the wide path keeps
+        // the f64 value (rounded once), the narrow path loses it entirely.
+        let big = 3.0e7f32;
+        let a = Matrix::from_col_major(3, 1, vec![big, 1.0f32, -big]).unwrap();
+        let mut wide = Matrix::zeros(2, 1);
+        encode_into_wide(&a, &mut wide);
+        assert_eq!(wide.get(0, 0), 1.0f32);
+        // At f64 the wide path agrees with the GEMM path to rounding.
+        let d = uniform(8, 5, -1.0, 1.0, 8);
+        let mut w64 = Matrix::zeros(2, 5);
+        encode_into_wide(&d, &mut w64);
+        assert!(hchol_matrix::approx_eq(&w64, &encode(&d), 1e-12));
     }
 }

@@ -15,7 +15,7 @@
 //! arithmetic), which is what the verifier relies on.
 
 use hchol_blas::{gemm, trsm};
-use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
+use hchol_matrix::{Diag, Matrix, Scalar, Side, Trans, Uplo};
 
 /// SYRK / GEMM checksum update: `chk ← chk − chk_src · srcᵀ`.
 ///
@@ -23,13 +23,13 @@ use hchol_matrix::{Diag, Matrix, Side, Trans, Uplo};
 /// `2 × B` checksum of the factorized tile multiplying from the left
 /// (`LC` for SYRK, `LD` for GEMM), and `src` the factorized tile whose
 /// transpose multiplies from the right (`LC` in both cases).
-pub fn update_product(chk: &mut Matrix, chk_src: &Matrix, src: &Matrix) {
+pub fn update_product<S: Scalar>(chk: &mut Matrix<S>, chk_src: &Matrix<S>, src: &Matrix<S>) {
     gemm(Trans::No, Trans::Yes, -1.0, chk_src, src, 1.0, chk);
 }
 
 /// POTF2 checksum update — Algorithm 2 of the paper, transforming
 /// `chk(A')` into `chk(LA)` given the factorized lower-triangular `la`.
-pub fn update_potf2(chk: &mut Matrix, la: &Matrix) {
+pub fn update_potf2<S: Scalar>(chk: &mut Matrix<S>, la: &Matrix<S>) {
     let n = la.rows();
     assert!(la.is_square());
     assert_eq!(chk.cols(), n, "checksum width must match block");
@@ -50,7 +50,7 @@ pub fn update_potf2(chk: &mut Matrix, la: &Matrix) {
 }
 
 /// TRSM checksum update: `chk(LB) = chk(B') · (LAᵀ)⁻¹`.
-pub fn update_trsm(chk: &mut Matrix, la: &Matrix) {
+pub fn update_trsm<S: Scalar>(chk: &mut Matrix<S>, la: &Matrix<S>) {
     trsm(
         Side::Right,
         Uplo::Lower,

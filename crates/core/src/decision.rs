@@ -87,7 +87,7 @@ pub fn choose(
             let gpu = &profile.gpu;
             let coexists = gpu.resource_fraction(KernelClass::Blas3)
                 + gpu.resource_fraction(KernelClass::Blas2)
-                <= 1.0 + 1e-12;
+                <= 1.0 + crate::tolerance::MODEL_UNIT_SLACK;
             if coexists {
                 ChecksumPlacement::Gpu
             } else {

@@ -48,9 +48,13 @@ pub mod rowchk;
 pub mod schemes;
 pub mod solve;
 mod span_util;
+pub mod tolerance;
 pub mod verify;
 
 pub use hchol_obs as obs;
-pub use options::{AbftOptions, ChecksumPlacement};
-pub use schemes::{run_clean, run_scheme, validate_options, FactorOutcome, SchemeKind};
-pub use verify::{VerifyOutcome, VerifyPolicy};
+pub use options::{AbftOptions, AdaptiveTolerance, ChecksumPlacement, ToleranceModel};
+pub use schemes::{
+    run_clean, run_clean_typed, run_scheme, run_scheme_typed, validate_options, FactorOutcome,
+    SchemeKind,
+};
+pub use verify::{TileTolerance, VerifyOutcome, VerifyPolicy};

@@ -181,8 +181,8 @@ fn try_pair(data: &mut Matrix, syn: &[f64], j: usize, rows: usize, policy: &Veri
     let scale = s0.abs().max(s1.abs()).max(s2.abs()).max(1.0);
     // Genuine syndromes reproduce S₂ to rounding; anything looser admits
     // phantom neighbour pairs and poisons the ambiguity check.
-    let check_tol = (policy.rel_tol * 10.0).max(1e-9) * scale;
-    let min_mag = 1e-9 * scale;
+    let check_tol = (policy.rel_tol * 10.0).max(crate::tolerance::MULTI_MIN_REL) * scale;
+    let min_mag = crate::tolerance::MULTI_MIN_REL * scale;
     let mut found: Option<(usize, usize, f64, f64)> = None;
     for r1 in 0..rows {
         let w1 = (r1 + 1) as f64;

@@ -9,8 +9,8 @@
 
 use crate::checksum;
 use crate::chkops;
-use crate::options::{AbftOptions, ChecksumPlacement};
-use crate::verify::{verify_and_correct, VerifyOutcome};
+use crate::options::{AbftOptions, ChecksumPlacement, ToleranceModel};
+use crate::verify::{verify_and_correct, TileTolerance, VerifyOutcome};
 use hchol_blas::{flops, gemm, gemm_fused, potf2, trsm};
 use hchol_faults::{Dirtiness, InjectionPoint, Injector};
 use hchol_gpusim::context::KernelDesc;
@@ -21,7 +21,7 @@ use hchol_gpusim::{
     AccessSet, BufferId, EventId, HostBufferId, KernelClass, SimContext, StreamId, TileRef,
 };
 use hchol_matrix::{
-    triangular::force_lower, Diag, Matrix, MatrixError, Side, TileMatrix, Trans, Uplo,
+    triangular::force_lower, Diag, Matrix, MatrixError, Scalar, Side, TileMatrix, Trans, Uplo,
 };
 
 /// Buffer and stream layout of one factorization run.
@@ -71,6 +71,13 @@ pub struct CholLayout {
     /// Multiplier on charged kernel flops (models a less efficient BLAS —
     /// used by the simulated CULA baseline; 1.0 everywhere else).
     pub flop_inflation: f64,
+    /// Running per-grid-column magnitude statistic `max|x|` over the
+    /// column's lower-triangle tiles, captured at encode and refreshed
+    /// (monotone max) at every recalculation — the variance input of the
+    /// adaptive tolerance model ([`crate::tolerance`]). Execute mode only;
+    /// stays all-zero in TimingOnly, where the adaptive threshold falls
+    /// back to its magnitude floor.
+    pub col_stats: Vec<f64>,
 }
 
 impl CholLayout {
@@ -84,13 +91,13 @@ impl CholLayout {
 /// size `b`. `input` must be `Some` in Execute mode (its tiles are placed
 /// in device memory — the paper uses the MAGMA variant whose input already
 /// resides on the GPU, so no initial transfer is charged).
-pub fn setup(
-    ctx: &mut SimContext,
+pub fn setup<S: Scalar>(
+    ctx: &mut SimContext<S>,
     n: usize,
     b: usize,
     with_checksums: bool,
     placement: ChecksumPlacement,
-    input: Option<&Matrix>,
+    input: Option<&Matrix<S>>,
 ) -> Result<CholLayout, MatrixError> {
     setup_impl(ctx, n, b, with_checksums, placement, input, false)
 }
@@ -99,24 +106,24 @@ pub fn setup(
 /// several layouts can coexist in one context without sharing the default
 /// stream — the foundation of batched multi-matrix runs
 /// (`plan::exec::run_batch`).
-pub fn setup_batch(
-    ctx: &mut SimContext,
+pub fn setup_batch<S: Scalar>(
+    ctx: &mut SimContext<S>,
     n: usize,
     b: usize,
     with_checksums: bool,
     placement: ChecksumPlacement,
-    input: Option<&Matrix>,
+    input: Option<&Matrix<S>>,
 ) -> Result<CholLayout, MatrixError> {
     setup_impl(ctx, n, b, with_checksums, placement, input, true)
 }
 
-fn setup_impl(
-    ctx: &mut SimContext,
+fn setup_impl<S: Scalar>(
+    ctx: &mut SimContext<S>,
     n: usize,
     b: usize,
     with_checksums: bool,
     placement: ChecksumPlacement,
-    input: Option<&Matrix>,
+    input: Option<&Matrix<S>>,
     dedicated_comp: bool,
 ) -> Result<CholLayout, MatrixError> {
     assert!(
@@ -180,11 +187,12 @@ fn setup_impl(
         pending_mirror: None,
         placement,
         flop_inflation: 1.0,
+        col_stats: vec![0.0; nt],
     })
 }
 
 /// Grow the scratch pool to at least `count` tiles.
-fn ensure_scratch(ctx: &mut SimContext, lay: &mut CholLayout, count: usize) {
+fn ensure_scratch<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout, count: usize) {
     let execute = ctx.mode.executes();
     while lay.scratch.len() < count {
         let id = if execute {
@@ -202,7 +210,7 @@ fn ensure_scratch(ctx: &mut SimContext, lay: &mut CholLayout, count: usize) {
 
 /// Allocate the fused-epilogue deposit buffers (one `2 × n` row per block
 /// row, like the maintained checksums) on first use.
-fn ensure_dpt(ctx: &mut SimContext, lay: &mut CholLayout) {
+fn ensure_dpt<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout) {
     if !lay.dpt.is_empty() {
         return;
     }
@@ -226,8 +234,8 @@ fn ensure_dpt(ctx: &mut SimContext, lay: &mut CholLayout) {
 
 /// Fire any faults planned for `point` (data corruption in Execute mode,
 /// ledger-only in TimingOnly).
-pub fn poll_faults(
-    ctx: &mut SimContext,
+pub fn poll_faults<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &CholLayout,
     inj: &mut Injector,
     point: InjectionPoint,
@@ -262,7 +270,7 @@ pub fn poll_faults(
 ///
 /// The full symmetric tile is updated (not just a triangle) so that its
 /// column checksums remain exact.
-pub fn syrk_diag(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+pub fn syrk_diag<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize) {
     if j == 0 {
         return;
     }
@@ -299,7 +307,7 @@ pub fn syrk_diag(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
 /// `lay.dpt[j]`, charged as extra epilogue flops on the *same* launch (no
 /// second kernel startup). A fused `VerifyBatch` then compares the deposit
 /// against the maintained checksums without any recalculation kernel.
-pub fn syrk_diag_fused(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
+pub fn syrk_diag_fused<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout, j: usize) {
     if j == 0 {
         return;
     }
@@ -350,7 +358,7 @@ pub fn syrk_diag_fused(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
 
 /// GEMM: `A[j+1:N, j] -= A[j+1:N, 0:j-1] · A[j, 0:j-1]ᵀ` on the compute
 /// stream (one big kernel, as MAGMA issues it).
-pub fn gemm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+pub fn gemm_panel<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize) {
     let rows_below = lay.nt.saturating_sub(j + 1);
     if j == 0 || rows_below == 0 {
         return;
@@ -394,7 +402,7 @@ pub fn gemm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
 /// [`gemm_panel`] with the fused checksum epilogue: deposits fresh column
 /// checksums of every updated panel tile `(i, j)` into `lay.dpt[i]` from
 /// the same launch, charged as epilogue flops with no extra kernel startup.
-pub fn gemm_panel_fused(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
+pub fn gemm_panel_fused<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout, j: usize) {
     let rows_below = lay.nt.saturating_sub(j + 1);
     if j == 0 || rows_below == 0 {
         return;
@@ -455,8 +463,8 @@ pub fn gemm_panel_fused(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
 
 /// Transfer the diagonal block to the host (async, on the transfer
 /// stream), then flush any pending panel mirror behind it.
-pub fn diag_to_host(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
-    let bytes = 8 * (lay.b * lay.b) as u64;
+pub fn diag_to_host<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout, j: usize) {
+    let bytes = S::BYTES * (lay.b * lay.b) as u64;
     let (mat, host_diag) = (lay.mat, lay.host_diag);
     ctx.bulk_transfer_with_access(
         bytes,
@@ -473,7 +481,11 @@ pub fn diag_to_host(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
 /// POTF2 on the host staging block (synchronous CPU work, overlapping
 /// whatever the GPU is doing). Fails if the block lost positive
 /// definiteness — exactly what an uncorrected error can cause.
-pub fn host_potf2(ctx: &mut SimContext, lay: &CholLayout, j: usize) -> Result<(), MatrixError> {
+pub fn host_potf2<S: Scalar>(
+    ctx: &mut SimContext<S>,
+    lay: &CholLayout,
+    j: usize,
+) -> Result<(), MatrixError> {
     let f = lay.charge(flops::potf2(lay.b));
     let host_diag = lay.host_diag;
     let pivot_offset = j * lay.b;
@@ -503,8 +515,8 @@ pub fn host_potf2(ctx: &mut SimContext, lay: &CholLayout, j: usize) -> Result<()
 }
 
 /// Transfer the factorized diagonal block back to the device.
-pub fn diag_to_device(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
-    let bytes = 8 * (lay.b * lay.b) as u64;
+pub fn diag_to_device<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize) {
+    let bytes = S::BYTES * (lay.b * lay.b) as u64;
     let (mat, host_diag) = (lay.mat, lay.host_diag);
     ctx.bulk_transfer_with_access(
         bytes,
@@ -518,7 +530,7 @@ pub fn diag_to_device(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
 }
 
 /// TRSM: `A[j+1:N, j] := A[j+1:N, j] · (L[j,j]ᵀ)⁻¹` on the compute stream.
-pub fn trsm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+pub fn trsm_panel<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize) {
     let rows_below = lay.nt.saturating_sub(j + 1);
     if rows_below == 0 {
         return;
@@ -566,7 +578,13 @@ pub fn trsm_panel(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
 /// The caller (the plan executor) steers `lay.s_comp` to the executing
 /// device's compute stream and orders the launch behind the row-panel
 /// broadcast receive when the device is not the panel owner.
-pub fn gemm_shard(ctx: &mut SimContext, lay: &CholLayout, j: usize, dev: usize, rows: &[usize]) {
+pub fn gemm_shard<S: Scalar>(
+    ctx: &mut SimContext<S>,
+    lay: &CholLayout,
+    j: usize,
+    dev: usize,
+    rows: &[usize],
+) {
     if j == 0 || rows.is_empty() {
         return;
     }
@@ -609,7 +627,13 @@ pub fn gemm_shard(ctx: &mut SimContext, lay: &CholLayout, j: usize, dev: usize, 
 
 /// Device-local slice of the panel TRSM (sharded plans); see
 /// [`gemm_shard`] for the steering contract.
-pub fn trsm_shard(ctx: &mut SimContext, lay: &CholLayout, j: usize, dev: usize, rows: &[usize]) {
+pub fn trsm_shard<S: Scalar>(
+    ctx: &mut SimContext<S>,
+    lay: &CholLayout,
+    j: usize,
+    dev: usize,
+    rows: &[usize],
+) {
     if rows.is_empty() {
         return;
     }
@@ -654,11 +678,11 @@ pub fn trsm_shard(ctx: &mut SimContext, lay: &CholLayout, j: usize, dev: usize, 
 // ---------------------------------------------------------------------------
 
 /// XOR two equally-shaped tiles' IEEE-754 bit patterns into `acc`.
-fn xor_tile_into(acc: &mut Matrix, src: &Matrix, rows: usize, cols: usize) {
+fn xor_tile_into<S: Scalar>(acc: &mut Matrix<S>, src: &Matrix<S>, rows: usize, cols: usize) {
     for r in 0..rows {
         for c in 0..cols {
-            let x = acc.get(r, c).to_bits() ^ src.get(r, c).to_bits();
-            acc.set(r, c, f64::from_bits(x));
+            let x = acc.get(r, c).to_bits_u64() ^ src.get(r, c).to_bits_u64();
+            acc.set(r, c, S::from_bits_u64(x));
         }
     }
 }
@@ -670,8 +694,8 @@ fn xor_tile_into(acc: &mut Matrix, src: &Matrix, rows: usize, cols: usize) {
 /// behind the member devices' link transfers. Bitwise XOR is exact, so a
 /// later reconstruction restores the member bit-for-bit.
 #[allow(clippy::too_many_arguments)] // parity-group coordinates are the signature
-pub fn shard_parity_xor(
-    ctx: &mut SimContext,
+pub fn shard_parity_xor<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &CholLayout,
     par_mat: BufferId,
     par_chk: BufferId,
@@ -711,7 +735,7 @@ pub fn shard_parity_xor(
                 let (pr, pc) = p.shape();
                 for r in 0..pr {
                     for c in 0..pc {
-                        p.set(r, c, 0.0);
+                        p.set(r, c, S::ZERO);
                     }
                 }
             }
@@ -739,8 +763,8 @@ pub fn shard_parity_xor(
 /// the caller orders it behind the link transfers that gathered the
 /// survivors and counts the reconstructed tiles.
 #[allow(clippy::too_many_arguments)] // parity-group coordinates are the signature
-pub fn shard_reconstruct(
-    ctx: &mut SimContext,
+pub fn shard_reconstruct<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &CholLayout,
     par_mat: BufferId,
     par_chk: BufferId,
@@ -823,11 +847,49 @@ fn recalc_stream(lay: &CholLayout, opts: &AbftOptions, idx: usize) -> StreamId {
     }
 }
 
+/// Largest finite `|x|` in a tile (for the column magnitude statistic);
+/// non-finite entries are skipped — an overflowed value must widen the
+/// verifier's *delta*, never its threshold.
+fn tile_max_abs<S: Scalar>(t: &Matrix<S>) -> f64 {
+    let (rows, cols) = t.shape();
+    let mut peak = 0.0f64;
+    for c in 0..cols {
+        for r in 0..rows {
+            let v = t.get(r, c).to_f64().abs();
+            if v.is_finite() && v > peak {
+                peak = v;
+            }
+        }
+    }
+    peak
+}
+
+/// Fold the current magnitudes of `tiles` into the layout's per-column
+/// statistics (monotone max — the threshold must cover the largest value
+/// that ever flowed through the column's accumulation paths).
+fn refresh_col_stats<S: Scalar>(
+    ctx: &SimContext<S>,
+    lay: &mut CholLayout,
+    tiles: &[(usize, usize)],
+) {
+    if !ctx.mode.executes() {
+        return;
+    }
+    let m = ctx.dev_mem.buf(lay.mat);
+    for &(bi, bj) in tiles {
+        let peak = tile_max_abs(m.tile(bi, bj));
+        if peak > lay.col_stats[bj] {
+            lay.col_stats[bj] = peak;
+        }
+    }
+}
+
 /// Encode the two column checksums of every lower-triangle tile (done once,
 /// before the factorization). With CPU placement the freshly encoded
 /// checksums are also shipped to the host (the paper's "initial checksums
-/// transfer, 2n²/B").
-pub fn encode_all(ctx: &mut SimContext, lay: &CholLayout, opts: &AbftOptions) {
+/// transfer, 2n²/B"). Also captures the initial per-column magnitude
+/// statistics ([`CholLayout::col_stats`]) the adaptive tolerance reads.
+pub fn encode_all<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout, opts: &AbftOptions) {
     let mut idx = 0usize;
     for bj in 0..lay.nt {
         for bi in bj..lay.nt {
@@ -854,11 +916,14 @@ pub fn encode_all(ctx: &mut SimContext, lay: &CholLayout, opts: &AbftOptions) {
         }
     }
     ctx.sync_device();
+    let all = lower_tiles(lay.nt);
+    refresh_col_stats(ctx, lay, &all);
     if lay.placement == ChecksumPlacement::Cpu {
-        let bytes = 8 * 2 * (lay.n as u64) * (lay.nt as u64);
+        let bytes = S::BYTES * 2 * (lay.n as u64) * (lay.nt as u64);
         // The shipment reads every freshly encoded checksum tile.
-        let reads = (0..lay.nt)
-            .flat_map(|bj| (bj..lay.nt).map(move |bi| TileRef::new(lay.cks[bi], 0, bj)))
+        let (nt, cks) = (lay.nt, &lay.cks);
+        let reads = (0..nt)
+            .flat_map(|bj| (bj..nt).map(move |bi| TileRef::new(cks[bi], 0, bj)))
             .collect();
         ctx.bulk_transfer_with_access(
             bytes,
@@ -879,15 +944,15 @@ pub fn encode_all(ctx: &mut SimContext, lay: &CholLayout, opts: &AbftOptions) {
 /// (the event recorded after the last panel TRSM). CPU-placed updates
 /// conceptually read the host mirrors shipped by [`cpu_mirror_panel`]; they
 /// declare no device accesses.
-fn dispatch_update<F>(
-    ctx: &mut SimContext,
+fn dispatch_update<S: Scalar, F>(
+    ctx: &mut SimContext<S>,
     lay: &CholLayout,
     label: String,
     f: u64,
     access: AccessSet,
     body: F,
 ) where
-    F: FnOnce(&mut hchol_gpusim::DeviceMemory),
+    F: FnOnce(&mut hchol_gpusim::DeviceMemory<S>),
 {
     let desc = KernelDesc::new(label, KernelClass::Blas2, f, WorkCategory::ChecksumUpdate);
     match lay.placement {
@@ -905,13 +970,13 @@ fn dispatch_update<F>(
 /// Record completion of the current block column on the compute stream;
 /// subsequent checksum-update kernels order themselves behind it. Schemes
 /// call this right after enqueuing each panel TRSM.
-pub fn mark_panel_ready(ctx: &mut SimContext, lay: &mut CholLayout) {
+pub fn mark_panel_ready<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout) {
     lay.panel_ready = Some(ctx.record_event(lay.s_comp));
 }
 
 /// Checksum update mirroring the SYRK:
 /// `chk(A[j,j]) -= Σ_k chk(L[j,k]) · L[j,k]ᵀ`.
-pub fn update_chk_syrk(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+pub fn update_chk_syrk<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize) {
     if j == 0 {
         return;
     }
@@ -935,7 +1000,7 @@ pub fn update_chk_syrk(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
 
 /// Checksum update mirroring the GEMM for panel row `i`:
 /// `chk(A[i,j]) -= Σ_k chk(L[i,k]) · L[j,k]ᵀ`.
-pub fn update_chk_gemm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usize) {
+pub fn update_chk_gemm<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize, i: usize) {
     if j == 0 {
         return;
     }
@@ -965,7 +1030,7 @@ pub fn update_chk_gemm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usiz
 }
 
 /// Checksum update mirroring POTF2 (Algorithm 2 of the paper).
-pub fn update_chk_potf2(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
+pub fn update_chk_potf2<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize) {
     let f = lay.charge(chkops::update_solve_flops(lay.b));
     let (mat, cks_j) = (lay.mat, lay.cks[j]);
     // The factorized block returns on the transfer stream; the update (on
@@ -998,7 +1063,7 @@ pub fn update_chk_potf2(ctx: &mut SimContext, lay: &CholLayout, j: usize) {
 
 /// Checksum update mirroring the TRSM for panel row `i`:
 /// `chk(L[i,j]) = chk(A[i,j]) · (L[j,j]ᵀ)⁻¹`.
-pub fn update_chk_trsm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usize) {
+pub fn update_chk_trsm<S: Scalar>(ctx: &mut SimContext<S>, lay: &CholLayout, j: usize, i: usize) {
     let f = lay.charge(chkops::update_solve_flops(lay.b));
     let (mat, cks_i) = (lay.mat, lay.cks[i]);
     let access = AccessSet::new(
@@ -1021,7 +1086,7 @@ pub fn update_chk_trsm(ctx: &mut SimContext, lay: &CholLayout, j: usize, i: usiz
 /// With CPU placement, ship the freshly factorized panel column `j` to the
 /// host once — CPU-side updates reference factorized data (the paper's
 /// "checksum updating related transfer", totaling n²/2 elements).
-pub fn cpu_mirror_panel(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
+pub fn cpu_mirror_panel<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout, j: usize) {
     let _ = ctx;
     if lay.placement != ChecksumPlacement::Cpu {
         return;
@@ -1032,12 +1097,12 @@ pub fn cpu_mirror_panel(ctx: &mut SimContext, lay: &mut CholLayout, j: usize) {
 /// Issue a queued panel mirror (ordered behind the producing TRSM via
 /// [`CholLayout::panel_ready`]). Called from [`diag_to_host`] — after the
 /// latency-critical diagonal transfer — and at attempt end.
-pub fn flush_mirror(ctx: &mut SimContext, lay: &mut CholLayout) {
+pub fn flush_mirror<S: Scalar>(ctx: &mut SimContext<S>, lay: &mut CholLayout) {
     let Some(j) = lay.pending_mirror.take() else {
         return;
     };
     let tiles = (lay.nt - j) as u64;
-    let bytes = 8 * tiles * (lay.b * lay.b) as u64;
+    let bytes = S::BYTES * tiles * (lay.b * lay.b) as u64;
     if let Some(e) = lay.panel_ready {
         ctx.stream_wait_event(lay.s_tran, e);
     }
@@ -1058,8 +1123,8 @@ pub fn flush_mirror(ctx: &mut SimContext, lay: &mut CholLayout) {
 /// is the first not-yet-executed iteration. The caller synchronizes the
 /// context first: the migration is a rebalance barrier, not an overlapped
 /// transfer.
-pub fn migrate_checksums(
-    ctx: &mut SimContext,
+pub fn migrate_checksums<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     to: ChecksumPlacement,
     next_j: usize,
@@ -1067,7 +1132,7 @@ pub fn migrate_checksums(
     if lay.placement == to {
         return;
     }
-    let chk_bytes = 8 * 2 * (lay.n as u64) * (lay.nt as u64);
+    let chk_bytes = S::BYTES * 2 * (lay.n as u64) * (lay.nt as u64);
     let chk_tiles: Vec<TileRef> = (0..lay.nt)
         .flat_map(|bj| (bj..lay.nt).map(move |bi| (bi, bj)))
         .map(|(bi, bj)| TileRef::new(lay.cks[bi], 0, bj))
@@ -1079,7 +1144,7 @@ pub fn migrate_checksums(
             // travel with the checksum rows in one bulk shipment.
             let done = next_j.min(lay.nt);
             let done_tiles: u64 = (0..done).map(|k| (lay.nt - k) as u64).sum();
-            let bytes = chk_bytes + 8 * done_tiles * (lay.b * lay.b) as u64;
+            let bytes = chk_bytes + S::BYTES * done_tiles * (lay.b * lay.b) as u64;
             let mat = lay.mat;
             let mut reads = chk_tiles;
             reads.extend((0..done).flat_map(|k| (k..lay.nt).map(move |i| TileRef::new(mat, i, k))));
@@ -1117,8 +1182,8 @@ pub fn migrate_checksums(
 /// otherwise), then spreads recalculation kernels across the recalc streams
 /// (Optimization 1) or serializes them on the compute stream. A
 /// `VerifyBatch` plan node runs this followed by [`verify_compare`].
-pub fn verify_recalc(
-    ctx: &mut SimContext,
+pub fn verify_recalc<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     tiles: &[(usize, usize)],
     opts: &AbftOptions,
@@ -1126,6 +1191,7 @@ pub fn verify_recalc(
     if tiles.is_empty() {
         return;
     }
+    refresh_col_stats(ctx, lay, tiles);
     // Updates to these checksums must have landed before we compare.
     if lay.placement == ChecksumPlacement::Cpu {
         ctx.sync_cpu_workers();
@@ -1183,8 +1249,8 @@ pub fn verify_recalc(
 
 /// Stage 2 of verification: compare recalculated checksums (left in scratch
 /// by [`verify_recalc`]) against the maintained ones.
-pub fn verify_compare(
-    ctx: &mut SimContext,
+pub fn verify_compare<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     tiles: &[(usize, usize)],
     opts: &AbftOptions,
@@ -1199,7 +1265,7 @@ pub fn verify_compare(
     // on a dedicated stream, so the latency-critical compare never queues
     // behind a bulky mirror on the d2h engine.
     if lay.placement == ChecksumPlacement::Cpu {
-        let bytes = 8 * 2 * (lay.b as u64) * tiles.len() as u64;
+        let bytes = S::BYTES * 2 * (lay.b as u64) * tiles.len() as u64;
         ctx.bulk_transfer(bytes, lay.s_verif, true, |_, _| {});
         ctx.sync_stream(lay.s_verif);
     }
@@ -1244,8 +1310,8 @@ pub fn verify_compare(
 /// The compare deliberately declares **no matrix-tile reads**: for the
 /// conformance analysis it is the producer's `fused_verify` write that
 /// marks the tile verified, and the compare must not re-mark it.
-pub fn verify_compare_fused(
-    ctx: &mut SimContext,
+pub fn verify_compare_fused<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     tiles: &[(usize, usize)],
     opts: &AbftOptions,
@@ -1254,13 +1320,14 @@ pub fn verify_compare_fused(
     if tiles.is_empty() {
         return;
     }
+    refresh_col_stats(ctx, lay, tiles);
     ensure_dpt(ctx, lay);
     // Updates to the maintained checksums must have landed before we
     // compare against them (same rule as the recalc path).
     if lay.placement == ChecksumPlacement::Cpu {
         ctx.sync_cpu_workers();
         // CPU-resident stored checksums ride host→device for the compare.
-        let bytes = 8 * 2 * (lay.b as u64) * tiles.len() as u64;
+        let bytes = S::BYTES * 2 * (lay.b as u64) * tiles.len() as u64;
         ctx.bulk_transfer(bytes, lay.s_verif, true, |_, _| {});
         ctx.sync_stream(lay.s_verif);
     } else {
@@ -1299,34 +1366,66 @@ pub fn verify_compare_fused(
 /// decides outcomes (a directly-hit tile is correctable, a propagated one
 /// is not). Records the `verify.*` metrics and `fault.*` events for the
 /// batch.
-pub fn verify_correct(
-    ctx: &mut SimContext,
+///
+/// `depth` is the accumulation depth of the verified tiles — the iteration
+/// index the plan recorded on the `Correct` node (`nt` for a final sweep) —
+/// which the adaptive tolerance model turns into an accumulation-path
+/// length. Ignored under the fixed model.
+pub fn verify_correct<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     inj: &mut Injector,
     tiles: &[(usize, usize)],
+    depth: usize,
     opts: &AbftOptions,
 ) -> VerifyOutcome {
-    verify_correct_impl(ctx, lay, inj, tiles, opts, false)
+    verify_correct_impl(ctx, lay, inj, tiles, depth, opts, false)
 }
 
 /// [`verify_correct`] for a fused batch: the freshly recalculated checksums
 /// live in the epilogue deposit tile `dpt[bi](0, bj)` rather than in the
 /// per-batch scratch tiles.
-pub fn verify_correct_fused(
-    ctx: &mut SimContext,
+pub fn verify_correct_fused<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     inj: &mut Injector,
     tiles: &[(usize, usize)],
+    depth: usize,
     opts: &AbftOptions,
 ) -> VerifyOutcome {
-    verify_correct_impl(ctx, lay, inj, tiles, opts, true)
+    verify_correct_impl(ctx, lay, inj, tiles, depth, opts, true)
 }
 
-fn verify_correct_impl(
-    ctx: &mut SimContext,
+/// Resolve the run's tolerance model into per-tile thresholds for grid
+/// column `bj` at accumulation depth `depth`. The accumulation-path length
+/// is `b · (depth + 1)`: the encode sums `b` elements, and each of the
+/// `depth` mirrored update rounds folds another `b`-element product into
+/// the checksum row. The magnitude bound is `b · max|x|` (the largest
+/// partial sum the path can reach), floored so all-zero statistics
+/// (TimingOnly, or a zero column) still yield a usable threshold.
+fn tile_tolerance<S: Scalar>(
+    lay: &CholLayout,
+    bj: usize,
+    depth: usize,
+    opts: &AbftOptions,
+) -> TileTolerance {
+    match &opts.tolerance {
+        ToleranceModel::Fixed(p) => TileTolerance::Fixed(*p),
+        ToleranceModel::Adaptive(a) => TileTolerance::Adaptive {
+            eps: S::EPSILON,
+            alpha: a.alpha,
+            steps: (lay.b * (depth + 1)) as f64,
+            magnitude: (lay.b as f64 * lay.col_stats.get(bj).copied().unwrap_or(0.0)).max(a.floor),
+        },
+    }
+}
+
+fn verify_correct_impl<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     inj: &mut Injector,
     tiles: &[(usize, usize)],
+    depth: usize,
     opts: &AbftOptions,
     fused: bool,
 ) -> VerifyOutcome {
@@ -1334,7 +1433,13 @@ fn verify_correct_impl(
     if tiles.is_empty() {
         return out;
     }
+    let adaptive = matches!(opts.tolerance, ToleranceModel::Adaptive(_));
+    let mut threshold_peak = 0.0f64;
     for (idx, &(bi, bj)) in tiles.iter().enumerate() {
+        let tol = tile_tolerance::<S>(lay, bj, depth, opts);
+        if adaptive {
+            threshold_peak = threshold_peak.max(tol.representative());
+        }
         if ctx.mode.executes() {
             // Fresh checksums: epilogue deposit for a fused batch, the
             // recalculation scratch tile otherwise.
@@ -1348,7 +1453,7 @@ fn verify_correct_impl(
                 m.tile_mut(bi, bj),
                 cks.tile_mut(0, bj),
                 src.tile(src_tile.0, src_tile.1),
-                &opts.policy,
+                &tol,
             );
             if std::env::var_os("HCHOL_VERIFY_TRACE").is_some() && !o.is_clean() {
                 eprintln!("verify ({bi},{bj}): {o:?}");
@@ -1379,6 +1484,12 @@ fn verify_correct_impl(
     let m = &mut ctx.obs.metrics;
     m.inc("verify.batches");
     m.add_count("verify.tiles", tiles.len() as u64);
+    if adaptive {
+        // The widest detection threshold this batch ran with. Recorded
+        // under the adaptive model only: the value is data-dependent, and
+        // fixed-model (golden-pinned) reports must stay byte-identical.
+        m.set_gauge("verify.threshold", threshold_peak);
+    }
     if fused {
         m.inc("verify.fused.batches");
         m.add_count("verify.fused.tiles", tiles.len() as u64);
@@ -1424,11 +1535,12 @@ fn verify_correct_impl(
 /// Composition of the pipeline stages [`verify_recalc`] →
 /// [`verify_compare`] → [`verify_correct`]; plan nodes invoke the stages
 /// individually (`VerifyBatch` covers the first two, `Correct` the last).
-pub fn verify_batch(
-    ctx: &mut SimContext,
+pub fn verify_batch<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     inj: &mut Injector,
     tiles: &[(usize, usize)],
+    depth: usize,
     opts: &AbftOptions,
 ) -> VerifyOutcome {
     if tiles.is_empty() {
@@ -1436,7 +1548,7 @@ pub fn verify_batch(
     }
     verify_recalc(ctx, lay, tiles, opts);
     verify_compare(ctx, lay, tiles, opts);
-    verify_correct(ctx, lay, inj, tiles, opts)
+    verify_correct(ctx, lay, inj, tiles, depth, opts)
 }
 
 /// Every tile of the lower triangle (including the diagonal).
@@ -1452,16 +1564,17 @@ pub fn lower_tiles(nt: usize) -> Vec<(usize, usize)> {
 
 /// Verify the whole lower triangle in bounded batches (used by the final
 /// checks of the Offline and Online schemes).
-pub fn verify_all(
-    ctx: &mut SimContext,
+pub fn verify_all<S: Scalar>(
+    ctx: &mut SimContext<S>,
     lay: &mut CholLayout,
     inj: &mut Injector,
     opts: &AbftOptions,
 ) -> VerifyOutcome {
     let mut out = VerifyOutcome::default();
-    let all = lower_tiles(lay.nt);
+    let nt = lay.nt;
+    let all = lower_tiles(nt);
     for chunk in all.chunks(256) {
-        out.merge(verify_batch(ctx, lay, inj, chunk, opts));
+        out.merge(verify_batch(ctx, lay, inj, chunk, nt, opts));
     }
     out
 }
@@ -1501,7 +1614,7 @@ pub fn propagate_trsm(inj: &mut Injector, nt: usize, j: usize) {
 
 /// Extract the dense lower-triangular factor from device memory
 /// (Execute mode only).
-pub fn extract_factor(ctx: &SimContext, lay: &CholLayout) -> Option<Matrix> {
+pub fn extract_factor<S: Scalar>(ctx: &SimContext<S>, lay: &CholLayout) -> Option<Matrix<S>> {
     if !ctx.mode.executes() {
         return None;
     }
@@ -1512,8 +1625,12 @@ pub fn extract_factor(ctx: &SimContext, lay: &CholLayout) -> Option<Matrix> {
 
 /// Reload pristine input into device memory after a failed attempt,
 /// charging the full-matrix upload the restart costs.
-pub fn reload(ctx: &mut SimContext, lay: &CholLayout, pristine: Option<&TileMatrix>) {
-    let bytes = 8 * (lay.n as u64) * (lay.n as u64);
+pub fn reload<S: Scalar>(
+    ctx: &mut SimContext<S>,
+    lay: &CholLayout,
+    pristine: Option<&TileMatrix<S>>,
+) {
+    let bytes = S::BYTES * (lay.n as u64) * (lay.n as u64);
     let mat = lay.mat;
     let clone = pristine.cloned();
     // The upload rewrites every tile, which also (correctly) invalidates
@@ -1589,10 +1706,11 @@ mod tests {
         let mut ctx = exec_ctx();
         let mut lay = setup(&mut ctx, n, b, true, ChecksumPlacement::Gpu, Some(&a)).unwrap();
         let opts = AbftOptions::default();
-        encode_all(&mut ctx, &lay, &opts);
+        encode_all(&mut ctx, &mut lay, &opts);
         let mut inj = Injector::inert();
-        let tiles = lower_tiles(lay.nt);
-        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, &opts);
+        let nt = lay.nt;
+        let tiles = lower_tiles(nt);
+        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, nt, &opts);
         assert!(out.is_clean());
     }
 
@@ -1604,14 +1722,14 @@ mod tests {
         let mut ctx = exec_ctx();
         let mut lay = setup(&mut ctx, n, b, true, ChecksumPlacement::Gpu, Some(&a)).unwrap();
         let opts = AbftOptions::default();
-        encode_all(&mut ctx, &lay, &opts);
+        encode_all(&mut ctx, &mut lay, &opts);
         // Flip bits directly in "DRAM".
         let v = ctx.dev_mem.tile(lay.mat, 1, 0).get(2, 3);
         ctx.dev_mem
             .tile_mut(lay.mat, 1, 0)
             .set(2, 3, hchol_matrix::bits::flip_bits(v, &[30, 53]));
         let mut inj = Injector::inert();
-        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &[(1, 0)], &opts);
+        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &[(1, 0)], 0, &opts);
         assert_eq!(out.corrected_data, 1);
         // The correction subtracts δ₁, which carries the rounding of the two
         // checksum sums — recovery is exact to a few ulps, not bitwise.
@@ -1627,7 +1745,7 @@ mod tests {
         let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
         let mut lay = setup(&mut ctx, 16, 4, true, ChecksumPlacement::Gpu, None).unwrap();
         let opts = AbftOptions::default();
-        encode_all(&mut ctx, &lay, &opts);
+        encode_all(&mut ctx, &mut lay, &opts);
         for j in 0..lay.nt {
             syrk_diag(&mut ctx, &lay, j);
             diag_to_host(&mut ctx, &mut lay, j);
@@ -1641,8 +1759,9 @@ mod tests {
         ctx.sync_all();
         assert!(ctx.now().as_secs() > 0.0);
         let mut inj = Injector::inert();
-        let tiles = lower_tiles(lay.nt);
-        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, &opts);
+        let nt = lay.nt;
+        let tiles = lower_tiles(nt);
+        let out = verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, nt, &opts);
         assert!(out.is_clean());
     }
 
@@ -1654,7 +1773,7 @@ mod tests {
             let mut lay = setup(&mut ctx, 64, 8, true, ChecksumPlacement::Gpu, None).unwrap();
             let opts = AbftOptions::default().with_concurrent_recalc(concurrent);
             let mut inj = Injector::inert();
-            verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, &opts);
+            verify_batch(&mut ctx, &mut lay, &mut inj, &tiles, 8, &opts);
             ctx.sync_all();
             ctx.now().as_secs()
         };
@@ -1671,11 +1790,11 @@ mod tests {
         let mut ctx = SimContext::new(SystemProfile::test_profile(), ExecMode::TimingOnly);
         let mut lay = setup(&mut ctx, 16, 4, true, ChecksumPlacement::Cpu, None).unwrap();
         let opts = AbftOptions::default();
-        encode_all(&mut ctx, &lay, &opts);
+        encode_all(&mut ctx, &mut lay, &opts);
         let before = ctx.counters.bytes(WorkCategory::Transfer);
         assert!(before > 0, "initial checksum transfer must be charged");
         let mut inj = Injector::inert();
-        verify_batch(&mut ctx, &mut lay, &mut inj, &[(1, 0)], &opts);
+        verify_batch(&mut ctx, &mut lay, &mut inj, &[(1, 0)], 0, &opts);
         assert!(ctx.counters.bytes(WorkCategory::Transfer) > before);
     }
 

@@ -1,7 +1,60 @@
 //! Tunables of the fault-tolerant factorization — the paper's three
 //! optimizations plus verification thresholds.
 
+use crate::tolerance;
 use crate::verify::VerifyPolicy;
+
+/// Parameters of the variance-based adaptive tolerance model (see
+/// [`crate::tolerance`] for the derivation): per verify, the detection
+/// threshold is computed from the working precision's epsilon, the
+/// accumulation depth recorded in the plan, and the column's running
+/// magnitude statistic. One parameterization serves both f64 and f32.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveTolerance {
+    /// Gain `α`: how many accumulated worst-case rounding errors a clean
+    /// delta may span before it is flagged.
+    pub alpha: f64,
+    /// Magnitude floor, so an all-zero column (or a run with no captured
+    /// statistics) still gets a sane absolute threshold.
+    pub floor: f64,
+}
+
+impl Default for AdaptiveTolerance {
+    fn default() -> Self {
+        AdaptiveTolerance {
+            alpha: tolerance::ADAPTIVE_ALPHA,
+            floor: tolerance::ADAPTIVE_FLOOR,
+        }
+    }
+}
+
+/// Which detection-threshold family verification uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ToleranceModel {
+    /// The historical hard-wired f64 thresholds — the byte-stable default
+    /// (golden fixtures were captured against it). False-positives on
+    /// honest f32 round-off; use [`ToleranceModel::Adaptive`] there.
+    Fixed(VerifyPolicy),
+    /// Variance-based thresholds derived per verify from precision,
+    /// accumulation depth, and observed column magnitude.
+    Adaptive(AdaptiveTolerance),
+}
+
+impl Default for ToleranceModel {
+    fn default() -> Self {
+        ToleranceModel::Fixed(VerifyPolicy::default())
+    }
+}
+
+impl ToleranceModel {
+    /// Short identifier for reports ("fixed" / "adaptive").
+    pub fn name(&self) -> &'static str {
+        match self {
+            ToleranceModel::Fixed(_) => "fixed",
+            ToleranceModel::Adaptive(_) => "adaptive",
+        }
+    }
+}
 
 /// Where checksum *updating* runs (the paper's Optimization 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,8 +208,9 @@ pub struct AbftOptions {
     /// streams so they execute concurrently (`P = min(N, M)`); off means
     /// they serialize on the compute stream.
     pub concurrent_recalc: bool,
-    /// Numeric thresholds for detection/location.
-    pub policy: VerifyPolicy,
+    /// Numeric thresholds for detection/location: the fixed f64 policy
+    /// (byte-stable default) or the precision-aware adaptive model.
+    pub tolerance: ToleranceModel,
     /// How many full restarts are allowed after uncorrectable corruption
     /// (the paper's recovery story: re-do the decomposition once).
     pub max_restarts: usize,
@@ -203,7 +257,7 @@ impl Default for AbftOptions {
             placement: ChecksumPlacement::Auto,
             verify_interval: 1,
             concurrent_recalc: true,
-            policy: VerifyPolicy::default(),
+            tolerance: ToleranceModel::default(),
             max_restarts: 1,
             lookahead: 0,
             record_timeline: false,
@@ -237,6 +291,19 @@ impl AbftOptions {
     /// Builder: toggle Optimization 1.
     pub fn with_concurrent_recalc(mut self, on: bool) -> Self {
         self.concurrent_recalc = on;
+        self
+    }
+
+    /// Builder: set the tolerance model.
+    pub fn with_tolerance(mut self, t: ToleranceModel) -> Self {
+        self.tolerance = t;
+        self
+    }
+
+    /// Builder: switch to the variance-based adaptive tolerance with its
+    /// default parameters (required for reliable detection at f32).
+    pub fn with_adaptive_tolerance(mut self) -> Self {
+        self.tolerance = ToleranceModel::Adaptive(AdaptiveTolerance::default());
         self
     }
 
@@ -324,6 +391,27 @@ mod tests {
         assert_eq!(b.hysteresis, 0.0);
         let o = AbftOptions::default().with_balance(b.clone());
         assert_eq!(o.balance, Some(b));
+    }
+
+    #[test]
+    fn tolerance_model_defaults_to_fixed_policy() {
+        let o = AbftOptions::default();
+        assert_eq!(o.tolerance, ToleranceModel::Fixed(VerifyPolicy::default()));
+        assert_eq!(o.tolerance.name(), "fixed");
+        let o = o.with_adaptive_tolerance();
+        assert_eq!(
+            o.tolerance,
+            ToleranceModel::Adaptive(AdaptiveTolerance::default())
+        );
+        assert_eq!(o.tolerance.name(), "adaptive");
+        let custom = ToleranceModel::Adaptive(AdaptiveTolerance {
+            alpha: 16.0,
+            floor: 0.5,
+        });
+        assert_eq!(
+            AbftOptions::default().with_tolerance(custom).tolerance,
+            custom
+        );
     }
 
     #[test]

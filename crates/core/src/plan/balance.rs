@@ -403,7 +403,7 @@ fn find_check_pair(
         n.iter == Some(j)
             && matches!(
                 &n.kind,
-                TaskKind::VerifyBatch { tiles: t, sweep: SweepKind::Inline, fused: false }
+                TaskKind::VerifyBatch { tiles: t, sweep: SweepKind::Inline, fused: false, .. }
                     if t == tiles
             )
     })?;

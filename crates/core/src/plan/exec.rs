@@ -33,7 +33,7 @@ use crate::verify::VerifyOutcome;
 use hchol_faults::{InjectionPoint, Injector};
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, IssuePolicy, SimContext, SimTime};
-use hchol_matrix::MatrixError;
+use hchol_matrix::{MatrixError, Scalar};
 use hchol_obs::{Phase, SpanId};
 
 /// How the interpreter runs a plan.
@@ -110,7 +110,7 @@ enum StepOut {
     Restart,
 }
 
-fn close_span(ctx: &mut SimContext, sp: SpanId) {
+fn close_span<S: Scalar>(ctx: &mut SimContext<S>, sp: SpanId) {
     let t = ctx.now().as_secs();
     ctx.obs.spans.close(sp, t);
 }
@@ -118,9 +118,9 @@ fn close_span(ctx: &mut SimContext, sp: SpanId) {
 /// Span/iteration boundary bookkeeping before executing `id`. A deferred
 /// POTF2 error (baselines) surfaces here, once its iteration's span has
 /// closed — exactly where the legacy loop checked the iteration result.
-fn transition(
+fn transition<S: Scalar>(
     plan: &FactorPlan,
-    a: &mut AttemptCtx<'_>,
+    a: &mut AttemptCtx<'_, S>,
     cfg: &ExecConfig,
     st: &mut ExecState,
     id: NodeId,
@@ -169,9 +169,9 @@ fn transition(
 }
 
 /// Execute one node.
-fn step(
+fn step<S: Scalar>(
     plan: &FactorPlan,
-    a: &mut AttemptCtx<'_>,
+    a: &mut AttemptCtx<'_, S>,
     cfg: &ExecConfig,
     st: &mut ExecState,
     rt: &mut Option<ShardRuntime>,
@@ -303,11 +303,12 @@ fn step(
             tiles,
             sweep,
             fused,
+            depth,
         } => {
             let o = if *fused {
-                ops::verify_correct_fused(ctx, lay, inj, tiles, opts)
+                ops::verify_correct_fused(ctx, lay, inj, tiles, *depth, opts)
             } else {
-                ops::verify_correct(ctx, lay, inj, tiles, opts)
+                ops::verify_correct(ctx, lay, inj, tiles, *depth, opts)
             };
             match sweep {
                 SweepKind::Inline => {
@@ -398,9 +399,9 @@ fn step(
 
 /// Run one attempt of `plan` to completion (or restart / error), exactly
 /// as the legacy per-scheme attempt functions did.
-pub(crate) fn run_attempt(
+pub(crate) fn run_attempt<S: Scalar>(
     plan: &FactorPlan,
-    a: &mut AttemptCtx<'_>,
+    a: &mut AttemptCtx<'_, S>,
     cfg: &ExecConfig,
 ) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
     let mut rt = plan
@@ -415,9 +416,9 @@ pub(crate) fn run_attempt(
     out
 }
 
-fn run_attempt_inner(
+fn run_attempt_inner<S: Scalar>(
     plan: &FactorPlan,
-    a: &mut AttemptCtx<'_>,
+    a: &mut AttemptCtx<'_, S>,
     cfg: &ExecConfig,
     rt: &mut Option<ShardRuntime>,
 ) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {
@@ -467,9 +468,9 @@ fn run_attempt_inner(
 /// engine counters, run the feedback law, publish the `balance.*` metrics,
 /// and — when the decision changed the split — migrate the checksum state
 /// and rewrite the not-yet-executed tail of the plan.
-fn rebalance(
+fn rebalance<S: Scalar>(
     plan: &mut FactorPlan,
-    a: &mut AttemptCtx<'_>,
+    a: &mut AttemptCtx<'_, S>,
     ctrl: &mut BalanceController,
     j: usize,
 ) {
@@ -508,9 +509,9 @@ fn rebalance(
 /// not-yet-executed tail of `plan` in place. The cursor walks the issue
 /// order by position; rewrites only touch nodes of the current and later
 /// iterations, so executed positions never shift.
-pub(crate) fn run_attempt_balanced(
+pub(crate) fn run_attempt_balanced<S: Scalar>(
     plan: &mut FactorPlan,
-    a: &mut AttemptCtx<'_>,
+    a: &mut AttemptCtx<'_, S>,
     cfg: &ExecConfig,
     ctrl: &mut BalanceController,
 ) -> Result<(AttemptEnd, VerifyOutcome), MatrixError> {

@@ -156,6 +156,11 @@ pub enum TaskKind {
         /// the fused producer kernels ([`ops::verify_compare_fused`]), so
         /// no recalculation kernels are issued.
         fused: bool,
+        /// Accumulation depth of the batch — the outer iteration at which
+        /// the check runs (`nt` for a final sweep). The adaptive tolerance
+        /// model derives the accumulation-path length `b·(depth+1)` from
+        /// this per-panel metadata; the fixed model ignores it.
+        depth: usize,
     },
     /// Locate + correct from the comparison results
     /// ([`ops::verify_correct`]).
@@ -168,6 +173,9 @@ pub enum TaskKind {
         /// Correct against the fused deposit tiles instead of the
         /// recalculation scratch pool.
         fused: bool,
+        /// Accumulation depth (mirrors the paired
+        /// [`TaskKind::VerifyBatch`]).
+        depth: usize,
     },
     /// Broadcast `what` of iteration `j` from its owner device `from` to
     /// every other device over the peer links (sharded plans only).

@@ -203,6 +203,7 @@ pub(crate) fn insert_check_before(
             tiles: tiles.clone(),
             sweep: SweepKind::Inline,
             fused: false,
+            depth: iter,
         },
         Some(sc),
         Some(iter),
@@ -213,6 +214,7 @@ pub(crate) fn insert_check_before(
             tiles,
             sweep: SweepKind::Inline,
             fused: false,
+            depth: iter,
         },
         Some(sc),
         Some(iter),
@@ -233,6 +235,7 @@ fn insert_check_after(
             tiles: tiles.clone(),
             sweep: SweepKind::Inline,
             fused: false,
+            depth: iter,
         },
         Some(sc),
         Some(iter),
@@ -243,6 +246,7 @@ fn insert_check_after(
             tiles,
             sweep: SweepKind::Inline,
             fused: false,
+            depth: iter,
         },
         Some(sc),
         Some(iter),
@@ -265,6 +269,7 @@ fn insert_final_sweep(plan: &mut FactorPlan) {
                 tiles: chunk.to_vec(),
                 sweep: SweepKind::Final,
                 fused: false,
+                depth: nt,
             },
             Some(sc),
             None,
@@ -275,6 +280,7 @@ fn insert_final_sweep(plan: &mut FactorPlan) {
                 tiles: chunk.to_vec(),
                 sweep: SweepKind::Final,
                 fused: false,
+                depth: nt,
             },
             Some(sc),
             None,
@@ -538,6 +544,7 @@ pub fn apply_chk_fused(plan: &mut FactorPlan) {
                 tiles,
                 sweep: SweepKind::Inline,
                 fused: false,
+                depth,
             } => {
                 let (fused_part, plain_part): (Vec<_>, Vec<_>) = tiles
                     .iter()
@@ -585,6 +592,7 @@ pub fn apply_chk_fused(plan: &mut FactorPlan) {
                             tiles: fused_part.clone(),
                             sweep: SweepKind::Inline,
                             fused: true,
+                            depth,
                         },
                         Some(sc),
                         iter,
@@ -595,6 +603,7 @@ pub fn apply_chk_fused(plan: &mut FactorPlan) {
                             tiles: fused_part,
                             sweep: SweepKind::Inline,
                             fused: true,
+                            depth,
                         },
                         Some(sc),
                         iter,

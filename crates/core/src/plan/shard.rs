@@ -192,6 +192,7 @@ fn split_verify_pairs(plan: &mut FactorPlan, spec: ShardSpec) {
             tiles,
             sweep,
             fused,
+            depth,
         } = plan.node(id).kind.clone()
         else {
             continue;
@@ -240,6 +241,7 @@ fn split_verify_pairs(plan: &mut FactorPlan, spec: ShardSpec) {
                     tiles: g.clone(),
                     sweep,
                     fused: false,
+                    depth,
                 },
                 scope,
                 iter,
@@ -250,6 +252,7 @@ fn split_verify_pairs(plan: &mut FactorPlan, spec: ShardSpec) {
                     tiles: g,
                     sweep,
                     fused: false,
+                    depth,
                 },
                 scope,
                 iter,

@@ -17,6 +17,7 @@ use crate::ops::{self, CholLayout};
 use crate::options::AbftOptions;
 use hchol_faults::{DeviceLoss, Injector};
 use hchol_gpusim::{AccessSet, BufferId, EventId, SimContext, StreamId, TileRef};
+use hchol_matrix::Scalar;
 use std::collections::HashMap;
 
 /// One logical shard's stream set (all on the shard's current physical
@@ -29,7 +30,7 @@ struct ShardStreams {
     recalc: Vec<StreamId>,
 }
 
-fn create_streams_on(ctx: &mut SimContext, dev: usize) -> ShardStreams {
+fn create_streams_on<S: Scalar>(ctx: &mut SimContext<S>, dev: usize) -> ShardStreams {
     let n_recalc = ctx.profile().gpu.max_concurrent_kernels;
     ShardStreams {
         comp: ctx.create_stream_on(dev),
@@ -66,8 +67,8 @@ impl ShardRuntime {
     /// the layout's original streams (they live on device 0), shards
     /// `1..D` get fresh stream sets on their devices. Allocates the
     /// parity buffers and publishes the per-device memory gauges.
-    pub(crate) fn new(
-        ctx: &mut SimContext,
+    pub(crate) fn new<S: Scalar>(
+        ctx: &mut SimContext<S>,
         lay: &CholLayout,
         spec: ShardSpec,
         opts: &AbftOptions,
@@ -110,8 +111,8 @@ impl ShardRuntime {
         }
         // Device memory accounting: owned matrix rows, checksum rows, and
         // homed parity groups.
-        let tile_bytes = 8 * (lay.b * lay.b) as u64;
-        let chk_row_bytes = 8 * 2 * lay.n as u64;
+        let tile_bytes = S::BYTES * (lay.b * lay.b) as u64;
+        let chk_row_bytes = S::BYTES * 2 * lay.n as u64;
         for s in 0..d {
             let mut bytes = 0u64;
             for i in (s..lay.nt).step_by(d) {
@@ -120,7 +121,7 @@ impl ShardRuntime {
             for c in 0..lay.nt {
                 for rows in group_rows(lay.nt, c, d) {
                     if parity_home(&rows, d) == s {
-                        bytes += tile_bytes + 8 * 2 * lay.b as u64;
+                        bytes += tile_bytes + S::BYTES * 2 * lay.b as u64;
                     }
                 }
             }
@@ -177,7 +178,11 @@ impl ShardRuntime {
     /// Sharded [`TaskKind::MarkPanelReady`]: every shard's TRSM slice ran
     /// on its own compute stream, so each shard gets its own
     /// panel-complete event.
-    pub(crate) fn mark_panels_ready(&mut self, ctx: &mut SimContext, lay: &mut CholLayout) {
+    pub(crate) fn mark_panels_ready<S: Scalar>(
+        &mut self,
+        ctx: &mut SimContext<S>,
+        lay: &mut CholLayout,
+    ) {
         for s in 0..self.spec.devices {
             self.panel_ready[s] = Some(ctx.record_event(self.streams[s].comp));
         }
@@ -192,15 +197,15 @@ impl ShardRuntime {
     /// A direct one-to-all broadcast would serialize `D−1` full payloads
     /// on the owner's single link port. Transfers ride the transfer
     /// streams, so no compute stream is stalled by link time.
-    pub(crate) fn broadcast(
+    pub(crate) fn broadcast<S: Scalar>(
         &mut self,
-        ctx: &mut SimContext,
+        ctx: &mut SimContext<S>,
         lay: &CholLayout,
         j: usize,
         what: ShardXfer,
         from: usize,
     ) {
-        let tile_bytes = 8 * (lay.b * lay.b) as u64;
+        let tile_bytes = S::BYTES * (lay.b * lay.b) as u64;
         let (bytes, reads): (u64, Vec<TileRef>) = match what {
             // The row panel was produced by earlier TRSMs on the owner's
             // compute stream; an event orders the first send behind them.
@@ -257,7 +262,13 @@ impl ShardRuntime {
     /// checksum work behind the payload's arrival at `to`. Skipped under
     /// the `drop_recv_sync` mutation control — the deliberate cross-device
     /// RAW race the analyzers must detect.
-    pub(crate) fn recv(&mut self, ctx: &mut SimContext, j: usize, what: ShardXfer, to: usize) {
+    pub(crate) fn recv<S: Scalar>(
+        &mut self,
+        ctx: &mut SimContext<S>,
+        j: usize,
+        what: ShardXfer,
+        to: usize,
+    ) {
         if self.drop_recv_sync {
             return;
         }
@@ -271,14 +282,14 @@ impl ShardRuntime {
     /// parity home; the XOR kernel on the home's checksum stream is
     /// ordered behind every member's compute *and* checksum streams (the
     /// parity covers both the tile and its checksum).
-    pub(crate) fn refresh_column_parity(
+    pub(crate) fn refresh_column_parity<S: Scalar>(
         &mut self,
-        ctx: &mut SimContext,
+        ctx: &mut SimContext<S>,
         lay: &mut CholLayout,
         c: usize,
     ) {
         let d = self.spec.devices;
-        let member_bytes = 8 * (lay.b * lay.b) as u64 + 8 * 2 * lay.b as u64;
+        let member_bytes = S::BYTES * (lay.b * lay.b) as u64 + S::BYTES * 2 * lay.b as u64;
         for (g, rows) in group_rows(lay.nt, c, d).into_iter().enumerate() {
             let home = parity_home(&rows, d);
             for &i in &rows {
@@ -322,7 +333,7 @@ impl ShardRuntime {
     /// sync the iteration-0 diagonal upload (a host-issued transfer that
     /// knows nothing of those streams) could overwrite `(0,0)` mid-read —
     /// a WAR race the schedule analyzer catches.
-    pub(crate) fn init_parity(&mut self, ctx: &mut SimContext, lay: &mut CholLayout) {
+    pub(crate) fn init_parity<S: Scalar>(&mut self, ctx: &mut SimContext<S>, lay: &mut CholLayout) {
         for c in 0..lay.nt {
             self.refresh_column_parity(ctx, lay, c);
         }
@@ -336,9 +347,9 @@ impl ShardRuntime {
     /// through the ordinary checksum pipeline. The plan is not rewritten —
     /// only the shard→device binding changes — so the remaining execution
     /// (and the factor bits) are identical to the fault-free run.
-    pub(crate) fn recover_device_loss(
+    pub(crate) fn recover_device_loss<S: Scalar>(
         &mut self,
-        ctx: &mut SimContext,
+        ctx: &mut SimContext<S>,
         lay: &mut CholLayout,
         inj: &mut Injector,
         opts: &AbftOptions,
@@ -380,7 +391,7 @@ impl ShardRuntime {
         // Reconstruct column by column: parity tile and surviving members
         // ride the links to the replacement device, which XORs the lost
         // member back bit-for-bit.
-        let member_bytes = 8 * (lay.b * lay.b) as u64 + 8 * 2 * lay.b as u64;
+        let member_bytes = S::BYTES * (lay.b * lay.b) as u64 + S::BYTES * 2 * lay.b as u64;
         let mut rebuilt: Vec<(usize, usize)> = Vec::new();
         for c in 0..lay.nt {
             for (g, rows) in group_rows(lay.nt, c, d).into_iter().enumerate() {
@@ -437,8 +448,9 @@ impl ShardRuntime {
         // Prove the reconstruction through the ordinary verify pipeline
         // (recalculated checksums against the reconstructed rows).
         self.steer(lay, lost);
+        let depth = loss.at_iter.min(lay.nt);
         for chunk in rebuilt.chunks(256) {
-            let _ = ops::verify_batch(ctx, lay, inj, chunk, opts);
+            let _ = ops::verify_batch(ctx, lay, inj, chunk, depth, opts);
         }
         ctx.sync_all();
         let now = ctx.now();
@@ -476,12 +488,12 @@ fn parity_home(rows: &[usize], d: usize) -> usize {
     (rows[0] + d - 1) % d
 }
 
-fn zero_tile(ctx: &mut SimContext, buf: BufferId, at: (usize, usize)) {
+fn zero_tile<S: Scalar>(ctx: &mut SimContext<S>, buf: BufferId, at: (usize, usize)) {
     let t = ctx.dev_mem.buf_mut(buf).tile_mut(at.0, at.1);
     let (r, c) = t.shape();
     for i in 0..r {
         for j in 0..c {
-            t.set(i, j, 0.0);
+            t.set(i, j, S::ZERO);
         }
     }
 }

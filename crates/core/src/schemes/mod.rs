@@ -20,13 +20,13 @@
 
 use crate::decision;
 use crate::ops::{self};
-use crate::options::AbftOptions;
+use crate::options::{AbftOptions, ToleranceModel};
 use crate::span_util::scope;
 use crate::verify::VerifyOutcome;
 use hchol_faults::{FaultPlan, Injector};
 use hchol_gpusim::profile::SystemProfile;
 use hchol_gpusim::{ExecMode, SimContext, SimTime};
-use hchol_matrix::{Matrix, MatrixError};
+use hchol_matrix::{DType, Matrix, MatrixError, Scalar};
 use hchol_obs::{Phase, RunReport};
 
 /// Which fault-tolerance scheme drives the factorization.
@@ -69,15 +69,15 @@ pub(crate) enum AttemptEnd {
 }
 
 /// A scheme acts through this bundle of per-attempt state.
-pub(crate) struct AttemptCtx<'a> {
-    pub ctx: &'a mut SimContext,
+pub(crate) struct AttemptCtx<'a, S: Scalar = f64> {
+    pub ctx: &'a mut SimContext<S>,
     pub lay: &'a mut ops::CholLayout,
     pub inj: &'a mut Injector,
     pub opts: &'a AbftOptions,
 }
 
 /// The result of a fault-tolerant factorization.
-pub struct FactorOutcome {
+pub struct FactorOutcome<S: Scalar = f64> {
     /// Which scheme ran.
     pub scheme: SchemeKind,
     /// Matrix size.
@@ -93,7 +93,7 @@ pub struct FactorOutcome {
     /// Accumulated verification statistics.
     pub verify: VerifyOutcome,
     /// The lower factor (Execute mode only).
-    pub factor: Option<Matrix>,
+    pub factor: Option<Matrix<S>>,
     /// True if the final attempt still ended with uncorrectable corruption.
     pub failed: bool,
     /// Decision/rewrite log of the runtime feedback balancer (`Some` iff
@@ -101,10 +101,10 @@ pub struct FactorOutcome {
     pub balance_log: Option<crate::plan::balance::BalanceLog>,
     /// The simulation context (timeline, counters, observability state)
     /// for inspection.
-    pub ctx: SimContext,
+    pub ctx: SimContext<S>,
 }
 
-impl FactorOutcome {
+impl<S: Scalar> FactorOutcome<S> {
     /// Achieved GFLOP/s on the canonical `n³/3` flop count for size `n`.
     pub fn gflops(&self, n: usize) -> f64 {
         (n as f64).powi(3) / 3.0 / self.time.as_secs() / 1e9
@@ -122,6 +122,11 @@ impl FactorOutcome {
         );
         r.config_kv("n", self.n);
         r.config_kv("block", self.b);
+        // Recorded only off the default f64 precision, so the f64 golden
+        // fixtures stay byte-identical.
+        if S::DTYPE != DType::F64 {
+            r.config_kv("dtype", S::DTYPE.name());
+        }
         r.config_kv("placement", format!("{:?}", self.opts.placement));
         r.config_kv("verify_interval", self.opts.verify_interval);
         r.config_kv("concurrent_recalc", self.opts.concurrent_recalc);
@@ -129,6 +134,12 @@ impl FactorOutcome {
         // to the golden fixtures.
         if self.opts.chk_fused {
             r.config_kv("chk_fused", true);
+        }
+        if let ToleranceModel::Adaptive(a) = &self.opts.tolerance {
+            r.config_kv(
+                "tolerance",
+                format!("adaptive(alpha={},floor={})", a.alpha, a.floor),
+            );
         }
         if let Some(b) = &self.opts.balance {
             r.config_kv("balance_update_interval", b.update_interval);
@@ -224,6 +235,27 @@ pub fn run_scheme(
     plan: FaultPlan,
     input: Option<&Matrix>,
 ) -> Result<FactorOutcome, MatrixError> {
+    run_scheme_typed::<f64>(kind, profile, mode, n, b, opts, plan, input)
+}
+
+/// Precision-generic form of [`run_scheme`]: the element type `S` selects
+/// the working precision of the whole pipeline — matrix data, BLAS
+/// kernels, checksum rows, and verification deltas. `run_scheme` is the
+/// `S = f64` instantiation (the paper's working precision); pass
+/// `S = f32` for the reduced-precision workload, normally together with
+/// [`AbftOptions::with_adaptive_tolerance`] so detection thresholds follow
+/// the coarser machine epsilon.
+#[allow(clippy::too_many_arguments)] // LAPACK-style driver signature
+pub fn run_scheme_typed<S: Scalar>(
+    kind: SchemeKind,
+    profile: &SystemProfile,
+    mode: ExecMode,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+    plan: FaultPlan,
+    input: Option<&Matrix<S>>,
+) -> Result<FactorOutcome<S>, MatrixError> {
     validate_options(opts)?;
     let sharded = opts.shard.as_ref().is_some_and(|s| s.devices > 1);
     let devices = opts.shard.as_ref().map_or(1, |s| s.devices);
@@ -234,7 +266,7 @@ pub fn run_scheme(
     } else {
         profile
     };
-    let mut ctx = SimContext::new(profile.clone(), mode);
+    let mut ctx = SimContext::<S>::new_typed(profile.clone(), mode);
     if !opts.record_timeline {
         ctx.disable_timeline();
     }
@@ -396,4 +428,18 @@ pub fn run_clean(
     input: Option<&Matrix>,
 ) -> Result<FactorOutcome, MatrixError> {
     run_scheme(kind, profile, mode, n, b, opts, FaultPlan::none(), input)
+}
+
+/// Precision-generic form of [`run_clean`]; see [`run_scheme_typed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_clean_typed<S: Scalar>(
+    kind: SchemeKind,
+    profile: &SystemProfile,
+    mode: ExecMode,
+    n: usize,
+    b: usize,
+    opts: &AbftOptions,
+    input: Option<&Matrix<S>>,
+) -> Result<FactorOutcome<S>, MatrixError> {
+    run_scheme_typed(kind, profile, mode, n, b, opts, FaultPlan::none(), input)
 }

@@ -16,12 +16,22 @@
 //! * **uncorrectable columns** — the ratio δ₂/δ₁ is not close to a valid
 //!   row index, meaning ≥ 2 errors hit the same column (or propagation
 //!   already smeared the block); two checksums cannot correct that.
+//!
+//! The routines are generic over the working precision ([`Scalar`]); the
+//! delta/threshold arithmetic itself runs in `f64` (exact widening for
+//! both supported precisions), so one code path serves f64 and f32.
+//! Thresholds come in through a resolved [`TileTolerance`]: the fixed f64
+//! policy ([`VerifyPolicy`]), or the variance-based adaptive model
+//! ([`crate::tolerance`]) that scales with the precision's epsilon, the
+//! accumulation depth, and the column's observed magnitude.
 
 use crate::checksum::CHECKSUM_COUNT;
-use hchol_matrix::Matrix;
+use crate::tolerance;
+use hchol_matrix::{Matrix, Scalar};
 
-/// Numeric thresholds separating rounding drift from injected errors.
-#[derive(Debug, Clone, Copy)]
+/// Numeric thresholds separating rounding drift from injected errors —
+/// the *fixed* (f64-calibrated) tolerance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VerifyPolicy {
     /// Absolute floor on the detection threshold.
     pub abs_tol: f64,
@@ -35,9 +45,9 @@ pub struct VerifyPolicy {
 impl Default for VerifyPolicy {
     fn default() -> Self {
         VerifyPolicy {
-            abs_tol: 1e-9,
-            rel_tol: 1e-7,
-            locate_tol: 0.05,
+            abs_tol: tolerance::FIXED_ABS_TOL,
+            rel_tol: tolerance::FIXED_REL_TOL,
+            locate_tol: tolerance::LOCATE_SNAP,
         }
     }
 }
@@ -45,6 +55,83 @@ impl Default for VerifyPolicy {
 impl VerifyPolicy {
     fn threshold(&self, scale: f64) -> f64 {
         self.abs_tol + self.rel_tol * scale.abs().max(1.0)
+    }
+}
+
+/// Fully-resolved per-tile detection thresholds, handed to
+/// [`verify_and_correct`]. Built by `ops::verify_correct` from the run's
+/// [`crate::options::ToleranceModel`]: `Fixed` reproduces the historical
+/// f64 thresholds bit-for-bit; `Adaptive` carries everything the
+/// variance-based formula ([`tolerance::adaptive_threshold`]) needs —
+/// the precision's epsilon, the accumulation-path length (from the plan's
+/// per-panel `depth` metadata), and the column magnitude statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TileTolerance {
+    /// The fixed f64-calibrated thresholds.
+    Fixed(VerifyPolicy),
+    /// Variance-based thresholds scaled to the working precision.
+    Adaptive {
+        /// Machine epsilon of the working precision.
+        eps: f64,
+        /// Gain `α` (how many worst-case rounding errors a clean delta may
+        /// span).
+        alpha: f64,
+        /// Accumulation-path length feeding the compared sums:
+        /// `b · (depth + 1)` for a tile verified at iteration `depth`.
+        steps: f64,
+        /// Magnitude bound on the path's intermediates — the running
+        /// column statistic `b · max|x|`, already floored.
+        magnitude: f64,
+    },
+}
+
+impl TileTolerance {
+    /// Detection threshold for the unweighted checksum delta `δ₁` of a
+    /// column whose observed sum magnitude is `scale`.
+    pub fn t1(&self, scale: f64) -> f64 {
+        match self {
+            TileTolerance::Fixed(p) => p.threshold(scale),
+            TileTolerance::Adaptive {
+                eps,
+                alpha,
+                steps,
+                magnitude,
+            } => tolerance::adaptive_threshold(*alpha, *eps, *steps, magnitude.max(scale), 1.0),
+        }
+    }
+
+    /// Detection threshold for the weighted delta `δ₂`: its sum carries
+    /// weights up to `rows`, so both the magnitude and the rounding scale
+    /// up by that factor.
+    pub fn t2(&self, scale: f64, rows: usize) -> f64 {
+        match self {
+            TileTolerance::Fixed(p) => p.threshold(scale.max(rows as f64)),
+            TileTolerance::Adaptive { .. } => {
+                self.t1(scale / (rows.max(1) as f64)) * rows.max(1) as f64
+            }
+        }
+    }
+
+    /// Integer-snap tolerance of the locate ratio test for a block of
+    /// `rows` rows: the fixed policy's absolute snap, or the
+    /// precision-scaled snap ([`tolerance::adaptive_locate_snap`]).
+    pub fn locate_snap(&self, rows: usize) -> f64 {
+        match self {
+            TileTolerance::Fixed(p) => p.locate_tol,
+            TileTolerance::Adaptive {
+                eps, alpha, steps, ..
+            } => tolerance::adaptive_locate_snap(*alpha, *eps, *steps, rows),
+        }
+    }
+
+    /// Representative detection threshold of this tile (the `δ₁` threshold
+    /// at the carried magnitude) — exported as the `verify.threshold`
+    /// observability gauge.
+    pub fn representative(&self) -> f64 {
+        match self {
+            TileTolerance::Fixed(p) => p.threshold(0.0),
+            TileTolerance::Adaptive { magnitude, .. } => self.t1(*magnitude),
+        }
     }
 }
 
@@ -104,10 +191,18 @@ impl VerifyOutcome {
 /// sits this close to an integer. (Scaling the tolerance with the row index
 /// would let propagated corruption masquerade as correctable.)
 pub fn locate_row(d1: f64, d2: f64, rows: usize, policy: &VerifyPolicy) -> Option<usize> {
+    locate_row_snapped(d1, d2, rows, policy.locate_tol)
+}
+
+/// [`locate_row`] with an explicit snap tolerance — the precision-scaled
+/// adaptive path passes [`tolerance::adaptive_locate_snap`] here, since at
+/// f32 the ratio's rounding error routinely exceeds the fixed absolute
+/// snap and would misattribute the fault row.
+pub fn locate_row_snapped(d1: f64, d2: f64, rows: usize, snap: f64) -> Option<usize> {
     let ratio = d2 / d1;
     let row_1based = ratio.round();
     if ratio.is_finite()
-        && (ratio - row_1based).abs() <= policy.locate_tol
+        && (ratio - row_1based).abs() <= snap
         && row_1based >= 1.0
         && row_1based <= rows as f64
     {
@@ -133,13 +228,13 @@ pub fn locate_row(d1: f64, d2: f64, rows: usize, policy: &VerifyPolicy) -> Optio
 /// up to three rounds. (The paper stops at one pass; the refinement costs
 /// O(B²) per *corrected* block only and restores near-exact recovery even
 /// for high-exponent flips.)
-pub fn verify_and_correct(
-    data: &mut Matrix,
-    stored: &mut Matrix,
-    recalc: &Matrix,
-    policy: &VerifyPolicy,
+pub fn verify_and_correct<S: Scalar>(
+    data: &mut Matrix<S>,
+    stored: &mut Matrix<S>,
+    recalc: &Matrix<S>,
+    tol: &TileTolerance,
 ) -> VerifyOutcome {
-    let mut total = verify_pass(data, stored, recalc, policy, true);
+    let mut total = verify_pass(data, stored, recalc, tol, true);
     if total.corrected_data > 0 {
         for _ in 0..2 {
             let fresh = crate::checksum::encode(data);
@@ -148,7 +243,7 @@ pub fn verify_and_correct(
             // so a one-sided mismatch now means a correction landed on the
             // wrong row (a multi-error column slipping through the ratio
             // test) — data corruption, not checksum corruption.
-            let again = verify_pass(data, stored, &fresh, policy, false);
+            let again = verify_pass(data, stored, &fresh, tol, false);
             if again.is_clean() {
                 break;
             }
@@ -160,11 +255,11 @@ pub fn verify_and_correct(
     total
 }
 
-fn verify_pass(
-    data: &mut Matrix,
-    stored: &mut Matrix,
-    recalc: &Matrix,
-    policy: &VerifyPolicy,
+fn verify_pass<S: Scalar>(
+    data: &mut Matrix<S>,
+    stored: &mut Matrix<S>,
+    recalc: &Matrix<S>,
+    tol: &TileTolerance,
     allow_checksum_repair: bool,
 ) -> VerifyOutcome {
     assert_eq!(stored.shape(), (CHECKSUM_COUNT, data.cols()));
@@ -175,44 +270,65 @@ fn verify_pass(
     let mut row_hits: Vec<u32> = vec![0; rows];
 
     for j in 0..data.cols() {
-        let d1 = recalc.get(0, j) - stored.get(0, j);
-        let d2 = recalc.get(1, j) - stored.get(1, j);
+        let d1 = recalc.get(0, j).to_f64() - stored.get(0, j).to_f64();
+        let d2 = recalc.get(1, j).to_f64() - stored.get(1, j).to_f64();
         // Scale thresholds by the magnitudes flowing into each sum: chk₂
         // sums weights up to `rows`, so it is proportionally looser.
-        let t1 = policy.threshold(stored.get(0, j).abs().max(recalc.get(0, j).abs()));
-        let t2 = policy.threshold(
+        let t1 = tol.t1(stored
+            .get(0, j)
+            .to_f64()
+            .abs()
+            .max(recalc.get(0, j).to_f64().abs()));
+        let t2 = tol.t2(
             stored
                 .get(1, j)
+                .to_f64()
                 .abs()
-                .max(recalc.get(1, j).abs())
-                .max(rows as f64),
+                .max(recalc.get(1, j).to_f64().abs()),
+            rows,
         );
         // Non-finite deltas (overflowed sums — e.g. a top-exponent bit
         // flip) are unconditionally bad: no threshold reasoning applies.
         let bad1 = !d1.is_finite() || d1.abs() > t1;
         let bad2 = !d2.is_finite() || d2.abs() > t2;
+        // A one-sided mismatch is ambiguous: `t2` is proportionally looser
+        // than `t1` (its sum carries weights up to `rows`), so a small data
+        // error at a low row can trip `t1` alone while `δ₂ = r·δ₁` still
+        // hides under `t2`. If the ratio test snaps to an in-range row the
+        // single-data-error hypothesis explains the column and repairing
+        // the stored checksum would launder real corruption; a genuine
+        // checksum hit instead leaves the other delta at noise scale, so
+        // the ratio lands near 0 (or blows up) and never snaps. Only the
+        // adaptive model applies this tie-break: the fixed-threshold path
+        // is pinned byte-for-byte by the golden fixtures, and its f64-sized
+        // epsilons leave no gap for a real fault to hide in anyway.
+        let data_explains = || {
+            matches!(tol, TileTolerance::Adaptive { .. })
+                && locate_row_snapped(d1, d2, rows, tol.locate_snap(rows)).is_some()
+        };
         match (bad1, bad2) {
             (false, false) => {}
-            // One clean, one corrupt on a *first* pass: the stored checksum
-            // itself took the hit (a single data error always moves both
-            // sums — weights are ≥ 1); repair it from the recalculation.
-            // On refinement passes the stored checksum was consistent
-            // moments ago, so the single-error hypothesis is tested below
-            // instead — a wrong-row correction shows up here as d1 ≈ 0 with
-            // d2 large (or vice versa), which the ratio test rejects.
-            (true, false) if allow_checksum_repair => {
+            // One clean, one corrupt on a *first* pass, unexplained by a
+            // single data error: the stored checksum itself took the hit (a
+            // single data error always moves both sums — weights are ≥ 1);
+            // repair it from the recalculation. On refinement passes the
+            // stored checksum was consistent moments ago, so the
+            // single-error hypothesis is tested below instead — a wrong-row
+            // correction shows up here as d1 ≈ 0 with d2 large (or vice
+            // versa), which the ratio test rejects.
+            (true, false) if allow_checksum_repair && !data_explains() => {
                 stored.set(0, j, recalc.get(0, j));
                 out.repaired_checksums += 1;
             }
-            (false, true) if allow_checksum_repair => {
+            (false, true) if allow_checksum_repair && !data_explains() => {
                 stored.set(1, j, recalc.get(1, j));
                 out.repaired_checksums += 1;
             }
             _ => {
                 // Candidate single data error at row r: d2 = r·d1 exactly.
-                if let Some(r) = locate_row(d1, d2, rows, policy) {
-                    let v = data.get(r, j) - d1;
-                    data.set(r, j, v);
+                if let Some(r) = locate_row_snapped(d1, d2, rows, tol.locate_snap(rows)) {
+                    let v = data.get(r, j).to_f64() - d1;
+                    data.set(r, j, S::from_f64(v));
                     out.corrected_data += 1;
                     row_hits[r] += 1;
                 } else {
@@ -256,11 +372,26 @@ mod tests {
         (data, chk)
     }
 
+    fn fixed() -> TileTolerance {
+        TileTolerance::Fixed(VerifyPolicy::default())
+    }
+
+    /// Adaptive tolerance for a small f32 block verified after `depth`
+    /// update rounds.
+    fn adaptive_f32(b: usize, depth: usize, magnitude: f64) -> TileTolerance {
+        TileTolerance::Adaptive {
+            eps: f32::EPSILON as f64,
+            alpha: crate::tolerance::ADAPTIVE_ALPHA,
+            steps: (b * (depth + 1)) as f64,
+            magnitude,
+        }
+    }
+
     #[test]
     fn clean_block_verifies_clean() {
         let (mut data, mut chk) = setup(1);
         let recalc = encode(&data);
-        let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
         assert!(out.is_clean());
         assert!(out.fully_recovered());
     }
@@ -271,7 +402,7 @@ mod tests {
         let truth = data.clone();
         data.set(5, 3, data.get(5, 3) + 2.5);
         let recalc = encode(&data);
-        let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
         assert_eq!(out.corrected_data, 1);
         assert_eq!(out.uncorrectable_columns, 0);
         assert!(approx_eq(&data, &truth, 1e-9));
@@ -284,7 +415,7 @@ mod tests {
         let v = data.get(2, 4);
         data.set(2, 4, bits::flip_bits(v, &[30, 53]));
         let recalc = encode(&data);
-        let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
         assert_eq!(out.corrected_data, 1);
         assert!(approx_eq(&data, &truth, 1e-9));
     }
@@ -297,7 +428,7 @@ mod tests {
         data.set(7, 2, data.get(7, 2) + 3.0);
         data.set(3, 5, data.get(3, 5) * -2.0 - 1.0);
         let recalc = encode(&data);
-        let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
         assert_eq!(out.corrected_data, 3);
         assert!(approx_eq(&data, &truth, 1e-9));
     }
@@ -308,7 +439,7 @@ mod tests {
         data.set(1, 3, data.get(1, 3) + 1.0);
         data.set(6, 3, data.get(6, 3) + 1.0);
         let recalc = encode(&data);
-        let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
         assert_eq!(out.uncorrectable_columns, 1);
         assert!(!out.fully_recovered());
     }
@@ -320,7 +451,7 @@ mod tests {
         // Corrupt the *stored* checksum, not the data.
         chk.set(1, 2, chk.get(1, 2) + 5.0);
         let recalc = encode(&data);
-        let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
         assert_eq!(out.repaired_checksums, 1);
         assert_eq!(out.corrected_data, 0);
         assert!(approx_eq(&data, &truth, 0.0), "data must be untouched");
@@ -334,7 +465,7 @@ mod tests {
         // Simulate rounding drift in the stored checksum.
         chk.set(0, 1, chk.get(0, 1) + 1e-12);
         let recalc = encode(&data);
-        let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
         assert!(out.is_clean());
     }
 
@@ -345,7 +476,7 @@ mod tests {
             let truth = data.clone();
             data.set(row, 1, data.get(row, 1) + 4.0);
             let recalc = encode(&data);
-            let out = verify_and_correct(&mut data, &mut chk, &recalc, &VerifyPolicy::default());
+            let out = verify_and_correct(&mut data, &mut chk, &recalc, &fixed());
             assert_eq!(out.corrected_data, 1, "row {row}");
             assert!(approx_eq(&data, &truth, 1e-9));
         }
@@ -420,5 +551,87 @@ mod tests {
             tiles_flagged: 1,
         };
         assert!(lone.final_sweep_accepts());
+    }
+
+    /// An f32 block after simulated update rounds: the honest single-
+    /// precision drift in the stored checksum trips the fixed f64
+    /// thresholds (a false positive) but stays under the adaptive ones,
+    /// while a genuinely injected error is caught by both.
+    #[test]
+    fn f32_drift_fixed_false_positives_adaptive_does_not() {
+        let b = 16usize;
+        let data: Matrix<f32> = uniform(b, b, -1.0, 1.0, 42).cast();
+        let mut chk = encode(&data);
+        // Simulated accumulated round-off: perturb the stored checksum by
+        // a few dozen f32 ulps of its magnitude — drift far beyond the
+        // fixed rel_tol of 1e-7 but well within honest f32 rounding.
+        for j in 0..b {
+            let v = chk.get(0, j);
+            chk.set(0, j, v + v.abs().max(1.0) * 24.0 * f32::EPSILON);
+            let w = chk.get(1, j);
+            chk.set(1, j, w + w.abs().max(b as f32) * 24.0 * f32::EPSILON);
+        }
+        let recalc = encode(&data);
+        let adaptive = adaptive_f32(b, 4, b as f64);
+
+        let mut d1 = data.clone();
+        let mut c1 = chk.clone();
+        let fp = verify_and_correct(&mut d1, &mut c1, &recalc, &fixed());
+        assert!(!fp.is_clean(), "fixed f64 thresholds must false-positive");
+
+        let mut d2 = data.clone();
+        let mut c2 = chk.clone();
+        let ok = verify_and_correct(&mut d2, &mut c2, &recalc, &adaptive);
+        assert!(
+            ok.is_clean(),
+            "adaptive thresholds absorb f32 drift: {ok:?}"
+        );
+    }
+
+    /// A real injected error at f32 is detected, located, and corrected
+    /// under the adaptive tolerance.
+    #[test]
+    fn f32_injected_error_corrected_under_adaptive() {
+        let b = 16usize;
+        let mut data: Matrix<f32> = uniform(b, b, -1.0, 1.0, 43).cast();
+        let truth = data.clone();
+        let mut chk = encode(&data);
+        // Small drift as above, plus one genuine fault.
+        for j in 0..b {
+            let v = chk.get(0, j);
+            chk.set(0, j, v + v.abs().max(1.0) * 8.0 * f32::EPSILON);
+        }
+        data.set(11, 5, data.get(11, 5) + 3.0);
+        let recalc = encode(&data);
+        let out = verify_and_correct(&mut data, &mut chk, &recalc, &adaptive_f32(b, 4, b as f64));
+        assert_eq!(out.corrected_data, 1);
+        assert_eq!(out.uncorrectable_columns, 0);
+        assert!(approx_eq(&data, &truth, 1e-3), "f32 recovery within drift");
+    }
+
+    /// The adaptive snap widens at f32: a ratio offset that the fixed
+    /// absolute snap rejects (misattributing a legitimate f32-rounded
+    /// locate) is accepted once the snap scales with ε and rows.
+    #[test]
+    fn adaptive_locate_snap_scales() {
+        let rows = 64usize;
+        let tol = TileTolerance::Adaptive {
+            eps: f32::EPSILON as f64,
+            alpha: 256.0,
+            steps: 4096.0,
+            magnitude: 1.0,
+        };
+        let snap = tol.locate_snap(rows);
+        assert!(snap > crate::tolerance::LOCATE_SNAP);
+        assert!(snap <= crate::tolerance::LOCATE_SNAP_MAX);
+        // Ratio 40 ± (snap·0.9): resolves under the scaled snap…
+        let d1 = 1.0;
+        let d2 = 40.0 + snap * 0.9;
+        assert_eq!(locate_row_snapped(d1, d2, rows, snap), Some(39));
+        // …but not under the fixed absolute snap.
+        assert_eq!(
+            locate_row_snapped(d1, d2, rows, crate::tolerance::LOCATE_SNAP),
+            None
+        );
     }
 }

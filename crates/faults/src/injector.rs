@@ -2,7 +2,7 @@
 //! keeps the ground-truth ledger of corrupted tiles.
 
 use crate::spec::{DeviceLoss, FaultKind, FaultPlan, FaultSpec, InjectionPoint};
-use hchol_matrix::{bits, TileMatrix};
+use hchol_matrix::{bits, Scalar, TileMatrix};
 use std::collections::HashMap;
 
 /// How a tile came to be corrupt.
@@ -22,10 +22,10 @@ pub enum Dirtiness {
 pub struct AppliedFault {
     /// The plan entry that fired.
     pub spec: FaultSpec,
-    /// Value before corruption (NaN in TimingOnly mode, where no data
-    /// exists).
+    /// Value before corruption, widened to `f64` for the ledger (NaN in
+    /// TimingOnly mode, where no data exists).
     pub original: f64,
-    /// Value after corruption (NaN in TimingOnly mode).
+    /// Value after corruption, widened to `f64` (NaN in TimingOnly mode).
     pub corrupted: f64,
 }
 
@@ -71,16 +71,23 @@ impl Injector {
         Injector::default()
     }
 
-    fn corrupt_value(kind: &FaultKind, x: f64) -> f64 {
+    /// Corrupt one value of any supported precision. Computing errors are
+    /// relative offsets applied through `f64` (exact for both precisions at
+    /// the plan's magnitudes); storage errors flip the spec's canonical
+    /// 64-bit positions reduced modulo [`Scalar::BITS`].
+    fn corrupt_value<S: Scalar>(kind: &FaultKind, x: S) -> S {
         match kind {
-            FaultKind::Computing { magnitude } => x + magnitude * x.abs().max(1.0),
-            FaultKind::Storage { bits: bs } => bits::flip_bits(x, bs),
+            FaultKind::Computing { magnitude } => {
+                let xf = x.to_f64();
+                S::from_f64(xf + magnitude * xf.abs().max(1.0))
+            }
+            FaultKind::Storage { bits: bs } => bits::flip_bits_scalar(x, bs),
         }
     }
 
     /// Apply all faults scheduled for `point` to `mat` (Execute mode).
     /// Returns how many fired.
-    pub fn poll(&mut self, point: InjectionPoint, mat: &mut TileMatrix) -> usize {
+    pub fn poll<S: Scalar>(&mut self, point: InjectionPoint, mat: &mut TileMatrix<S>) -> usize {
         let Some(specs) = self.pending.remove(&point) else {
             return 0;
         };
@@ -94,8 +101,8 @@ impl Injector {
             self.taint((t.bi, t.bj), Dirtiness::Direct);
             self.applied.push(AppliedFault {
                 spec,
-                original,
-                corrupted,
+                original: original.to_f64(),
+                corrupted: corrupted.to_f64(),
             });
         }
         n
@@ -248,6 +255,44 @@ mod tests {
         let a = &inj.applied()[0];
         assert_eq!(a.original, 2.0);
         assert_eq!(a.corrupted, -2.0);
+    }
+
+    #[test]
+    fn f32_faults_strike_reduced_precision_tiles() {
+        // Storage spec written against the canonical f64 layout: the sign
+        // bit 63 reduces to f32 bit 31 — still a sign flip.
+        let point = InjectionPoint::IterStart { iter: 0 };
+        let mut inj = Injector::new(FaultPlan::single(FaultSpec {
+            point,
+            target: FaultTarget {
+                bi: 0,
+                bj: 0,
+                row: 0,
+                col: 0,
+            },
+            kind: FaultKind::Storage { bits: vec![63] },
+        }));
+        let mut m = TileMatrix::<f32>::from_dense(&Matrix::filled(4, 4, 2.0), 2).unwrap();
+        assert_eq!(inj.poll(point, &mut m), 1);
+        assert_eq!(m.get(0, 0), -2.0f32);
+        assert_eq!(inj.applied()[0].original, 2.0);
+        assert_eq!(inj.applied()[0].corrupted, -2.0);
+
+        // Computing errors offset relative to magnitude in any precision.
+        let point2 = InjectionPoint::PostGemm { iter: 1 };
+        let mut inj2 = Injector::new(FaultPlan::single(FaultSpec {
+            point: point2,
+            target: FaultTarget {
+                bi: 1,
+                bj: 0,
+                row: 1,
+                col: 1,
+            },
+            kind: FaultKind::computing(),
+        }));
+        let mut m2 = TileMatrix::<f32>::from_dense(&Matrix::filled(4, 4, 2.0), 2).unwrap();
+        assert_eq!(inj2.poll(point2, &mut m2), 1);
+        assert_eq!(m2.get(3, 1), 4.0f32);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::schedule::KernelScheduler;
 use crate::time::SimTime;
 use crate::timeline::{Lane, Timeline, TraceEntry};
 use crate::ExecMode;
+use hchol_matrix::Scalar;
 use hchol_obs::{Obs, Phase};
 
 /// Map a kernel to its op-span phase: checksum work goes by category, and
@@ -224,15 +225,15 @@ impl EngineUtilization {
 /// ctx.sync_device();
 /// assert!((ctx.now().as_secs() - 2.0).abs() < 0.01);
 /// ```
-pub struct SimContext {
+pub struct SimContext<S: Scalar = f64> {
     /// Execution mode (real numerics vs clock-only).
     pub mode: ExecMode,
     profile: SystemProfile,
     /// Device global memory. Public so fault injectors can corrupt it
     /// "behind the runtime's back", exactly like real DRAM bit flips.
-    pub dev_mem: DeviceMemory,
+    pub dev_mem: DeviceMemory<S>,
     /// Host (pinned) memory.
-    pub host_mem: HostMemory,
+    pub host_mem: HostMemory<S>,
     host_clock: SimTime,
     streams: Vec<SimTime>,
     /// Home device of each stream (parallel to `streams`).
@@ -262,11 +263,23 @@ pub struct SimContext {
     recalc_metric: bool,
 }
 
-impl SimContext {
-    /// New context with one default stream (stream 0) and the profile's
-    /// CPU worker lanes. Timeline recording is on; disable it for long
-    /// sweeps with [`SimContext::disable_timeline`].
+impl SimContext<f64> {
+    /// New double-precision context with one default stream (stream 0) and
+    /// the profile's CPU worker lanes. Timeline recording is on; disable it
+    /// for long sweeps with [`SimContext::disable_timeline`].
+    ///
+    /// Pinned to `f64` so the element type never needs annotating at the
+    /// (many) default-precision call sites; reduced-precision runs use
+    /// [`SimContext::new_typed`].
     pub fn new(profile: SystemProfile, mode: ExecMode) -> Self {
+        Self::new_typed(profile, mode)
+    }
+}
+
+impl<S: Scalar> SimContext<S> {
+    /// New context of any supported element precision (`SimContext::<f32>::
+    /// new_typed(..)`); see [`SimContext::new`].
+    pub fn new_typed(profile: SystemProfile, mode: ExecMode) -> Self {
         let workers = profile.cpu.worker_lanes.max(1);
         let maxk = profile.gpu.max_concurrent_kernels;
         let ndev = profile.devices.max(1);
@@ -389,7 +402,7 @@ impl SimContext {
     /// runs only in [`ExecMode::Execute`]; timing always advances.
     pub fn launch<F>(&mut self, stream: StreamId, desc: KernelDesc, body: F)
     where
-        F: FnOnce(&mut DeviceMemory),
+        F: FnOnce(&mut DeviceMemory<S>),
     {
         let dev = self.stream_dev[stream.0];
         // Host pays the launch cost.
@@ -506,7 +519,7 @@ impl SimContext {
         bj: usize,
         stream: StreamId,
     ) {
-        let bytes = 8 * {
+        let bytes = S::BYTES * {
             let t = self.dev_mem.buf(dev).tile(bi, bj);
             (t.rows() * t.cols()) as u64
         };
@@ -537,7 +550,7 @@ impl SimContext {
         host: HostBufferId,
         stream: StreamId,
     ) {
-        let bytes = 8 * {
+        let bytes = S::BYTES * {
             let t = self.dev_mem.buf(dev).tile(bi, bj);
             (t.rows() * t.cols()) as u64
         };
@@ -567,7 +580,7 @@ impl SimContext {
     /// runs only in Execute mode.
     pub fn bulk_transfer<F>(&mut self, bytes: u64, stream: StreamId, to_device: bool, body: F)
     where
-        F: FnOnce(&mut DeviceMemory, &mut HostMemory),
+        F: FnOnce(&mut DeviceMemory<S>, &mut HostMemory<S>),
     {
         self.bulk_transfer_with_access(bytes, stream, to_device, AccessSet::none(), body);
     }
@@ -583,7 +596,7 @@ impl SimContext {
         access: AccessSet,
         body: F,
     ) where
-        F: FnOnce(&mut DeviceMemory, &mut HostMemory),
+        F: FnOnce(&mut DeviceMemory<S>, &mut HostMemory<S>),
     {
         let (start, end) = self.schedule_transfer(bytes, stream, to_device);
         let (lane, dir) = if to_device {
@@ -678,7 +691,7 @@ impl SimContext {
         access: AccessSet,
         body: F,
     ) where
-        F: FnOnce(&mut DeviceMemory),
+        F: FnOnce(&mut DeviceMemory<S>),
     {
         let src_dev = self.stream_dev[src_stream.0];
         let start = self
@@ -714,7 +727,7 @@ impl SimContext {
     /// the clock always advances.
     pub fn cpu_exec<F>(&mut self, desc: KernelDesc, body: F)
     where
-        F: FnOnce(&mut HostMemory),
+        F: FnOnce(&mut HostMemory<S>),
     {
         debug_assert_eq!(desc.epilogue_flops, 0, "fused epilogues are GPU-only");
         let duration = self.profile.cpu.task_time(desc.class, desc.flops);
@@ -750,7 +763,7 @@ impl SimContext {
     /// write into mapped device buffers in our model).
     pub fn cpu_submit<F>(&mut self, desc: KernelDesc, body: F)
     where
-        F: FnOnce(&mut DeviceMemory, &mut HostMemory),
+        F: FnOnce(&mut DeviceMemory<S>, &mut HostMemory<S>),
     {
         debug_assert_eq!(desc.epilogue_flops, 0, "fused epilogues are GPU-only");
         // Pick the lane that frees up first.
@@ -966,6 +979,19 @@ mod tests {
         // 2x2 f64 = 32 bytes at 1 GB/s: tiny but nonzero
         assert!(c.now().as_secs() > 0.0);
         assert_eq!(c.counters.bytes(WorkCategory::Transfer), 64);
+    }
+
+    #[test]
+    fn f32_context_transfers_four_bytes_per_element() {
+        let mut c = SimContext::<f32>::new_typed(SystemProfile::test_profile(), ExecMode::Execute);
+        let dev = c.dev_mem.alloc_zeros(2, 2, 2).unwrap();
+        let host = c.host_mem.alloc(Matrix::<f32>::filled(2, 2, 7.0));
+        let s = c.default_stream();
+        c.h2d_tile(host, dev, 0, 0, s);
+        c.sync_stream(s);
+        assert_eq!(c.dev_mem.tile(dev, 0, 0).get(0, 0), 7.0f32);
+        // 2x2 f32 tiles move 16 bytes, half the f64 figure.
+        assert_eq!(c.counters.bytes(WorkCategory::Transfer), 16);
     }
 
     #[test]

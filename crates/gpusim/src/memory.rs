@@ -10,7 +10,7 @@
 //! flip bits in "DRAM"; that is what [`DeviceMemory::tile_mut`] by global
 //! element coordinates provides.
 
-use hchol_matrix::{Matrix, MatrixError, TileMatrix};
+use hchol_matrix::{Matrix, MatrixError, Scalar, TileMatrix};
 
 /// Error raised when an allocation exceeds device capacity.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,13 +44,25 @@ pub struct BufferId(pub usize);
 pub struct HostBufferId(pub usize);
 
 /// The simulated GPU global memory: an arena of tile matrices.
-#[derive(Debug, Default)]
-pub struct DeviceMemory {
-    buffers: Vec<TileMatrix>,
+///
+/// Generic over the element precision `S` (default `f64`): an f32 device
+/// holds f32 tiles and accounts capacity at [`Scalar::BYTES`] per element.
+#[derive(Debug)]
+pub struct DeviceMemory<S: Scalar = f64> {
+    buffers: Vec<TileMatrix<S>>,
     capacity: Option<u64>,
 }
 
-impl DeviceMemory {
+impl<S: Scalar> Default for DeviceMemory<S> {
+    fn default() -> Self {
+        DeviceMemory {
+            buffers: Vec::new(),
+            capacity: None,
+        }
+    }
+}
+
+impl<S: Scalar> DeviceMemory<S> {
     /// Enforce a capacity (bytes). Subsequent `try_alloc` calls fail once
     /// resident bytes would exceed it; plain `alloc` panics. The paper sized
     /// its experiments "from the largest our GPU memory allows" — 6 GB on
@@ -59,13 +71,13 @@ impl DeviceMemory {
         self.capacity = Some(bytes);
     }
 
-    /// Byte footprint of a tile matrix (8 bytes per element).
-    pub fn footprint(t: &TileMatrix) -> u64 {
-        8 * (t.rows() as u64) * (t.cols() as u64)
+    /// Byte footprint of a tile matrix ([`Scalar::BYTES`] per element).
+    pub fn footprint(t: &TileMatrix<S>) -> u64 {
+        S::BYTES * (t.rows() as u64) * (t.cols() as u64)
     }
 
     /// Capacity-checked allocation.
-    pub fn try_alloc(&mut self, t: TileMatrix) -> Result<BufferId, OutOfDeviceMemory> {
+    pub fn try_alloc(&mut self, t: TileMatrix<S>) -> Result<BufferId, OutOfDeviceMemory> {
         if let Some(cap) = self.capacity {
             let requested = Self::footprint(&t);
             let resident = self.resident_bytes();
@@ -83,7 +95,7 @@ impl DeviceMemory {
 
     /// Allocate a buffer holding `t` and return its handle. Panics on
     /// capacity overflow (use [`DeviceMemory::try_alloc`] to handle it).
-    pub fn alloc(&mut self, t: TileMatrix) -> BufferId {
+    pub fn alloc(&mut self, t: TileMatrix<S>) -> BufferId {
         self.try_alloc(t).expect("device memory capacity exceeded")
     }
 
@@ -98,18 +110,22 @@ impl DeviceMemory {
     }
 
     /// Shared view of a buffer.
-    pub fn buf(&self, id: BufferId) -> &TileMatrix {
+    pub fn buf(&self, id: BufferId) -> &TileMatrix<S> {
         &self.buffers[id.0]
     }
 
     /// Mutable view of a buffer.
-    pub fn buf_mut(&mut self, id: BufferId) -> &mut TileMatrix {
+    pub fn buf_mut(&mut self, id: BufferId) -> &mut TileMatrix<S> {
         &mut self.buffers[id.0]
     }
 
     /// Two distinct buffers, both mutable (e.g. matrix tiles + checksum
     /// tiles updated by one kernel). Panics if `a == b`.
-    pub fn buf_pair_mut(&mut self, a: BufferId, b: BufferId) -> (&mut TileMatrix, &mut TileMatrix) {
+    pub fn buf_pair_mut(
+        &mut self,
+        a: BufferId,
+        b: BufferId,
+    ) -> (&mut TileMatrix<S>, &mut TileMatrix<S>) {
         assert_ne!(a.0, b.0, "buffers must be distinct");
         let [x, y] = self
             .buffers
@@ -126,7 +142,7 @@ impl DeviceMemory {
         a: BufferId,
         b: BufferId,
         c: BufferId,
-    ) -> (&mut TileMatrix, &mut TileMatrix, &mut TileMatrix) {
+    ) -> (&mut TileMatrix<S>, &mut TileMatrix<S>, &mut TileMatrix<S>) {
         assert!(
             a.0 != b.0 && b.0 != c.0 && a.0 != c.0,
             "buffers must be distinct"
@@ -139,12 +155,12 @@ impl DeviceMemory {
     }
 
     /// Shared view of one tile.
-    pub fn tile(&self, id: BufferId, bi: usize, bj: usize) -> &Matrix {
+    pub fn tile(&self, id: BufferId, bi: usize, bj: usize) -> &Matrix<S> {
         self.buf(id).tile(bi, bj)
     }
 
     /// Mutable view of one tile.
-    pub fn tile_mut(&mut self, id: BufferId, bi: usize, bj: usize) -> &mut Matrix {
+    pub fn tile_mut(&mut self, id: BufferId, bi: usize, bj: usize) -> &mut Matrix<S> {
         self.buf_mut(id).tile_mut(bi, bj)
     }
 
@@ -153,11 +169,11 @@ impl DeviceMemory {
         self.buffers.len()
     }
 
-    /// Total resident bytes (8 per element).
+    /// Total resident bytes ([`Scalar::BYTES`] per element).
     pub fn resident_bytes(&self) -> u64 {
         self.buffers
             .iter()
-            .map(|b| 8 * (b.rows() as u64) * (b.cols() as u64))
+            .map(|b| S::BYTES * (b.rows() as u64) * (b.cols() as u64))
             .sum()
     }
 }
@@ -167,14 +183,22 @@ impl DeviceMemory {
 /// MAGMA's Cholesky keeps one block-sized staging area on the host for the
 /// diagonal block POTF2 round trip; Optimization 2's CPU checksum updating
 /// adds host-resident checksum storage.
-#[derive(Debug, Default)]
-pub struct HostMemory {
-    buffers: Vec<Matrix>,
+#[derive(Debug)]
+pub struct HostMemory<S: Scalar = f64> {
+    buffers: Vec<Matrix<S>>,
 }
 
-impl HostMemory {
+impl<S: Scalar> Default for HostMemory<S> {
+    fn default() -> Self {
+        HostMemory {
+            buffers: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scalar> HostMemory<S> {
     /// Allocate a host buffer holding `m`.
-    pub fn alloc(&mut self, m: Matrix) -> HostBufferId {
+    pub fn alloc(&mut self, m: Matrix<S>) -> HostBufferId {
         self.buffers.push(m);
         HostBufferId(self.buffers.len() - 1)
     }
@@ -185,17 +209,21 @@ impl HostMemory {
     }
 
     /// Shared view.
-    pub fn buf(&self, id: HostBufferId) -> &Matrix {
+    pub fn buf(&self, id: HostBufferId) -> &Matrix<S> {
         &self.buffers[id.0]
     }
 
     /// Mutable view.
-    pub fn buf_mut(&mut self, id: HostBufferId) -> &mut Matrix {
+    pub fn buf_mut(&mut self, id: HostBufferId) -> &mut Matrix<S> {
         &mut self.buffers[id.0]
     }
 
     /// Two distinct host buffers, both mutable.
-    pub fn buf_pair_mut(&mut self, a: HostBufferId, b: HostBufferId) -> (&mut Matrix, &mut Matrix) {
+    pub fn buf_pair_mut(
+        &mut self,
+        a: HostBufferId,
+        b: HostBufferId,
+    ) -> (&mut Matrix<S>, &mut Matrix<S>) {
         assert_ne!(a.0, b.0, "buffers must be distinct");
         let [x, y] = self
             .buffers
@@ -216,7 +244,7 @@ mod tests {
 
     #[test]
     fn alloc_and_access() {
-        let mut mem = DeviceMemory::default();
+        let mut mem = DeviceMemory::<f64>::default();
         let id = mem.alloc_zeros(4, 4, 2).unwrap();
         assert_eq!(mem.buffer_count(), 1);
         mem.tile_mut(id, 1, 1).set(0, 0, 3.0);
@@ -227,7 +255,7 @@ mod tests {
 
     #[test]
     fn buf_pair_mut_distinct() {
-        let mut mem = DeviceMemory::default();
+        let mut mem = DeviceMemory::<f64>::default();
         let a = mem.alloc_zeros(2, 2, 2).unwrap();
         let b = mem.alloc_zeros(2, 2, 2).unwrap();
         let (x, y) = mem.buf_pair_mut(a, b);
@@ -240,14 +268,14 @@ mod tests {
     #[test]
     #[should_panic]
     fn buf_pair_mut_same_panics() {
-        let mut mem = DeviceMemory::default();
+        let mut mem = DeviceMemory::<f64>::default();
         let a = mem.alloc_zeros(2, 2, 2).unwrap();
         let _ = mem.buf_pair_mut(a, a);
     }
 
     #[test]
     fn buf_trio_mut_distinct() {
-        let mut mem = DeviceMemory::default();
+        let mut mem = DeviceMemory::<f64>::default();
         let a = mem.alloc_zeros(2, 2, 2).unwrap();
         let b = mem.alloc_zeros(2, 2, 2).unwrap();
         let c = mem.alloc_zeros(2, 2, 2).unwrap();
@@ -261,7 +289,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn buf_trio_mut_duplicate_panics() {
-        let mut mem = DeviceMemory::default();
+        let mut mem = DeviceMemory::<f64>::default();
         let a = mem.alloc_zeros(2, 2, 2).unwrap();
         let b = mem.alloc_zeros(2, 2, 2).unwrap();
         let _ = mem.buf_trio_mut(a, b, a);
@@ -269,9 +297,9 @@ mod tests {
 
     #[test]
     fn capacity_is_enforced() {
-        let mut mem = DeviceMemory::default();
+        let mut mem = DeviceMemory::<f64>::default();
         mem.set_capacity(4 * 4 * 8 + 10); // one 4x4 buffer plus slack
-        let t = TileMatrix::zeros(4, 4, 2).unwrap();
+        let t = TileMatrix::<f64>::zeros(4, 4, 2).unwrap();
         assert_eq!(DeviceMemory::footprint(&t), 128);
         assert!(mem.try_alloc(t.clone()).is_ok());
         let err = mem.try_alloc(t).unwrap_err();
@@ -282,16 +310,27 @@ mod tests {
 
     #[test]
     fn unlimited_by_default() {
-        let mut mem = DeviceMemory::default();
+        let mut mem = DeviceMemory::<f64>::default();
         for _ in 0..10 {
-            mem.alloc(TileMatrix::zeros(8, 8, 4).unwrap());
+            mem.alloc(TileMatrix::<f64>::zeros(8, 8, 4).unwrap());
         }
         assert_eq!(mem.buffer_count(), 10);
     }
 
     #[test]
+    fn f32_device_accounts_four_bytes_per_element() {
+        let mut mem = DeviceMemory::<f32>::default();
+        let id = mem.alloc_zeros(4, 4, 2).unwrap();
+        assert_eq!(mem.resident_bytes(), 4 * 4 * 4);
+        mem.tile_mut(id, 0, 0).set(0, 0, 1.5f32);
+        assert_eq!(mem.tile(id, 0, 0).get(0, 0), 1.5f32);
+        let t = TileMatrix::<f32>::zeros(4, 4, 2).unwrap();
+        assert_eq!(DeviceMemory::footprint(&t), 64);
+    }
+
+    #[test]
     fn host_memory_roundtrip() {
-        let mut h = HostMemory::default();
+        let mut h = HostMemory::<f64>::default();
         let id = h.alloc_zeros(3, 3);
         h.buf_mut(id).set(2, 2, 9.0);
         assert_eq!(h.buf(id).get(2, 2), 9.0);

@@ -5,6 +5,13 @@
 //! verification and the next read. These helpers flip chosen bits of an `f64`
 //! and classify how severe a flip in each bit position is, which the fault
 //! campaigns in `hchol-faults` use to build representative error populations.
+//!
+//! The precision-generic variants ([`flip_bit_scalar`], [`flip_bits_scalar`])
+//! work on any [`Scalar`] and reduce bit indices modulo [`Scalar::BITS`], so
+//! one campaign spec written against the 64-bit layout drives both precisions
+//! (a canonical f64 flip of bit 53 strikes bit `53 % 32 = 21` of an f32).
+
+use crate::scalar::Scalar;
 
 /// Flip bit `bit` (0 = least significant mantissa bit, 63 = sign) of `x`.
 ///
@@ -24,6 +31,25 @@ pub fn flip_bits(x: f64, bits: &[u32]) -> f64 {
         mask ^= 1u64 << b;
     }
     f64::from_bits(x.to_bits() ^ mask)
+}
+
+/// Flip bit `bit % S::BITS` of a value of any supported precision.
+#[inline]
+pub fn flip_bit_scalar<S: Scalar>(x: S, bit: u32) -> S {
+    S::from_bits_u64(x.to_bits_u64() ^ (1u64 << (bit % S::BITS)))
+}
+
+/// Flip several bits at once in a value of any supported precision.
+///
+/// Each index is reduced modulo [`Scalar::BITS`]; two canonical indices that
+/// collide after reduction cancel, exactly as duplicate indices do in
+/// [`flip_bits`].
+pub fn flip_bits_scalar<S: Scalar>(x: S, bits: &[u32]) -> S {
+    let mut mask = 0u64;
+    for &b in bits {
+        mask ^= 1u64 << (b % S::BITS);
+    }
+    S::from_bits_u64(x.to_bits_u64() ^ mask)
 }
 
 /// Which field of the IEEE-754 double a bit position falls in.
@@ -121,6 +147,28 @@ mod tests {
     #[should_panic]
     fn out_of_range_bit_panics() {
         let _ = flip_bit(1.0, 64);
+    }
+
+    #[test]
+    fn scalar_flip_matches_f64_helpers() {
+        let x = 1.2345678901234567_f64;
+        assert_eq!(flip_bit_scalar(x, 53), flip_bit(x, 53));
+        assert_eq!(flip_bits_scalar(x, &[30, 53]), flip_bits(x, &[30, 53]));
+    }
+
+    #[test]
+    fn scalar_flip_wraps_for_f32() {
+        let x = 1.5f32;
+        // canonical f64 index 53 lands on f32 bit 21
+        assert_eq!(
+            flip_bit_scalar(x, 53),
+            f32::from_bits(x.to_bits() ^ (1 << 21))
+        );
+        // involution still holds after reduction
+        let y = flip_bits_scalar(x, &[30, 53]);
+        assert_eq!(flip_bits_scalar(y, &[30, 53]), x);
+        // indices that collide mod 32 cancel
+        assert_eq!(flip_bits_scalar(x, &[5, 37]), x);
     }
 
     #[test]

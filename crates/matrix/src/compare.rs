@@ -3,21 +3,22 @@
 
 use crate::dense::Matrix;
 use crate::norms;
+use crate::scalar::Scalar;
 
 /// Largest absolute elementwise difference between two same-shaped matrices.
 ///
 /// Panics on shape mismatch.
-pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+pub fn max_abs_diff<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> f64 {
     assert_eq!(a.shape(), b.shape(), "max_abs_diff shape mismatch");
     a.as_slice()
         .iter()
         .zip(b.as_slice())
-        .map(|(x, y)| (x - y).abs())
+        .map(|(&x, &y)| (x - y).abs().to_f64())
         .fold(0.0, f64::max)
 }
 
 /// True if every element of `a` and `b` differs by at most `tol`.
-pub fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+pub fn approx_eq<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>, tol: f64) -> bool {
     a.shape() == b.shape() && max_abs_diff(a, b) <= tol
 }
 
@@ -25,7 +26,7 @@ pub fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
 ///
 /// The canonical accuracy metric for factorizations: pass the reconstruction
 /// `L·Lᵀ` as `a` and the original matrix as `b`.
-pub fn relative_residual(a: &Matrix, b: &Matrix) -> f64 {
+pub fn relative_residual<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> f64 {
     assert_eq!(a.shape(), b.shape(), "relative_residual shape mismatch");
     let mut diff = a.clone();
     diff.sub_assign(b);
@@ -53,7 +54,7 @@ mod tests {
 
     #[test]
     fn detects_single_difference() {
-        let a = Matrix::zeros(2, 2);
+        let a = Matrix::<f64>::zeros(2, 2);
         let mut b = a.clone();
         b.set(1, 0, 1e-3);
         assert_eq!(max_abs_diff(&a, &b), 1e-3);
@@ -63,8 +64,8 @@ mod tests {
 
     #[test]
     fn shape_mismatch_is_not_equal() {
-        let a = Matrix::zeros(2, 2);
-        let b = Matrix::zeros(2, 3);
+        let a = Matrix::<f64>::zeros(2, 2);
+        let b = Matrix::<f64>::zeros(2, 3);
         assert!(!approx_eq(&a, &b, 1e9));
     }
 

@@ -1,10 +1,12 @@
 //! Owned, contiguous, column-major dense matrix.
 
 use crate::error::MatrixError;
+use crate::scalar::Scalar;
 
-/// An owned column-major `f64` matrix.
+/// An owned column-major matrix over a [`Scalar`] element type (default
+/// `f64`, the paper's working precision).
 ///
-/// Storage is a single contiguous `Vec<f64>` of length `rows * cols`, with
+/// Storage is a single contiguous `Vec<S>` of length `rows * cols`, with
 /// element `(i, j)` at offset `i + j * rows` (leading dimension equals the
 /// row count, as in a freshly allocated LAPACK matrix).
 ///
@@ -17,13 +19,13 @@ use crate::error::MatrixError;
 /// ```
 #[derive(Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct Matrix {
+pub struct Matrix<S: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl std::fmt::Debug for Matrix {
+impl<S: Scalar> std::fmt::Debug for Matrix<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         let show_rows = self.rows.min(8);
@@ -45,18 +47,18 @@ impl std::fmt::Debug for Matrix {
     }
 }
 
-impl Matrix {
+impl<S: Scalar> Matrix<S> {
     /// Create a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![S::ZERO; rows * cols],
         }
     }
 
     /// Create a `rows × cols` matrix with every element set to `value`.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn filled(rows: usize, cols: usize, value: S) -> Self {
         Matrix {
             rows,
             cols,
@@ -68,13 +70,13 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
-            m.set(i, i, 1.0);
+            m.set(i, i, S::ONE);
         }
         m
     }
 
     /// Build a matrix from column-major data.
-    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<S>) -> Result<Self, MatrixError> {
         if data.len() != rows * cols {
             return Err(MatrixError::LengthMismatch {
                 rows,
@@ -86,7 +88,7 @@ impl Matrix {
     }
 
     /// Build a matrix from row-major data (transposing into column-major).
-    pub fn from_row_major(rows: usize, cols: usize, data: &[f64]) -> Result<Self, MatrixError> {
+    pub fn from_row_major(rows: usize, cols: usize, data: &[S]) -> Result<Self, MatrixError> {
         if data.len() != rows * cols {
             return Err(MatrixError::LengthMismatch {
                 rows,
@@ -104,7 +106,7 @@ impl Matrix {
     }
 
     /// Build a matrix by evaluating `f(i, j)` for every element.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
         let mut m = Matrix::zeros(rows, cols);
         for j in 0..cols {
             for i in 0..rows {
@@ -152,20 +154,20 @@ impl Matrix {
 
     /// Element `(i, j)`. Panics if out of bounds.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.rows]
     }
 
     /// Set element `(i, j)`. Panics if out of bounds.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.rows] = v;
     }
 
     /// Checked element access.
-    pub fn try_get(&self, i: usize, j: usize) -> Result<f64, MatrixError> {
+    pub fn try_get(&self, i: usize, j: usize) -> Result<S, MatrixError> {
         if i >= self.rows || j >= self.cols {
             return Err(MatrixError::OutOfBounds {
                 index: (i, j),
@@ -177,26 +179,26 @@ impl Matrix {
 
     /// The backing column-major slice.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// The backing column-major slice, mutable.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Column `j` as a slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[S] {
         debug_assert!(j < self.cols);
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Column `j` as a mutable slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
         debug_assert!(j < self.cols);
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
@@ -204,7 +206,7 @@ impl Matrix {
     /// Two distinct columns, the first shared and the second mutable.
     ///
     /// Panics if `j_src == j_dst`.
-    pub fn col_pair_mut(&mut self, j_src: usize, j_dst: usize) -> (&[f64], &mut [f64]) {
+    pub fn col_pair_mut(&mut self, j_src: usize, j_dst: usize) -> (&[S], &mut [S]) {
         assert_ne!(j_src, j_dst, "columns must be distinct");
         let r = self.rows;
         if j_src < j_dst {
@@ -217,14 +219,14 @@ impl Matrix {
     }
 
     /// Copy of row `i`.
-    pub fn row(&self, i: usize) -> Vec<f64> {
+    pub fn row(&self, i: usize) -> Vec<S> {
         debug_assert!(i < self.rows);
         (0..self.cols).map(|j| self.get(i, j)).collect()
     }
 
     /// Copy out the `nrows × ncols` rectangle whose top-left corner is
     /// `(row0, col0)`.
-    pub fn sub_matrix(&self, row0: usize, col0: usize, nrows: usize, ncols: usize) -> Matrix {
+    pub fn sub_matrix(&self, row0: usize, col0: usize, nrows: usize, ncols: usize) -> Matrix<S> {
         assert!(row0 + nrows <= self.rows && col0 + ncols <= self.cols);
         let mut out = Matrix::zeros(nrows, ncols);
         for j in 0..ncols {
@@ -235,7 +237,7 @@ impl Matrix {
     }
 
     /// Copy `block` into the rectangle whose top-left corner is `(row0, col0)`.
-    pub fn set_sub_matrix(&mut self, row0: usize, col0: usize, block: &Matrix) {
+    pub fn set_sub_matrix(&mut self, row0: usize, col0: usize, block: &Matrix<S>) {
         assert!(row0 + block.rows <= self.rows && col0 + block.cols <= self.cols);
         for j in 0..block.cols {
             let dst_col = col0 + j;
@@ -246,7 +248,7 @@ impl Matrix {
     }
 
     /// The transpose (owned copy).
-    pub fn transpose(&self) -> Matrix {
+    pub fn transpose(&self) -> Matrix<S> {
         let mut t = Matrix::zeros(self.cols, self.rows);
         for j in 0..self.cols {
             for i in 0..self.rows {
@@ -257,23 +259,23 @@ impl Matrix {
     }
 
     /// Elementwise `self += other`. Panics on shape mismatch.
-    pub fn add_assign(&mut self, other: &Matrix) {
+    pub fn add_assign(&mut self, other: &Matrix<S>) {
         assert_eq!(self.shape(), other.shape());
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
+            *a += *b;
         }
     }
 
     /// Elementwise `self -= other`. Panics on shape mismatch.
-    pub fn sub_assign(&mut self, other: &Matrix) {
+    pub fn sub_assign(&mut self, other: &Matrix<S>) {
         assert_eq!(self.shape(), other.shape());
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a -= b;
+            *a -= *b;
         }
     }
 
     /// Multiply every element by `s`.
-    pub fn scale(&mut self, s: f64) {
+    pub fn scale(&mut self, s: S) {
         for a in &mut self.data {
             *a *= s;
         }
@@ -281,15 +283,16 @@ impl Matrix {
 
     /// Set every element to zero.
     pub fn fill_zero(&mut self) {
-        self.data.fill(0.0);
+        self.data.fill(S::ZERO);
     }
 
     /// Symmetrize in place: `A := (A + Aᵀ) / 2`. Panics if not square.
     pub fn symmetrize(&mut self) {
         assert!(self.is_square());
+        let half = S::from_f64(0.5);
         for j in 0..self.cols {
             for i in (j + 1)..self.rows {
-                let avg = 0.5 * (self.get(i, j) + self.get(j, i));
+                let avg = half * (self.get(i, j) + self.get(j, i));
                 self.set(i, j, avg);
                 self.set(j, i, avg);
             }
@@ -314,8 +317,22 @@ impl Matrix {
     }
 
     /// Consume the matrix, returning its column-major data.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<S> {
         self.data
+    }
+
+    /// Convert every element to another precision (rounding when narrowing).
+    ///
+    /// Workload generators produce `f64`; reduced-precision runs cast the
+    /// generated SPD matrix down with this. Rounding a symmetric
+    /// diagonally-dominant matrix elementwise preserves both properties, so
+    /// the cast input stays valid for Cholesky.
+    pub fn cast<T: Scalar>(&self) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| T::from_f64(x.to_f64())).collect(),
+        }
     }
 }
 
@@ -325,7 +342,7 @@ mod tests {
 
     #[test]
     fn zeros_and_shape() {
-        let m = Matrix::zeros(3, 4);
+        let m = Matrix::<f64>::zeros(3, 4);
         assert_eq!(m.shape(), (3, 4));
         assert_eq!(m.len(), 12);
         assert!(!m.is_square());
@@ -364,7 +381,7 @@ mod tests {
 
     #[test]
     fn identity_diag() {
-        let m = Matrix::identity(4);
+        let m = Matrix::<f64>::identity(4);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
@@ -415,7 +432,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn col_pair_mut_same_col_panics() {
-        let mut m = Matrix::zeros(2, 2);
+        let mut m = Matrix::<f64>::zeros(2, 2);
         let _ = m.col_pair_mut(1, 1);
     }
 
@@ -465,11 +482,35 @@ mod tests {
 
     #[test]
     fn try_get_bounds() {
-        let m = Matrix::zeros(2, 2);
+        let m = Matrix::<f64>::zeros(2, 2);
         assert!(m.try_get(1, 1).is_ok());
         assert!(matches!(
             m.try_get(2, 0),
             Err(MatrixError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn f32_matrix_basic_ops() {
+        let mut m = Matrix::<f32>::zeros(3, 3);
+        m.set(1, 2, 2.5f32);
+        assert_eq!(m.get(1, 2), 2.5f32);
+        m.scale(2.0f32);
+        assert_eq!(m.get(1, 2), 5.0f32);
+        m.mirror_lower();
+        assert!(m.is_square());
+    }
+
+    #[test]
+    fn cast_roundtrip_and_narrowing() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i + 10 * j) as f64 + 0.5);
+        let f: Matrix<f32> = m.cast();
+        assert_eq!(f.get(2, 1), 12.5f32); // exactly representable
+        let back: Matrix<f64> = f.cast();
+        assert_eq!(back, m); // small integers + halves survive the roundtrip
+                             // narrowing rounds
+        let mut p = Matrix::<f64>::zeros(1, 1);
+        p.set(0, 0, 1.0 + 1e-12);
+        assert_eq!(p.cast::<f32>().get(0, 0), 1.0f32);
     }
 }

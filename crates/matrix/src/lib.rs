@@ -5,9 +5,10 @@
 //!
 //! The crate provides:
 //!
-//! * [`Matrix`] — an owned, contiguous, column-major `f64` matrix with a safe
-//!   element / column / sub-rectangle API. This is the unit every BLAS kernel
-//!   in `hchol-blas` operates on.
+//! * [`Matrix`] — an owned, contiguous, column-major matrix with a safe
+//!   element / column / sub-rectangle API, generic over the [`Scalar`]
+//!   element type (default `f64`). This is the unit every BLAS kernel in
+//!   `hchol-blas` operates on.
 //! * [`TileMatrix`] — a matrix stored as a grid of `B × B` tiles. MAGMA's
 //!   blocked Cholesky treats blocks as updating units and the paper encodes
 //!   checksums *per block*, so tile storage is the natural representation on
@@ -19,8 +20,12 @@
 //!   [`compare`]), and the IEEE-754 bit manipulation used by the storage-error
 //!   injector ([`bits`]).
 //!
-//! Everything is `f64`: the paper implements and evaluates the double
-//! precision routine (`dpotrf`).
+//! The paper implements and evaluates the double-precision routine
+//! (`dpotrf`), so `f64` is the default element type everywhere; the sealed
+//! [`Scalar`] trait additionally admits `f32` for the reduced-precision
+//! workloads that the adaptive verification tolerances target. Generators
+//! ([`generate`]) and file I/O ([`io`]) stay `f64`-only — reduced-precision
+//! inputs are obtained by [`Matrix::cast`]-ing a generated `f64` problem.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,11 +37,13 @@ pub mod error;
 pub mod generate;
 pub mod io;
 pub mod norms;
+pub mod scalar;
 pub mod tile;
 pub mod triangular;
 
 pub use compare::{approx_eq, max_abs_diff, relative_residual};
 pub use dense::Matrix;
 pub use error::MatrixError;
+pub use scalar::{DType, Scalar};
 pub use tile::TileMatrix;
 pub use triangular::{Diag, Side, Trans, Uplo};

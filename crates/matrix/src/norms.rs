@@ -1,12 +1,13 @@
 //! Matrix and vector norms.
 
 use crate::dense::Matrix;
+use crate::scalar::Scalar;
 
 /// Frobenius norm `sqrt(Σ aᵢⱼ²)`, computed with scaling to avoid overflow.
-pub fn frobenius(m: &Matrix) -> f64 {
+pub fn frobenius<S: Scalar>(m: &Matrix<S>) -> f64 {
     let mut scale = 0.0f64;
     let mut ssq = 1.0f64;
-    for &x in m.as_slice() {
+    for x in m.as_slice().iter().map(|x| x.to_f64()) {
         if x != 0.0 {
             let ax = x.abs();
             if scale < ax {
@@ -21,33 +22,36 @@ pub fn frobenius(m: &Matrix) -> f64 {
 }
 
 /// One-norm: maximum absolute column sum.
-pub fn one_norm(m: &Matrix) -> f64 {
+pub fn one_norm<S: Scalar>(m: &Matrix<S>) -> f64 {
     (0..m.cols())
-        .map(|j| m.col(j).iter().map(|x| x.abs()).sum::<f64>())
+        .map(|j| m.col(j).iter().map(|x| x.abs().to_f64()).sum::<f64>())
         .fold(0.0, f64::max)
 }
 
 /// Infinity-norm: maximum absolute row sum.
-pub fn inf_norm(m: &Matrix) -> f64 {
+pub fn inf_norm<S: Scalar>(m: &Matrix<S>) -> f64 {
     let mut sums = vec![0.0f64; m.rows()];
     for j in 0..m.cols() {
-        for (i, &x) in m.col(j).iter().enumerate() {
-            sums[i] += x.abs();
+        for (i, x) in m.col(j).iter().enumerate() {
+            sums[i] += x.abs().to_f64();
         }
     }
     sums.into_iter().fold(0.0, f64::max)
 }
 
 /// Max-norm: largest absolute element.
-pub fn max_norm(m: &Matrix) -> f64 {
-    m.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max)
+pub fn max_norm<S: Scalar>(m: &Matrix<S>) -> f64 {
+    m.as_slice()
+        .iter()
+        .map(|x| x.abs().to_f64())
+        .fold(0.0, f64::max)
 }
 
 /// Euclidean norm of a vector slice (with overflow-safe scaling).
-pub fn vec_norm2(v: &[f64]) -> f64 {
+pub fn vec_norm2<S: Scalar>(v: &[S]) -> f64 {
     let mut scale = 0.0f64;
     let mut ssq = 1.0f64;
-    for &x in v {
+    for x in v.iter().map(|x| x.to_f64()) {
         if x != 0.0 {
             let ax = x.abs();
             if scale < ax {
@@ -90,7 +94,7 @@ mod tests {
 
     #[test]
     fn norms_of_zero_matrix() {
-        let m = Matrix::zeros(3, 3);
+        let m = Matrix::<f64>::zeros(3, 3);
         assert_eq!(frobenius(&m), 0.0);
         assert_eq!(one_norm(&m), 0.0);
         assert_eq!(inf_norm(&m), 0.0);
@@ -99,9 +103,9 @@ mod tests {
 
     #[test]
     fn vec_norm2_matches_naive() {
-        let v = [1.0, 2.0, 2.0];
+        let v = [1.0f64, 2.0, 2.0];
         assert!((vec_norm2(&v) - 3.0).abs() < 1e-15);
-        assert_eq!(vec_norm2(&[]), 0.0);
+        assert_eq!(vec_norm2::<f64>(&[]), 0.0);
     }
 
     #[test]

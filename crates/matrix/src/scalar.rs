@@ -1,0 +1,301 @@
+//! Precision-generic element trait for the numeric stack.
+//!
+//! Everything downstream of `hchol-matrix` — the BLAS kernels, the GPU
+//! simulator's buffers, the checksum encode/update/verify pipeline — is
+//! generic over [`Scalar`], which today means `f64` (the paper's working
+//! precision) or `f32` (ROADMAP item 5(a)'s reduced-precision workload).
+//!
+//! The trait is deliberately *sealed*: the verify thresholds, bit-flip
+//! injection masks, and golden-equivalence fixtures are only meaningful for
+//! IEEE-754 binary32/binary64, so foreign implementations are not allowed.
+//! Sealing also lets downstream crates reason soundly about `DTYPE`-based
+//! dispatch (e.g. routing an `f64` call onto the SIMD micro-kernel).
+//!
+//! Design rules used across the workspace:
+//!
+//! * Scale factors (`alpha`/`beta`), norms, residuals, and tolerances stay
+//!   `f64` at API boundaries and convert at the edge via [`Scalar::from_f64`]
+//!   / [`Scalar::to_f64`]. For `S = f64` both conversions are the identity,
+//!   which keeps the golden f64 fixtures byte-identical.
+//! * Inner-loop arithmetic (GEMM accumulation, triangular solves) runs in
+//!   `S`, so f32 runs exercise genuine single-precision round-off.
+//! * Bit-level fault injection uses [`Scalar::to_bits_u64`] /
+//!   [`Scalar::from_bits_u64`]; fault specs index bits modulo
+//!   [`Scalar::BITS`] so one campaign spec drives both precisions.
+
+use core::fmt::{Debug, Display, LowerExp};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod sealed {
+    /// Prevents implementations of [`super::Scalar`] outside this crate.
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Runtime tag identifying a [`Scalar`] instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64 (the paper's working precision).
+    F64,
+}
+
+impl DType {
+    /// Lower-case name used in run-report configs and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        }
+    }
+}
+
+impl Display for DType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// IEEE-754 floating-point element of the numeric stack (`f32` or `f64`).
+///
+/// See the [module docs](self) for the conventions attached to this trait.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + PartialEq
+    + PartialOrd
+    + Default
+    + Debug
+    + Display
+    + LowerExp
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of this precision (`2^-52` for f64, `2^-23` for f32).
+    const EPSILON: f64;
+    /// Runtime precision tag.
+    const DTYPE: DType;
+    /// Size of one element in bytes (drives simulated transfer volumes).
+    const BYTES: u64;
+    /// Width of the bit pattern (bounds storage-fault bit indices).
+    const BITS: u32;
+
+    /// Round an `f64` to this precision.
+    fn from_f64(x: f64) -> Self;
+    /// Widen to `f64` (exact for both supported precisions).
+    fn to_f64(self) -> f64;
+    /// Convert a count/index (exact for the sizes used here).
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b` in this precision.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `false` for NaN and ±infinity.
+    fn is_finite(self) -> bool;
+    /// IEEE maximum (propagating the other operand over NaN like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// IEEE minimum.
+    fn min(self, other: Self) -> Self;
+    /// Raw bit pattern, zero-extended to 64 bits.
+    fn to_bits_u64(self) -> u64;
+    /// Rebuild from a bit pattern produced by [`Scalar::to_bits_u64`]
+    /// (possibly with bits below [`Scalar::BITS`] flipped).
+    fn from_bits_u64(bits: u64) -> Self;
+    /// Quiet NaN.
+    fn nan() -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: f64 = f64::EPSILON;
+    const DTYPE: DType = DType::F64;
+    const BYTES: u64 = 8;
+    const BITS: u32 = 64;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline(always)]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline(always)]
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    #[inline(always)]
+    fn nan() -> Self {
+        f64::NAN
+    }
+    #[inline(always)]
+    fn powi(self, n: i32) -> Self {
+        f64::powi(self, n)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: f64 = f32::EPSILON as f64;
+    const DTYPE: DType = DType::F32;
+    const BYTES: u64 = 4;
+    const BITS: u32 = 32;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline(always)]
+    fn to_bits_u64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline(always)]
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+    #[inline(always)]
+    fn nan() -> Self {
+        f32::NAN
+    }
+    #[inline(always)]
+    fn powi(self, n: i32) -> Self {
+        f32::powi(self, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_metadata() {
+        assert_eq!(<f64 as Scalar>::DTYPE.name(), "f64");
+        assert_eq!(<f32 as Scalar>::DTYPE.name(), "f32");
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BITS, 64);
+        assert_eq!(<f32 as Scalar>::BITS, 32);
+    }
+
+    #[test]
+    fn f64_conversions_are_identity() {
+        let x = 1.234_567_890_123_456_7_f64;
+        assert_eq!(<f64 as Scalar>::from_f64(x), x);
+        assert_eq!(Scalar::to_f64(x), x);
+        assert_eq!(
+            f64::from_bits(x.to_bits()),
+            <f64 as Scalar>::from_bits_u64(x.to_bits_u64())
+        );
+    }
+
+    #[test]
+    fn f32_round_trips_through_f64_exactly() {
+        // binary32 embeds exactly into binary64.
+        for x in [1.5f32, -0.1, core::f32::consts::PI, f32::MIN_POSITIVE] {
+            assert_eq!(<f32 as Scalar>::from_f64(x.to_f64()), x);
+        }
+    }
+
+    #[test]
+    fn f32_bits_round_trip() {
+        let x = -7.25f32;
+        let bits = x.to_bits_u64();
+        assert!(bits <= u64::from(u32::MAX));
+        assert_eq!(<f32 as Scalar>::from_bits_u64(bits), x);
+    }
+
+    #[test]
+    fn epsilon_ordering() {
+        const { assert!(<f32 as Scalar>::EPSILON > <f64 as Scalar>::EPSILON) }
+    }
+
+    #[test]
+    fn generic_helpers() {
+        fn probe<S: Scalar>() -> f64 {
+            let two = S::from_f64(2.0);
+            (two * two + S::ONE).sqrt().to_f64()
+        }
+        assert!((probe::<f64>() - 5f64.sqrt()).abs() < 1e-15);
+        assert!((probe::<f32>() - 5f64.sqrt()).abs() < 1e-6);
+    }
+}

@@ -14,19 +14,20 @@
 
 use crate::dense::Matrix;
 use crate::error::MatrixError;
+use crate::scalar::Scalar;
 
 /// A matrix stored as a grid of tiles (blocks).
 #[derive(Clone, Debug, PartialEq)]
-pub struct TileMatrix {
+pub struct TileMatrix<S: Scalar = f64> {
     rows: usize,
     cols: usize,
     block: usize,
     grid_rows: usize,
     grid_cols: usize,
-    tiles: Vec<Matrix>, // column-major grid: tile (bi, bj) at bi + bj * grid_rows
+    tiles: Vec<Matrix<S>>, // column-major grid: tile (bi, bj) at bi + bj * grid_rows
 }
 
-impl TileMatrix {
+impl<S: Scalar> TileMatrix<S> {
     /// Create a zero `rows × cols` tile matrix with block size `block`.
     pub fn zeros(rows: usize, cols: usize, block: usize) -> Result<Self, MatrixError> {
         if block == 0 {
@@ -53,7 +54,7 @@ impl TileMatrix {
     }
 
     /// Partition a dense matrix into tiles.
-    pub fn from_dense(dense: &Matrix, block: usize) -> Result<Self, MatrixError> {
+    pub fn from_dense(dense: &Matrix<S>, block: usize) -> Result<Self, MatrixError> {
         let mut t = TileMatrix::zeros(dense.rows(), dense.cols(), block)?;
         for bj in 0..t.grid_cols {
             for bi in 0..t.grid_rows {
@@ -67,7 +68,7 @@ impl TileMatrix {
     }
 
     /// Reassemble the tiles into a contiguous dense matrix.
-    pub fn to_dense(&self) -> Matrix {
+    pub fn to_dense(&self) -> Matrix<S> {
         let mut d = Matrix::zeros(self.rows, self.cols);
         for bj in 0..self.grid_cols {
             for bi in 0..self.grid_rows {
@@ -115,13 +116,13 @@ impl TileMatrix {
 
     /// Tile `(bi, bj)` of the grid.
     #[inline]
-    pub fn tile(&self, bi: usize, bj: usize) -> &Matrix {
+    pub fn tile(&self, bi: usize, bj: usize) -> &Matrix<S> {
         &self.tiles[self.idx(bi, bj)]
     }
 
     /// Tile `(bi, bj)` of the grid, mutable.
     #[inline]
-    pub fn tile_mut(&mut self, bi: usize, bj: usize) -> &mut Matrix {
+    pub fn tile_mut(&mut self, bi: usize, bj: usize) -> &mut Matrix<S> {
         let i = self.idx(bi, bj);
         &mut self.tiles[i]
     }
@@ -132,7 +133,7 @@ impl TileMatrix {
         &mut self,
         mut_coord: (usize, usize),
         ref_coord: (usize, usize),
-    ) -> (&mut Matrix, &Matrix) {
+    ) -> (&mut Matrix<S>, &Matrix<S>) {
         assert_ne!(mut_coord, ref_coord, "tiles must be distinct");
         let im = self.idx(mut_coord.0, mut_coord.1);
         let ir = self.idx(ref_coord.0, ref_coord.1);
@@ -144,14 +145,14 @@ impl TileMatrix {
     }
 
     /// Global element access (row, col in the full matrix).
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         let (bi, ii) = (i / self.block, i % self.block);
         let (bj, jj) = (j / self.block, j % self.block);
         self.tile(bi, bj).get(ii, jj)
     }
 
     /// Global element assignment.
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
         let (bi, ii) = (i / self.block, i % self.block);
         let (bj, jj) = (j / self.block, j % self.block);
         self.tile_mut(bi, bj).set(ii, jj, v);
@@ -179,7 +180,7 @@ mod tests {
     #[test]
     fn zero_block_size_rejected() {
         assert!(matches!(
-            TileMatrix::zeros(4, 4, 0),
+            TileMatrix::<f64>::zeros(4, 4, 0),
             Err(MatrixError::ZeroBlockSize)
         ));
     }
@@ -234,13 +235,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn tile_pair_same_tile_panics() {
-        let mut t = TileMatrix::zeros(4, 4, 2).unwrap();
+        let mut t = TileMatrix::<f64>::zeros(4, 4, 2).unwrap();
         let _ = t.tile_pair((0, 0), (0, 0));
     }
 
     #[test]
     fn tile_coords_cover_grid() {
-        let t = TileMatrix::zeros(4, 6, 2).unwrap();
+        let t = TileMatrix::<f64>::zeros(4, 6, 2).unwrap();
         let coords: Vec<_> = t.tile_coords().collect();
         assert_eq!(coords.len(), 2 * 3);
         assert!(coords.contains(&(1, 2)));

@@ -1,6 +1,7 @@
 //! BLAS-style operation descriptors and triangular-matrix predicates.
 
 use crate::dense::Matrix;
+use crate::scalar::Scalar;
 
 /// Which triangle of a symmetric/triangular matrix is referenced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,10 +55,10 @@ pub enum Diag {
 
 /// True if `m` is lower triangular to within `tol` (all strictly-upper
 /// entries have magnitude ≤ `tol`).
-pub fn is_lower_triangular(m: &Matrix, tol: f64) -> bool {
+pub fn is_lower_triangular<S: Scalar>(m: &Matrix<S>, tol: f64) -> bool {
     for j in 0..m.cols() {
         for i in 0..j.min(m.rows()) {
-            if m.get(i, j).abs() > tol {
+            if m.get(i, j).abs().to_f64() > tol {
                 return false;
             }
         }
@@ -66,10 +67,10 @@ pub fn is_lower_triangular(m: &Matrix, tol: f64) -> bool {
 }
 
 /// True if `m` is upper triangular to within `tol`.
-pub fn is_upper_triangular(m: &Matrix, tol: f64) -> bool {
+pub fn is_upper_triangular<S: Scalar>(m: &Matrix<S>, tol: f64) -> bool {
     for j in 0..m.cols() {
         for i in (j + 1)..m.rows() {
-            if m.get(i, j).abs() > tol {
+            if m.get(i, j).abs().to_f64() > tol {
                 return false;
             }
         }
@@ -78,13 +79,13 @@ pub fn is_upper_triangular(m: &Matrix, tol: f64) -> bool {
 }
 
 /// True if `m` is symmetric to within `tol`.
-pub fn is_symmetric(m: &Matrix, tol: f64) -> bool {
+pub fn is_symmetric<S: Scalar>(m: &Matrix<S>, tol: f64) -> bool {
     if !m.is_square() {
         return false;
     }
     for j in 0..m.cols() {
         for i in (j + 1)..m.rows() {
-            if (m.get(i, j) - m.get(j, i)).abs() > tol {
+            if (m.get(i, j) - m.get(j, i)).abs().to_f64() > tol {
                 return false;
             }
         }
@@ -94,11 +95,11 @@ pub fn is_symmetric(m: &Matrix, tol: f64) -> bool {
 
 /// Zero out the strictly-upper triangle, making the matrix explicitly lower
 /// triangular. Panics if not square.
-pub fn force_lower(m: &mut Matrix) {
+pub fn force_lower<S: Scalar>(m: &mut Matrix<S>) {
     assert!(m.is_square());
     for j in 1..m.cols() {
         for i in 0..j {
-            m.set(i, j, 0.0);
+            m.set(i, j, S::ZERO);
         }
     }
 }
@@ -123,7 +124,7 @@ mod tests {
         assert!(is_upper_triangular(&u, 0.0));
         assert!(!is_lower_triangular(&u, 0.0));
         // identity is both
-        let i = Matrix::identity(3);
+        let i = Matrix::<f64>::identity(3);
         assert!(is_lower_triangular(&i, 0.0) && is_upper_triangular(&i, 0.0));
     }
 
@@ -134,7 +135,7 @@ mod tests {
         m.set(0, 2, 100.0);
         assert!(!is_symmetric(&m, 0.0));
         assert!(is_symmetric(&m, 1000.0));
-        let rect = Matrix::zeros(2, 3);
+        let rect = Matrix::<f64>::zeros(2, 3);
         assert!(!is_symmetric(&rect, 1.0));
     }
 

@@ -44,6 +44,10 @@ pub const METRICS: &[&str] = &[
     // Time on the separate recalculation kernels (the unfused pipeline),
     // reported side by side with `verify.fused.epilogue_secs`.
     "verify.recalc_secs",
+    // Peak adaptive detection threshold of the run (gauge; recorded only
+    // under `ToleranceModel::Adaptive` so fixed-threshold reports stay
+    // byte-identical to the golden fixtures).
+    "verify.threshold",
     // Fault injection.
     "faults.injected",
     // Feedback load balancer (plan::balance): controller invocations,
@@ -174,6 +178,7 @@ mod tests {
         assert!(metric_registered("verify.batches"));
         assert!(metric_registered("verify.fused.kernels"));
         assert!(metric_registered("verify.fused.epilogue_secs"));
+        assert!(metric_registered("verify.threshold"));
         assert!(metric_registered("balance.updates"));
         assert!(metric_registered("balance.k"));
         assert!(!metric_registered("balance.kk"));

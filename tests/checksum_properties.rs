@@ -3,7 +3,7 @@
 
 use hchol_core::checksum::{encode, CHECKSUM_COUNT};
 use hchol_core::chkops::{update_potf2, update_product, update_trsm};
-use hchol_core::verify::{verify_and_correct, VerifyPolicy};
+use hchol_core::verify::{verify_and_correct, TileTolerance, VerifyPolicy};
 use hchol_matrix::{approx_eq, Matrix, Trans};
 use proptest::prelude::*;
 
@@ -95,7 +95,8 @@ proptest! {
         let mut corrupted = data;
         corrupted.set(row, col, corrupted.get(row, col) + delta);
         let recalc = encode(&corrupted);
-        let out = verify_and_correct(&mut corrupted, &mut chk, &recalc, &VerifyPolicy::default());
+        let tol = TileTolerance::Fixed(VerifyPolicy::default());
+        let out = verify_and_correct(&mut corrupted, &mut chk, &recalc, &tol);
         prop_assert_eq!(out.corrected_data, 1);
         prop_assert_eq!(out.uncorrectable_columns, 0);
         prop_assert!(approx_eq(&corrupted, &truth, 1e-7));
@@ -119,8 +120,8 @@ proptest! {
         prop_assume!(flipped.is_finite());
         corrupted.set(row, col, flipped);
         let recalc = encode(&corrupted);
-        let policy = VerifyPolicy::default();
-        let out = verify_and_correct(&mut corrupted, &mut chk, &recalc, &policy);
+        let tol = TileTolerance::Fixed(VerifyPolicy::default());
+        let out = verify_and_correct(&mut corrupted, &mut chk, &recalc, &tol);
         // The contract is "never silently wrong": the flip is either
         // corrected (near-exact restore), negligible at checksum scale, or
         // explicitly flagged uncorrectable (top-exponent flips can overflow
@@ -150,7 +151,8 @@ proptest! {
         chk.set(which, col, chk.get(which, col) + delta);
         let mut d = data;
         let recalc = encode(&d);
-        let out = verify_and_correct(&mut d, &mut chk, &recalc, &VerifyPolicy::default());
+        let tol = TileTolerance::Fixed(VerifyPolicy::default());
+        let out = verify_and_correct(&mut d, &mut chk, &recalc, &tol);
         prop_assert_eq!(out.repaired_checksums, 1);
         prop_assert_eq!(out.corrected_data, 0);
         prop_assert!(approx_eq(&d, &truth, 0.0));

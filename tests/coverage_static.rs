@@ -192,3 +192,67 @@ fn lowered_static_sites_honour_their_rung() {
         }
     }
 }
+
+/// The checker's verdicts are precision-independent — they reason over the
+/// plan's structure (which tiles a verify batch covers, what a restart
+/// replays), not over arithmetic — so a rung proved on the plan must hold
+/// when the same plan executes at f32 under the adaptive tolerance.
+/// Storage sites are lowered with an f32-sized double-bit upset (exponent
+/// bit 27 + mantissa bit 10): the canonical f64 spec reduces to f32's top
+/// exponent bit, whose corruption overflows the weighted checksum sum and
+/// (correctly) downgrades in-place correction to a restart —
+/// `fault_matrix.rs` pins that overflow case separately.
+#[test]
+fn lowered_static_sites_hold_at_f32() {
+    let a64 = spd_diag_dominant(N, 47);
+    let a = hchol_matrix::Matrix::<f32>::from_fn(N, N, |i, j| a64.get(i, j) as f32);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions {
+        max_restarts: 2,
+        ..AbftOptions::default().with_adaptive_tolerance()
+    };
+
+    for (scheme, expect) in [
+        (SchemeKind::Enhanced, Coverage::DetectCorrect),
+        (SchemeKind::Offline, Coverage::DetectRestart),
+    ] {
+        let report = check_scheme_coverage(scheme, &p, N, B, &opts);
+        let picked: Vec<_> = report
+            .sites
+            .iter()
+            .filter(|v| v.site.point.iter() >= 1)
+            .step_by(23)
+            .take(6)
+            .collect();
+        assert!(picked.len() >= 4, "{}: thin site list", scheme.name());
+        for v in picked {
+            assert_eq!(v.coverage, expect, "{} {:?}", scheme.name(), v.site);
+            let mut spec = v.site.to_spec(B);
+            if v.site.class == FaultClass::Storage {
+                spec.kind = FaultKind::Storage { bits: vec![27, 10] };
+            }
+            let out = hchol::core::run_scheme_typed::<f32>(
+                scheme,
+                &p,
+                ExecMode::Execute,
+                N,
+                B,
+                &opts,
+                FaultPlan::single(spec),
+                Some(&a),
+            )
+            .unwrap_or_else(|e| panic!("{} {:?}: {e}", scheme.name(), v.site));
+            assert!(!out.failed, "{} {:?}", scheme.name(), v.site);
+            let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+            assert!(
+                resid < 2e-3,
+                "{} {:?}: residual {resid:.2e}",
+                scheme.name(),
+                v.site
+            );
+            if expect == Coverage::DetectCorrect {
+                assert_eq!(out.attempts, 1, "{:?} promised in-place fix", v.site);
+            }
+        }
+    }
+}

@@ -167,3 +167,219 @@ fn multiple_simultaneous_faults_in_distinct_tiles() {
     let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
     assert!(resid < 1e-11);
 }
+
+// ---------------------------------------------------------------------------
+// f32 grid: the same sweep at single precision. The fixed f64 thresholds sit
+// below honest f32 round-off, so these runs use the variance-based adaptive
+// tolerance — the whole point of which is that one policy works at both
+// precisions with zero clean-run false positives.
+// ---------------------------------------------------------------------------
+
+fn input_f32(seed: u64) -> hchol_matrix::Matrix<f32> {
+    let a = spd_diag_dominant(N, seed);
+    hchol_matrix::Matrix::from_fn(N, N, |i, j| a.get(i, j) as f32)
+}
+
+/// A double-bit storage upset sized for the f32 layout: bit 27 (exponent,
+/// scaling the element by 2¹⁶) plus a mantissa bit. The canonical
+/// [`FaultKind::storage`] spec reduces to f32's *top* exponent bit, whose
+/// ~1e38 corruption overflows the weighted checksum sum to infinity —
+/// location is then impossible by construction (see
+/// `f32_overflow_storage_fault_recovers_by_restart` below for that case).
+fn storage_f32() -> FaultKind {
+    FaultKind::Storage { bits: vec![27, 10] }
+}
+
+#[test]
+fn every_single_fault_position_ends_correct_f32() {
+    let a = input_f32(31);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions {
+        max_restarts: 2,
+        ..AbftOptions::default().with_adaptive_tolerance()
+    };
+
+    let mut checked = 0usize;
+    for (salt, point) in scenario_points().into_iter().enumerate() {
+        for kind_of_fault in [FaultKind::computing(), storage_f32()] {
+            let plan = FaultPlan::single(FaultSpec {
+                point,
+                target: live_target(point, salt),
+                kind: kind_of_fault.clone(),
+            });
+            for scheme in SchemeKind::all() {
+                let out = hchol::core::run_scheme_typed::<f32>(
+                    scheme,
+                    &p,
+                    ExecMode::Execute,
+                    N,
+                    B,
+                    &opts,
+                    plan.clone(),
+                    Some(&a),
+                )
+                .unwrap_or_else(|e| panic!("{} at {point:?}: {e}", scheme.name()));
+                assert!(
+                    !out.failed,
+                    "{} gave up at {point:?} / {kind_of_fault:?}",
+                    scheme.name()
+                );
+                // Correction restores a hit element only to within the
+                // accumulated round-off of the f32 checksum sums (exactly
+                // the drift the adaptive threshold is sized to tolerate),
+                // so late-detected faults leave a residual well above
+                // clean-run accuracy but bounded by the drift scale.
+                let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+                assert!(
+                    resid < 2e-3,
+                    "{} at {point:?} / {kind_of_fault:?}: residual {resid:.2e} (attempts {})",
+                    scheme.name(),
+                    out.attempts
+                );
+                if scheme == SchemeKind::Enhanced {
+                    assert_eq!(
+                        out.attempts, 1,
+                        "Enhanced must absorb {point:?} / {kind_of_fault:?} without restart"
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 80, "swept {checked} f32 scenarios");
+}
+
+#[test]
+fn f32_overflow_storage_fault_recovers_by_restart() {
+    // The canonical f64 storage spec reduces at f32 to a flip of the
+    // second-highest exponent bit: the corrupted element lands near 3e38,
+    // and the row-weighted checksum sum overflows to infinity. The ratio
+    // test then cannot name a row (δ₂ is not finite), so even Enhanced must
+    // fall back to the restart path — and still end numerically correct.
+    let a = input_f32(31);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions {
+        max_restarts: 2,
+        ..AbftOptions::default().with_adaptive_tolerance()
+    };
+    let plan = FaultPlan::single(FaultSpec {
+        point: InjectionPoint::IterStart { iter: 1 },
+        target: FaultTarget {
+            bi: 2,
+            bj: 1,
+            row: 1,
+            col: 2,
+        },
+        kind: FaultKind::storage(),
+    });
+    let out = hchol::core::run_scheme_typed::<f32>(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::Execute,
+        N,
+        B,
+        &opts,
+        plan,
+        Some(&a),
+    )
+    .unwrap();
+    assert!(!out.failed);
+    assert_eq!(out.attempts, 2, "overflowed checksum must force a restart");
+    assert!(out.verify.uncorrectable_columns >= 1);
+    let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+    assert!(resid < 2e-5, "restarted run must be clean: {resid:.2e}");
+}
+
+#[test]
+fn clean_f32_run_has_zero_false_positives_and_reports_dtype() {
+    let a = input_f32(34);
+    let p = SystemProfile::test_profile();
+    let opts = AbftOptions::default().with_adaptive_tolerance();
+    for scheme in SchemeKind::all() {
+        let out = hchol::core::run_scheme_typed::<f32>(
+            scheme,
+            &p,
+            ExecMode::Execute,
+            N,
+            B,
+            &opts,
+            FaultPlan::none(),
+            Some(&a),
+        )
+        .unwrap();
+        assert!(!out.failed);
+        assert_eq!(out.attempts, 1, "{}: clean run restarted", scheme.name());
+        assert!(
+            out.verify.is_clean(),
+            "{}: false positive on clean f32 run: {:?}",
+            scheme.name(),
+            out.verify
+        );
+        let report = out.report();
+        let dtype = report
+            .config
+            .iter()
+            .find(|kv| kv.key == "dtype")
+            .map(|kv| kv.value.clone());
+        assert_eq!(dtype.as_deref(), Some("f32"), "{}", scheme.name());
+        assert!(
+            report.config.iter().any(|kv| kv.key == "tolerance"),
+            "{}: adaptive tolerance not recorded",
+            scheme.name()
+        );
+        let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+        assert!(resid < 2e-5, "{}: residual {resid:.2e}", scheme.name());
+    }
+}
+
+#[test]
+fn fixed_f64_thresholds_misbehave_at_f32_where_adaptive_does_not() {
+    // The satellite claim, as a test: the historical fixed epsilons are an
+    // f64 artifact. At f32 they either flag honest round-off (false
+    // positives / restarts on a clean run) or — once loosened enough to stop
+    // doing that — the adaptive model still detects every injected fault.
+    let a = input_f32(35);
+    let p = SystemProfile::test_profile();
+
+    let fixed = AbftOptions {
+        max_restarts: 1,
+        ..AbftOptions::default()
+    };
+    let out_fixed = hchol::core::run_scheme_typed::<f32>(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::Execute,
+        N,
+        B,
+        &fixed,
+        FaultPlan::none(),
+        Some(&a),
+    )
+    .unwrap();
+    let fixed_misbehaves =
+        out_fixed.failed || !out_fixed.verify.is_clean() || out_fixed.attempts > 1;
+    assert!(
+        fixed_misbehaves,
+        "fixed f64 thresholds unexpectedly survived a clean f32 run: {:?}",
+        out_fixed.verify
+    );
+
+    let adaptive = AbftOptions {
+        max_restarts: 1,
+        ..AbftOptions::default().with_adaptive_tolerance()
+    };
+    let out_adaptive = hchol::core::run_scheme_typed::<f32>(
+        SchemeKind::Enhanced,
+        &p,
+        ExecMode::Execute,
+        N,
+        B,
+        &adaptive,
+        FaultPlan::none(),
+        Some(&a),
+    )
+    .unwrap();
+    assert!(!out_adaptive.failed);
+    assert!(out_adaptive.verify.is_clean());
+    assert_eq!(out_adaptive.attempts, 1);
+}

@@ -1,0 +1,142 @@
+//! Property closure for the variance-based adaptive tolerance: a **clean**
+//! run — any problem size, any block size, any scheme, either precision —
+//! must never trip a verification. Zero false positives is what licenses
+//! the rest of the suite to read every detection as a real injected fault,
+//! and it is the claim that makes one tolerance policy usable at both f64
+//! and f32 (the fixed f64 epsilons flag honest f32 round-off; see
+//! `fault_matrix.rs::fixed_f64_thresholds_misbehave_at_f32_where_adaptive_does_not`).
+
+use hchol::prelude::*;
+use hchol_blas::potrf::reconstruct_lower;
+use hchol_core::{run_clean_typed, run_scheme_typed};
+use hchol_faults::{FaultTarget, InjectionPoint};
+use hchol_matrix::generate::spd_diag_dominant;
+use hchol_matrix::{relative_residual, Matrix};
+use proptest::prelude::*;
+
+fn scheme(ix: u8) -> SchemeKind {
+    SchemeKind::all()[ix as usize % 3]
+}
+
+fn adaptive_opts() -> AbftOptions {
+    AbftOptions::default().with_adaptive_tolerance()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// f64 under the adaptive model: clean in, clean out, and the factor is
+    /// as accurate as an unprotected factorization.
+    #[test]
+    fn clean_f64_runs_have_zero_false_positives(
+        nt in 2usize..=6,
+        b_ix in 0usize..3,
+        scheme_ix in 0u8..3,
+        seed in 0u64..500,
+    ) {
+        let b = [8usize, 16, 32][b_ix];
+        let n = nt * b;
+        let a = spd_diag_dominant(n, seed);
+        let out = run_clean_typed::<f64>(
+            scheme(scheme_ix),
+            &SystemProfile::test_profile(),
+            ExecMode::Execute,
+            n,
+            b,
+            &adaptive_opts(),
+            Some(&a),
+        )
+        .unwrap();
+        prop_assert!(!out.failed);
+        prop_assert_eq!(out.attempts, 1, "clean f64 run restarted");
+        prop_assert!(
+            out.verify.is_clean(),
+            "false positive at n={} b={} {}: {:?}",
+            n, b, scheme(scheme_ix).name(), out.verify
+        );
+        let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+        prop_assert!(resid < 1e-11, "residual {:.2e}", resid);
+    }
+
+    /// f32 under the adaptive model: the thresholds scale up with the
+    /// precision's epsilon, so honest single-precision round-off still
+    /// never looks like a fault.
+    #[test]
+    fn clean_f32_runs_have_zero_false_positives(
+        nt in 2usize..=6,
+        b_ix in 0usize..3,
+        scheme_ix in 0u8..3,
+        seed in 0u64..500,
+    ) {
+        let b = [8usize, 16, 32][b_ix];
+        let n = nt * b;
+        let a64 = spd_diag_dominant(n, seed);
+        let a = Matrix::<f32>::from_fn(n, n, |i, j| a64.get(i, j) as f32);
+        let out = run_clean_typed::<f32>(
+            scheme(scheme_ix),
+            &SystemProfile::test_profile(),
+            ExecMode::Execute,
+            n,
+            b,
+            &adaptive_opts(),
+            Some(&a),
+        )
+        .unwrap();
+        prop_assert!(!out.failed);
+        prop_assert_eq!(out.attempts, 1, "clean f32 run restarted");
+        prop_assert!(
+            out.verify.is_clean(),
+            "false positive at n={} b={} {}: {:?}",
+            n, b, scheme(scheme_ix).name(), out.verify
+        );
+        let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+        prop_assert!(resid < 1e-4, "residual {:.2e}", resid);
+    }
+
+    /// Detection still works where it must: the same adaptive policy that
+    /// stays silent on clean runs catches an injected f32 computing error
+    /// at a random live panel position (Enhanced, in place, one attempt).
+    #[test]
+    fn adaptive_f32_still_detects_injected_faults(
+        nt in 3usize..=6,
+        iter in 1usize..3,
+        salt in 0usize..64,
+        seed in 0u64..500,
+    ) {
+        let b = 16usize;
+        let n = nt * b;
+        let a64 = spd_diag_dominant(n, seed);
+        let a = Matrix::<f32>::from_fn(n, n, |i, j| a64.get(i, j) as f32);
+        let bi = iter + 1 + salt % (nt - iter - 1).max(1);
+        let plan = FaultPlan::single(FaultSpec {
+            point: InjectionPoint::IterStart { iter },
+            target: FaultTarget {
+                bi: bi.min(nt - 1),
+                bj: salt % (iter + 1),
+                row: salt % b,
+                col: (salt * 5 + 2) % b,
+            },
+            kind: FaultKind::computing(),
+        });
+        let out = run_scheme_typed::<f32>(
+            SchemeKind::Enhanced,
+            &SystemProfile::test_profile(),
+            ExecMode::Execute,
+            n,
+            b,
+            &AbftOptions { max_restarts: 1, ..adaptive_opts() },
+            plan,
+            Some(&a),
+        )
+        .unwrap();
+        prop_assert!(!out.failed);
+        prop_assert_eq!(out.attempts, 1);
+        prop_assert!(
+            out.verify.corrected_data > 0 || out.verify.repaired_checksums > 0,
+            "injected fault left no trace: {:?}",
+            out.verify
+        );
+        let resid = relative_residual(&reconstruct_lower(out.factor.as_ref().unwrap()), &a);
+        prop_assert!(resid < 2e-3, "residual {:.2e}", resid);
+    }
+}
